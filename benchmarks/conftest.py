@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark/reproduction harness.
+
+Every benchmark regenerates one of the paper's artifacts (a table, a
+figure, or an experiment's result rows), times the regeneration, and
+**saves the reproduced artifact** under ``benchmarks/results/`` so the
+reproduction can be inspected after a run (pytest captures stdout).
+EXPERIMENTS.md summarizes these outputs against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """``save_artifact("t1_table1", text)`` -> benchmarks/results/t1_table1.txt"""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save

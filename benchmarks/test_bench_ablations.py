@@ -1,0 +1,64 @@
+"""Experiment E10: design-choice ablations (sections 5.1 / 6 continuing
+work): line-size selection, replacement policy, cache geometry."""
+
+from repro.analysis.ablations import (
+    geometry_sweep,
+    line_size_sweep,
+    replacement_policy_sweep,
+)
+from repro.analysis.report import format_rows
+
+
+def test_line_size_selection(benchmark, save_artifact):
+    """The trade the P896.2 recommendation must balance: miss ratio falls
+    with line size (spatial locality), but bus occupancy turns back up
+    (transfer cost + false sharing) -- a U-curve with an interior
+    optimum."""
+    rows = benchmark.pedantic(
+        lambda: line_size_sweep(references=6000), rounds=1, iterations=1
+    )
+    miss_ratios = [r["miss_ratio"] for r in rows]
+    assert miss_ratios == sorted(miss_ratios, reverse=True)
+
+    costs = [r["bus_ns_per_access"] for r in rows]
+    best = costs.index(min(costs))
+    assert 0 < best < len(costs) - 1, (
+        f"expected an interior optimum, got index {best} of {costs}"
+    )
+    # The optimum is a realistic standard size (32 or 64 bytes).
+    assert rows[best]["line_size"] in (32, 64)
+    save_artifact(
+        "e10_line_size_selection",
+        format_rows(rows, "E10: line-size selection at fixed 4 KiB "
+                          "capacity (byte-granular spatial workload; "
+                          "transfer cost scales with line size)"),
+    )
+
+
+def test_replacement_policy(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: replacement_policy_sweep(references=5000),
+        rounds=1, iterations=1,
+    )
+    by_name = {r["replacement"]: r for r in rows}
+    # With temporal locality, LRU must beat FIFO.
+    assert by_name["lru"]["miss_ratio"] < by_name["fifo"]["miss_ratio"]
+    save_artifact(
+        "e10b_replacement_policy",
+        format_rows(rows, "E10b: replacement policy under reuse pressure"),
+    )
+
+
+def test_geometry(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: geometry_sweep(references=5000), rounds=1, iterations=1
+    )
+    # Same capacity, rising associativity: conflict misses shrink.
+    direct_mapped = rows[0]["miss_ratio"]
+    most_associative = rows[-1]["miss_ratio"]
+    assert most_associative <= direct_mapped
+    save_artifact(
+        "e10c_geometry",
+        format_rows(rows, "E10c: associativity vs sets at constant "
+                          "capacity"),
+    )

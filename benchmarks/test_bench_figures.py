@@ -1,0 +1,44 @@
+"""Experiments F1-F4: regenerate the paper's figures from the models."""
+
+from repro.analysis.figures import (
+    figure1_broadcast_handshake,
+    figure2_parallel_protocol,
+    figure3_characteristics,
+    figure3_rows,
+    figure4_groups,
+    figure4_state_pairs,
+)
+from repro.core.states import LineState
+
+
+def test_figure1_broadcast_handshake(benchmark, save_artifact):
+    """F1: wired-OR broadcast handshake with staggered releases."""
+    text = benchmark(figure1_broadcast_handshake)
+    assert "glitches absorbed: 2" in text
+    assert "105 ns" in text  # 80 ns last release + 25 ns filter
+    save_artifact("f1_broadcast_handshake", text)
+
+
+def test_figure2_parallel_protocol(benchmark, save_artifact):
+    """F2: AD/AS*/AK*/AI* waveforms of one address cycle."""
+    text = benchmark(figure2_parallel_protocol)
+    for signal in ("AD", "AS*", "AK*", "AI*"):
+        assert signal in text
+    save_artifact("f2_parallel_protocol", text)
+
+
+def test_figure3_characteristics(benchmark, save_artifact):
+    """F3: the three characteristics, derived from the predicates."""
+    text = benchmark(figure3_characteristics)
+    rows = figure3_rows()
+    assert [r[0] for r in rows] == ["M", "O", "E", "S", "I"]
+    save_artifact("f3_three_characteristics", text)
+
+
+def test_figure4_state_pairs(benchmark, save_artifact):
+    """F4: the four state-pair qualities, derived from the predicates."""
+    text = benchmark(figure4_state_pairs)
+    groups = figure4_groups()
+    assert groups["M+O"][0] == {LineState.MODIFIED, LineState.OWNED}
+    assert groups["O+S"][0] == {LineState.OWNED, LineState.SHAREABLE}
+    save_artifact("f4_state_pairs", text)

@@ -1,0 +1,81 @@
+"""Experiment E8: heterogeneous board mixes on one backplane.
+
+The point of the class: "the coexistence of copy back caches, write
+through caches and non-caching boards in the same system."  Fix the
+workload, vary the board mix, and watch traffic and elapsed time shift --
+copy-back boards shield the bus; simpler boards load it."""
+
+from repro.analysis.compare import heterogeneous_mix_sweep
+from repro.analysis.report import format_rows
+
+
+def test_board_mix_sweep(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: heterogeneous_mix_sweep(references=3000),
+        rounds=1, iterations=1,
+    )
+    by_label = {r["system"]: r for r in rows}
+
+    all_moesi = by_label["4x copy-back (MOESI)"]
+    all_wt = by_label["4x write-through"]
+    mixed_protocols = by_label["MOESI+Berkeley+Dragon+WT"]
+
+    # Pure copy-back is the bus-traffic floor; pure write-through the
+    # ceiling; every mix lies in between or near it.
+    assert all_moesi["txns_per_access"] < all_wt["txns_per_access"]
+    assert (
+        all_moesi["txns_per_access"]
+        <= mixed_protocols["txns_per_access"]
+        <= all_wt["txns_per_access"] * 1.1
+    )
+    # Replacing one cached board with a non-caching one adds traffic.
+    with_io = by_label["3x MOESI + 1x non-caching"]
+    assert with_io["txns_per_access"] > all_moesi["txns_per_access"]
+
+    save_artifact(
+        "e8_heterogeneous_mixes",
+        format_rows(rows, "E8: board-mix sweep (fixed workload, timed; "
+                          "4 boards on one Futurebus)"),
+    )
+
+
+def test_gradual_write_through_degradation(benchmark, save_artifact):
+    """Swapping copy-back boards for write-through ones degrades bus cost
+    monotonically -- the incremental-cost story of section 1."""
+    from repro.analysis.compare import run_protocol_on_trace
+    from repro.system.runner import timed_run_from_trace
+    from repro.system.system import BoardSpec, System
+    from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+    config = SyntheticConfig(processors=4, p_shared=0.2, p_write=0.3)
+    trace = SyntheticWorkload(config, seed=41).trace(2500)
+    units = trace.units()
+
+    def run():
+        rows = []
+        for n_wt in range(5):
+            protocols = ["write-through"] * n_wt + ["moesi"] * (4 - n_wt)
+            system = System(
+                [
+                    BoardSpec(unit, protocol)
+                    for unit, protocol in zip(units, protocols)
+                ],
+                check=False,
+                label=f"{n_wt}x WT + {4 - n_wt}x MOESI",
+            )
+            report = timed_run_from_trace(system, trace).run()
+            row = report.row()
+            row["n_write_through"] = n_wt
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    txns = [r["bus_txns"] for r in rows]
+    assert txns == sorted(txns), txns  # monotone degradation
+    save_artifact(
+        "e8b_wt_degradation",
+        format_rows(rows, "E8b: bus cost as write-through boards replace "
+                          "copy-back boards",
+                    columns=["n_write_through", "system", "bus_txns",
+                             "txns_per_access", "bus_ns_per_access"]),
+    )

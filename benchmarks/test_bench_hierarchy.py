@@ -1,0 +1,129 @@
+"""Experiment E9 (extension -- paper section 6 future work): consistency
+over multiple buses, and what the hierarchy buys.
+
+The paper's motivation for caches is that "no feasible bus design can
+provide adequate bandwidth to memory for any reasonable number of high
+performance processors"; a two-level hierarchy extends the same argument
+past a single backplane.  This bench measures how much global-bus traffic
+the cluster bridges filter out as locality shifts from cluster-local to
+fully global."""
+
+import random
+
+from repro.analysis.report import format_rows
+from repro.hierarchy import HierarchicalSystem
+
+
+def _drive(h: HierarchicalSystem, locality: float, references: int,
+           seed: int) -> None:
+    """Random traffic where ``locality`` is the probability a reference
+    targets the unit's own cluster-private region."""
+    rng = random.Random(seed)
+    all_units = list(h.controllers)
+    cluster_names = list(h.bridges)
+    lines_per_region = 6
+    for _ in range(references):
+        unit = rng.choice(all_units)
+        cluster = h.cluster_of[unit]
+        if rng.random() < locality:
+            region = cluster_names.index(cluster)
+        else:
+            region = len(cluster_names)  # the globally shared region
+        address = (region * lines_per_region + rng.randrange(
+            lines_per_region)) * 32
+        if rng.random() < 0.35:
+            h.write(unit, address)
+        else:
+            h.read(unit, address)
+
+
+def test_locality_sweep(benchmark, save_artifact):
+    def sweep():
+        rows = []
+        for locality in (0.0, 0.5, 0.8, 0.95):
+            h = HierarchicalSystem.grid(2, 2, check=False)
+            _drive(h, locality, 3000, seed=5)
+            violations = h.check_coherence()
+            traffic = h.traffic()
+            rows.append(
+                {
+                    "cluster_locality": locality,
+                    "global_txns": traffic["global_transactions"],
+                    "local_txns": traffic["local_transactions"],
+                    "global_fraction": round(
+                        traffic["global_transactions"]
+                        / max(1, traffic["local_transactions"]),
+                        3,
+                    ),
+                    "violations": len(violations),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(r["violations"] == 0 for r in rows)
+    fractions = [r["global_fraction"] for r in rows]
+    # More cluster locality -> the bridges filter more: monotone drop.
+    assert fractions == sorted(fractions, reverse=True), fractions
+    assert fractions[-1] < fractions[0] / 2
+    save_artifact(
+        "e9_hierarchy_locality",
+        format_rows(rows, "E9: two-level hierarchy -- global-bus traffic "
+                          "filtered by cluster locality (2 clusters x "
+                          "2 CPUs, 3000 refs)"),
+    )
+
+
+def test_hierarchy_scales_clusters(benchmark, save_artifact):
+    """Adding clusters adds compute without swamping the global bus, as
+    long as sharing stays mostly local."""
+
+    def sweep():
+        rows = []
+        for clusters in (1, 2, 4):
+            h = HierarchicalSystem.grid(clusters, 2, check=False)
+            _drive(h, 0.9, 1500 * clusters, seed=3)
+            violations = h.check_coherence()
+            traffic = h.traffic()
+            rows.append(
+                {
+                    "clusters": clusters,
+                    "cpus": clusters * 2,
+                    "references": 1500 * clusters,
+                    "global_txns": traffic["global_transactions"],
+                    "global_txns_per_ref": round(
+                        traffic["global_transactions"] / (1500 * clusters),
+                        4,
+                    ),
+                    "violations": len(violations),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(r["violations"] == 0 for r in rows)
+    # Per-reference global traffic stays bounded as the system grows.
+    assert rows[-1]["global_txns_per_ref"] < 0.2
+    save_artifact(
+        "e9b_hierarchy_scaling",
+        format_rows(rows, "E9b: clusters added at 90% locality -- "
+                          "global bus load per reference stays bounded"),
+    )
+
+
+def test_checked_hierarchy_throughput(benchmark):
+    """Micro: checked hierarchical operations per second."""
+    h = HierarchicalSystem.grid(2, 2)
+    rng = random.Random(1)
+    all_units = list(h.controllers)
+
+    def one():
+        unit = rng.choice(all_units)
+        address = rng.randrange(6) * 32
+        if rng.random() < 0.4:
+            h.write(unit, address)
+        else:
+            h.read(unit, address)
+
+    benchmark(one)
+    assert not h.check_coherence()

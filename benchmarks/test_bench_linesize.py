@@ -1,0 +1,58 @@
+"""Experiment E7: the line-size standardization requirement (section 5.1).
+
+Three parts: the mixed-size failure demonstration, the uniform-size
+control, and the system builder's enforcement of the P896.2 position
+("a given system [must] standardize on a given line size")."""
+
+import pytest
+
+from repro.ext.linesize import demonstrate_mismatch, demonstrate_uniform_ok
+from repro.system.system import BoardSpec, System
+from repro.workloads.patterns import ping_pong
+
+
+def test_mixed_line_sizes_break(benchmark, save_artifact):
+    demo = benchmark(demonstrate_mismatch)
+    assert demo.stale_read
+    save_artifact(
+        "e7_linesize_mismatch",
+        "\n".join(demo.narrative) + "\n\n" + demo.summary(),
+    )
+
+
+def test_uniform_line_size_control(benchmark, save_artifact):
+    demo = benchmark(demonstrate_uniform_ok)
+    assert not demo.stale_read
+    save_artifact(
+        "e7b_linesize_uniform_control",
+        "\n".join(demo.narrative) + "\n\n" + demo.summary(),
+    )
+
+
+def test_system_builder_enforces_standard(benchmark):
+    """The production path refuses the forbidden configuration outright."""
+
+    def attempt():
+        with pytest.raises(ValueError, match="line size mismatch"):
+            System(
+                [
+                    BoardSpec("a", line_size=32),
+                    BoardSpec("b", line_size=64),
+                ]
+            )
+
+    benchmark(attempt)
+
+
+@pytest.mark.parametrize("line_size", [16, 32, 64, 128])
+def test_any_uniform_size_works(benchmark, line_size):
+    """Uniform systems are size-agnostic; consistency holds at any
+    standard size."""
+
+    def run():
+        system = System.homogeneous("moesi", 2, line_size=line_size)
+        system.run_trace(ping_pong(rounds=30))
+        assert not system.check_coherence()
+        return system
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,62 @@
+"""Experiment E6: dynamic and degenerate action selection (section 3.4).
+
+"It would introduce no errors if a board were to select an action at each
+instant from the available set using a random number generator or a
+selection algorithm such as round robin."  This bench runs those extreme
+policies on a checked system (so any inconsistency would abort the run)
+and prices them against the preferred policy."""
+
+from repro.analysis.compare import run_protocol_on_trace
+from repro.analysis.report import format_rows
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+POLICIES = (
+    "moesi",            # preferred
+    "moesi-update",
+    "moesi-invalidate",
+    "moesi-random",
+    "moesi-round-robin",
+)
+
+
+def _trace():
+    config = SyntheticConfig(processors=4, p_shared=0.35, p_write=0.35)
+    return SyntheticWorkload(config, seed=31).trace(3000)
+
+
+def test_policy_comparison(benchmark, save_artifact):
+    trace = _trace()
+
+    def run():
+        rows = []
+        for name in POLICIES:
+            report = run_protocol_on_trace(
+                name, trace, timed=True, check=True
+            )
+            row = report.row()
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_name = {r["system"]: r for r in rows}
+
+    # All five completed with runtime checking on: consistency held.
+    assert len(rows) == 5
+    # The preferred policy takes the first entry of every cell, i.e. the
+    # update-biased choice; it must match moesi-update exactly.
+    assert by_name["moesi"]["bus_txns"] == by_name["moesi-update"]["bus_txns"]
+    # Random/round-robin are safe but pay for their whimsy: no better
+    # than the best fixed policy.
+    best_fixed = min(
+        by_name[n]["bus_ns_per_access"]
+        for n in ("moesi", "moesi-update", "moesi-invalidate")
+    )
+    assert by_name["moesi-random"]["bus_ns_per_access"] >= best_fixed
+    assert by_name["moesi-round-robin"]["bus_ns_per_access"] >= best_fixed
+
+    save_artifact(
+        "e6_policy_comparison",
+        format_rows(rows, "E6: action-selection policies (checked runs; "
+                          "random and round-robin are the paper's "
+                          "'extreme case')"),
+    )

@@ -1,0 +1,60 @@
+"""Experiment E4: the Puzak replacement-status refinement (section 5.2).
+
+"If the line is quite recently used ... it can be updated, and if it is
+nearing time for replacement ... it can be discarded."  Compares
+always-update, always-invalidate, and the recency-aware policy under
+replacement pressure, plus a threshold sweep."""
+
+from repro.analysis.report import format_rows
+from repro.ext.puzak import puzak_comparison
+
+
+def test_puzak_vs_extremes(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: puzak_comparison(references=4000),
+        rounds=1, iterations=1,
+    )
+    by_name = {r["system"]: r for r in rows}
+    puzak_row = next(v for k, v in by_name.items() if "puzak" in k)
+    update = by_name["always-update"]
+    invalidate = by_name["always-invalidate"]
+
+    # The refinement interpolates: fewer wasted updates than
+    # always-update, fewer forced re-misses than always-invalidate.
+    assert (
+        invalidate["updates"] <= puzak_row["updates"] <= update["updates"]
+    )
+    assert (
+        update["invalidations"]
+        <= puzak_row["invalidations"]
+        <= invalidate["invalidations"]
+    )
+    # And it must not be worse than the worse extreme on bus cost.
+    worst = max(update["bus_ns_per_access"],
+                invalidate["bus_ns_per_access"])
+    assert puzak_row["bus_ns_per_access"] <= worst * 1.05
+
+    save_artifact(
+        "e4_puzak_refinement",
+        format_rows(rows, "E4: replacement-status refinement (small "
+                          "2-way caches, skewed sharing, timed)"),
+    )
+
+
+def test_threshold_sweep(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        lambda: puzak_comparison(
+            references=2500, thresholds=(0.0, 0.25, 0.5, 0.75, 1.0)
+        ),
+        rounds=1, iterations=1,
+    )
+    puzak_rows = [r for r in rows if "puzak" in r["system"]]
+    assert len(puzak_rows) == 5
+    # threshold=1.0 in a 2-way cache means "always update" (all recency
+    # positions retained); threshold=0.0 keeps only exact-MRU lines.
+    updates = [r["updates"] for r in puzak_rows]
+    assert updates == sorted(updates)  # monotone in the threshold
+    save_artifact(
+        "e4b_puzak_threshold_sweep",
+        format_rows(rows, "E4b: recency threshold sweep"),
+    )

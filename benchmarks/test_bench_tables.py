@@ -1,0 +1,90 @@
+"""Experiments T1-T7: regenerate the paper's seven protocol tables from
+the implementations, diff them against the transcription, and save the
+renderings.  The benchmark times the full regenerate+diff cycle."""
+
+import pytest
+
+from repro.analysis.paper_data import (
+    BERKELEY_TABLE3,
+    DRAGON_TABLE4,
+    FIREFLY_TABLE7,
+    ILLINOIS_TABLE6,
+    WRITE_ONCE_TABLE5,
+)
+from repro.analysis.tables import (
+    diff_protocol_table,
+    diff_table1,
+    diff_table2,
+    moesi_local_cells,
+    moesi_snoop_cells,
+    protocol_cells,
+    render_cells,
+)
+from repro.protocols.berkeley import BerkeleyProtocol
+from repro.protocols.dragon import DragonProtocol
+from repro.protocols.firefly import FireflyProtocol
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.write_once import WriteOnceProtocol
+
+
+def test_table1_moesi_local(benchmark, save_artifact):
+    """T1: Table 1 -- MOESI class, local events."""
+    diff = benchmark(diff_table1)
+    assert diff.matches, [str(m) for m in diff.mismatches]
+    save_artifact(
+        "t1_table1_moesi_local",
+        render_cells(
+            moesi_local_cells(),
+            "Table 1 (reproduced): MOESI Protocol -- Result State and Bus "
+            "Signals, local events.  * = write-through entry, ** = "
+            "non-caching entry.",
+        )
+        + f"\n\n{diff.summary()}",
+    )
+
+
+def test_table2_moesi_bus(benchmark, save_artifact):
+    """T2: Table 2 -- MOESI class, bus events."""
+    diff = benchmark(diff_table2)
+    assert diff.matches, [str(m) for m in diff.mismatches]
+    save_artifact(
+        "t2_table2_moesi_bus",
+        render_cells(
+            moesi_snoop_cells(),
+            "Table 2 (reproduced): MOESI Protocol -- bus events "
+            "(columns 5-10).",
+        )
+        + f"\n\n{diff.summary()}",
+    )
+
+
+_PROTOCOLS = {
+    3: ("t3_table3_berkeley", BerkeleyProtocol, ("Read", "Write", 5, 6),
+        BERKELEY_TABLE3),
+    4: ("t4_table4_dragon", DragonProtocol, ("Read", "Write", 5, 8),
+        DRAGON_TABLE4),
+    5: ("t5_table5_write_once", WriteOnceProtocol, ("Read", "Write", 5, 6),
+        WRITE_ONCE_TABLE5),
+    6: ("t6_table6_illinois", IllinoisProtocol, ("Read", "Write", 5, 6),
+        ILLINOIS_TABLE6),
+    7: ("t7_table7_firefly", FireflyProtocol, ("Read", "Write", 5, 8),
+        FIREFLY_TABLE7),
+}
+
+
+@pytest.mark.parametrize("number", sorted(_PROTOCOLS))
+def test_protocol_tables(benchmark, save_artifact, number):
+    """T3-T7: each prior protocol's table, emitted and diffed."""
+    name, protocol_cls, columns, _reference = _PROTOCOLS[number]
+    diff = benchmark(diff_protocol_table, number)
+    assert diff.matches, [str(m) for m in diff.mismatches]
+    protocol = protocol_cls()
+    save_artifact(
+        name,
+        render_cells(
+            protocol_cells(protocol, columns),
+            f"Table {number} (reproduced): {protocol.name} Protocol -- "
+            "Result State and Bus Signals.",
+        )
+        + f"\n\n{diff.summary()}",
+    )

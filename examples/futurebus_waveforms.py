@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Futurebus electrical behaviour: the wired-OR broadcast handshake.
+
+Regenerates the paper's Figures 1 and 2 from the line/handshake models
+and then shows how the same machinery prices a real transaction mix.
+
+Run:  python examples/futurebus_waveforms.py
+"""
+
+from repro.analysis import (
+    figure1_broadcast_handshake,
+    figure2_parallel_protocol,
+)
+from repro.bus import DEFAULT_TIMING, BusTiming
+from repro.core.actions import BusOp
+from repro.core.signals import MasterSignals
+
+
+def main() -> None:
+    print(figure1_broadcast_handshake())
+    print()
+    print(figure2_parallel_protocol())
+    print()
+
+    timing: BusTiming = DEFAULT_TIMING
+    print("Transaction pricing under the default timing model:")
+    cases = [
+        ("address-only invalidate (CA,IM)",
+         BusOp.NONE, MasterSignals(ca=True, im=True), {}),
+        ("line read from memory (CA,R)",
+         BusOp.READ, MasterSignals(ca=True), {}),
+        ("line read by intervention (CA,R + DI)",
+         BusOp.READ, MasterSignals(ca=True), {"intervened": True}),
+        ("word write past a WT cache (IM,W)",
+         BusOp.WRITE, MasterSignals(im=True), {}),
+        ("broadcast line write (CA,IM,BC,W)",
+         BusOp.WRITE, MasterSignals(ca=True, im=True, bc=True), {}),
+    ]
+    for label, op, signals, kwargs in cases:
+        cost = timing.transaction_ns(op, signals, **kwargs)
+        print(f"  {label:<42} {cost:7.0f} ns")
+    print(f"  {'one aborted attempt (BS)':<42} "
+          f"{timing.abort_ns():7.0f} ns (plus the push and the retry)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Parallel kernels on the coherent Futurebus: spinlocks, stencil,
+reduction.
+
+The canonical coherence lessons, measured on the reproduction:
+
+* a test-and-set lock turns every spin into a bus transfer; spinning on
+  a read (test-and-test-and-set) keeps waiters in their caches;
+* a stencil's halo exchange is nearest-neighbour traffic -- placement on
+  a cluster hierarchy decides how much of it crosses the global bus;
+* a combining-tree reduction hands dirty partials cache-to-cache, which
+  ownership protocols do by intervention and Illinois-style protocols by
+  abort-push through memory.
+
+Run:  python examples/parallel_kernels.py
+"""
+
+from repro.analysis import format_rows, run_protocol_on_trace
+from repro.workloads import reduction_trace, spinlock_trace, stencil_trace
+
+
+def spinlocks() -> None:
+    rows = []
+    for kind in ("tas", "ttas"):
+        for protocol in ("moesi-invalidate", "moesi-update"):
+            trace = spinlock_trace(kind=kind, processors=4,
+                                   acquisitions_per_processor=6)
+            report = run_protocol_on_trace(protocol, trace, timed=False)
+            rows.append(
+                {
+                    "lock": kind,
+                    "protocol": protocol,
+                    "bus_txns": report.bus.transactions,
+                    "txns_per_handoff": round(
+                        report.bus.transactions / 24, 1
+                    ),
+                }
+            )
+    print(format_rows(rows, "Spinlock bus traffic (4 CPUs, 24 handoffs)"))
+    print()
+
+
+def stencil() -> None:
+    trace = stencil_trace(processors=4, iterations=8)
+    rows = []
+    for protocol in ("moesi", "moesi-invalidate", "write-through"):
+        report = run_protocol_on_trace(protocol, trace, timed=False)
+        row = report.row()
+        rows.append(row)
+    print(format_rows(rows, "Stencil (4 CPUs, 8 iterations)"))
+    print()
+
+
+def reduction() -> None:
+    trace = reduction_trace(processors=8, elements_per_processor=8)
+    rows = []
+    for protocol in ("moesi", "berkeley", "illinois"):
+        report = run_protocol_on_trace(protocol, trace, timed=False)
+        rows.append(
+            {
+                "protocol": protocol,
+                "bus_txns": report.bus.transactions,
+                "interventions": report.bus.interventions,
+                "aborts": report.bus.retries,
+            }
+        )
+    print(format_rows(rows, "Combining-tree reduction (8 CPUs)"))
+
+
+def main() -> None:
+    spinlocks()
+    stencil()
+    reduction()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Analysis layer: regenerate and diff the paper's tables and figures, run
+the Arch85-style performance comparisons, and format reports."""
+
+from repro.analysis.ablations import (
+    geometry_sweep,
+    line_size_sweep,
+    replacement_policy_sweep,
+)
+from repro.analysis.diagram import (
+    build_transition_graph,
+    reachable_states,
+    render_adjacency,
+    to_dot,
+)
+from repro.analysis.compare import (
+    DEFAULT_PROTOCOLS,
+    broadcast_penalty_sweep,
+    heterogeneous_mix_sweep,
+    memory_latency_sweep,
+    protocol_comparison,
+    run_protocol_on_trace,
+    update_vs_invalidate_sweep,
+    write_through_vs_copy_back,
+)
+from repro.analysis.figures import (
+    figure1_broadcast_handshake,
+    figure2_parallel_protocol,
+    figure3_characteristics,
+    figure3_rows,
+    figure4_groups,
+    figure4_state_pairs,
+    render_waveforms,
+)
+from repro.analysis.report import format_rows
+from repro.analysis.tracelog import format_bus_trace, trace_rows
+from repro.analysis.tables import (
+    CellDiff,
+    TableDiff,
+    diff_all_tables,
+    diff_protocol_table,
+    diff_table1,
+    diff_table2,
+    moesi_local_cells,
+    moesi_snoop_cells,
+    protocol_cells,
+    render_cells,
+)
+
+__all__ = [
+    "geometry_sweep",
+    "line_size_sweep",
+    "replacement_policy_sweep",
+    "build_transition_graph",
+    "reachable_states",
+    "render_adjacency",
+    "to_dot",
+    "DEFAULT_PROTOCOLS",
+    "broadcast_penalty_sweep",
+    "heterogeneous_mix_sweep",
+    "memory_latency_sweep",
+    "protocol_comparison",
+    "run_protocol_on_trace",
+    "update_vs_invalidate_sweep",
+    "write_through_vs_copy_back",
+    "figure1_broadcast_handshake",
+    "figure2_parallel_protocol",
+    "figure3_characteristics",
+    "figure3_rows",
+    "figure4_groups",
+    "figure4_state_pairs",
+    "render_waveforms",
+    "format_rows",
+    "format_bus_trace",
+    "trace_rows",
+    "CellDiff",
+    "TableDiff",
+    "diff_all_tables",
+    "diff_protocol_table",
+    "diff_table1",
+    "diff_table2",
+    "moesi_local_cells",
+    "moesi_snoop_cells",
+    "protocol_cells",
+    "render_cells",
+]

@@ -1,0 +1,167 @@
+"""Design-choice ablations: line size, replacement policy, geometry.
+
+These answer the "continuing work" questions of sections 5.1 and 6 with
+the methodology the paper points at:
+
+* :func:`line_size_sweep` -- the P896.2 working group must "recommend a
+  [line] size"; the sweep exposes the trade the recommendation balances:
+  spatial locality (miss ratio falls with line size) against transfer
+  cost and false sharing (bus occupancy eventually rises);
+* :func:`replacement_policy_sweep` -- LRU vs FIFO vs random under a
+  workload with reuse;
+* :func:`geometry_sweep` -- associativity vs sets at fixed capacity
+  (conflict misses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bus.timing import BusTiming
+from repro.system.runner import timed_run_from_trace
+from repro.system.system import BoardSpec, System
+from repro.workloads.spatial import SpatialConfig, SpatialWorkload
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "line_size_sweep",
+    "replacement_policy_sweep",
+    "geometry_sweep",
+]
+
+
+def _run(
+    trace: Trace,
+    *,
+    protocol: str = "moesi",
+    label: str,
+    timing: Optional[BusTiming] = None,
+    **board_kwargs,
+) -> System:
+    boards = [
+        BoardSpec(unit_id=unit, protocol=protocol, **board_kwargs)
+        for unit in trace.units()
+    ]
+    system = System(boards, timing=timing, check=False, label=label)
+    timed_run_from_trace(system, trace).run()
+    return system
+
+
+def line_size_sweep(
+    line_sizes: Sequence[int] = (16, 32, 64, 128, 256),
+    references: int = 6000,
+    seed: int = 51,
+    capacity_bytes: int = 4096,
+    config: Optional[SpatialConfig] = None,
+) -> list[dict]:
+    """Line-size selection: miss ratio vs bus cost at fixed cache capacity.
+
+    The byte-granular spatial workload makes the trade visible; the cache
+    capacity is held constant, so larger lines mean fewer sets.
+    """
+    config = config or SpatialConfig()
+    trace = SpatialWorkload(config, seed=seed).trace(references)
+    rows = []
+    for line_size in line_sizes:
+        num_sets = max(1, capacity_bytes // (2 * line_size))
+        # num_sets must be a power of two for the cache geometry.
+        while num_sets & (num_sets - 1):
+            num_sets -= 1
+        # A line fill moves line_size bytes = line_size/4 data beats: the
+        # transfer-cost side of the [Smit85c] trade-off.
+        timing = BusTiming(words_per_line=max(1, line_size // 4))
+        system = _run(
+            trace,
+            label=f"line={line_size}",
+            timing=timing,
+            line_size=line_size,
+            num_sets=num_sets,
+            associativity=2,
+        )
+        report = system.report()
+        rows.append(
+            {
+                "line_size": line_size,
+                "num_sets": num_sets,
+                "miss_ratio": round(report.miss_ratio, 4),
+                "bus_txns": report.bus.transactions,
+                "bus_ns_per_access": round(report.bus_ns_per_access, 1),
+                "invalidations": report.invalidations,
+                "updates": report.updates_received,
+            }
+        )
+    return rows
+
+
+def replacement_policy_sweep(
+    policies: Sequence[str] = ("lru", "fifo", "random"),
+    references: int = 5000,
+    seed: int = 53,
+) -> list[dict]:
+    """LRU vs FIFO vs random, under a locality-rich working set slightly
+    larger than the cache (the regime where policy matters)."""
+    config = SyntheticConfig(
+        processors=2,
+        shared_blocks=8,
+        private_blocks=40,
+        p_shared=0.15,
+        p_write=0.25,
+        locality=0.7,
+    )
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    rows = []
+    for policy in policies:
+        system = _run(
+            trace,
+            label=f"replacement={policy}",
+            num_sets=4,
+            associativity=4,
+            replacement=policy,
+        )
+        report = system.report()
+        rows.append(
+            {
+                "replacement": policy,
+                "miss_ratio": round(report.miss_ratio, 4),
+                "bus_txns": report.bus.transactions,
+                "write_backs": report.write_backs,
+            }
+        )
+    return rows
+
+
+def geometry_sweep(
+    shapes: Sequence[tuple[int, int]] = ((64, 1), (32, 2), (16, 4), (8, 8)),
+    references: int = 5000,
+    seed: int = 57,
+) -> list[dict]:
+    """Associativity vs sets at constant capacity: conflict misses."""
+    config = SyntheticConfig(
+        processors=2,
+        shared_blocks=8,
+        private_blocks=48,
+        p_shared=0.15,
+        p_write=0.25,
+        locality=0.5,
+    )
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    rows = []
+    for num_sets, associativity in shapes:
+        system = _run(
+            trace,
+            label=f"{num_sets}x{associativity}",
+            num_sets=num_sets,
+            associativity=associativity,
+        )
+        report = system.report()
+        rows.append(
+            {
+                "num_sets": num_sets,
+                "associativity": associativity,
+                "capacity_lines": num_sets * associativity,
+                "miss_ratio": round(report.miss_ratio, 4),
+                "bus_txns": report.bus.transactions,
+            }
+        )
+    return rows

@@ -1,0 +1,283 @@
+"""Protocol performance comparison -- the [Arch85] substitute.
+
+The paper's preferred-choice recommendations (section 5.2) rest on the
+Archibald & Baer simulation study, which compared the same protocol set
+under a probabilistic program model.  These harnesses rerun that style of
+comparison on our simulator and produce the rows the benchmarks print:
+
+* :func:`protocol_comparison` -- every protocol, one workload (E2);
+* :func:`update_vs_invalidate_sweep` -- the section 5.2 headline: the
+  broadcast-update vs invalidate choice as sharing intensity varies (E3);
+* :func:`write_through_vs_copy_back` -- bus traffic of the simplest class
+  members vs the ownership protocols;
+* :func:`heterogeneous_mix_sweep` -- board-mix effects (E8);
+* :func:`broadcast_penalty_sweep` -- sensitivity of the preferred choice
+  to the bus's broadcast surcharge (E5; "the preferred protocol is
+  sensitive to the implementation of the bus").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bus.timing import BusTiming
+from repro.system.runner import timed_run_from_trace
+from repro.system.stats import SystemReport
+from repro.system.system import BoardSpec, System
+from repro.workloads.patterns import migratory, ping_pong, producer_consumer
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "DEFAULT_PROTOCOLS",
+    "run_protocol_on_trace",
+    "protocol_comparison",
+    "update_vs_invalidate_sweep",
+    "write_through_vs_copy_back",
+    "heterogeneous_mix_sweep",
+    "broadcast_penalty_sweep",
+    "memory_latency_sweep",
+]
+
+#: The protocol set of the paper's section 4 plus the class under its two
+#: pure policies.
+DEFAULT_PROTOCOLS = (
+    "moesi",
+    "moesi-invalidate",
+    "moesi-update",
+    "berkeley",
+    "dragon",
+    "write-once",
+    "illinois",
+    "firefly",
+    "write-through",
+)
+
+
+def run_protocol_on_trace(
+    protocol: str,
+    trace: Trace,
+    n_boards: Optional[int] = None,
+    timing: Optional[BusTiming] = None,
+    timed: bool = True,
+    check: bool = False,
+    **board_kwargs,
+) -> SystemReport:
+    """Run one homogeneous system over a trace; return its report.
+
+    ``timed=True`` uses the event-driven runner (contention modeled);
+    otherwise references execute atomically in trace order.
+    """
+    units = trace.units()
+    n = n_boards if n_boards is not None else len(units)
+    boards = [
+        BoardSpec(unit_id=unit, protocol=protocol, **board_kwargs)
+        for unit in units[:n]
+    ]
+    system = System(boards, timing=timing, check=check, label=protocol)
+    if timed:
+        report = timed_run_from_trace(system, trace).run()
+    else:
+        system.run_trace(trace)
+        report = system.report()
+    return report
+
+
+def protocol_comparison(
+    trace: Optional[Trace] = None,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    references: int = 4000,
+    seed: int = 7,
+    timed: bool = True,
+) -> list[dict]:
+    """E2: all protocols on one synthetic workload; one row each."""
+    if trace is None:
+        config = SyntheticConfig(processors=4, p_shared=0.3, p_write=0.3)
+        trace = SyntheticWorkload(config, seed=seed).trace(references)
+    rows = []
+    for protocol in protocols:
+        report = run_protocol_on_trace(protocol, trace, timed=timed)
+        row = report.row()
+        if report.elapsed_ns:
+            row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
+        rows.append(row)
+    return rows
+
+
+def update_vs_invalidate_sweep(
+    sharing_levels: Sequence[float] = (0.05, 0.1, 0.2, 0.4, 0.6),
+    references: int = 3000,
+    seed: int = 11,
+    processors: int = 4,
+) -> list[dict]:
+    """E3: broadcast-update vs invalidate as sharing intensity grows.
+
+    [Arch85]'s observation, which the paper adopts as the preferred
+    choice: for actively shared data it is better to broadcast writes than
+    to invalidate.  Each row reports the bus cost of both policies at one
+    sharing level.
+    """
+    rows = []
+    for p_shared in sharing_levels:
+        config = SyntheticConfig(
+            processors=processors, p_shared=p_shared, p_write=0.3
+        )
+        trace = SyntheticWorkload(config, seed=seed).trace(references)
+        update = run_protocol_on_trace("moesi-update", trace)
+        invalidate = run_protocol_on_trace("moesi-invalidate", trace)
+        rows.append(
+            {
+                "p_shared": p_shared,
+                "update_ns_per_access": round(
+                    update.bus_ns_per_access, 1
+                ),
+                "invalidate_ns_per_access": round(
+                    invalidate.bus_ns_per_access, 1
+                ),
+                "update_miss_ratio": round(update.miss_ratio, 4),
+                "invalidate_miss_ratio": round(invalidate.miss_ratio, 4),
+                "winner": (
+                    "update"
+                    if update.bus_ns_per_access
+                    <= invalidate.bus_ns_per_access
+                    else "invalidate"
+                ),
+            }
+        )
+    return rows
+
+
+def write_through_vs_copy_back(
+    write_fractions: Sequence[float] = (0.1, 0.3, 0.5),
+    references: int = 3000,
+    seed: int = 13,
+) -> list[dict]:
+    """Copy-back's raison d'etre (section 3.1): bus traffic vs
+    write-through as the write fraction varies, on private data."""
+    rows = []
+    for p_write in write_fractions:
+        config = SyntheticConfig(
+            processors=4, p_shared=0.05, p_write=p_write
+        )
+        trace = SyntheticWorkload(config, seed=seed).trace(references)
+        copy_back = run_protocol_on_trace("moesi", trace)
+        write_through = run_protocol_on_trace("write-through", trace)
+        rows.append(
+            {
+                "p_write": p_write,
+                "copy_back_txns_per_access": round(
+                    copy_back.bus_transactions_per_access, 3
+                ),
+                "write_through_txns_per_access": round(
+                    write_through.bus_transactions_per_access, 3
+                ),
+                "traffic_ratio": round(
+                    write_through.bus.transactions
+                    / max(1, copy_back.bus.transactions),
+                    2,
+                ),
+            }
+        )
+    return rows
+
+
+def heterogeneous_mix_sweep(
+    references: int = 3000,
+    seed: int = 17,
+) -> list[dict]:
+    """E8: keep the workload fixed, vary the board mix."""
+    config = SyntheticConfig(processors=4, p_shared=0.25, p_write=0.3)
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    units = trace.units()
+    mixes = {
+        "4x copy-back (MOESI)": ["moesi"] * 4,
+        "3x MOESI + 1x write-through": ["moesi"] * 3 + ["write-through"],
+        "2x MOESI + 2x write-through": ["moesi"] * 2 + ["write-through"] * 2,
+        "3x MOESI + 1x non-caching": ["moesi"] * 3 + ["non-caching"],
+        "MOESI+Berkeley+Dragon+WT": [
+            "moesi", "berkeley", "dragon", "write-through",
+        ],
+        "4x write-through": ["write-through"] * 4,
+    }
+    rows = []
+    for label, protocols in mixes.items():
+        boards = [
+            BoardSpec(unit_id=unit, protocol=protocol)
+            for unit, protocol in zip(units, protocols)
+        ]
+        system = System(boards, check=False, label=label)
+        report = timed_run_from_trace(system, trace).run()
+        row = report.row()
+        row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
+        rows.append(row)
+    return rows
+
+
+def broadcast_penalty_sweep(
+    surcharges: Sequence[float] = (0.0, 25.0, 100.0, 300.0),
+    references: int = 2500,
+    seed: int = 19,
+) -> list[dict]:
+    """E5: how the wired-OR broadcast surcharge shifts the
+    update-vs-invalidate preference."""
+    config = SyntheticConfig(processors=4, p_shared=0.35, p_write=0.35)
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    rows = []
+    for surcharge in surcharges:
+        timing = BusTiming(broadcast_surcharge_ns=surcharge)
+        update = run_protocol_on_trace("moesi-update", trace, timing=timing)
+        invalidate = run_protocol_on_trace(
+            "moesi-invalidate", trace, timing=timing
+        )
+        rows.append(
+            {
+                "broadcast_surcharge_ns": surcharge,
+                "update_ns_per_access": round(update.bus_ns_per_access, 1),
+                "invalidate_ns_per_access": round(
+                    invalidate.bus_ns_per_access, 1
+                ),
+                "winner": (
+                    "update"
+                    if update.bus_ns_per_access
+                    <= invalidate.bus_ns_per_access
+                    else "invalidate"
+                ),
+            }
+        )
+    return rows
+
+
+def memory_latency_sweep(
+    latencies: Sequence[float] = (100.0, 200.0, 400.0, 800.0),
+    references: int = 2500,
+    seed: int = 67,
+) -> list[dict]:
+    """Section 5.2's other sensitivity: "changes in their relative
+    performance can change the cost of various bus operations (e.g.
+    memory read, intervenient cache read)".
+
+    As main memory slows relative to caches, intervention-capable
+    ownership protocols (the MOESI class) pull further ahead of the
+    BS-adapted protocols (Illinois), whose every dirty handoff goes
+    through memory twice (push + refetch).
+    """
+    config = SyntheticConfig(processors=4, p_shared=0.35, p_write=0.4)
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    rows = []
+    for latency in latencies:
+        timing = BusTiming(memory_latency_ns=latency)
+        moesi = run_protocol_on_trace("moesi", trace, timing=timing)
+        illinois = run_protocol_on_trace("illinois", trace, timing=timing)
+        rows.append(
+            {
+                "memory_latency_ns": latency,
+                "moesi_ns_per_access": round(moesi.bus_ns_per_access, 1),
+                "illinois_ns_per_access": round(
+                    illinois.bus_ns_per_access, 1
+                ),
+                "illinois_penalty": round(
+                    illinois.bus_ns_per_access / moesi.bus_ns_per_access, 2
+                ),
+            }
+        )
+    return rows

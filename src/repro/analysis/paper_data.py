@@ -1,0 +1,238 @@
+"""The paper's Tables 1-7, transcribed cell by cell.
+
+This is the *reference* data the reproduction is diffed against: each cell
+is the literal string printed in the paper (whitespace and line breaks
+normalized, OCR case fixed -- the scan prints some ``S`` as ``s`` and one
+``CH:S/E`` as ``CU:S/E``).  Alternatives joined by "or" in the paper
+become list entries, preserving order (first = preferred).
+
+An absent/"--" cell is an empty list.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_LOCAL",
+    "TABLE2_SNOOP",
+    "BERKELEY_TABLE3",
+    "DRAGON_TABLE4",
+    "WRITE_ONCE_TABLE5",
+    "ILLINOIS_TABLE6",
+    "FIREFLY_TABLE7",
+    "LOCAL_EVENT_COLUMNS",
+    "BUS_EVENT_COLUMNS",
+    "canonical_cell",
+]
+
+#: Local-event column order and the paper's note numbers.
+LOCAL_EVENT_COLUMNS = (("Read", 1), ("Write", 2), ("Pass", 3), ("Flush", 4))
+#: Bus-event column order: paper note numbers 5-10.
+BUS_EVENT_COLUMNS = (5, 6, 7, 8, 9, 10)
+
+# ---------------------------------------------------------------------------
+# Table 1: "MOESI Protocol: Result State and Bus Signals" -- local events.
+# "*" marks write-through-cache entries, "**" non-caching entries.
+# ---------------------------------------------------------------------------
+TABLE1_LOCAL: dict[tuple[str, str], list[str]] = {
+    ("M", "Read"): ["M"],
+    ("M", "Write"): ["M"],
+    ("M", "Pass"): ["E,CA,BC?,W"],
+    ("M", "Flush"): ["I,BC?,W"],
+    ("O", "Read"): ["O"],
+    ("O", "Write"): ["CH:O/M,CA,IM,BC,W", "M,CA,IM"],
+    ("O", "Pass"): ["CH:S/E,CA,BC?,W"],
+    ("O", "Flush"): ["I,BC?,W"],
+    ("E", "Read"): ["E"],
+    ("E", "Write"): ["M"],
+    ("E", "Pass"): [],
+    ("E", "Flush"): ["I"],
+    ("S", "Read"): ["S"],
+    ("S", "Write"): [
+        "CH:O/M,CA,IM,BC,W",
+        "M,CA,IM",
+        "S,IM,BC,W*",
+        "S,IM,W*",
+    ],
+    ("S", "Pass"): [],
+    ("S", "Flush"): ["I"],
+    ("I", "Read"): ["CH:S/E,CA,R", "S,CA,R*", "I,R**"],
+    ("I", "Write"): [
+        "M,CA,IM,R",
+        "Read>Write",
+        "I,IM,BC,W*,**",
+        "I,IM,W*,**",
+        "Read>Write*",
+    ],
+    ("I", "Pass"): [],
+    ("I", "Flush"): [],
+}
+
+# ---------------------------------------------------------------------------
+# Table 2: bus events (columns 5-10).
+# ---------------------------------------------------------------------------
+TABLE2_SNOOP: dict[tuple[str, int], list[str]] = {
+    ("M", 5): ["O,CH,DI"],
+    ("M", 6): ["I,DI"],
+    ("M", 7): ["M,DI,CH?"],
+    ("M", 8): [],
+    ("M", 9): ["M,DI,CH?"],
+    ("M", 10): ["M,SL,CH?"],
+    ("O", 5): ["O,CH,DI"],
+    ("O", 6): ["I,DI"],
+    ("O", 7): ["CH:O/M,DI"],
+    ("O", 8): ["S,SL,CH", "I"],
+    ("O", 9): ["O,DI,CH?"],
+    ("O", 10): ["O,SL,CH"],
+    ("E", 5): ["S,CH"],
+    ("E", 6): ["I"],
+    ("E", 7): ["E,CH?"],
+    ("E", 8): [],
+    ("E", 9): ["I"],
+    ("E", 10): ["E,SL,CH?", "I"],
+    ("S", 5): ["S,CH"],
+    ("S", 6): ["I"],
+    ("S", 7): ["S,CH"],
+    ("S", 8): ["S,SL,CH", "I"],
+    ("S", 9): ["I"],
+    ("S", 10): ["S,SL,CH", "I"],
+    ("I", 5): ["I"],
+    ("I", 6): ["I"],
+    ("I", 7): ["I"],
+    ("I", 8): ["I"],
+    ("I", 9): ["I"],
+    ("I", 10): ["I"],
+}
+
+# ---------------------------------------------------------------------------
+# Table 3: Berkeley.  Columns: Read (1), Write (2), bus 5, bus 6.
+# ---------------------------------------------------------------------------
+BERKELEY_TABLE3: dict[tuple[str, object], list[str]] = {
+    ("M", "Read"): ["M"],
+    ("M", "Write"): ["M"],
+    ("M", 5): ["O,CH,DI"],
+    ("M", 6): ["I,DI"],
+    ("O", "Read"): ["O"],
+    ("O", "Write"): ["M,CA,IM"],
+    ("O", 5): ["O,CH,DI"],
+    ("O", 6): ["I,DI"],
+    ("S", "Read"): ["S"],
+    ("S", "Write"): ["M,CA,IM"],
+    ("S", 5): ["S,CH"],
+    ("S", 6): ["I"],
+    ("I", "Read"): ["S,CA,R"],
+    ("I", "Write"): ["M,CA,IM,R"],
+    ("I", 5): ["I"],
+    ("I", 6): ["I"],
+}
+
+# ---------------------------------------------------------------------------
+# Table 4: Dragon.  Columns: Read, Write, bus 5, bus 8.
+# ---------------------------------------------------------------------------
+DRAGON_TABLE4: dict[tuple[str, object], list[str]] = {
+    ("M", "Read"): ["M"],
+    ("M", "Write"): ["M"],
+    ("M", 5): ["O,DI,CH"],
+    ("M", 8): [],
+    ("O", "Read"): ["O"],
+    ("O", "Write"): ["CH:O/M,CA,IM,BC,W"],
+    ("O", 5): ["O,DI,CH"],
+    ("O", 8): ["S,SL,CH"],
+    ("E", "Read"): ["E"],
+    ("E", "Write"): ["M"],
+    ("E", 5): ["S,CH"],
+    ("E", 8): [],
+    ("S", "Read"): ["S"],
+    ("S", "Write"): ["CH:O/M,CA,IM,BC,W"],
+    ("S", 5): ["S,CH"],
+    ("S", 8): ["S,SL,CH"],
+    ("I", "Read"): ["CH:S/E,CA,R"],
+    ("I", "Write"): ["Read>Write"],
+    ("I", 5): ["I"],
+    ("I", 8): ["I"],
+}
+
+# ---------------------------------------------------------------------------
+# Table 5: Write-Once.  Columns: Read, Write, bus 5, bus 6.
+# ---------------------------------------------------------------------------
+WRITE_ONCE_TABLE5: dict[tuple[str, object], list[str]] = {
+    ("M", "Read"): ["M"],
+    ("M", "Write"): ["M"],
+    ("M", 5): ["BS;S,CA,W"],
+    ("M", 6): ["I,DI", "BS;S,CA,W"],
+    ("E", "Read"): ["E"],
+    ("E", "Write"): ["M"],
+    ("E", 5): ["S,CH"],
+    ("E", 6): ["I"],
+    ("S", "Read"): ["S"],
+    ("S", "Write"): ["E,CA,IM,W"],
+    ("S", 5): ["S,CH"],
+    ("S", 6): ["I"],
+    ("I", "Read"): ["S,CA,R"],
+    ("I", "Write"): ["M,CA,IM,R", "Read>Write"],
+    ("I", 5): ["I"],
+    ("I", 6): ["I"],
+}
+
+# ---------------------------------------------------------------------------
+# Table 6: Illinois.  Columns: Read, Write, bus 5, bus 6.
+# (The scan's "CU:S/E" is the OCR of "CH:S/E".)
+# ---------------------------------------------------------------------------
+ILLINOIS_TABLE6: dict[tuple[str, object], list[str]] = {
+    ("M", "Read"): ["M"],
+    ("M", "Write"): ["M"],
+    ("M", 5): ["BS;S,CA,W"],
+    ("M", 6): ["BS;S,CA,W"],
+    ("E", "Read"): ["E"],
+    ("E", "Write"): ["M"],
+    ("E", 5): ["S,CH"],
+    ("E", 6): ["I"],
+    ("S", "Read"): ["S"],
+    ("S", "Write"): ["M,CA,IM"],
+    ("S", 5): ["S,CH"],
+    ("S", 6): ["I"],
+    ("I", "Read"): ["CH:S/E,CA,R"],
+    ("I", "Write"): ["M,CA,IM,R"],
+    ("I", 5): ["I"],
+    ("I", 6): ["I"],
+}
+
+# ---------------------------------------------------------------------------
+# Table 7: Firefly.  Columns: Read, Write, bus 5, bus 8.
+# ---------------------------------------------------------------------------
+FIREFLY_TABLE7: dict[tuple[str, object], list[str]] = {
+    ("M", "Read"): ["M"],
+    ("M", "Write"): ["M"],
+    ("M", 5): ["BS;E,CA,W"],
+    ("M", 8): [],
+    ("E", "Read"): ["E"],
+    ("E", "Write"): ["M"],
+    ("E", 5): ["S,CH"],
+    ("E", 8): [],
+    ("S", "Read"): ["S"],
+    ("S", "Write"): ["CH:S/E,CA,IM,BC,W"],
+    ("S", 5): ["S,CH"],
+    ("S", 8): ["S,SL,CH"],
+    ("I", "Read"): ["CH:S/E,CA,R"],
+    ("I", "Write"): ["Read>Write"],
+    ("I", 5): ["I"],
+    ("I", 8): ["I"],
+}
+
+
+def canonical_cell(entry: str) -> str:
+    """Normalize one cell entry for order-insensitive comparison.
+
+    The result-state token (everything up to the first comma, including
+    ``CH:O/M`` conditionals and ``BS;`` prefixes) stays first; the
+    remaining signal/action tokens are sorted.  Kind annotations (``*``,
+    ``**``) are preserved on their token.
+
+    >>> canonical_cell("M,DI,CH?") == canonical_cell("M,CH?,DI")
+    True
+    """
+    entry = entry.strip()
+    if not entry:
+        return entry
+    tokens = [t.strip() for t in entry.split(",") if t.strip()]
+    head, rest = tokens[0], sorted(tokens[1:])
+    return ",".join([head] + rest)

@@ -1,0 +1,51 @@
+"""Plain-text table formatting for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["format_rows"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table.
+
+    Column order follows the first row (or the explicit ``columns``).
+
+    >>> print(format_rows([{"a": 1, "b": "x"}, {"a": 22, "b": "y"}]))
+    a   b
+    --  -
+    1   x
+    22  y
+    """
+    if not rows:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [
+        [_format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        out.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(out)

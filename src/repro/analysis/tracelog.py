@@ -1,0 +1,57 @@
+"""Bus-transaction trace pretty-printer.
+
+Attach a list to :attr:`repro.bus.futurebus.Futurebus.trace` (or pass
+``trace=[]`` at construction) and every completed transaction is recorded
+as a ``(Transaction, TransactionResult)`` pair; :func:`format_bus_trace`
+renders the log in a form that reads like a bus analyzer capture --
+master, asserted signals, the paper's column number, the wired-OR
+responses observed, who supplied data, and any BS retries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.report import format_rows
+from repro.bus.transaction import Transaction, TransactionResult
+from repro.core.actions import BusOp
+
+__all__ = ["trace_rows", "format_bus_trace"]
+
+
+def trace_rows(
+    log: Iterable[tuple[Transaction, TransactionResult]],
+) -> list[dict]:
+    """Flatten a bus log into printable rows."""
+    rows = []
+    for txn, result in log:
+        op = {
+            BusOp.READ: "read",
+            BusOp.WRITE: "write",
+            BusOp.NONE: "addr-only",
+        }.get(txn.op, str(txn.op))
+        rows.append(
+            {
+                "#": txn.serial,
+                "master": txn.master,
+                "signals": txn.signals.notation(),
+                "col": txn.event.note,
+                "op": op,
+                "line": f"0x{txn.address:x}",
+                "responses": result.aggregate.notation() or "-",
+                "supplier": result.supplier or "-",
+                "connectors": ",".join(result.connectors) or "-",
+                "retries": result.retries,
+                "ns": round(result.duration_ns),
+            }
+        )
+    return rows
+
+
+def format_bus_trace(
+    log: Iterable[tuple[Transaction, TransactionResult]],
+    title: Optional[str] = None,
+) -> str:
+    """One analyzer-style line per transaction."""
+    rows = trace_rows(log)
+    return format_rows(rows, title or "Bus transaction trace")

@@ -1,0 +1,39 @@
+"""Futurebus substrate: open-collector lines, the broadcast address
+handshake, timing, arbitration, and the transaction engine (paper
+section 2)."""
+
+from repro.bus.arbiter import ArbitrationRequest, FcfsArbiter, PriorityArbiter
+from repro.bus.futurebus import (
+    BusAgent,
+    BusLivelockError,
+    Futurebus,
+    MemoryPort,
+)
+from repro.bus.handshake import (
+    HandshakeTrace,
+    SlaveTiming,
+    run_address_handshake,
+)
+from repro.bus.timing import DEFAULT_TIMING, BusTiming
+from repro.bus.transaction import Transaction, TransactionResult
+from repro.bus.wired_or import Glitch, LineSample, WiredOrLine
+
+__all__ = [
+    "ArbitrationRequest",
+    "FcfsArbiter",
+    "PriorityArbiter",
+    "BusAgent",
+    "BusLivelockError",
+    "Futurebus",
+    "MemoryPort",
+    "HandshakeTrace",
+    "SlaveTiming",
+    "run_address_handshake",
+    "DEFAULT_TIMING",
+    "BusTiming",
+    "Transaction",
+    "TransactionResult",
+    "Glitch",
+    "LineSample",
+    "WiredOrLine",
+]

@@ -1,0 +1,71 @@
+"""Bus arbitration for the timed simulator.
+
+The Futurebus is a single shared resource; when several masters want it,
+an arbiter picks who goes next.  The untimed transaction engine does not
+need one (callers are already serialized); the discrete-event simulator
+uses an arbiter to order queued requests and to model fairness effects.
+
+Two disciplines are provided:
+
+* :class:`FcfsArbiter` -- first come, first served (the default);
+* :class:`PriorityArbiter` -- fixed per-master priority with FCFS among
+  equals, modeling a priority-slot backplane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Optional
+
+__all__ = ["ArbitrationRequest", "FcfsArbiter", "PriorityArbiter"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArbitrationRequest:
+    """One master's pending request for bus ownership."""
+
+    master: str
+    time: float
+
+
+class FcfsArbiter:
+    """Grant the bus in request order (ties broken by arrival sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, ArbitrationRequest]] = []
+        self._counter = itertools.count()
+
+    def request(self, master: str, time: float) -> None:
+        req = ArbitrationRequest(master, time)
+        heapq.heappush(self._heap, (time, next(self._counter), req))
+
+    def grant(self) -> Optional[ArbitrationRequest]:
+        """Pop the next request to service, or None if the queue is empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class PriorityArbiter(FcfsArbiter):
+    """Fixed-priority arbitration (lower number wins); FCFS among equals.
+
+    Priorities default to 100 for masters not explicitly listed, so a
+    priority arbiter with an empty table degenerates to FCFS.
+    """
+
+    def __init__(self, priorities: Optional[dict[str, int]] = None) -> None:
+        super().__init__()
+        self.priorities = dict(priorities or {})
+
+    def request(self, master: str, time: float) -> None:
+        req = ArbitrationRequest(master, time)
+        priority = self.priorities.get(master, 100)
+        heapq.heappush(
+            self._heap, ((priority, time), next(self._counter), req)  # type: ignore[arg-type]
+        )

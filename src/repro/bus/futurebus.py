@@ -1,0 +1,286 @@
+"""The Futurebus transaction engine.
+
+This module implements the *semantics* of one bus transaction against a set
+of snooping agents and main memory, exactly as the paper's facilities
+provide them (sections 2 and 3.2):
+
+* the address cycle is broadcast: every attached agent snoops every
+  transaction and contributes its CH/DI/SL/BS response, combined wired-OR;
+* if any agent asserts **BS**, the transaction aborts; the asserting
+  agent(s) perform their push (an ordinary write transaction of their own),
+  and the original transaction then restarts from scratch;
+* on reads, the **DI** agent (the owner) preempts memory and supplies the
+  data;
+* on non-broadcast writes, the DI agent *captures* the write -- memory is
+  not updated (the rest of the owner's line may be newer than memory);
+* on broadcast transfers, every **SL** connector updates itself, and so
+  does main memory ("when a broadcast write is done on the Futurebus, it
+  affects all caches holding the line and also main memory", section 4.2);
+* the master finally learns the aggregate (notably CH, resolving its
+  ``CH:O/M`` / ``CH:S/E`` conditional result states), and every snooper
+  applies its chosen transition.
+
+The engine is deliberately *untimed* at this layer -- a transaction is one
+atomic step, which is precisely the abstraction of the paper's tables.  A
+:class:`~repro.bus.timing.BusTiming` prices each transaction so the
+discrete-event simulator (and the statistics) can account for bus
+occupancy, including wasted aborted attempts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Protocol as TypingProtocol
+
+from repro.bus.timing import DEFAULT_TIMING, BusTiming
+from repro.bus.transaction import Transaction, TransactionResult
+from repro.core.actions import BusOp
+from repro.core.signals import MasterSignals, ResponseAggregate, SnoopResponse
+
+__all__ = ["BusAgent", "MemoryPort", "BusLivelockError", "Futurebus"]
+
+
+class BusLivelockError(RuntimeError):
+    """A transaction was aborted more times than the retry bound allows.
+
+    With correctly implemented protocols a retried transaction always
+    finds the pushing cache in a non-intervenient state, so seeing this
+    indicates a protocol bug -- which is exactly what the tests use it
+    for.
+    """
+
+
+class MemoryPort(TypingProtocol):
+    """What the bus needs from a main-memory module."""
+
+    def read(self, address: int) -> int: ...
+
+    def write(self, address: int, value: int) -> None: ...
+
+
+class BusAgent(abc.ABC):
+    """A snooping board attached to the Futurebus.
+
+    The bus calls these hooks in transaction order:
+
+    1. :meth:`snoop` on every agent except the master -- decide and stash
+       a response;
+    2. if the aggregate carries BS: :meth:`abort_push` on each BS
+       asserter, :meth:`transaction_aborted` on everyone else, then the
+       whole transaction restarts (back to 1);
+    3. data phase: :meth:`supply_data` on the DI agent (reads),
+       :meth:`capture_write` on the DI agent (non-broadcast writes), or
+       :meth:`connect_update` on each SL connector (broadcast transfers);
+    4. :meth:`finalize` on every snooper with the full wired-OR aggregate,
+       at which point stashed state transitions are applied.
+    """
+
+    unit_id: str = "agent"
+
+    @abc.abstractmethod
+    def snoop(self, txn: Transaction) -> SnoopResponse:
+        """Inspect the broadcast address cycle; return response signals."""
+
+    def abort_push(self, txn: Transaction, bus: "Futurebus") -> None:
+        """Perform the BS push: issue a write-back via ``bus`` and update
+        local state.  Only called if this agent's response asserted BS."""
+        raise NotImplementedError(
+            f"{self.unit_id} asserted BS but does not implement abort_push"
+        )
+
+    def transaction_aborted(self, txn: Transaction) -> None:
+        """The observed transaction aborted; discard any stashed action."""
+
+    def supply_data(self, txn: Transaction) -> int:
+        """Provide the line data (this agent asserted DI on a read)."""
+        raise NotImplementedError(
+            f"{self.unit_id} asserted DI but does not implement supply_data"
+        )
+
+    def capture_write(self, txn: Transaction) -> None:
+        """Absorb a non-broadcast write (this agent asserted DI)."""
+        raise NotImplementedError(
+            f"{self.unit_id} asserted DI but does not implement capture_write"
+        )
+
+    def connect_update(self, txn: Transaction) -> None:
+        """Update own copy from a broadcast transfer (SL asserted)."""
+
+    def finalize(self, txn: Transaction, aggregate: ResponseAggregate) -> None:
+        """Apply the stashed state transition, now that CH etc. are known."""
+
+
+class Futurebus:
+    """The shared backplane: agents + memory + the transaction engine."""
+
+    def __init__(
+        self,
+        memory: MemoryPort,
+        timing: Optional[BusTiming] = None,
+        max_retries: int = 8,
+        stats: Optional[object] = None,
+        trace: Optional[list] = None,
+    ) -> None:
+        self.memory = memory
+        self.timing = timing or DEFAULT_TIMING
+        self.max_retries = max_retries
+        self.stats = stats
+        #: Optional transaction log: (Transaction, TransactionResult) pairs.
+        self.trace = trace
+        self._agents: dict[str, BusAgent] = {}
+        self._serial = 0
+        self.busy_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, agent: BusAgent) -> None:
+        if agent.unit_id in self._agents:
+            raise ValueError(f"duplicate unit id {agent.unit_id!r}")
+        self._agents[agent.unit_id] = agent
+
+    def detach(self, unit_id: str) -> None:
+        self._agents.pop(unit_id, None)
+
+    @property
+    def agents(self) -> tuple[BusAgent, ...]:
+        return tuple(self._agents.values())
+
+    def agent(self, unit_id: str) -> BusAgent:
+        return self._agents[unit_id]
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        master: str,
+        address: int,
+        signals: MasterSignals,
+        op: BusOp,
+        value: Optional[int] = None,
+        words: Optional[int] = None,
+    ) -> TransactionResult:
+        """Run one transaction to completion (including aborts/retries)."""
+        if op is BusOp.READ_THEN_WRITE:
+            raise ValueError(
+                "Read>Write is two transactions; the controller must issue "
+                "them separately"
+            )
+        self._serial += 1
+        txn = Transaction(
+            master=master,
+            address=address,
+            signals=signals,
+            op=op,
+            value=value,
+            serial=self._serial,
+        )
+        duration = 0.0
+
+        while True:
+            snoopers = [a for a in self._agents.values() if a.unit_id != master]
+            responses = {a.unit_id: a.snoop(txn) for a in snoopers}
+            aggregate = ResponseAggregate.of(responses.values())
+
+            if aggregate.bs:
+                if txn.retries >= self.max_retries:
+                    raise BusLivelockError(
+                        f"{txn.describe()} aborted {txn.retries} times"
+                    )
+                duration += self.timing.abort_ns()
+                pushers = [
+                    a for a in snoopers if responses[a.unit_id].bs
+                ]
+                for agent in snoopers:
+                    if agent not in pushers:
+                        agent.transaction_aborted(txn)
+                for agent in pushers:
+                    agent.abort_push(txn, self)
+                txn.retries += 1
+                continue
+            break
+
+        result = self._data_phase(txn, snoopers, responses, aggregate)
+        duration += self.timing.transaction_ns(
+            txn.op,
+            txn.signals,
+            intervened=aggregate.di,
+            words=words,
+            connectors=len(result.connectors),
+        )
+        result = TransactionResult(
+            aggregate=result.aggregate,
+            value=result.value,
+            supplier=result.supplier,
+            retries=txn.retries,
+            connectors=result.connectors,
+            duration_ns=duration,
+        )
+        self.busy_ns += duration
+        if self.stats is not None:
+            self.stats.record_transaction(txn, result)
+        if self.trace is not None:
+            self.trace.append((txn, result))
+        return result
+
+    # ------------------------------------------------------------------
+    def _data_phase(
+        self,
+        txn: Transaction,
+        snoopers: list[BusAgent],
+        responses: dict[str, SnoopResponse],
+        aggregate: ResponseAggregate,
+    ) -> TransactionResult:
+        supplier: Optional[str] = None
+        value: Optional[int] = txn.value
+        connectors: list[str] = []
+
+        di_agents = [a for a in snoopers if responses[a.unit_id].di]
+        sl_agents = [a for a in snoopers if responses[a.unit_id].sl]
+
+        if len(di_agents) > 1:
+            names = ", ".join(a.unit_id for a in di_agents)
+            raise RuntimeError(
+                f"{txn.describe()}: multiple intervenient responders ({names}) "
+                "-- single-owner invariant broken on the bus"
+            )
+
+        if txn.op is BusOp.READ:
+            if di_agents:
+                supplier = di_agents[0].unit_id
+                value = di_agents[0].supply_data(txn)
+            else:
+                supplier = "memory"
+                value = self.memory.read(txn.address)
+            txn.value = value
+        elif txn.op is BusOp.WRITE:
+            if value is None:
+                raise ValueError(f"{txn.describe()}: write without data")
+            broadcast = txn.signals.bc
+            if broadcast or sl_agents:
+                # Multi-party transfer: memory and every connector update.
+                self.memory.write(txn.address, value)
+                for agent in sl_agents:
+                    agent.connect_update(txn)
+                    connectors.append(agent.unit_id)
+                if di_agents:
+                    # An owner responding DI to a broadcast is a protocol
+                    # bug; owners connect via SL on broadcasts.
+                    raise RuntimeError(
+                        f"{txn.describe()}: DI asserted on broadcast write"
+                    )
+            elif di_agents:
+                # The owner captures; memory is deliberately not updated.
+                di_agents[0].capture_write(txn)
+                supplier = di_agents[0].unit_id
+            else:
+                self.memory.write(txn.address, value)
+        # BusOp.NONE: address-only (invalidate); no data moves.
+
+        for agent in snoopers:
+            agent.finalize(txn, aggregate)
+
+        return TransactionResult(
+            aggregate=aggregate,
+            value=value if txn.op is BusOp.READ else None,
+            supplier=supplier,
+            retries=txn.retries,
+            connectors=tuple(connectors),
+        )

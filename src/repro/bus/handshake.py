@@ -1,0 +1,131 @@
+"""The Futurebus broadcast address handshake (paper section 2.1-2.2).
+
+Every address cycle is broadcast to all subsystems.  The three-wire
+protocol of Figure 2:
+
+1. the master places the address on the AD lines, then asserts **AS***
+   (address strobe);
+2. every other module asserts **AK*** (address acknowledge) immediately,
+   and holds **AI*** (address acknowledge inverse) asserted;
+3. each module releases AI* only once it is finished with the address --
+   for a cache, after the directory lookup and any CH/DI/SL/BS response;
+4. AI* is wired-OR, so it rises only when *all* modules have released it;
+   only then may the master remove the address.
+
+Because the AI* rise is a multi-driver release, it suffers the wired-OR
+glitch and must pass the 25 ns inertial filter; that is the "broadcast
+handshakes are 25 ns slower" penalty quantified in
+:class:`repro.bus.timing.BusTiming` and reproduced as Figure 1/2.
+
+:func:`run_address_handshake` runs one handshake over explicit
+:class:`~repro.bus.wired_or.WiredOrLine` instances and returns the full
+signal history, so the figure generator can print the waveform and the
+timing model can be cross-checked against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.bus.wired_or import WiredOrLine
+
+__all__ = ["SlaveTiming", "HandshakeTrace", "run_address_handshake"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SlaveTiming:
+    """Per-slave delays for one handshake, in nanoseconds.
+
+    ``ack_delay`` -- from seeing AS* to asserting AK*;
+    ``done_delay`` -- from seeing AS* to releasing AI* (directory lookup,
+    consistency response decision, etc.).
+    """
+
+    name: str
+    ack_delay: float = 5.0
+    done_delay: float = 30.0
+    #: Backplane slot position, for wired-OR glitch geometry.
+    position: float = 0.0
+
+
+@dataclasses.dataclass
+class HandshakeTrace:
+    """Everything observable about one completed address handshake."""
+
+    lines: dict[str, WiredOrLine]
+    address_valid_from: float
+    as_asserted_at: float
+    ai_released_at: float
+    ai_observed_high_at: float
+    address_removed_at: float
+    complete_at: float
+    glitch_count: int
+
+    @property
+    def duration(self) -> float:
+        return self.complete_at - self.address_valid_from
+
+
+def run_address_handshake(
+    slaves: Sequence[SlaveTiming],
+    address_setup: float = 5.0,
+    filter_window: float = 25.0,
+    start_time: float = 0.0,
+) -> HandshakeTrace:
+    """Simulate one broadcast address cycle and return its trace.
+
+    All modules participate (the broadcast requirement): the handshake
+    completes when the slowest slave has released AI* *and* the release
+    has survived the inertial filter.
+    """
+    if not slaves:
+        raise ValueError("a broadcast handshake needs at least one slave")
+
+    positions = {s.name: s.position for s in slaves}
+    positions["master"] = 0.0
+    as_line = WiredOrLine("AS*", positions, filter_window)
+    ak_line = WiredOrLine("AK*", positions, filter_window)
+    ai_line = WiredOrLine("AI*", positions, filter_window)
+    ad_line = WiredOrLine("AD", positions, filter_window)  # address valid
+
+    t0 = start_time
+    # Idle condition: all slaves hold AI* asserted ("arrange to have them
+    # all pulling the signal low initially and wait for it to go high").
+    for slave in slaves:
+        ai_line.assert_(slave.name, t0)
+
+    # 1. Master drives the address, then strobes.
+    ad_line.assert_("master", t0)
+    as_time = t0 + address_setup
+    as_line.assert_("master", as_time)
+
+    # 2-3. Slaves acknowledge, then release AI* when done.  Releases are
+    # fed in time order so the wired-OR model sees a valid sequence.
+    for slave in sorted(slaves, key=lambda s: s.ack_delay):
+        ak_line.assert_(slave.name, as_time + slave.ack_delay)
+    releases = sorted(slaves, key=lambda s: s.done_delay)
+    for slave in releases:
+        ai_line.release(slave.name, as_time + slave.done_delay)
+
+    ai_released_at = as_time + releases[-1].done_delay
+    # 4. The release must pass the asymmetric inertial filter before the
+    # master may believe it.
+    ai_observed = ai_line.release_observed_time(ai_released_at)
+
+    # Master removes the address and releases AS*.
+    ad_line.release("master", ai_observed)
+    as_line.release("master", ai_observed)
+    for slave in slaves:
+        ak_line.release(slave.name, ai_observed + 1.0)
+
+    return HandshakeTrace(
+        lines={"AD": ad_line, "AS*": as_line, "AK*": ak_line, "AI*": ai_line},
+        address_valid_from=t0,
+        as_asserted_at=as_time,
+        ai_released_at=ai_released_at,
+        ai_observed_high_at=ai_observed,
+        address_removed_at=ai_observed,
+        complete_at=ai_observed + 1.0,
+        glitch_count=len(ai_line.glitches),
+    )

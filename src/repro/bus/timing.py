@@ -1,0 +1,89 @@
+"""Bus timing model: how long each transaction occupies the Futurebus.
+
+The paper gives one hard number -- broadcast handshaking costs 25 ns over
+single-slave transactions (the wired-OR glitch filter, section 2.2) -- and
+describes the structure of a transaction: one broadcast address cycle in
+which every module participates, followed by data cycles in which "only
+those units participating need monitor ... which can therefore proceed at
+a high rate" (section 2.3).
+
+Remaining parameters are configurable; the defaults are chosen to be
+representative of a mid-1980s high-performance backplane and, more
+importantly, to preserve the *relative* costs the paper's performance
+discussion leans on (section 5.2: "the preferred protocol is sensitive to
+the implementation of the bus, the memory and the caches").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.actions import BusOp
+from repro.core.signals import MasterSignals
+
+__all__ = ["BusTiming", "DEFAULT_TIMING"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BusTiming:
+    """All durations in nanoseconds."""
+
+    #: Bus arbitration before the transaction may start.
+    arbitration_ns: float = 20.0
+    #: Broadcast address cycle (all modules handshake AS*/AK*/AI*).
+    address_cycle_ns: float = 75.0
+    #: Extra inertial-filter delay whenever a *data* transfer is broadcast
+    #: (multi-party connection; the paper's 25 ns wired-OR penalty).
+    broadcast_surcharge_ns: float = 25.0
+    #: One data beat (one word) on the parallel data path.
+    data_beat_ns: float = 50.0
+    #: First-word access latency of a main-memory slave.
+    memory_latency_ns: float = 200.0
+    #: First-word latency when an intervenient cache supplies the data
+    #: (faster than memory: the line is already in SRAM).
+    intervention_latency_ns: float = 100.0
+    #: Lost time when a transaction is aborted via BS (handshake wasted,
+    #: plus re-arbitration before the retry).
+    abort_penalty_ns: float = 40.0
+    #: Words per cache line transferred on line fills and write-backs.
+    words_per_line: int = 4
+
+    def transaction_ns(
+        self,
+        op: BusOp,
+        signals: MasterSignals,
+        *,
+        intervened: bool = False,
+        words: int | None = None,
+        connectors: int = 0,
+    ) -> float:
+        """Duration of one (non-aborted) transaction.
+
+        ``words`` defaults to a full line for cache-master transfers and a
+        single word for uncached/write-through accesses.  ``connectors``
+        is the number of third parties that SL-connected; any connection
+        makes the data phase a broadcast transfer.
+        """
+        if words is None:
+            words = self.words_per_line if signals.ca else 1
+        total = self.arbitration_ns + self.address_cycle_ns
+        if op is BusOp.NONE:
+            # Address-only invalidate: no data phase at all.
+            return total
+        if op is BusOp.READ:
+            total += (
+                self.intervention_latency_ns
+                if intervened
+                else self.memory_latency_ns
+            )
+        total += words * self.data_beat_ns
+        if signals.bc or connectors > 0:
+            total += self.broadcast_surcharge_ns
+        return total
+
+    def abort_ns(self) -> float:
+        """Time burned by one aborted attempt (before its push + retry)."""
+        return self.arbitration_ns + self.address_cycle_ns + self.abort_penalty_ns
+
+
+DEFAULT_TIMING = BusTiming()

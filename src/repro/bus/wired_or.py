@@ -1,0 +1,197 @@
+"""Timed model of an open-collector (wired-OR) backplane line.
+
+Paper section 2.2: every Futurebus signal is open-collector driven and
+passively terminated -- "drive low, float high".  Any single driver can
+hold the line asserted (low); the line only rises once *all* drivers have
+let go.  This gives the two broadcast idioms the consistency protocols
+rely on:
+
+* to learn when the *first* module reaches a state, have it pull the line
+  low;
+* to learn when *all* modules have reached a state, have them all pull the
+  line low initially and wait for it to rise.
+
+The model also reproduces the **wired-OR glitch**: when one driver
+releases a line still asserted by another, the sink current redistributes
+and a short spurious high pulse appears on the line.  The deterministic
+fix is an asymmetric inertial delay (low-pass filter) on the receiver:
+high levels shorter than the filter window are ignored.  The exacted
+penalty is that broadcast handshakes are 25 ns slower than single-slave
+transactions (see :class:`repro.bus.timing.BusTiming`).
+
+Levels use positive logic for readability: ``True`` = asserted (electrically
+low), ``False`` = released (electrically high).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+__all__ = ["LineSample", "Glitch", "WiredOrLine"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LineSample:
+    """One edge in a line's history: at ``time`` the line became ``asserted``."""
+
+    time: float
+    asserted: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class Glitch:
+    """A wired-OR glitch: a spurious release pulse.
+
+    ``duration`` and ``amplitude`` model the physical description: both
+    grow with the backplane distance between the releasing driver and the
+    driver left sinking the current, and with the released current.
+    """
+
+    time: float
+    releasing_driver: str
+    remaining_driver: str
+    duration: float
+    amplitude: float
+
+
+class WiredOrLine:
+    """An open-collector line with named drivers and a recorded history.
+
+    Drivers assert and release at explicit times; times must be fed in
+    non-decreasing order (the simulator guarantees this).  The *observed*
+    level applies the receiver's inertial filter: glitches and released
+    pulses shorter than ``filter_window`` never reach the observer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        driver_positions: Optional[dict[str, float]] = None,
+        filter_window: float = 25.0,
+    ) -> None:
+        self.name = name
+        #: Backplane slot positions (arbitrary units) for glitch geometry.
+        self.driver_positions = dict(driver_positions or {})
+        self.filter_window = filter_window
+        self._asserting: set[str] = set()
+        self._history: list[LineSample] = [LineSample(0.0, False)]
+        self._glitches: list[Glitch] = []
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    def _check_time(self, time: float) -> None:
+        if time < self._last_time:
+            raise ValueError(
+                f"line {self.name}: time went backwards "
+                f"({time} < {self._last_time})"
+            )
+        self._last_time = time
+
+    def assert_(self, driver: str, time: float) -> None:
+        """Driver turns its open-collector transistor on (pulls low)."""
+        self._check_time(time)
+        was_asserted = bool(self._asserting)
+        self._asserting.add(driver)
+        if not was_asserted:
+            self._history.append(LineSample(time, True))
+
+    def release(self, driver: str, time: float) -> None:
+        """Driver lets go.  The line rises only if no one else is driving;
+        otherwise a wired-OR glitch is recorded."""
+        self._check_time(time)
+        if driver not in self._asserting:
+            return
+        self._asserting.discard(driver)
+        if self._asserting:
+            remaining = min(self._asserting)  # deterministic pick
+            distance = abs(
+                self.driver_positions.get(driver, 0.0)
+                - self.driver_positions.get(remaining, 0.0)
+            )
+            self._glitches.append(
+                Glitch(
+                    time=time,
+                    releasing_driver=driver,
+                    remaining_driver=remaining,
+                    # Simple linear models: enough to make geometry and
+                    # current visible in the figure reproduction.
+                    duration=1.0 + 0.5 * distance,
+                    amplitude=0.1 + 0.05 * distance,
+                )
+            )
+        else:
+            self._history.append(LineSample(time, False))
+
+    # ------------------------------------------------------------------
+    @property
+    def asserted(self) -> bool:
+        """Raw (unfiltered) line level right now."""
+        return bool(self._asserting)
+
+    @property
+    def asserting_drivers(self) -> frozenset[str]:
+        return frozenset(self._asserting)
+
+    @property
+    def history(self) -> tuple[LineSample, ...]:
+        return tuple(self._history)
+
+    @property
+    def glitches(self) -> tuple[Glitch, ...]:
+        return tuple(self._glitches)
+
+    def raw_level_at(self, time: float) -> bool:
+        """Raw line level at ``time`` (ignoring the inertial filter)."""
+        level = False
+        for sample in self._history:
+            if sample.time > time:
+                break
+            level = sample.asserted
+        return level
+
+    def observed_level_at(self, time: float) -> bool:
+        """Level after the asymmetric inertial filter.
+
+        The filter is asymmetric: falling edges (assertions) pass
+        immediately, but a rise (release) is only believed once the line
+        has stayed released for ``filter_window``.  This is what makes
+        broadcast handshakes deterministic despite wired-OR glitches --
+        and what costs the extra 25 ns.
+        """
+        level = False
+        pending_release: Optional[float] = None
+        for sample in self._history:
+            if sample.time > time:
+                break
+            if sample.asserted:
+                level = True
+                pending_release = None
+            else:
+                pending_release = sample.time
+        if level and pending_release is not None:
+            if time - pending_release >= self.filter_window:
+                level = False
+        return level
+
+    def release_observed_time(self, release_time: float) -> float:
+        """When a release occurring at ``release_time`` becomes visible."""
+        return release_time + self.filter_window
+
+    def rose_clean(self) -> bool:
+        """Whether the last release happened with no glitch after it."""
+        if self.asserted:
+            return False
+        if not self._glitches:
+            return True
+        last_edge = self._history[-1].time
+        return all(g.time <= last_edge for g in self._glitches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "asserted" if self.asserted else "released"
+        return f"<WiredOrLine {self.name} {state} drivers={sorted(self._asserting)}>"
+
+
+def all_released(lines: Iterable[WiredOrLine]) -> bool:
+    """Whether every given line has been fully released."""
+    return all(not line.asserted for line in lines)

@@ -1,0 +1,30 @@
+"""Cache substrate: lines, replacement, set-associative directory, and the
+snooping controller."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.controller import (
+    CacheController,
+    ControllerStats,
+    NonCachingMaster,
+)
+from repro.cache.line import CacheLine
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    replacement_by_name,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheController",
+    "ControllerStats",
+    "NonCachingMaster",
+    "CacheLine",
+    "FifoPolicy",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "replacement_by_name",
+]

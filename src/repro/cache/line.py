@@ -1,0 +1,37 @@
+"""A cache line: tag, MOESI state, and its data token."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.states import LineState
+
+__all__ = ["CacheLine"]
+
+
+@dataclasses.dataclass
+class CacheLine:
+    """One way of one set.
+
+    ``value`` is the opaque data token (a system-wide version number);
+    tracking real bytes would add nothing to consistency checking.
+    """
+
+    tag: int = 0
+    state: LineState = LineState.INVALID
+    value: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state.valid
+
+    @property
+    def dirty(self) -> bool:
+        """Owned data must be written back before being discarded."""
+        return self.state.valid and self.state.owned
+
+    def invalidate(self) -> None:
+        self.state = LineState.INVALID
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[tag=0x{self.tag:x} {self.state} v{self.value}]"

@@ -1,0 +1,265 @@
+"""Sector (sub-block) caches, section 5.1.
+
+    "There is also the problem of supporting sector caches [Hill84].  The
+    implications of that design have not been fully explored at this
+    time, and it is undetermined whether the address sector size, the
+    transfer subsector size or both must be standardized.  (The latter
+    almost certainly needs to be fixed ... Consistency status also
+    appears to be necessarily associated with the transfer subsector,
+    rather than the address sector.)"
+
+This module realizes the structure the paper sketches: one address tag per
+**sector**, with validity *and MOESI consistency state per transfer
+subsector* -- the paper's conclusion made concrete.  It is provided as an
+exploratory substrate (with full tests) rather than wired into the main
+controller, mirroring the paper's own status for the idea; the subsector
+is what a bus transaction moves, so a system mixing sector caches and
+plain caches must standardize the subsector size to the system line size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.states import LineState
+
+__all__ = ["SectorFrame", "SectorCache", "tag_economics"]
+
+
+@dataclasses.dataclass
+class SectorFrame:
+    """One sector: a single tag plus per-subsector state and data."""
+
+    tag: int = 0
+    valid: bool = False
+    states: list[LineState] = dataclasses.field(default_factory=list)
+    values: list[int] = dataclasses.field(default_factory=list)
+
+    def any_valid(self) -> bool:
+        return self.valid and any(s.valid for s in self.states)
+
+    def owned_subsectors(self) -> list[int]:
+        return [
+            i for i, s in enumerate(self.states) if s.valid and s.owned
+        ]
+
+
+class SectorCache:
+    """Set-associative sector cache keyed by sector address.
+
+    Addresses are bytes; a sector holds ``subsectors_per_sector``
+    subsectors of ``subsector_size`` bytes each.  Consistency state lives
+    on subsectors; allocation and tag matching happen on sectors.
+    """
+
+    def __init__(
+        self,
+        num_sets: int = 16,
+        associativity: int = 2,
+        subsector_size: int = 32,
+        subsectors_per_sector: int = 4,
+    ) -> None:
+        if num_sets < 1 or associativity < 1:
+            raise ValueError("geometry must be positive")
+        if subsectors_per_sector < 1:
+            raise ValueError("need at least one subsector per sector")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.subsector_size = subsector_size
+        self.subsectors_per_sector = subsectors_per_sector
+        self.sector_size = subsector_size * subsectors_per_sector
+        self._sets: list[list[SectorFrame]] = [
+            [self._empty_frame() for _ in range(associativity)]
+            for _ in range(num_sets)
+        ]
+        #: Simple per-set LRU over frames.
+        self._order: list[list[int]] = [
+            list(range(associativity)) for _ in range(num_sets)
+        ]
+
+    def _empty_frame(self) -> SectorFrame:
+        return SectorFrame(
+            states=[LineState.INVALID] * self.subsectors_per_sector,
+            values=[0] * self.subsectors_per_sector,
+        )
+
+    # ------------------------------------------------------------------
+    # Address arithmetic.
+    # ------------------------------------------------------------------
+    def sector_address(self, byte_address: int) -> int:
+        return byte_address // self.sector_size
+
+    def subsector_index(self, byte_address: int) -> int:
+        return (byte_address % self.sector_size) // self.subsector_size
+
+    def subsector_address(self, byte_address: int) -> int:
+        """The bus-visible line address (subsector granularity)."""
+        return byte_address // self.subsector_size
+
+    def _set_of(self, sector_address: int) -> int:
+        return sector_address % self.num_sets
+
+    def _tag_of(self, sector_address: int) -> int:
+        return sector_address // self.num_sets
+
+    # ------------------------------------------------------------------
+    def find_frame(self, byte_address: int) -> Optional[SectorFrame]:
+        sector = self.sector_address(byte_address)
+        set_index = self._set_of(sector)
+        tag = self._tag_of(sector)
+        for frame in self._sets[set_index]:
+            if frame.valid and frame.tag == tag:
+                return frame
+        return None
+
+    def probe_state(self, byte_address: int) -> LineState:
+        """Consistency state of the *subsector* holding the address."""
+        frame = self.find_frame(byte_address)
+        if frame is None:
+            return LineState.INVALID
+        return frame.states[self.subsector_index(byte_address)]
+
+    def value_of(self, byte_address: int) -> Optional[int]:
+        frame = self.find_frame(byte_address)
+        if frame is None:
+            return None
+        index = self.subsector_index(byte_address)
+        if not frame.states[index].valid:
+            return None
+        return frame.values[index]
+
+    # ------------------------------------------------------------------
+    def allocate(self, byte_address: int) -> tuple[SectorFrame, list[tuple[int, LineState, int]]]:
+        """Ensure a frame exists for the sector; returns (frame, evicted).
+
+        ``evicted`` lists (subsector byte address, state, value) for every
+        valid subsector displaced from the victim frame -- owned ones must
+        be written back by the caller, exactly one transaction per
+        subsector (the transfer unit).
+        """
+        sector = self.sector_address(byte_address)
+        set_index = self._set_of(sector)
+        tag = self._tag_of(sector)
+        frames = self._sets[set_index]
+        for way, frame in enumerate(frames):
+            if frame.valid and frame.tag == tag:
+                self._touch(set_index, way)
+                return frame, []
+        # Prefer an empty frame, else LRU.
+        for way, frame in enumerate(frames):
+            if not frame.any_valid():
+                victim_way = way
+                break
+        else:
+            victim_way = self._order[set_index][-1]
+        victim = frames[victim_way]
+        evicted = []
+        if victim.valid:
+            base_sector = victim.tag * self.num_sets + set_index
+            for i, state in enumerate(victim.states):
+                if state.valid:
+                    evicted.append(
+                        (
+                            base_sector * self.sector_size
+                            + i * self.subsector_size,
+                            state,
+                            victim.values[i],
+                        )
+                    )
+        frames[victim_way] = self._empty_frame()
+        frames[victim_way].tag = tag
+        frames[victim_way].valid = True
+        self._touch(set_index, victim_way)
+        return frames[victim_way], evicted
+
+    def fill_subsector(
+        self, byte_address: int, state: LineState, value: int
+    ) -> SectorFrame:
+        """Install one subsector (allocating its sector frame if needed).
+
+        The caller is responsible for writing back any owned subsectors in
+        the returned eviction list *before* calling this again.
+        """
+        frame, evicted = self.allocate(byte_address)
+        if any(s.owned for _, s, _ in evicted):
+            raise RuntimeError(
+                "allocate() evicted owned subsectors; write them back "
+                "before filling"
+            )
+        index = self.subsector_index(byte_address)
+        frame.states[index] = state
+        frame.values[index] = value
+        return frame
+
+    def set_state(self, byte_address: int, state: LineState) -> None:
+        frame = self.find_frame(byte_address)
+        if frame is None:
+            raise KeyError(f"no frame for 0x{byte_address:x}")
+        frame.states[self.subsector_index(byte_address)] = state
+
+    def _touch(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        order.remove(way)
+        order.insert(0, way)
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> tuple[int, int]:
+        """(valid sectors, valid subsectors)."""
+        sectors = subsectors = 0
+        for frames in self._sets:
+            for frame in frames:
+                if frame.any_valid():
+                    sectors += 1
+                    subsectors += sum(1 for s in frame.states if s.valid)
+        return sectors, subsectors
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.associativity * self.sector_size
+
+
+def tag_economics(
+    capacity_bytes: int = 64 * 1024,
+    line_size: int = 32,
+    subsectors_per_sector: int = 4,
+    address_bits: int = 32,
+    state_bits: int = 3,
+) -> dict:
+    """Why sector caches exist: directory (tag + state) storage costs.
+
+    Compares a plain cache of ``line_size`` lines against a sector cache
+    whose transfer subsector is the same ``line_size`` (the bus-visible
+    unit, which section 5.1 says must be standardized) but which shares
+    one address tag across ``subsectors_per_sector`` subsectors.
+    Consistency state is per transfer subsector in both cases, as the
+    paper concludes it must be.
+
+    Returns a dict of bit counts, including the sector design's saving.
+    """
+    if capacity_bytes % line_size:
+        raise ValueError("capacity must be a multiple of the line size")
+    lines = capacity_bytes // line_size
+    import math
+
+    offset_bits = int(math.log2(line_size))
+    plain_tag_bits = address_bits - offset_bits
+    plain_total = lines * (plain_tag_bits + state_bits)
+
+    sectors = lines // subsectors_per_sector
+    sector_offset_bits = int(
+        math.log2(line_size * subsectors_per_sector)
+    )
+    sector_tag_bits = address_bits - sector_offset_bits
+    sector_total = sectors * sector_tag_bits + lines * state_bits
+
+    return {
+        "lines": lines,
+        "plain_tag_bits": plain_tag_bits,
+        "plain_directory_bits": plain_total,
+        "sectors": sectors,
+        "sector_tag_bits": sector_tag_bits,
+        "sector_directory_bits": sector_total,
+        "saving_bits": plain_total - sector_total,
+        "saving_fraction": round(1 - sector_total / plain_total, 4),
+    }

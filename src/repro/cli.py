@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``      regenerate the paper's Tables 1-7 and diff them
+``figures``     regenerate Figures 1-4
+``membership``  classify every implemented protocol against the class
+``verify``      run the compatibility verification matrix (model checker)
+``shootout``    the Arch85-style protocol performance comparison
+``hierarchy``   the multi-bus (section 6) demonstration
+``diagram``     emit a protocol state diagram (text or Graphviz DOT)
+``ablation``    line-size / replacement / geometry sweeps
+``run``         run one protocol over a synthetic workload or a trace file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import (
+        diff_all_tables,
+        moesi_local_cells,
+        moesi_snoop_cells,
+        protocol_cells,
+        render_cells,
+    )
+    from repro.protocols.registry import make_protocol
+
+    diffs = diff_all_tables()
+    for diff in diffs:
+        print(diff.summary())
+        for mismatch in diff.mismatches:
+            print("  !!", mismatch)
+    if args.render:
+        print()
+        print(render_cells(moesi_local_cells(), "Table 1: MOESI -- local"))
+        print()
+        print(render_cells(moesi_snoop_cells(), "Table 2: MOESI -- bus"))
+        for number, name, columns in (
+            (3, "berkeley", ("Read", "Write", 5, 6)),
+            (4, "dragon", ("Read", "Write", 5, 8)),
+            (5, "write-once", ("Read", "Write", 5, 6)),
+            (6, "illinois", ("Read", "Write", 5, 6)),
+            (7, "firefly", ("Read", "Write", 5, 8)),
+        ):
+            protocol = make_protocol(name)
+            print()
+            print(render_cells(protocol_cells(protocol, columns),
+                               f"Table {number}: {protocol.name}"))
+    return 0 if all(d.matches for d in diffs) else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import (
+        figure1_broadcast_handshake,
+        figure2_parallel_protocol,
+        figure3_characteristics,
+        figure4_state_pairs,
+    )
+
+    for text in (
+        figure1_broadcast_handshake(),
+        figure2_parallel_protocol(),
+        figure3_characteristics(),
+        figure4_state_pairs(),
+    ):
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_membership(args: argparse.Namespace) -> int:
+    from repro.core.validation import check_membership
+    from repro.protocols.registry import make_protocol, protocol_names
+
+    names = args.protocol or protocol_names()
+    for name in names:
+        report = check_membership(make_protocol(name))
+        print(report.summary())
+        if args.verbose:
+            for issue in report.issues:
+                print("   ", issue)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_rows
+    from repro.verify.mixes import (
+        class_member_mixes,
+        homogeneous_foreign,
+        incompatible_mixes,
+        mutant_mixes,
+        run_matrix,
+    )
+
+    cases = class_member_mixes() + homogeneous_foreign()
+    if not args.quick:
+        cases += incompatible_mixes() + mutant_mixes()
+    rows = run_matrix(cases)
+    print(
+        format_rows(
+            rows,
+            "Compatibility verification matrix",
+            columns=["mix", "expected", "observed", "ok", "states",
+                     "transitions"],
+        )
+    )
+    bad = [r for r in rows if not r["ok"]]
+    print(f"\n{len(rows) - len(bad)}/{len(rows)} cases as expected")
+    return 0 if not bad else 1
+
+
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import protocol_comparison
+    from repro.analysis.report import format_rows
+
+    rows = protocol_comparison(references=args.references, seed=args.seed)
+    print(format_rows(rows, "Protocol comparison (timed Futurebus run)"))
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.hierarchy import HierarchicalSystem
+
+    h = HierarchicalSystem.grid(args.clusters, args.cpus)
+    rng = random.Random(args.seed)
+    units = list(h.controllers)
+    for _ in range(args.references):
+        unit = rng.choice(units)
+        address = rng.randrange(args.lines) * 32
+        if rng.random() < 0.4:
+            h.write(unit, address)
+        else:
+            h.read(unit, address)
+    violations = h.check_coherence()
+    traffic = h.traffic()
+    print(f"{args.clusters} clusters x {args.cpus} cpus, "
+          f"{args.references} checked references")
+    print(f"violations: {len(violations)}")
+    print(f"global transactions: {traffic['global_transactions']}")
+    print(f"local transactions:  {traffic['local_transactions']}")
+    return 0 if not violations else 1
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    from repro.analysis.diagram import render_adjacency, to_dot
+    from repro.protocols.registry import make_protocol
+
+    protocol = make_protocol(args.protocol)
+    if args.dot:
+        print(to_dot(protocol))
+    else:
+        print(render_adjacency(protocol))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.analysis.ablations import (
+        geometry_sweep,
+        line_size_sweep,
+        replacement_policy_sweep,
+    )
+    from repro.analysis.report import format_rows
+
+    sweeps = {
+        "line-size": (line_size_sweep,
+                      "Line-size selection (fixed capacity)"),
+        "replacement": (replacement_policy_sweep,
+                        "Replacement policy"),
+        "geometry": (geometry_sweep,
+                     "Associativity vs sets at fixed capacity"),
+    }
+    fn, title = sweeps[args.sweep]
+    print(format_rows(fn(references=args.references), title))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import run_protocol_on_trace
+    from repro.analysis.report import format_rows
+    from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+    from repro.workloads.trace import Trace
+
+    if args.trace:
+        trace = Trace.load(args.trace)
+    else:
+        config = SyntheticConfig(
+            processors=args.processors,
+            p_shared=args.p_shared,
+            p_write=args.p_write,
+        )
+        trace = SyntheticWorkload(config, seed=args.seed).trace(
+            args.references
+        )
+    report = run_protocol_on_trace(
+        args.protocol, trace, timed=not args.atomic, check=args.check
+    )
+    print(format_rows([report.row()], f"{args.protocol} over "
+                                      f"{len(trace)} references"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOESI / Futurebus (Sweazey & Smith, ISCA 1986) "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate + diff Tables 1-7")
+    p.add_argument("--render", action="store_true",
+                   help="print the full tables, not just the diffs")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("figures", help="regenerate Figures 1-4")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("membership", help="classify protocols vs the class")
+    p.add_argument("protocol", nargs="*", help="registry names (default all)")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_membership)
+
+    p = sub.add_parser("verify", help="run the model-checking matrix")
+    p.add_argument("--quick", action="store_true",
+                   help="positive cases only")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("shootout", help="protocol performance comparison")
+    p.add_argument("--references", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_shootout)
+
+    p = sub.add_parser("hierarchy", help="multi-bus demonstration")
+    p.add_argument("--clusters", type=int, default=2)
+    p.add_argument("--cpus", type=int, default=2)
+    p.add_argument("--references", type=int, default=2000)
+    p.add_argument("--lines", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("diagram", help="emit a protocol state diagram")
+    p.add_argument("protocol", help="registry name")
+    p.add_argument("--dot", action="store_true", help="Graphviz DOT output")
+    p.set_defaults(func=_cmd_diagram)
+
+    p = sub.add_parser("ablation", help="design-choice sweeps")
+    p.add_argument("sweep", choices=["line-size", "replacement", "geometry"])
+    p.add_argument("--references", type=int, default=4000)
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("run", help="run one protocol over a workload")
+    p.add_argument("protocol", help="registry name, e.g. moesi, berkeley")
+    p.add_argument("--trace", help="trace file (unit R/W addr per line)")
+    p.add_argument("--references", type=int, default=4000)
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument("--p-shared", type=float, default=0.3)
+    p.add_argument("--p-write", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--atomic", action="store_true",
+                   help="atomic trace-order run instead of timed")
+    p.add_argument("--check", action="store_true",
+                   help="runtime coherence checking on")
+    p.set_defaults(func=_cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

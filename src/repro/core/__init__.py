@@ -1,0 +1,81 @@
+"""Core MOESI model: states, signals, events, the protocol class tables,
+policies, class-membership validation, and consistency invariants.
+
+This package is a direct formalization of sections 3.1-3.4 of Sweazey &
+Smith (ISCA '86).
+"""
+
+from repro.core.actions import (
+    CH_O_OR_M,
+    CH_S_OR_E,
+    BusOp,
+    ConditionalState,
+    LocalAction,
+    MasterKind,
+    NextState,
+    SnoopAction,
+    resolve_next_state,
+)
+from repro.core.events import (
+    ALL_BUS_EVENTS,
+    ALL_LOCAL_EVENTS,
+    BusEvent,
+    LocalEvent,
+)
+from repro.core.invariants import (
+    CopyView,
+    InconsistencyError,
+    Invariant,
+    InvariantViolation,
+    LineView,
+    assert_line_consistent,
+    check_line,
+)
+from repro.core.policy import (
+    ActionPolicy,
+    InvalidatePolicy,
+    PreferredPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    UpdatePolicy,
+    policy_by_name,
+)
+from repro.core.protocol import (
+    IllegalTransitionError,
+    LocalContext,
+    Protocol,
+    SnoopContext,
+    TableProtocol,
+)
+from repro.core.signals import (
+    MasterSignals,
+    ResponseAggregate,
+    SignalLine,
+    SnoopResponse,
+)
+from repro.core.states import (
+    INTERVENIENT_STATES,
+    NON_EXCLUSIVE_STATES,
+    SOLE_COPY_STATES,
+    STATE_SYNONYMS,
+    UNOWNED_STATES,
+    VALID_STATES,
+    LineState,
+    StateCharacteristics,
+    parse_state,
+    state_from_characteristics,
+)
+from repro.core.transitions import (
+    LOCAL_TABLE,
+    SNOOP_TABLE,
+    MoesiClassTable,
+    local_choices,
+    snoop_choices,
+)
+from repro.core.validation import (
+    ComplianceIssue,
+    MembershipReport,
+    check_membership,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,206 @@
+"""System-wide consistency invariants of the MOESI model.
+
+The paper's definitions (section 3.1) induce properties that must hold for
+every line address at every quiescent instant (between bus transactions):
+
+* **single-owner** -- "All data is said to be owned uniquely either by one
+  and only one cache or by main memory": at most one cache may hold the
+  line in an intervenient state (M or O).
+* **exclusive-is-sole** -- a cache in M or E is the only cache holding a
+  valid copy.
+* **owner-current / copies-current** -- the shared memory image is the set
+  of all owned data; every valid cached copy must equal the owner's data
+  (a read hit anywhere returns the most recent system-wide write).
+* **memory-current-if-unowned** -- main memory is the default owner: when
+  no cache owns the line, memory must hold the current data.  As a special
+  case this covers "Exclusive data must match the copy in main memory".
+
+Foreign protocols (Illinois, Firefly, Write-Once) give S the stronger
+meaning "consistent with main memory"; :func:`check_line` can additionally
+enforce that with ``memory_consistent_shared=True`` (valid only for
+homogeneous systems running those protocols).
+
+Freshness abstraction: rather than tracking concrete data values, a copy
+(or memory) is *fresh* when it equals the last value written to the line
+anywhere in the system.  This is exactly the property coherence demands of
+a read, and it keeps the model checker's state space finite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, Optional, Sequence
+
+from repro.core.states import INTERVENIENT_STATES, SOLE_COPY_STATES, LineState
+
+__all__ = [
+    "Invariant",
+    "CopyView",
+    "LineView",
+    "InvariantViolation",
+    "check_line",
+    "assert_line_consistent",
+]
+
+
+class Invariant(enum.Enum):
+    """Identity of each checked consistency property."""
+
+    SINGLE_OWNER = "single-owner"
+    EXCLUSIVE_IS_SOLE = "exclusive-is-sole"
+    OWNER_CURRENT = "owner-current"
+    COPIES_CURRENT = "copies-current"
+    MEMORY_CURRENT_IF_UNOWNED = "memory-current-if-unowned"
+    MEMORY_CURRENT_IF_SHARED = "memory-current-if-shared"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class CopyView:
+    """One cache's view of a line: who, in what state, fresh or stale."""
+
+    unit: str
+    state: LineState
+    fresh: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class LineView:
+    """A quiescent snapshot of one line address across the whole system."""
+
+    copies: tuple[CopyView, ...]
+    memory_fresh: bool = True
+    address: int = 0
+
+    @classmethod
+    def of(
+        cls,
+        copies: Iterable[CopyView],
+        memory_fresh: bool = True,
+        address: int = 0,
+    ) -> "LineView":
+        return cls(tuple(copies), memory_fresh, address)
+
+    @property
+    def valid_copies(self) -> tuple[CopyView, ...]:
+        return tuple(c for c in self.copies if c.state.valid)
+
+    @property
+    def owners(self) -> tuple[CopyView, ...]:
+        return tuple(c for c in self.copies if c.state in INTERVENIENT_STATES)
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolation:
+    """A specific broken invariant, with enough context to debug it."""
+
+    invariant: Invariant
+    address: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant} @0x{self.address:x}: {self.detail}"
+
+
+class InconsistencyError(AssertionError):
+    """Raised by :func:`assert_line_consistent` on any violation."""
+
+    def __init__(self, violations: Sequence[InvariantViolation]) -> None:
+        super().__init__("; ".join(str(v) for v in violations))
+        self.violations = list(violations)
+
+
+def check_line(
+    view: LineView,
+    memory_consistent_shared: bool = False,
+) -> list[InvariantViolation]:
+    """Check all invariants on one line snapshot; return violations found.
+
+    An empty list means the line is consistent.
+    """
+    violations: list[InvariantViolation] = []
+    valid = view.valid_copies
+    owners = view.owners
+
+    if len(owners) > 1:
+        names = ", ".join(f"{c.unit}:{c.state}" for c in owners)
+        violations.append(
+            InvariantViolation(
+                Invariant.SINGLE_OWNER,
+                view.address,
+                f"multiple owners: {names}",
+            )
+        )
+
+    for copy in valid:
+        if copy.state in SOLE_COPY_STATES and len(valid) > 1:
+            others = ", ".join(
+                f"{c.unit}:{c.state}" for c in valid if c is not copy
+            )
+            violations.append(
+                InvariantViolation(
+                    Invariant.EXCLUSIVE_IS_SOLE,
+                    view.address,
+                    f"{copy.unit} holds {copy.state} but copies also at: "
+                    f"{others}",
+                )
+            )
+
+    for copy in owners:
+        if not copy.fresh:
+            violations.append(
+                InvariantViolation(
+                    Invariant.OWNER_CURRENT,
+                    view.address,
+                    f"owner {copy.unit} ({copy.state}) holds stale data",
+                )
+            )
+
+    for copy in valid:
+        if not copy.fresh:
+            violations.append(
+                InvariantViolation(
+                    Invariant.COPIES_CURRENT,
+                    view.address,
+                    f"valid copy at {copy.unit} ({copy.state}) is stale",
+                )
+            )
+
+    if not owners and not view.memory_fresh:
+        violations.append(
+            InvariantViolation(
+                Invariant.MEMORY_CURRENT_IF_UNOWNED,
+                view.address,
+                "no cache owns the line but memory is stale",
+            )
+        )
+
+    if memory_consistent_shared and not view.memory_fresh:
+        shared = [c for c in valid if c.state is LineState.SHAREABLE]
+        if shared:
+            names = ", ".join(c.unit for c in shared)
+            violations.append(
+                InvariantViolation(
+                    Invariant.MEMORY_CURRENT_IF_SHARED,
+                    view.address,
+                    f"S copies at {names} but memory is stale "
+                    "(foreign-protocol S-state semantics)",
+                )
+            )
+
+    # Deduplicate OWNER_CURRENT vs COPIES_CURRENT double reports for the
+    # same stale owner: keep both kinds (they name different invariants)
+    # but a caller only needs the list to be non-empty to fail.
+    return violations
+
+
+def assert_line_consistent(
+    view: LineView, memory_consistent_shared: bool = False
+) -> None:
+    """Raise :class:`InconsistencyError` if any invariant is violated."""
+    violations = check_line(view, memory_consistent_shared)
+    if violations:
+        raise InconsistencyError(violations)

@@ -1,0 +1,189 @@
+"""Action-selection policies over the MOESI class choice sets.
+
+Where a cell of Tables 1/2 offers several permitted actions, something must
+pick one.  The paper (section 3.4) stresses that *any* selection rule keeps
+the system consistent -- "as an extreme case, it would introduce no errors
+if a board were to select an action at each instant from the available set
+using a random number generator or a selection algorithm such as round
+robin."  Policies make that statement executable:
+
+* :class:`PreferredPolicy` -- always the first (paper-preferred) entry;
+* :class:`InvalidatePolicy` -- bias toward invalidation (Berkeley-style
+  write behaviour: take M via an address-only invalidate, drop snooped
+  lines on broadcast writes);
+* :class:`UpdatePolicy` -- bias toward broadcast/update (Dragon-style);
+* :class:`RandomPolicy` -- seeded uniform choice (the paper's extreme case);
+* :class:`RoundRobinPolicy` -- cycle deterministically through the set.
+
+The Puzak-style recency-aware refinement of section 5.2 lives in
+:mod:`repro.ext.puzak` and plugs into the same interface.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Sequence
+
+from repro.core.actions import LocalAction, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import LocalContext, SnoopContext
+from repro.core.states import LineState
+
+__all__ = [
+    "ActionPolicy",
+    "PreferredPolicy",
+    "InvalidatePolicy",
+    "UpdatePolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "policy_by_name",
+]
+
+
+class ActionPolicy(abc.ABC):
+    """Chooses one action out of a non-empty permitted set."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose_local(
+        self,
+        state: LineState,
+        event: LocalEvent,
+        choices: Sequence[LocalAction],
+        ctx: Optional[LocalContext] = None,
+    ) -> LocalAction:
+        """Select the local action to perform; ``choices`` is never empty."""
+
+    @abc.abstractmethod
+    def choose_snoop(
+        self,
+        state: LineState,
+        event: BusEvent,
+        choices: Sequence[SnoopAction],
+        ctx: Optional[SnoopContext] = None,
+    ) -> SnoopAction:
+        """Select the snoop response; ``choices`` is never empty."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class PreferredPolicy(ActionPolicy):
+    """Always take the paper-preferred (first) entry of each cell."""
+
+    name = "preferred"
+
+    def choose_local(self, state, event, choices, ctx=None) -> LocalAction:
+        return choices[0]
+
+    def choose_snoop(self, state, event, choices, ctx=None) -> SnoopAction:
+        return choices[0]
+
+
+class InvalidatePolicy(ActionPolicy):
+    """Prefer invalidation over broadcast-update.
+
+    Locally: writes to shared lines use the address-only invalidate and
+    take M.  On the snoop side: when offered the update-or-invalidate
+    choice (broadcast writes, columns 8/10), drop the line.
+    """
+
+    name = "invalidate"
+
+    def choose_local(self, state, event, choices, ctx=None) -> LocalAction:
+        for choice in choices:
+            if choice.signals.im and not choice.signals.bc:
+                return choice
+        return choices[0]
+
+    def choose_snoop(self, state, event, choices, ctx=None) -> SnoopAction:
+        for choice in choices:
+            if not choice.retains_copy:
+                return choice
+        return choices[0]
+
+
+class UpdatePolicy(ActionPolicy):
+    """Prefer broadcast-update over invalidation (Dragon-style)."""
+
+    name = "update"
+
+    def choose_local(self, state, event, choices, ctx=None) -> LocalAction:
+        for choice in choices:
+            if choice.signals.bc:
+                return choice
+        return choices[0]
+
+    def choose_snoop(self, state, event, choices, ctx=None) -> SnoopAction:
+        for choice in choices:
+            if choice.retains_copy:
+                return choice
+        return choices[0]
+
+
+class RandomPolicy(ActionPolicy):
+    """Uniform random selection -- the paper's "extreme case".
+
+    Deterministic given the seed, so model-checking and test runs remain
+    reproducible.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose_local(self, state, event, choices, ctx=None) -> LocalAction:
+        return self._rng.choice(list(choices))
+
+    def choose_snoop(self, state, event, choices, ctx=None) -> SnoopAction:
+        return self._rng.choice(list(choices))
+
+
+class RoundRobinPolicy(ActionPolicy):
+    """Cycle through each cell's permitted actions in order.
+
+    A separate counter is kept per (state, event) cell so each cell's
+    choices are exercised evenly.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, int] = {}
+
+    def _pick(self, key: tuple, choices: Sequence):
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        return choices[index % len(choices)]
+
+    def choose_local(self, state, event, choices, ctx=None) -> LocalAction:
+        return self._pick(("local", state, event), choices)
+
+    def choose_snoop(self, state, event, choices, ctx=None) -> SnoopAction:
+        return self._pick(("snoop", state, event), choices)
+
+
+_POLICIES = {
+    "preferred": PreferredPolicy,
+    "invalidate": InvalidatePolicy,
+    "update": UpdatePolicy,
+    "random": RandomPolicy,
+    "round-robin": RoundRobinPolicy,
+}
+
+
+def policy_by_name(name: str, **kwargs) -> ActionPolicy:
+    """Instantiate a policy by its registry name.
+
+    >>> policy_by_name("preferred").name
+    'preferred'
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown policy {name!r}; known: {known}") from None
+    return cls(**kwargs)

@@ -1,0 +1,453 @@
+"""The MOESI class of compatible protocols: Tables 1 and 2 as data.
+
+This module is the heart of the reproduction.  The paper defines its class
+of compatible protocols by two tables:
+
+* **Table 1** ("MOESI Protocol: Result State and Bus Signals -- Local")
+  gives, for each current state and each local event (read, write, pass,
+  flush), the *set* of permitted actions.  Entries marked ``*`` are the
+  write-through-cache members of the class, ``**`` the non-caching members.
+* **Table 2** (same title, "Bus Event" side) gives the permitted responses
+  of a snooping cache to each of the six bus-event columns.
+
+Where a cell offers a choice, *the first entry is preferred* (paper
+section 3.3); policies in :mod:`repro.core.policy` select among the rest.
+
+Section 3.3 additionally licenses four relaxations (items 9-12) that close
+the class under further substitutions:
+
+9.  any ``CH:O/M`` may be replaced by O; M may change to O at any time;
+10. any ``CH:S/E`` may be replaced by S; E may change to S at any time;
+11. any transition to (or remaining in) E or S on a *bus* event may be
+    changed to I (without asserting CH);
+12. the state E may be replaced by M (at a loss of efficiency, since a
+    write-back then becomes required).
+
+:func:`local_choices` / :func:`snoop_choices` expose the literal table
+cells; :class:`MoesiClassTable` additionally implements the relaxation
+closure used by the class-membership validator
+(:mod:`repro.core.validation`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.actions import (
+    CH_O_OR_M,
+    CH_S_OR_E,
+    BusOp,
+    ConditionalState,
+    LocalAction,
+    MasterKind,
+    NextState,
+    SnoopAction,
+)
+from repro.core.events import (
+    ALL_BUS_EVENTS,
+    ALL_LOCAL_EVENTS,
+    BusEvent,
+    LocalEvent,
+)
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = [
+    "LOCAL_TABLE",
+    "SNOOP_TABLE",
+    "local_choices",
+    "snoop_choices",
+    "MoesiClassTable",
+]
+
+M, O, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+_CB = MasterKind.COPY_BACK
+_WT = MasterKind.WRITE_THROUGH
+_NC = MasterKind.NON_CACHING
+_WT_NC = MasterKind.WRITE_THROUGH_OR_NON_CACHING
+
+
+def _sig(ca: bool = False, im: bool = False, bc: bool = False) -> MasterSignals:
+    return MasterSignals(ca=ca, im=im, bc=bc)
+
+
+def _local(
+    next_state: NextState,
+    *,
+    ca: bool = False,
+    im: bool = False,
+    bc: bool = False,
+    op: BusOp = BusOp.NONE,
+    bc_dont_care: bool = False,
+    kind: MasterKind = _CB,
+) -> LocalAction:
+    return LocalAction(
+        next_state=next_state,
+        signals=_sig(ca, im, bc),
+        bus_op=op,
+        bc_dont_care=bc_dont_care,
+        kind=kind,
+    )
+
+
+def _snoop(
+    next_state: NextState,
+    *,
+    ch: Optional[bool] = False,
+    di: bool = False,
+    sl: bool = False,
+) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch, di=di, sl=sl))
+
+
+# ---------------------------------------------------------------------------
+# Table 1: local events.  Cell values are tuples of permitted actions, the
+# first entry being the preferred one.  An empty tuple renders as the
+# paper's "--" (not a legal case / nothing to do).
+# ---------------------------------------------------------------------------
+
+#: Silent hit: remain in place, no bus activity.
+def _stay(state: LineState) -> LocalAction:
+    return _local(state)
+
+
+LOCAL_TABLE: dict[tuple[LineState, LocalEvent], tuple[LocalAction, ...]] = {
+    # ----- state M ------------------------------------------------------
+    (M, LocalEvent.READ): (_stay(M),),
+    (M, LocalEvent.WRITE): (_stay(M),),
+    # Push the dirty line, keep the copy: "E,CA,BC?,W".
+    (M, LocalEvent.PASS): (
+        _local(E, ca=True, op=BusOp.WRITE, bc_dont_care=True),
+    ),
+    # Push the dirty line and discard: "I,BC?,W".
+    (M, LocalEvent.FLUSH): (
+        _local(I, op=BusOp.WRITE, bc_dont_care=True),
+    ),
+    # ----- state O ------------------------------------------------------
+    (O, LocalEvent.READ): (_stay(O),),
+    # "CH:O/M,CA,IM,BC,W  or  M,CA,IM": broadcast the modification and
+    # remain owner, or send an address-only invalidate and take M.
+    (O, LocalEvent.WRITE): (
+        _local(CH_O_OR_M, ca=True, im=True, bc=True, op=BusOp.WRITE),
+        _local(M, ca=True, im=True),
+    ),
+    # "CH:S/E,CA,BC?,W": push but keep the (now clean) copy.
+    (O, LocalEvent.PASS): (
+        _local(CH_S_OR_E, ca=True, op=BusOp.WRITE, bc_dont_care=True),
+    ),
+    (O, LocalEvent.FLUSH): (
+        _local(I, op=BusOp.WRITE, bc_dont_care=True),
+    ),
+    # ----- state E ------------------------------------------------------
+    (E, LocalEvent.READ): (_stay(E),),
+    # Sole copy: modify silently.
+    (E, LocalEvent.WRITE): (_stay(M),),
+    (E, LocalEvent.PASS): (),
+    # Clean: discard without a write-back.
+    (E, LocalEvent.FLUSH): (_stay(I),),
+    # ----- state S ------------------------------------------------------
+    (S, LocalEvent.READ): (_stay(S),),
+    # Copy-back choices as for O, plus the write-through members ("*"):
+    # "S,IM,BC,W*" and "S,IM,W*" write past the cache without CA.
+    (S, LocalEvent.WRITE): (
+        _local(CH_O_OR_M, ca=True, im=True, bc=True, op=BusOp.WRITE),
+        _local(M, ca=True, im=True),
+        _local(S, im=True, bc=True, op=BusOp.WRITE, kind=_WT),
+        _local(S, im=True, op=BusOp.WRITE, kind=_WT),
+    ),
+    (S, LocalEvent.PASS): (),
+    (S, LocalEvent.FLUSH): (_stay(I),),
+    # ----- state I ------------------------------------------------------
+    # "CH:S/E,CA,R  or  S,CA,R*  or  I,R**".
+    (I, LocalEvent.READ): (
+        _local(CH_S_OR_E, ca=True, op=BusOp.READ),
+        _local(S, ca=True, op=BusOp.READ, kind=_WT),
+        _local(I, op=BusOp.READ, kind=_NC),
+    ),
+    # "M,CA,IM,R  or  Read>Write  or  I,IM,BC,W*,**  or  I,IM,W*,**
+    #  or  Read>Write*".
+    (I, LocalEvent.WRITE): (
+        _local(M, ca=True, im=True, op=BusOp.READ),
+        _local(CH_S_OR_E, ca=True, op=BusOp.READ_THEN_WRITE),
+        _local(I, im=True, bc=True, op=BusOp.WRITE, kind=_WT_NC),
+        _local(I, im=True, op=BusOp.WRITE, kind=_WT_NC),
+        _local(S, ca=True, op=BusOp.READ_THEN_WRITE, kind=_WT),
+    ),
+    (I, LocalEvent.PASS): (),
+    (I, LocalEvent.FLUSH): (),
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 2: bus events observed by a snooping cache.
+# ---------------------------------------------------------------------------
+
+_COL5 = BusEvent.CACHE_READ
+_COL6 = BusEvent.CACHE_READ_FOR_MODIFY
+_COL7 = BusEvent.UNCACHED_READ
+_COL8 = BusEvent.CACHE_BROADCAST_WRITE
+_COL9 = BusEvent.UNCACHED_WRITE
+_COL10 = BusEvent.UNCACHED_BROADCAST_WRITE
+
+SNOOP_TABLE: dict[tuple[LineState, BusEvent], tuple[SnoopAction, ...]] = {
+    # ----- state M ------------------------------------------------------
+    # A cache read: supply the data, downgrade to O (requester shares).
+    (M, _COL5): (_snoop(O, ch=True, di=True),),
+    # A write miss / invalidate: supply the data, then invalidate.
+    (M, _COL6): (_snoop(I, di=True),),
+    # Read by a non-caching processor: supply data, remain sole owner.
+    (M, _COL7): (_snoop(M, ch=None, di=True),),
+    # Broadcast write by a cache master cannot happen against M (the writer
+    # would have to hold a copy, contradicting exclusivity).
+    (M, _COL8): (),
+    # Non-broadcast uncached write: capture the written data (the rest of
+    # the line may be stale in memory, so the owner must not let memory
+    # take the write alone).
+    (M, _COL9): (_snoop(M, ch=None, di=True),),
+    # Broadcast uncached write: connect and update; still owner, because a
+    # word-write leaves the remainder of the line stale in memory.
+    (M, _COL10): (_snoop(M, ch=None, sl=True),),
+    # ----- state O ------------------------------------------------------
+    (O, _COL5): (_snoop(O, ch=True, di=True),),
+    (O, _COL6): (_snoop(I, di=True),),
+    # Uncached read: supply data; listen (do not assert CH) to learn
+    # whether any other cache retains a copy -- if none does, the owner
+    # may promote itself to M.
+    (O, _COL7): (_snoop(CH_O_OR_M, di=True),),
+    # Broadcast write by another cache: relinquish ownership (the writer
+    # becomes owner); update and share, or invalidate.
+    (O, _COL8): (_snoop(S, ch=True, sl=True), _snoop(I)),
+    (O, _COL9): (_snoop(O, ch=None, di=True),),
+    # Must update (cannot invalidate): the write may be partial and memory
+    # stale for the rest of the line; no cache master takes ownership.
+    (O, _COL10): (_snoop(O, ch=True, sl=True),),
+    # ----- state E ------------------------------------------------------
+    (E, _COL5): (_snoop(S, ch=True),),
+    (E, _COL6): (_snoop(I),),
+    # Sole copy and unowned: nobody is listening for CH.
+    (E, _COL7): (_snoop(E, ch=None),),
+    (E, _COL8): (),
+    (E, _COL9): (_snoop(I),),
+    (E, _COL10): (_snoop(E, ch=None, sl=True), _snoop(I)),
+    # ----- state S ------------------------------------------------------
+    (S, _COL5): (_snoop(S, ch=True),),
+    (S, _COL6): (_snoop(I),),
+    # CH must be asserted even for a non-caching master: an O-state owner
+    # may be listening to decide between O and M (see O, column 7).
+    (S, _COL7): (_snoop(S, ch=True),),
+    (S, _COL8): (_snoop(S, ch=True, sl=True), _snoop(I)),
+    (S, _COL9): (_snoop(I),),
+    (S, _COL10): (_snoop(S, ch=True, sl=True), _snoop(I)),
+    # ----- state I ------------------------------------------------------
+    (I, _COL5): (_snoop(I),),
+    (I, _COL6): (_snoop(I),),
+    (I, _COL7): (_snoop(I),),
+    (I, _COL8): (_snoop(I),),
+    (I, _COL9): (_snoop(I),),
+    (I, _COL10): (_snoop(I),),
+}
+
+
+def local_choices(
+    state: LineState,
+    event: LocalEvent,
+    kind: Optional[MasterKind] = None,
+) -> tuple[LocalAction, ...]:
+    """Permitted Table-1 actions for ``state`` on ``event``.
+
+    With ``kind`` given, filters to the entries applicable to that kind of
+    board (copy-back entries are those without a ``*``/``**`` annotation).
+    """
+    choices = LOCAL_TABLE[(state, event)]
+    if kind is None:
+        return choices
+    if kind is MasterKind.COPY_BACK:
+        return tuple(c for c in choices if c.kind is _CB)
+    if kind.includes_write_through and not kind.includes_non_caching:
+        return tuple(c for c in choices if c.kind.includes_write_through)
+    if kind.includes_non_caching and not kind.includes_write_through:
+        return tuple(c for c in choices if c.kind.includes_non_caching)
+    return tuple(
+        c
+        for c in choices
+        if c.kind.includes_write_through or c.kind.includes_non_caching
+    )
+
+
+def snoop_choices(state: LineState, event: BusEvent) -> tuple[SnoopAction, ...]:
+    """Permitted Table-2 responses for a snooper in ``state`` on ``event``."""
+    return SNOOP_TABLE[(state, event)]
+
+
+class MoesiClassTable:
+    """The full protocol class: literal table entries plus the relaxation
+    closure of section 3.3 items 9-12.
+
+    Used both by :mod:`repro.core.validation` (membership checking) and by
+    the exhaustive model checker (which explores *every* action in the
+    closure to establish that any mix of choices preserves consistency).
+    """
+
+    def __init__(self, include_relaxations: bool = True) -> None:
+        self.include_relaxations = include_relaxations
+
+    # -- closure computation ------------------------------------------------
+    @staticmethod
+    def _next_state_variants(
+        base: NextState, on_bus_event: bool
+    ) -> set[NextState]:
+        """All next-states reachable from ``base`` under relaxations 9-12."""
+        variants: set[NextState] = {base}
+        if isinstance(base, ConditionalState):
+            # 9/10: a conditional may collapse to its conservative branch.
+            if base == CH_O_OR_M:
+                variants.add(O)
+            if base == CH_S_OR_E:
+                variants.add(S)
+                if not on_bus_event:
+                    # 12: E may be replaced by M -- inside the conditional
+                    # only (unconditional M would claim exclusivity while
+                    # other copies may exist), i.e. CH:S/E -> CH:S/M.
+                    variants.add(ConditionalState(S, M))
+        else:
+            # 9: M may become O at any time; 10: E may become S.
+            if base is M:
+                variants.add(O)
+            if base is E:
+                variants.add(S)
+            # 12: E may be replaced by M (and transitively O, via 9).
+            if base is E and not on_bus_event:
+                variants.add(M)
+        # 11: on bus events, landing in (or staying in) E or S may become I.
+        if on_bus_event:
+            for variant in list(variants):
+                if isinstance(variant, ConditionalState):
+                    continue
+                if variant in (E, S):
+                    variants.add(I)
+        return variants
+
+    def local_action_set(
+        self,
+        state: LineState,
+        event: LocalEvent,
+        kind: Optional[MasterKind] = None,
+    ) -> set[LocalAction]:
+        """The closed set of permitted local actions."""
+        actions: set[LocalAction] = set()
+        for base in local_choices(state, event, kind):
+            actions.add(base)
+            if not self.include_relaxations:
+                continue
+            for variant in self._next_state_variants(
+                base.next_state, on_bus_event=False
+            ):
+                actions.add(
+                    LocalAction(
+                        next_state=variant,
+                        signals=base.signals,
+                        bus_op=base.bus_op,
+                        bc_dont_care=base.bc_dont_care,
+                        kind=base.kind,
+                    )
+                )
+        return actions
+
+    def snoop_action_set(
+        self, state: LineState, event: BusEvent
+    ) -> set[SnoopAction]:
+        """The closed set of permitted snoop responses."""
+        actions: set[SnoopAction] = set()
+        for base in snoop_choices(state, event):
+            actions.add(base)
+            if not self.include_relaxations:
+                continue
+            for variant in self._next_state_variants(
+                base.next_state, on_bus_event=True
+            ):
+                if variant == base.next_state:
+                    continue
+                response = base.response
+                if variant is I:
+                    # Relaxation 11: an invalidating snooper does not
+                    # retain the line, so it must not assert CH; an owner
+                    # abandoning its line must still intervene/connect
+                    # first, so DI/SL are preserved.
+                    response = SnoopResponse(
+                        ch=False,
+                        di=response.di,
+                        sl=response.sl,
+                        bs=response.bs,
+                    )
+                actions.add(SnoopAction(variant, response))
+        return actions
+
+    # -- membership ---------------------------------------------------------
+    def permits_local(
+        self,
+        state: LineState,
+        event: LocalEvent,
+        action: LocalAction,
+        kind: Optional[MasterKind] = None,
+    ) -> bool:
+        """Whether ``action`` is within the class for (state, event).
+
+        Kind annotations on the candidate action are ignored for matching:
+        what matters is the observable behaviour (result state, signals,
+        bus operation).
+        """
+        candidates = self.local_action_set(state, event, kind)
+        return any(_same_local_behaviour(action, c) for c in candidates)
+
+    def permits_snoop(
+        self, state: LineState, event: BusEvent, action: SnoopAction
+    ) -> bool:
+        candidates = self.snoop_action_set(state, event)
+        return any(_same_snoop_behaviour(action, c) for c in candidates)
+
+    def all_cells(self) -> Iterable[tuple]:
+        """Iterate (side, state, event, permitted-tuple) over both tables."""
+        for state in LineState:
+            for event in ALL_LOCAL_EVENTS:
+                yield ("local", state, event, LOCAL_TABLE[(state, event)])
+        for state in LineState:
+            for event in ALL_BUS_EVENTS:
+                yield ("snoop", state, event, SNOOP_TABLE[(state, event)])
+
+
+def _same_local_behaviour(a: LocalAction, b: LocalAction) -> bool:
+    """Behavioural equality ignoring the kind annotation and BC don't-cares.
+
+    ``BC?`` means the pusher may or may not broadcast, so a concrete action
+    asserting BC on a push matches a ``BC?`` table entry.
+    """
+    if a.next_state != b.next_state or a.bus_op != b.bus_op:
+        return False
+    if (a.signals.ca, a.signals.im) != (b.signals.ca, b.signals.im):
+        return False
+    if a.signals.bc == b.signals.bc:
+        return True
+    return (b.bc_dont_care and not b.signals.bc) or (
+        a.bc_dont_care and not a.signals.bc
+    )
+
+
+def _same_snoop_behaviour(a: SnoopAction, b: SnoopAction) -> bool:
+    """Behavioural equality treating ``CH?`` don't-cares as wildcards."""
+    if a.next_state != b.next_state:
+        return False
+    if a.abort_push != b.abort_push:
+        return False
+    ra, rb = a.response, b.response
+    if (ra.di, ra.sl, ra.bs) != (rb.di, rb.sl, rb.bs):
+        return False
+    if ra.ch is None or rb.ch is None:
+        return True
+    return bool(ra.ch) == bool(rb.ch)

@@ -1,0 +1,183 @@
+"""Mechanical class-membership checking for consistency protocols.
+
+Given any :class:`~repro.core.protocol.Protocol`, the checker verifies each
+cell of its transition tables against the MOESI class definition (Tables
+1/2 plus the relaxation closure of section 3.3).  The outcome mirrors the
+paper's taxonomy:
+
+* **members** -- every action the protocol can take is permitted by the
+  class (Berkeley, Dragon, the write-through cache, the non-caching
+  processor, and of course the preferred MOESI protocol itself);
+* **adapted** -- the protocol is implementable on the Futurebus only via
+  the BS (busy) abort mechanism and/or takes actions outside the class
+  (Write-Once, Illinois, Firefly).  Such protocols are consistent among
+  themselves but are *not* guaranteed compatible with arbitrary class
+  members -- their S state carries the stronger "consistent with memory"
+  meaning (sections 4.3-4.5).
+
+A protocol may also be an **incomplete** member: in-class on every cell it
+defines, but silent about bus events its own algorithm never generates
+(e.g. Dragon never invalidates, so columns 6/9/10 are undefined).  The
+paper notes such protocols "can be extended to be compatible"; the
+``snoop_default_to_class`` hook on :class:`~repro.core.protocol.TableProtocol`
+performs exactly that extension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.actions import LocalAction, SnoopAction
+from repro.core.events import (
+    ALL_BUS_EVENTS,
+    ALL_LOCAL_EVENTS,
+    BusEvent,
+    LocalEvent,
+)
+from repro.core.protocol import Protocol
+from repro.core.states import LineState
+from repro.core.transitions import MoesiClassTable, snoop_choices
+
+__all__ = [
+    "ComplianceIssue",
+    "MembershipReport",
+    "check_membership",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComplianceIssue:
+    """One table cell whose action falls outside the MOESI class."""
+
+    side: str  # "local" or "snoop"
+    state: LineState
+    event: object  # LocalEvent or BusEvent
+    action: object  # LocalAction or SnoopAction
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.side}] state {self.state}, event {self.event}: "
+            f"{self.action} -- {self.reason}"
+        )
+
+
+@dataclasses.dataclass
+class MembershipReport:
+    """Result of checking one protocol against the class definition."""
+
+    protocol_name: str
+    issues: list[ComplianceIssue]
+    #: Bus events for which the protocol defines no snoop response in at
+    #: least one of its states (candidates for class-default extension).
+    uncovered_bus_events: list[tuple[LineState, BusEvent]]
+    #: Whether the protocol relies on the BS abort mechanism.
+    uses_busy: bool
+
+    @property
+    def is_member(self) -> bool:
+        """In-class on every cell it defines, without needing BS."""
+        return not self.issues and not self.uses_busy
+
+    @property
+    def is_full_member(self) -> bool:
+        """A member that also covers every bus event in every state."""
+        return self.is_member and not self.uncovered_bus_events
+
+    @property
+    def is_adapted(self) -> bool:
+        """Implementable on the Futurebus only via the BS adaptation."""
+        return self.uses_busy
+
+    def summary(self) -> str:
+        if self.is_full_member:
+            verdict = "full member of the MOESI class"
+        elif self.is_member:
+            verdict = (
+                "member of the MOESI class (extendable: "
+                f"{len(self.uncovered_bus_events)} bus-event cells undefined)"
+            )
+        elif self.is_adapted and not self.issues:
+            verdict = "adapted protocol (requires the BS abort mechanism)"
+        elif self.is_adapted:
+            verdict = (
+                "adapted protocol (requires BS; "
+                f"{len(self.issues)} out-of-class actions)"
+            )
+        else:
+            verdict = f"NOT a member ({len(self.issues)} out-of-class actions)"
+        return f"{self.protocol_name}: {verdict}"
+
+
+def check_membership(
+    protocol: Protocol,
+    table: Optional[MoesiClassTable] = None,
+) -> MembershipReport:
+    """Check every cell of ``protocol``'s tables against the class.
+
+    Only the protocol's own states are examined (a protocol without an E
+    state cannot be faulted for E-row behaviour it can never exhibit).
+    """
+    table = table or MoesiClassTable()
+    issues: list[ComplianceIssue] = []
+    uncovered: list[tuple[LineState, BusEvent]] = []
+    uses_busy = bool(protocol.requires_busy)
+
+    for state in protocol.states:
+        for local_event in ALL_LOCAL_EVENTS:
+            for action in protocol.local_cell(state, local_event):
+                _check_local(table, protocol, state, local_event, action, issues)
+        for bus_event in ALL_BUS_EVENTS:
+            cell = protocol.snoop_cell(state, bus_event)
+            if not cell:
+                # Only count cells the class itself defines; the "--"
+                # cells (e.g. a broadcast write observed against M or E)
+                # are structurally impossible and need no response.
+                if state.valid and snoop_choices(state, bus_event):
+                    uncovered.append((state, bus_event))
+                continue
+            for action in cell:
+                if action.abort_push or action.response.bs:
+                    uses_busy = True
+                    continue  # BS actions are adaptations, not class cells.
+                if not table.permits_snoop(state, bus_event, action):
+                    issues.append(
+                        ComplianceIssue(
+                            side="snoop",
+                            state=state,
+                            event=bus_event,
+                            action=action,
+                            reason="response not permitted by Table 2 "
+                            "(including relaxations 9-11)",
+                        )
+                    )
+
+    return MembershipReport(
+        protocol_name=protocol.name,
+        issues=issues,
+        uncovered_bus_events=uncovered,
+        uses_busy=uses_busy,
+    )
+
+
+def _check_local(
+    table: MoesiClassTable,
+    protocol: Protocol,
+    state: LineState,
+    event: LocalEvent,
+    action: LocalAction,
+    issues: list[ComplianceIssue],
+) -> None:
+    if table.permits_local(state, event, action):
+        return
+    issues.append(
+        ComplianceIssue(
+            side="local",
+            state=state,
+            event=event,
+            action=action,
+            reason="action not permitted by Table 1 "
+            "(including relaxations 9, 10 and 12)",
+        )
+    )

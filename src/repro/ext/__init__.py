@@ -1,0 +1,37 @@
+"""Extensions from the paper's section 5 and conclusions: the Puzak
+recency refinement, Clipper-style per-page protocol selection, line
+crossers, the line-size mismatch demonstrator, and the section-6
+consistency commands (sync/flush across the bus)."""
+
+from repro.ext.linecross import LineCrossingPort, LinePiece, split_reference
+from repro.ext.linesize import (
+    MismatchDemo,
+    MixedLineSizeBus,
+    demonstrate_mismatch,
+    demonstrate_uniform_ok,
+)
+from repro.ext.perpage import PageClass, PageMap, PerPageProtocol
+from repro.ext.sync import ConsistencyCommander, SyncStats
+from repro.ext.puzak import (
+    RecencyAwarePolicy,
+    make_puzak_protocol,
+    puzak_comparison,
+)
+
+__all__ = [
+    "LineCrossingPort",
+    "LinePiece",
+    "split_reference",
+    "MismatchDemo",
+    "MixedLineSizeBus",
+    "demonstrate_mismatch",
+    "demonstrate_uniform_ok",
+    "PageClass",
+    "PageMap",
+    "PerPageProtocol",
+    "ConsistencyCommander",
+    "SyncStats",
+    "RecencyAwarePolicy",
+    "make_puzak_protocol",
+    "puzak_comparison",
+]

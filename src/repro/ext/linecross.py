@@ -1,0 +1,88 @@
+"""Line crossers (section 5.1).
+
+    "a processor operation which makes a reference which overlaps 2 or
+    more lines ... the processor/cache interface must be able to treat
+    this as a separate transaction for each line involved, and to generate
+    bus transactions on that basis."
+
+:func:`split_reference` decomposes a (byte address, size) access into its
+per-line pieces; :class:`LineCrossingPort` is the processor/cache front
+end that issues one controller operation per piece.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.cache.controller import CacheController
+
+__all__ = ["LinePiece", "split_reference", "LineCrossingPort"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinePiece:
+    """One per-line fragment of a possibly line-crossing access."""
+
+    byte_address: int
+    size: int
+    line_address: int
+
+
+def split_reference(
+    byte_address: int, size: int, line_size: int
+) -> list[LinePiece]:
+    """Split an access into per-line pieces (one per line touched).
+
+    >>> [p.line_address for p in split_reference(30, 8, 32)]
+    [0, 1]
+    >>> [p.size for p in split_reference(30, 8, 32)]
+    [2, 6]
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if byte_address < 0:
+        raise ValueError(f"negative address: {byte_address}")
+    pieces: list[LinePiece] = []
+    remaining = size
+    cursor = byte_address
+    while remaining > 0:
+        line_address = cursor // line_size
+        line_end = (line_address + 1) * line_size
+        chunk = min(remaining, line_end - cursor)
+        pieces.append(LinePiece(cursor, chunk, line_address))
+        cursor += chunk
+        remaining -= chunk
+    return pieces
+
+
+class LineCrossingPort:
+    """Processor front end that legalizes line-crossing accesses.
+
+    Each fragment becomes a separate controller operation (hence a
+    separate bus transaction when it misses), exactly as the paper
+    requires.  Reads return the list of per-line tokens; writes apply the
+    same token to every line touched.
+    """
+
+    def __init__(self, controller: CacheController) -> None:
+        self.controller = controller
+        self.split_accesses = 0
+
+    @property
+    def line_size(self) -> int:
+        return self.controller.cache.line_size
+
+    def read(self, byte_address: int, size: int = 4) -> list[int]:
+        pieces = split_reference(byte_address, size, self.line_size)
+        if len(pieces) > 1:
+            self.split_accesses += 1
+        return [self.controller.read(piece.byte_address) for piece in pieces]
+
+    def write(self, byte_address: int, value: int, size: int = 4) -> Sequence[LinePiece]:
+        pieces = split_reference(byte_address, size, self.line_size)
+        if len(pieces) > 1:
+            self.split_accesses += 1
+        for piece in pieces:
+            self.controller.write(piece.byte_address, value)
+        return pieces

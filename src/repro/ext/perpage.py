@@ -1,0 +1,140 @@
+"""Per-page protocol selection (section 3.4, Clipper-style).
+
+    "a given cache can make some pages copy back, some write through, and
+    some uncacheable (as with the Fairchild CLIPPER)."
+
+:class:`PerPageProtocol` routes each local event by the page its address
+falls in: copy-back pages use the full MOESI actions, write-through pages
+the ``*`` entries, uncacheable pages the ``**`` entries.  All three action
+families come from the same class tables, so the mixture is consistent by
+construction -- the class-membership validator and the model checker both
+confirm it.
+
+Snoop responses always use the full class table: whatever page class a
+line belongs to, the states it can reach are class states and the Table-2
+responses for them are correct.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from repro.core.actions import LocalAction, MasterKind, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.policy import ActionPolicy, PreferredPolicy
+from repro.core.protocol import (
+    IllegalTransitionError,
+    LocalContext,
+    Protocol,
+    SnoopContext,
+)
+from repro.core.states import LineState
+from repro.core.transitions import local_choices, snoop_choices
+
+__all__ = ["PageClass", "PageMap", "PerPageProtocol"]
+
+
+class PageClass:
+    """Cacheability classes a page can be assigned to."""
+
+    COPY_BACK = "copy-back"
+    WRITE_THROUGH = "write-through"
+    UNCACHEABLE = "uncacheable"
+
+    ALL = (COPY_BACK, WRITE_THROUGH, UNCACHEABLE)
+
+
+@dataclasses.dataclass
+class PageMap:
+    """Page-number -> class mapping with a default.
+
+    Addresses given to :meth:`classify` are *line* addresses (what reaches
+    the protocol via the context); the page number is
+    ``line_address * line_size // page_size``.
+    """
+
+    page_size: int = 4096
+    line_size: int = 32
+    default: str = PageClass.COPY_BACK
+    assignments: Mapping[int, str] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default not in PageClass.ALL:
+            raise ValueError(f"unknown page class {self.default!r}")
+        for page, cls in self.assignments.items():
+            if cls not in PageClass.ALL:
+                raise ValueError(f"unknown page class {cls!r} for page {page}")
+
+    def page_of(self, line_address: int) -> int:
+        return line_address * self.line_size // self.page_size
+
+    def classify(self, line_address: int) -> str:
+        return dict(self.assignments).get(self.page_of(line_address), self.default)
+
+
+class PerPageProtocol(Protocol):
+    """One cache, three behaviours, selected by page (all in the class)."""
+
+    states = frozenset(LineState)
+    requires_busy = False
+
+    _KIND_BY_CLASS = {
+        PageClass.COPY_BACK: MasterKind.COPY_BACK,
+        PageClass.WRITE_THROUGH: MasterKind.WRITE_THROUGH,
+        PageClass.UNCACHEABLE: MasterKind.NON_CACHING,
+    }
+
+    def __init__(
+        self,
+        page_map: PageMap,
+        policy: Optional[ActionPolicy] = None,
+        name: str = "PerPage",
+    ) -> None:
+        self.page_map = page_map
+        self.policy = policy or PreferredPolicy()
+        self.name = name
+        self.kind = MasterKind.COPY_BACK
+
+    def local_action(
+        self,
+        state: LineState,
+        event: LocalEvent,
+        ctx: Optional[LocalContext] = None,
+    ) -> LocalAction:
+        address = ctx.address if ctx is not None else 0
+        page_class = self.page_map.classify(address)
+        kind = self._KIND_BY_CLASS[page_class]
+        choices = local_choices(state, event, kind)
+        if not choices:
+            # A page that became write-through/uncacheable may still hold
+            # lines in copy-back states from before a remap; fall back to
+            # the copy-back actions to drain them safely.
+            choices = local_choices(state, event, MasterKind.COPY_BACK)
+        if not choices:
+            raise IllegalTransitionError(self.name, state, event)
+        return self.policy.choose_local(state, event, choices, ctx)
+
+    def snoop_action(
+        self,
+        state: LineState,
+        event: BusEvent,
+        ctx: Optional[SnoopContext] = None,
+    ) -> SnoopAction:
+        choices = snoop_choices(state, event)
+        if not choices:
+            raise IllegalTransitionError(self.name, state, event)
+        return self.policy.choose_snoop(state, event, choices, ctx)
+
+    def local_cell(self, state, event):
+        # For validation purposes, report everything the protocol could do
+        # across all page classes.
+        cells: list[LocalAction] = []
+        for kind in self._KIND_BY_CLASS.values():
+            for action in local_choices(state, event, kind):
+                if action not in cells:
+                    cells.append(action)
+        return tuple(cells)
+
+    def snoop_cell(self, state, event):
+        return snoop_choices(state, event)

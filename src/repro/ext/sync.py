@@ -1,0 +1,125 @@
+"""Consistency commands (paper section 6, final future-work item).
+
+    "Proper mechanisms must also be defined for issuing commands across
+    the bus to cause other caches to become consistent with main memory."
+
+This module builds those commands out of *existing* class facilities --
+no new signal lines, no out-of-class snoop behaviour required:
+
+* :meth:`ConsistencyCommander.sync_line` -- make main memory current
+  while letting caches keep their copies.  Two transactions: a read
+  (CA,~IM) whose DI response fetches the owner's data (downgrading M to
+  O), then a broadcast write (~CA,IM,BC -- column 10) of that same value,
+  which updates memory and every holder in place.  Since the written
+  value *is* the current value, every copy stays correct.
+* :meth:`ConsistencyCommander.flush_line` -- make memory current *and*
+  purge every cached copy (what an un-cached DMA engine wants before a
+  device-to-memory transfer is rearmed).  A read-for-modify (CA,IM,R --
+  column 6) collects the current data while every cache, owner included,
+  invalidates; a plain write-back then deposits it in memory.
+
+Both commands are issued by a dedicated bus master that retains nothing,
+so they compose with any mix of MOESI-class boards; tests drive them
+against every protocol and the coherence oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.bus.futurebus import Futurebus
+from repro.core.actions import BusOp
+from repro.core.signals import MasterSignals
+
+__all__ = ["SyncStats", "ConsistencyCommander"]
+
+
+@dataclasses.dataclass
+class SyncStats:
+    syncs: int = 0
+    flushes: int = 0
+    transactions: int = 0
+
+
+class ConsistencyCommander:
+    """A bus master dedicated to memory-consistency commands.
+
+    It never caches, never snoops, and asserts nothing on response lines
+    -- exactly a non-caching board, but with two composite flows built on
+    top of the ordinary master signals.
+    """
+
+    def __init__(self, bus: Futurebus, unit_id: str = "sync") -> None:
+        self.bus = bus
+        self.unit_id = unit_id
+        self.stats = SyncStats()
+
+    # ------------------------------------------------------------------
+    def sync_line(self, line_address: int) -> int:
+        """Update main memory with the line's current value; caches keep
+        (and stay consistent with) their copies.  Returns the value."""
+        # 1. Obtain the current data.  An uncached read (~CA): the owner,
+        #    if any, intervenes and supplies; otherwise memory already has
+        #    the current value and the command was a no-op apart from the
+        #    read.
+        read = self.bus.execute(
+            self.unit_id, line_address, MasterSignals(), BusOp.READ
+        )
+        assert read.value is not None
+        self.stats.transactions += 1
+        if read.supplier == "memory":
+            # Memory supplied: it is the owner of record; nothing to sync.
+            self.stats.syncs += 1
+            return read.value
+        # 2. Broadcast the value back (column 10): memory updates, every
+        #    holder SL-connects and "updates" to the value it already
+        #    holds, and the owner remains owner (Table 2: M -> M,SL / O ->
+        #    O,SL).  Memory is now current.
+        self.bus.execute(
+            self.unit_id,
+            line_address,
+            MasterSignals(im=True, bc=True),
+            BusOp.WRITE,
+            read.value,
+        )
+        self.stats.transactions += 1
+        self.stats.syncs += 1
+        return read.value
+
+    def flush_line(self, line_address: int) -> int:
+        """Update main memory and invalidate every cached copy."""
+        # 1. Read-for-modify (column 6): the owner supplies and
+        #    invalidates; every other holder invalidates.  After this, no
+        #    cache holds the line and we have its current value.
+        read = self.bus.execute(
+            self.unit_id,
+            line_address,
+            MasterSignals(ca=True, im=True),
+            BusOp.READ,
+        )
+        assert read.value is not None
+        self.stats.transactions += 1
+        # 2. Deposit it in memory (a plain write: no owner remains to
+        #    capture it, so memory takes it).
+        self.bus.execute(
+            self.unit_id,
+            line_address,
+            MasterSignals(im=True),
+            BusOp.WRITE,
+            read.value,
+        )
+        self.stats.transactions += 1
+        self.stats.flushes += 1
+        return read.value
+
+    def sync_range(self, first_line: int, last_line: int) -> int:
+        """Sync every line in [first, last]; returns lines touched."""
+        for line_address in range(first_line, last_line + 1):
+            self.sync_line(line_address)
+        return last_line - first_line + 1
+
+    def flush_range(self, first_line: int, last_line: int) -> int:
+        for line_address in range(first_line, last_line + 1):
+            self.flush_line(line_address)
+        return last_line - first_line + 1

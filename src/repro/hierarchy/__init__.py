@@ -1,0 +1,13 @@
+"""Multi-bus hierarchy (the paper's section-6 future work, built):
+cluster bridges and the two-level hierarchical system."""
+
+from repro.hierarchy.bridge import ClusterBridge, DirectoryEntry, DirectoryState
+from repro.hierarchy.system import ClusterSpec, HierarchicalSystem
+
+__all__ = [
+    "ClusterBridge",
+    "DirectoryEntry",
+    "DirectoryState",
+    "ClusterSpec",
+    "HierarchicalSystem",
+]

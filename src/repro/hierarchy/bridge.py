@@ -1,0 +1,508 @@
+"""Cluster bridges: MOESI consistency across *multiple* Futurebuses.
+
+The paper closes with the open problem (section 6): "how one might
+implement a system with multiple buses and still maintain consistency."
+This module answers it with the machinery the paper already provides: a
+two-level hierarchy in which each **cluster** has its own local Futurebus
+of snooping caches, and a **bridge** per cluster joins it to one global
+Futurebus that also carries main memory.
+
+The bridge plays two roles at once:
+
+* on the **local bus** it is the cluster's "main memory": local read
+  misses and write-backs terminate at the bridge, which satisfies them
+  from its directory or by issuing a transaction on the global bus.  It
+  also snoops every local address cycle (the broadcast requirement makes
+  this free) so it can assert CH on behalf of remote copies and
+  propagate local invalidates/broadcast writes upward;
+* on the **global bus** it is a cache master in the MOESI class: its
+  directory entry for a line carries the *cluster's* global state, it
+  asserts CH/DI/SL like any snooper, supplies data by fetching from the
+  local owner when intervention is required, and invalidates or updates
+  its whole cluster when remote transactions demand it.
+
+Two MOESI-class facts make the design sound:
+
+1. **Relaxation 12 (E may be replaced by M).**  A local cache granted E
+   may silently upgrade to M, which the bridge cannot observe.  The
+   bridge therefore never records E: any globally-exclusive grant is
+   booked as M ("the cluster may own this"), so it always intervenes on
+   global reads and fetches the freshest copy from inside the cluster.
+2. **Relaxation 11 / the Table-2 "or I" choices.**  On remote broadcast
+   writes the bridge takes the invalidate option for its whole cluster,
+   which is always permitted and avoids multi-party update fan-out
+   across levels.
+
+Directory entries never hold a stale value *when they may be asked for
+it*: local broadcast writes reach the bridge through memory reflection,
+write-backs terminate at it, and whenever a live local owner exists the
+bridge's global state is M/O, so global requests are served by an
+explicit local fetch (the owner intervenes on the local bus) rather than
+from the directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.bus.futurebus import BusAgent, Futurebus
+from repro.bus.timing import BusTiming
+from repro.bus.transaction import Transaction
+from repro.core.actions import BusOp
+from repro.core.events import BusEvent
+from repro.core.signals import MasterSignals, ResponseAggregate, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["DirectoryState", "DirectoryEntry", "ClusterBridge"]
+
+
+class DirectoryState(enum.Enum):
+    """The cluster's rights to a line, as seen from the global bus.
+
+    E is deliberately absent (relaxation 12): an exclusive grant is
+    recorded as MODIFIED because a local cache may silently dirty it.
+    """
+
+    INVALID = "I"
+    SHARED = "S"
+    OWNED = "O"
+    MODIFIED = "M"
+
+    @property
+    def valid(self) -> bool:
+        return self is not DirectoryState.INVALID
+
+    @property
+    def owns(self) -> bool:
+        return self in (DirectoryState.MODIFIED, DirectoryState.OWNED)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass
+class DirectoryEntry:
+    state: DirectoryState = DirectoryState.INVALID
+    value: int = 0
+
+
+@dataclasses.dataclass
+class BridgeStats:
+    global_reads: int = 0
+    global_rfos: int = 0
+    global_broadcast_writes: int = 0
+    global_invalidates: int = 0
+    supplies: int = 0
+    cluster_invalidates: int = 0
+    local_fetches: int = 0
+
+
+class _LocalPort:
+    """The local bus's MemoryPort, delegating to the bridge."""
+
+    def __init__(self, bridge: "ClusterBridge") -> None:
+        self._bridge = bridge
+
+    def read(self, address: int) -> int:
+        return self._bridge._local_memory_read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self._bridge._local_memory_write(address, value)
+
+
+class _LocalWatcher(BusAgent):
+    """The bridge's snooping presence on its local bus."""
+
+    def __init__(self, bridge: "ClusterBridge") -> None:
+        self._bridge = bridge
+        self.unit_id = f"{bridge.bridge_id}.watcher"
+
+    def snoop(self, txn: Transaction) -> SnoopResponse:
+        return self._bridge._local_snoop(txn)
+
+    def finalize(self, txn: Transaction, aggregate: ResponseAggregate) -> None:
+        self._bridge._local_finalize(txn)
+
+
+class ClusterBridge(BusAgent):
+    """One cluster's gateway between its local bus and the global bus."""
+
+    def __init__(
+        self,
+        bridge_id: str,
+        global_bus: Futurebus,
+        local_timing: Optional[BusTiming] = None,
+    ) -> None:
+        self.unit_id = bridge_id
+        self.bridge_id = bridge_id
+        self.global_bus = global_bus
+        self.local_bus = Futurebus(_LocalPort(self), timing=local_timing)
+        self.local_bus.attach(_LocalWatcher(self))
+        global_bus.attach(self)
+        self.directory: dict[int, DirectoryEntry] = {}
+        self.stats = BridgeStats()
+        #: The local transaction currently in its address/data phase (set
+        #: at snoop, cleared at finalize); lets the memory port tell a
+        #: write-back apart from a modifying write.
+        self._current_local_txn: Optional[Transaction] = None
+        #: Serial of a local transaction whose write was already
+        #: forwarded upward during the address cycle (so the memory port
+        #: must not forward it a second time).
+        self._forwarded_serial: Optional[int] = None
+        #: Stashed global-snoop decision between snoop() and finalize().
+        self._pending_global: Optional[tuple[int, Transaction, DirectoryState]] = None
+
+    # ------------------------------------------------------------------
+    def _entry(self, address: int) -> DirectoryEntry:
+        return self.directory.setdefault(address, DirectoryEntry())
+
+    def directory_state(self, address: int) -> DirectoryState:
+        entry = self.directory.get(address)
+        return entry.state if entry else DirectoryState.INVALID
+
+    def _is_own_transaction(self, txn: Transaction) -> bool:
+        return txn.master == self.bridge_id
+
+    # ------------------------------------------------------------------
+    # Local bus: memory-port side.
+    # ------------------------------------------------------------------
+    def _local_memory_read(self, address: int) -> int:
+        entry = self._entry(address)
+        if not entry.state.valid:
+            # Defensive only: every local miss passes through our snoop
+            # (the broadcast address cycle), which prefetches the line
+            # into the directory before the data phase begins.
+            self._global_fetch(address, rfo=False)
+        # No local owner intervened (else this port is not consulted), so
+        # the directory copy is current for the cluster.
+        return entry.value
+
+    def _global_fetch(self, address: int, rfo: bool) -> None:
+        """Fetch the line (and, for read-for-modify, exclusivity) from the
+        global bus into the directory.
+
+        Called during the *local address cycle*: the Futurebus handshake
+        lets any module hold AI* until it is "finished with the address",
+        which is exactly what a bridge needs -- its CH contribution on the
+        local bus depends on the global state, so it resolves the global
+        transaction before releasing the local address cycle.
+        """
+        entry = self._entry(address)
+        result = self.global_bus.execute(
+            self.bridge_id,
+            address,
+            MasterSignals(ca=True, im=rfo),
+            BusOp.READ,
+        )
+        if rfo:
+            self.stats.global_rfos += 1
+            entry.state = DirectoryState.MODIFIED
+        else:
+            self.stats.global_reads += 1
+            # CH:S/E with E booked as M (relaxation 12): a silent local
+            # E->M upgrade is invisible to us, so an exclusive grant is
+            # recorded as potential ownership.
+            entry.state = (
+                DirectoryState.SHARED
+                if result.aggregate.ch
+                else DirectoryState.MODIFIED
+            )
+        assert result.value is not None
+        entry.value = result.value
+
+    def _local_memory_write(self, address: int, value: int) -> None:
+        """Local pushes, broadcast-write reflections, and ownerless
+        uncached writes all land here."""
+        entry = self._entry(address)
+        txn = self._current_local_txn
+        if txn is not None and self._forwarded_serial == txn.serial:
+            # The snoop side already forwarded this write upward with the
+            # correct semantics; just absorb the local reflection.
+            if entry.state.valid:
+                entry.value = value
+            return
+        is_push = txn is not None and not txn.signals.im
+        if is_push or entry.state is DirectoryState.MODIFIED:
+            # A write-back does not modify the data (remote copies, if
+            # any, already hold this value); and a MODIFIED entry means no
+            # copies exist outside the cluster.  Absorb silently.
+            entry.value = value
+            return
+        if not entry.state.valid:
+            # Nothing in this cluster holds the line: this is an
+            # ownerless uncached/write-through write passing through.
+            # Forward it as exactly that -- an uncached write with the
+            # original broadcast-ness (claiming ownership with a CA,IM,BC
+            # broadcast would be the illegal column-8-against-M case).  A
+            # remote owner captures/updates and keeps ownership; with no
+            # remote owner, global memory takes the write.
+            broadcast = bool(txn is None or txn.signals.bc)
+            self.global_bus.execute(
+                self.bridge_id,
+                address,
+                MasterSignals(im=True, bc=broadcast),
+                BusOp.WRITE,
+                value,
+            )
+            self.stats.global_broadcast_writes += 1
+            return
+        # The line is visible outside the cluster -- entry SHARED or
+        # OWNED (owned *but shared*: remote S copies exist): announce the
+        # modification on the global bus before absorbing it.  A global
+        # broadcast write updates global memory and lets other clusters
+        # update or invalidate; the cluster emerges as the owner.
+        result = self.global_bus.execute(
+            self.bridge_id,
+            address,
+            MasterSignals(ca=True, im=True, bc=True),
+            BusOp.WRITE,
+            value,
+        )
+        self.stats.global_broadcast_writes += 1
+        entry.state = (
+            DirectoryState.OWNED
+            if result.aggregate.ch
+            else DirectoryState.MODIFIED
+        )
+        entry.value = value
+
+    # ------------------------------------------------------------------
+    # Local bus: snooping side.
+    # ------------------------------------------------------------------
+    def _local_snoop(self, txn: Transaction) -> SnoopResponse:
+        if self._is_own_transaction(txn):
+            return SnoopResponse.NONE
+        self._current_local_txn = txn
+        entry = self.directory.get(txn.address)
+        event = txn.event
+
+        if event in (BusEvent.CACHE_READ, BusEvent.UNCACHED_READ):
+            if entry is None or not entry.state.valid:
+                # Resolve the global state *now*, during the local
+                # address cycle, because our CH answer depends on it.
+                self._global_fetch(txn.address, rfo=False)
+                entry = self._entry(txn.address)
+            # Pretend-sharer: while the line is globally shared, no local
+            # cache may believe it holds the sole copy, or it would later
+            # modify silently.  CH forces readers into S.
+            ch = entry.state in (DirectoryState.SHARED, DirectoryState.OWNED)
+            return SnoopResponse(ch=ch)
+
+        if event is BusEvent.CACHE_READ_FOR_MODIFY:
+            if entry and entry.state.valid:
+                if entry.state in (
+                    DirectoryState.SHARED,
+                    DirectoryState.OWNED,
+                ):
+                    # Remote copies must die before the local writer may
+                    # proceed: a global address-only invalidate.
+                    self.global_bus.execute(
+                        self.bridge_id,
+                        txn.address,
+                        MasterSignals(ca=True, im=True),
+                        BusOp.NONE,
+                    )
+                    self.stats.global_invalidates += 1
+                entry.state = DirectoryState.MODIFIED
+            else:
+                # Local write miss with nothing cached here: fetch global
+                # ownership along with the data.
+                self._global_fetch(txn.address, rfo=True)
+            return SnoopResponse.NONE
+
+        if event in (
+            BusEvent.UNCACHED_WRITE,
+            BusEvent.UNCACHED_BROADCAST_WRITE,
+        ):
+            # A write past the caches.  If a local owner captures it the
+            # port is never consulted, yet copies outside the cluster are
+            # now stale: forward the write upward first, *preserving its
+            # broadcast-ness* -- a non-broadcast write (column 9) promises
+            # every other holder invalidates, a broadcast one (column 10)
+            # lets them update and retain; translating between the two
+            # would desynchronize the levels.
+            if entry and entry.state in (
+                DirectoryState.SHARED,
+                DirectoryState.OWNED,
+            ):
+                assert txn.value is not None
+                broadcast = txn.signals.bc
+                self.global_bus.execute(
+                    self.bridge_id,
+                    txn.address,
+                    MasterSignals(im=True, bc=broadcast),
+                    BusOp.WRITE,
+                    txn.value,
+                )
+                self.stats.global_broadcast_writes += 1
+                self._forwarded_serial = txn.serial
+                # In every case the directory's copy becomes the written
+                # value, and the cluster still holds the line: on a
+                # non-broadcast write other holders die but the *writer*
+                # may retain its copy (a write-through cache stays in S);
+                # on a broadcast write holders update in place.  SHARED
+                # stays SHARED (a remote owner may have captured/updated
+                # and retained ownership); OWNED stays OWNED.
+                entry.value = txn.value
+            return SnoopResponse.NONE
+
+        if event is BusEvent.CACHE_BROADCAST_WRITE:
+            # The data movement reaches us via memory reflection
+            # (_local_memory_write, which announces upward).  But our CH
+            # answer matters *now*: while the line is visible outside the
+            # cluster (entry S/O), copies above us may survive the
+            # announce (an upper-level sharer may take the update
+            # option), so the local writer must resolve CH:O/M to O --
+            # assert CH on their behalf.  With entry M the cluster is the
+            # sole holder and the writer may take M.
+            ch = bool(
+                entry
+                and entry.state in (DirectoryState.SHARED, DirectoryState.OWNED)
+            )
+            return SnoopResponse(ch=ch)
+
+        return SnoopResponse.NONE
+
+    def _local_finalize(self, txn: Transaction) -> None:
+        if (
+            self._current_local_txn is not None
+            and self._current_local_txn.serial == txn.serial
+        ):
+            self._current_local_txn = None
+        if self._forwarded_serial == txn.serial:
+            self._forwarded_serial = None
+
+    # ------------------------------------------------------------------
+    # Global bus: the bridge as a MOESI-class snooper.
+    # ------------------------------------------------------------------
+    def snoop(self, txn: Transaction) -> SnoopResponse:
+        entry = self.directory.get(txn.address)
+        if entry is None or not entry.state.valid:
+            return SnoopResponse.NONE
+        event = txn.event
+        self._pending_global = (txn.serial, txn, entry.state)
+
+        if event in (BusEvent.CACHE_READ, BusEvent.UNCACHED_READ):
+            if entry.state.owns:
+                return SnoopResponse(ch=True, di=True)
+            return SnoopResponse(ch=True)
+
+        if event is BusEvent.CACHE_READ_FOR_MODIFY:
+            return SnoopResponse(di=entry.state.owns)
+
+        if event is BusEvent.CACHE_BROADCAST_WRITE:
+            # Take the always-permitted invalidate option for the whole
+            # cluster ("S,SL,CH or I" -- we choose I).
+            return SnoopResponse.NONE
+
+        if event in (
+            BusEvent.UNCACHED_WRITE,
+            BusEvent.UNCACHED_BROADCAST_WRITE,
+        ):
+            if entry.state.owns:
+                # Owner captures (col 9) or connects (col 10).
+                if event is BusEvent.UNCACHED_WRITE:
+                    return SnoopResponse(ch=None, di=True)
+                return SnoopResponse(ch=None, sl=True)
+            return SnoopResponse.NONE
+
+        return SnoopResponse.NONE  # pragma: no cover - exhaustive above
+
+    def supply_data(self, txn: Transaction) -> int:
+        """The cluster owns the line; find its freshest copy.
+
+        A local fetch (an ordinary CA read on the local bus) makes any
+        local owner intervene -- and downgrades it M->O, which is correct
+        because the line is being shared outward.  With no local owner
+        the fetch terminates at our own port, which serves the directory.
+        """
+        self.stats.supplies += 1
+        value = self._local_fetch(txn.address)
+        return value
+
+    def _local_fetch(self, address: int) -> int:
+        self.stats.local_fetches += 1
+        result = self.local_bus.execute(
+            self.bridge_id, address, MasterSignals(ca=True), BusOp.READ
+        )
+        assert result.value is not None
+        entry = self._entry(address)
+        entry.value = result.value
+        return result.value
+
+    def _invalidate_cluster(self, address: int) -> None:
+        """Address-only invalidate on the local bus kills every local
+        copy (their Table-2 column-6 responses)."""
+        self.stats.cluster_invalidates += 1
+        self.local_bus.execute(
+            self.bridge_id,
+            address,
+            MasterSignals(ca=True, im=True),
+            BusOp.NONE,
+        )
+
+    def capture_write(self, txn: Transaction) -> None:
+        """DI on a remote non-broadcast write (column 9): absorb it for
+        the cluster, dropping now-stale local copies.
+
+        The entry's state is preserved, exactly as Table 2 prescribes for
+        owners (M -> M,DI and O -> O,DI): an OWNED entry must *stay*
+        OWNED because the writer itself may retain a copy (a
+        write-through cache stays in S after writing past), and O is the
+        only owning state consistent with that surviving sharer."""
+        entry = self._entry(txn.address)
+        assert txn.value is not None
+        self._invalidate_cluster(txn.address)
+        entry.value = txn.value
+
+    def connect_update(self, txn: Transaction) -> None:
+        """SL on a remote broadcast write (column 10): other holders may
+        update *and retain* their copies, so our state must be preserved
+        (Table 2: M -> M,SL and O -> O,SL), not upgraded."""
+        entry = self._entry(txn.address)
+        assert txn.value is not None
+        self._invalidate_cluster(txn.address)
+        entry.value = txn.value
+
+    def finalize(self, txn: Transaction, aggregate: ResponseAggregate) -> None:
+        pending = self._pending_global
+        if pending is None or pending[0] != txn.serial:
+            return
+        self._pending_global = None
+        entry = self.directory.get(txn.address)
+        if entry is None or not entry.state.valid:
+            return
+        event = txn.event
+
+        if event in (BusEvent.CACHE_READ, BusEvent.UNCACHED_READ):
+            if entry.state is DirectoryState.MODIFIED:
+                entry.state = DirectoryState.OWNED
+            return
+
+        if event is BusEvent.CACHE_READ_FOR_MODIFY:
+            self._invalidate_cluster(txn.address)
+            entry.state = DirectoryState.INVALID
+            return
+
+        if event is BusEvent.CACHE_BROADCAST_WRITE:
+            self._invalidate_cluster(txn.address)
+            entry.state = DirectoryState.INVALID
+            return
+        # Columns 9/10 were fully handled in capture/connect; a
+        # non-owning S entry must still drop its cluster's copies.
+        if event in (
+            BusEvent.UNCACHED_WRITE,
+            BusEvent.UNCACHED_BROADCAST_WRITE,
+        ):
+            if not entry.state.owns:
+                self._invalidate_cluster(txn.address)
+                entry.state = DirectoryState.INVALID
+
+    def transaction_aborted(self, txn: Transaction) -> None:
+        if self._pending_global and self._pending_global[0] == txn.serial:
+            self._pending_global = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClusterBridge {self.bridge_id} {len(self.directory)} lines>"

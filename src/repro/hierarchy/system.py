@@ -1,0 +1,253 @@
+"""Hierarchical (multi-bus) system builder and coherence oracle.
+
+Builds K clusters of N caching boards, each cluster on its own local
+Futurebus behind a :class:`~repro.hierarchy.bridge.ClusterBridge`, all
+bridges on one global Futurebus with main memory.  Provides the same
+checked read/write interface as the flat :class:`repro.system.System`,
+plus hierarchy-aware invariant checking:
+
+* at most one cluster directory owns a line (global single-owner);
+* within each cluster, at most one cache owns it (local single-owner);
+* every valid leaf copy holds the last value written anywhere;
+* if no cluster owns the line, global memory is current;
+* a cluster marked SHARED never contains a local owner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.bus.futurebus import Futurebus
+from repro.bus.timing import BusTiming
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.controller import CacheController
+from repro.cache.replacement import replacement_by_name
+from repro.core.protocol import Protocol
+from repro.core.states import INTERVENIENT_STATES
+from repro.hierarchy.bridge import ClusterBridge, DirectoryState
+from repro.memory.main_memory import MainMemory
+from repro.protocols.registry import make_protocol
+from repro.system.system import CoherenceError
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+__all__ = ["ClusterSpec", "HierarchicalSystem"]
+
+
+@dataclasses.dataclass
+class ClusterSpec:
+    """One cluster: a name and the protocols of its boards."""
+
+    name: str
+    protocols: Sequence[str] = ("moesi", "moesi")
+    num_sets: int = 64
+    associativity: int = 2
+    line_size: int = 32
+    replacement: str = "lru"
+
+
+class HierarchicalSystem:
+    """K clusters x N caches over two bus levels, with runtime checking."""
+
+    def __init__(
+        self,
+        clusters: Sequence[ClusterSpec],
+        timing: Optional[BusTiming] = None,
+        check: bool = True,
+        label: str = "hierarchy",
+    ) -> None:
+        if not clusters:
+            raise ValueError("need at least one cluster")
+        self.label = label
+        self.check = check
+        self.memory = MainMemory()
+        self.global_bus = Futurebus(self.memory, timing=timing)
+        self.bridges: dict[str, ClusterBridge] = {}
+        self.controllers: dict[str, CacheController] = {}
+        self.cluster_of: dict[str, str] = {}
+        self.line_size = clusters[0].line_size
+        for spec in clusters:
+            if spec.line_size != self.line_size:
+                raise ValueError("system-wide line size must be uniform")
+            self._add_cluster(spec, timing)
+        self._last_version: dict[int, int] = {}
+        self._version_counter = 0
+        self.accesses = 0
+
+    def _add_cluster(
+        self, spec: ClusterSpec, timing: Optional[BusTiming]
+    ) -> None:
+        bridge = ClusterBridge(
+            f"bridge.{spec.name}", self.global_bus, local_timing=timing
+        )
+        self.bridges[spec.name] = bridge
+        for index, protocol_name in enumerate(spec.protocols):
+            protocol: Protocol = make_protocol(protocol_name)
+            unit_id = f"{spec.name}.cpu{index}"
+            cache = SetAssociativeCache(
+                num_sets=spec.num_sets,
+                associativity=spec.associativity,
+                line_size=spec.line_size,
+                replacement=replacement_by_name(
+                    spec.replacement, spec.num_sets, spec.associativity
+                ),
+            )
+            controller = CacheController(
+                unit_id, protocol, cache, bridge.local_bus
+            )
+            self.controllers[unit_id] = controller
+            self.cluster_of[unit_id] = spec.name
+
+    @classmethod
+    def grid(
+        cls,
+        clusters: int,
+        cpus_per_cluster: int,
+        protocol: str = "moesi",
+        **kwargs,
+    ) -> "HierarchicalSystem":
+        """K x N homogeneous grid."""
+        specs = [
+            ClusterSpec(f"c{i}", protocols=[protocol] * cpus_per_cluster)
+            for i in range(clusters)
+        ]
+        return cls(specs, label=f"{protocol} {clusters}x{cpus_per_cluster}",
+                   **kwargs)
+
+    # ------------------------------------------------------------------
+    def _line_address(self, byte_address: int) -> int:
+        return byte_address // self.line_size
+
+    def read(self, unit: str, byte_address: int) -> int:
+        self.accesses += 1
+        value = self.controllers[unit].read(byte_address)
+        if self.check:
+            line = self._line_address(byte_address)
+            expected = self._last_version.get(line, 0)
+            if value != expected:
+                raise CoherenceError(
+                    f"{unit} read 0x{byte_address:x}: got {value}, "
+                    f"last write was {expected}"
+                )
+            self._check_line(line)
+        return value
+
+    def write(self, unit: str, byte_address: int) -> int:
+        self.accesses += 1
+        self._version_counter += 1
+        token = self._version_counter
+        self.controllers[unit].write(byte_address, token)
+        self._last_version[self._line_address(byte_address)] = token
+        if self.check:
+            self._check_line(self._line_address(byte_address))
+        return token
+
+    def apply(self, record: ReferenceRecord) -> None:
+        if record.op is Op.READ:
+            self.read(record.unit, record.address)
+        else:
+            self.write(record.unit, record.address)
+
+    def run_trace(self, trace: Trace) -> None:
+        for record in trace:
+            self.apply(record)
+
+    # ------------------------------------------------------------------
+    # Hierarchy-aware invariant checking.
+    # ------------------------------------------------------------------
+    def check_line(self, line: int) -> list[str]:
+        """All violated hierarchy invariants for one line (empty = ok)."""
+        expected = self._last_version.get(line, 0)
+        problems: list[str] = []
+
+        owning_clusters = []
+        for name, bridge in self.bridges.items():
+            if bridge.directory_state(line).owns:
+                owning_clusters.append(name)
+        if len(owning_clusters) > 1:
+            problems.append(
+                f"line {line}: multiple owning clusters {owning_clusters}"
+            )
+
+        for unit, controller in self.controllers.items():
+            state = controller.state_of(line)
+            if not state.valid:
+                continue
+            if controller.value_of(line) != expected:
+                problems.append(
+                    f"line {line}: stale copy at {unit} "
+                    f"({controller.value_of(line)} != {expected})"
+                )
+
+        for name, bridge in self.bridges.items():
+            local_owners = [
+                unit
+                for unit, controller in self.controllers.items()
+                if self.cluster_of[unit] == name
+                and controller.state_of(line) in INTERVENIENT_STATES
+            ]
+            if len(local_owners) > 1:
+                problems.append(
+                    f"line {line}: multiple owners in cluster {name}: "
+                    f"{local_owners}"
+                )
+            directory_state = bridge.directory_state(line)
+            if local_owners and not directory_state.owns:
+                problems.append(
+                    f"line {line}: cluster {name} has local owner "
+                    f"{local_owners} but directory says {directory_state}"
+                )
+            if directory_state is DirectoryState.SHARED and local_owners:
+                problems.append(
+                    f"line {line}: SHARED cluster {name} contains owner"
+                )
+            # A cluster that owns but has no live local owner must itself
+            # hold the current data (it is the supplier of record).
+            if (
+                directory_state.owns
+                and not local_owners
+                and bridge.directory[line].value != expected
+            ):
+                problems.append(
+                    f"line {line}: owning cluster {name} directory stale"
+                )
+
+        if not owning_clusters and self.memory.peek(line) != expected:
+            problems.append(
+                f"line {line}: no owning cluster but global memory stale "
+                f"({self.memory.peek(line)} != {expected})"
+            )
+        return problems
+
+    def _check_line(self, line: int) -> None:
+        problems = self.check_line(line)
+        if problems:
+            raise CoherenceError("; ".join(problems))
+
+    def check_coherence(self) -> list[str]:
+        lines: set[int] = set(self._last_version)
+        lines.update(self.memory.addresses())
+        for bridge in self.bridges.values():
+            lines.update(
+                addr
+                for addr, entry in bridge.directory.items()
+                if entry.state.valid
+            )
+        for controller in self.controllers.values():
+            for line, _, _ in controller.cached_lines():
+                lines.add(line)
+        problems: list[str] = []
+        for line in sorted(lines):
+            problems.extend(self.check_line(line))
+        return problems
+
+    # ------------------------------------------------------------------
+    def traffic(self) -> dict[str, int]:
+        """Transactions per bus level, for the scaling experiment."""
+        local = sum(
+            bridge.local_bus._serial for bridge in self.bridges.values()
+        )
+        return {
+            "global_transactions": self.global_bus._serial,
+            "local_transactions": local,
+        }

@@ -1,0 +1,5 @@
+"""Main-memory substrate (the system's default owner)."""
+
+from repro.memory.main_memory import MainMemory, MemoryStats
+
+__all__ = ["MainMemory", "MemoryStats"]

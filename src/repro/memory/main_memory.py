@@ -1,0 +1,72 @@
+"""Main (shared) memory: the default owner of every line.
+
+Paper section 3.1.3: "All data is said to be owned uniquely either by one
+and only one cache or by main memory; main memory is the default owner."
+Memory keeps no consistency state at all -- "shared memory modules will
+not need to distinguish valid data from invalid data; instead, caches ...
+will keep track of the invalidity of the data that resides in shared
+memory."  Accordingly this model is a plain value store plus counters.
+
+The bus engine routes traffic here: reads with no DI responder, writes
+with no capturing owner, every broadcast write (the Futurebus updates
+memory on broadcasts -- the "extra memory updates" the Dragon section
+notes are harmless), and every push.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+__all__ = ["MemoryStats", "MainMemory"]
+
+
+@dataclasses.dataclass
+class MemoryStats:
+    """Traffic counters for one memory module."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+class MainMemory:
+    """Sparse value store over the line-address space.
+
+    Values are opaque integer tokens (the version numbers the coherence
+    checker compares).  Uninitialized lines read as
+    ``initial_value`` -- "in the absence of information to the contrary,
+    data in shared memory is defined to be valid (e.g. at power-on)".
+    """
+
+    def __init__(self, initial_value: int = 0, latency_ns: float = 0.0) -> None:
+        self._store: dict[int, int] = {}
+        self.initial_value = initial_value
+        self.latency_ns = latency_ns
+        self.stats = MemoryStats()
+
+    def read(self, address: int) -> int:
+        self.stats.reads += 1
+        return self._store.get(address, self.initial_value)
+
+    def write(self, address: int, value: int) -> None:
+        self.stats.writes += 1
+        self._store[address] = value
+
+    def peek(self, address: int) -> int:
+        """Inspect without counting (for invariant checks and tests)."""
+        return self._store.get(address, self.initial_value)
+
+    def poke(self, address: int, value: int) -> None:
+        """Set without counting (test setup)."""
+        self._store[address] = value
+
+    def addresses(self) -> tuple[int, ...]:
+        """All line addresses ever written."""
+        return tuple(sorted(self._store))
+
+    def __len__(self) -> int:
+        return len(self._store)

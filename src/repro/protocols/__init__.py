@@ -1,0 +1,36 @@
+"""Concrete consistency protocols.
+
+The MOESI class itself (:class:`~repro.protocols.moesi.MoesiProtocol`, with
+pluggable selection policies), the two prior protocols the paper shows fall
+within the class (Berkeley, Dragon), the three that require the BS
+adaptation (Write-Once, Illinois, Firefly), and the simpler class members
+(write-through caches and non-caching boards).
+"""
+
+from repro.protocols.berkeley import BerkeleyProtocol
+from repro.protocols.dragon import DragonProtocol
+from repro.protocols.firefly import FireflyProtocol
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.moesi import MoesiProtocol
+from repro.protocols.noncaching import NonCachingProtocol
+from repro.protocols.registry import (
+    PROTOCOL_FACTORIES,
+    make_protocol,
+    protocol_names,
+)
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.protocols.write_through import WriteThroughProtocol
+
+__all__ = [
+    "BerkeleyProtocol",
+    "DragonProtocol",
+    "FireflyProtocol",
+    "IllinoisProtocol",
+    "MoesiProtocol",
+    "NonCachingProtocol",
+    "WriteOnceProtocol",
+    "WriteThroughProtocol",
+    "PROTOCOL_FACTORIES",
+    "make_protocol",
+    "protocol_names",
+]

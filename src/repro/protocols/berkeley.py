@@ -1,0 +1,86 @@
+"""The Berkeley protocol (paper section 4.1, Table 3).
+
+Defined by Katz et al. for the SPUR multiprocessor.  Its states map into
+M, O, S and I -- there is no E state -- and it is a pure-invalidation
+protocol: a write to a non-exclusive line sends an address-only invalidate
+(CA, IM, no data) and takes M; a read miss always lands in S.
+
+The paper notes one difference from [Katz85]: the CH signal is generated
+here for compatibility with the MOESI mechanism (SPUR itself does not use
+CH).  The Futurebus facilities implement Berkeley exactly -- no BS
+adaptation is needed -- so Berkeley is a *member* of the MOESI class,
+though it must be extended with class-default responses for the bus events
+its own algorithm never generates (columns 7-10).
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import BusOp, LocalAction, MasterKind, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import TableProtocol
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["BerkeleyProtocol"]
+
+M, O, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+def _local(next_state, *, ca=False, im=False, op=BusOp.NONE) -> LocalAction:
+    return LocalAction(next_state, MasterSignals(ca=ca, im=im), op)
+
+
+def _snoop(next_state, *, ch=False, di=False) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch, di=di))
+
+
+class BerkeleyProtocol(TableProtocol):
+    """Berkeley (SPUR) ownership protocol -- Table 3 of the paper."""
+
+    name = "Berkeley"
+    kind = MasterKind.COPY_BACK
+    states = frozenset({M, O, S, I})
+    requires_busy = False
+    paper_table = 3
+    snoop_default_to_class = True
+
+    local_transitions = {
+        # Reads hit silently in every valid state.
+        (M, LocalEvent.READ): _local(M),
+        (O, LocalEvent.READ): _local(O),
+        (S, LocalEvent.READ): _local(S),
+        # Read miss: always land shared (Berkeley has no E state).
+        (I, LocalEvent.READ): _local(S, ca=True, op=BusOp.READ),
+        # Writes: hit in M is silent; otherwise invalidate and take M.
+        (M, LocalEvent.WRITE): _local(M),
+        (O, LocalEvent.WRITE): _local(M, ca=True, im=True),
+        (S, LocalEvent.WRITE): _local(M, ca=True, im=True),
+        # Write miss: read-for-ownership (one transaction).
+        (I, LocalEvent.WRITE): _local(M, ca=True, im=True, op=BusOp.READ),
+        # Replacement behaviour (not shown in Table 3 but required to run
+        # the protocol): dirty lines write back, clean lines drop.  With no
+        # E state, a push-and-keep lands in S (memory is fresh afterwards).
+        (M, LocalEvent.PASS): _local(S, ca=True, op=BusOp.WRITE),
+        (O, LocalEvent.PASS): _local(S, ca=True, op=BusOp.WRITE),
+        (M, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE),
+        (O, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE),
+        (S, LocalEvent.FLUSH): _local(I),
+    }
+
+    snoop_transitions = {
+        # Column 5: read by another cache master.
+        (M, BusEvent.CACHE_READ): _snoop(O, ch=True, di=True),
+        (O, BusEvent.CACHE_READ): _snoop(O, ch=True, di=True),
+        (S, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (I, BusEvent.CACHE_READ): _snoop(I),
+        # Column 6: read-for-modify / invalidate.
+        (M, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I, di=True),
+        (O, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I, di=True),
+        (S, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (I, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+    }

@@ -1,0 +1,111 @@
+"""The Dragon protocol (paper section 4.2, Table 4).
+
+Used in the Xerox PARC Dragon processor.  Dragon is the canonical
+*update*-based protocol: writes to shared lines are broadcast so every
+holder refreshes its copy, and no cache ever invalidates another.
+
+The paper notes Dragon is "implementable almost exactly" on the Futurebus.
+The one divergence: a Futurebus broadcast write also updates main memory,
+while true Dragon defers the memory update to replacement time.  "Extra
+memory updates, however, cause no incompatibility" -- the simulator's
+reflective-memory flag models exactly this.
+
+Dragon's own algorithm generates only bus-event columns 5 and 8; the
+remaining columns fall back to the class-default responses so a Dragon
+board can coexist with other class members (the extension the paper says
+is necessary but does not spell out).
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import (
+    CH_O_OR_M,
+    CH_S_OR_E,
+    BusOp,
+    LocalAction,
+    MasterKind,
+    SnoopAction,
+)
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import TableProtocol
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["DragonProtocol"]
+
+M, O, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+def _local(next_state, *, ca=False, im=False, bc=False, op=BusOp.NONE,
+           bc_dont_care=False) -> LocalAction:
+    return LocalAction(
+        next_state, MasterSignals(ca=ca, im=im, bc=bc), op,
+        bc_dont_care=bc_dont_care,
+    )
+
+
+def _snoop(next_state, *, ch=False, di=False, sl=False) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch, di=di, sl=sl))
+
+
+class DragonProtocol(TableProtocol):
+    """Dragon update-based ownership protocol -- Table 4 of the paper."""
+
+    name = "Dragon"
+    kind = MasterKind.COPY_BACK
+    states = frozenset({M, O, E, S, I})
+    requires_busy = False
+    paper_table = 4
+    snoop_default_to_class = True
+
+    local_transitions = {
+        (M, LocalEvent.READ): _local(M),
+        (O, LocalEvent.READ): _local(O),
+        (E, LocalEvent.READ): _local(E),
+        (S, LocalEvent.READ): _local(S),
+        (I, LocalEvent.READ): _local(CH_S_OR_E, ca=True, op=BusOp.READ),
+        (M, LocalEvent.WRITE): _local(M),
+        # Writes to non-exclusive lines are always broadcast; the writer
+        # remains (or becomes) owner, taking M if no other copy survives.
+        (O, LocalEvent.WRITE): _local(
+            CH_O_OR_M, ca=True, im=True, bc=True, op=BusOp.WRITE
+        ),
+        (E, LocalEvent.WRITE): _local(M),
+        (S, LocalEvent.WRITE): _local(
+            CH_O_OR_M, ca=True, im=True, bc=True, op=BusOp.WRITE
+        ),
+        (I, LocalEvent.WRITE): _local(
+            CH_S_OR_E, ca=True, op=BusOp.READ_THEN_WRITE
+        ),
+        # Replacement (true Dragon updates memory here).
+        (M, LocalEvent.PASS): _local(
+            E, ca=True, op=BusOp.WRITE, bc_dont_care=True
+        ),
+        (O, LocalEvent.PASS): _local(
+            CH_S_OR_E, ca=True, op=BusOp.WRITE, bc_dont_care=True
+        ),
+        (M, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE, bc_dont_care=True),
+        (O, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE, bc_dont_care=True),
+        (E, LocalEvent.FLUSH): _local(I),
+        (S, LocalEvent.FLUSH): _local(I),
+    }
+
+    snoop_transitions = {
+        # Column 5: read by another cache -- owners supply and share.
+        (M, BusEvent.CACHE_READ): _snoop(O, ch=True, di=True),
+        (O, BusEvent.CACHE_READ): _snoop(O, ch=True, di=True),
+        (E, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (S, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (I, BusEvent.CACHE_READ): _snoop(I),
+        # Column 8: broadcast write by another cache -- connect and update,
+        # never invalidate; the writer takes over ownership.
+        (O, BusEvent.CACHE_BROADCAST_WRITE): _snoop(S, ch=True, sl=True),
+        (S, BusEvent.CACHE_BROADCAST_WRITE): _snoop(S, ch=True, sl=True),
+        (I, BusEvent.CACHE_BROADCAST_WRITE): _snoop(I),
+    }

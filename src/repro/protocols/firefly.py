@@ -1,0 +1,104 @@
+"""The Firefly protocol (paper section 4.5, Table 7).
+
+The DEC SRC Firefly workstation's consistency scheme (known only from the
+Archibald & Baer comparison).  Like Dragon it is update-based -- writes to
+shared lines are broadcast, nothing is ever invalidated -- but unlike
+Dragon the broadcast also updates memory, so Firefly needs no O state:
+its S and E states are always consistent with main memory.
+
+Futurebus adaptations (as for Illinois): an intervenient supply that must
+also update memory becomes a BS abort + push + retry, and only a unique
+respondent (owner or memory) ever supplies data.
+
+A subtlety reproduced from Table 7: on an external read of an M line, the
+holder pushes and lands in **E** (not S) -- the *retried* transaction then
+snoops it in E and performs the normal E -> S, CH downgrade, so both caches
+correctly end up shared.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import (
+    CH_S_OR_E,
+    BusOp,
+    LocalAction,
+    MasterKind,
+    SnoopAction,
+)
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import TableProtocol
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["FireflyProtocol"]
+
+M, E, S, I = (
+    LineState.MODIFIED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+def _local(next_state, *, ca=False, im=False, bc=False,
+           op=BusOp.NONE) -> LocalAction:
+    return LocalAction(next_state, MasterSignals(ca=ca, im=im, bc=bc), op)
+
+
+def _abort_push(next_state) -> SnoopAction:
+    return SnoopAction(
+        next_state,
+        SnoopResponse(bs=True),
+        abort_push=True,
+        push_signals=MasterSignals(ca=True),
+    )
+
+
+def _snoop(next_state, *, ch=False, sl=False) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch, sl=sl))
+
+
+class FireflyProtocol(TableProtocol):
+    """Firefly update protocol, BS-adapted for the Futurebus -- Table 7."""
+
+    name = "Firefly"
+    kind = MasterKind.COPY_BACK
+    states = frozenset({M, E, S, I})
+    requires_busy = True
+    paper_table = 7
+    snoop_default_to_class = False
+
+    local_transitions = {
+        (M, LocalEvent.READ): _local(M),
+        (E, LocalEvent.READ): _local(E),
+        (S, LocalEvent.READ): _local(S),
+        (I, LocalEvent.READ): _local(CH_S_OR_E, ca=True, op=BusOp.READ),
+        (M, LocalEvent.WRITE): _local(M),
+        (E, LocalEvent.WRITE): _local(M),
+        # Broadcast update; memory is updated too, so the result is clean:
+        # S while other copies survive, E once the writer is alone
+        # ("CH:S/E,CA,IM,BC,W" -- note S/E, not the class's O/M).
+        (S, LocalEvent.WRITE): _local(
+            CH_S_OR_E, ca=True, im=True, bc=True, op=BusOp.WRITE
+        ),
+        (I, LocalEvent.WRITE): _local(
+            CH_S_OR_E, ca=True, op=BusOp.READ_THEN_WRITE
+        ),
+        # Replacement.
+        (M, LocalEvent.PASS): _local(E, ca=True, op=BusOp.WRITE),
+        (M, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE),
+        (E, LocalEvent.FLUSH): _local(I),
+        (S, LocalEvent.FLUSH): _local(I),
+    }
+
+    snoop_transitions = {
+        # Column 5: push dirty data, land in E; the retried read then
+        # downgrades E -> S with CH as usual.
+        (M, BusEvent.CACHE_READ): _abort_push(E),
+        (E, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (S, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (I, BusEvent.CACHE_READ): _snoop(I),
+        # Column 8: connect to broadcast writes and update.
+        (S, BusEvent.CACHE_BROADCAST_WRITE): _snoop(S, ch=True, sl=True),
+        (I, BusEvent.CACHE_BROADCAST_WRITE): _snoop(I),
+    }

@@ -1,0 +1,99 @@
+"""The Illinois protocol (paper section 4.4, Table 6).
+
+Papamarcos & Patel's protocol -- what later literature calls MESI.  Two
+features prevent an exact Futurebus implementation:
+
+1. Memory must be updated when a dirty block passes between caches; the
+   adaptation aborts the transaction (BS), pushes the block, and lets the
+   transaction restart against a fresh memory.
+2. In the original, *all* caches holding the block respond and bus
+   priority picks the supplier; the Futurebus permits only a unique
+   respondent, so here either the intervenient cache or memory responds,
+   and caches in S/E never supply data.
+
+The Illinois S state means "consistent with memory" -- stronger than the
+MOESI class's S ("consistent with the owner").  The protocol is therefore
+classified as *adapted*, intended for homogeneous systems.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import (
+    CH_S_OR_E,
+    BusOp,
+    LocalAction,
+    MasterKind,
+    SnoopAction,
+)
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import TableProtocol
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["IllinoisProtocol"]
+
+M, E, S, I = (
+    LineState.MODIFIED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+def _local(next_state, *, ca=False, im=False, op=BusOp.NONE) -> LocalAction:
+    return LocalAction(next_state, MasterSignals(ca=ca, im=im), op)
+
+
+def _abort_push(next_state) -> SnoopAction:
+    return SnoopAction(
+        next_state,
+        SnoopResponse(bs=True),
+        abort_push=True,
+        push_signals=MasterSignals(ca=True),
+    )
+
+
+def _snoop(next_state, *, ch=False) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch))
+
+
+class IllinoisProtocol(TableProtocol):
+    """Illinois (MESI), BS-adapted for the Futurebus -- Table 6."""
+
+    name = "Illinois"
+    kind = MasterKind.COPY_BACK
+    states = frozenset({M, E, S, I})
+    requires_busy = True
+    paper_table = 6
+    snoop_default_to_class = False
+
+    local_transitions = {
+        (M, LocalEvent.READ): _local(M),
+        (E, LocalEvent.READ): _local(E),
+        (S, LocalEvent.READ): _local(S),
+        # Read miss: E if nobody else holds it, else S ("CH:S/E,CA,R").
+        (I, LocalEvent.READ): _local(CH_S_OR_E, ca=True, op=BusOp.READ),
+        (M, LocalEvent.WRITE): _local(M),
+        (E, LocalEvent.WRITE): _local(M),
+        # Write hit on a shared line: address-only invalidate, take M.
+        (S, LocalEvent.WRITE): _local(M, ca=True, im=True),
+        # Write miss: read-with-invalidate.
+        (I, LocalEvent.WRITE): _local(M, ca=True, im=True, op=BusOp.READ),
+        # Replacement.
+        (M, LocalEvent.PASS): _local(E, ca=True, op=BusOp.WRITE),
+        (M, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE),
+        (E, LocalEvent.FLUSH): _local(I),
+        (S, LocalEvent.FLUSH): _local(I),
+    }
+
+    snoop_transitions = {
+        # Dirty data always goes through memory via the BS abort-push.
+        (M, BusEvent.CACHE_READ): _abort_push(S),
+        (M, BusEvent.CACHE_READ_FOR_MODIFY): _abort_push(S),
+        (E, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (E, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (S, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (S, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (I, BusEvent.CACHE_READ): _snoop(I),
+        (I, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+    }

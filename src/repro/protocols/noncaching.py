@@ -1,0 +1,89 @@
+"""Non-caching bus masters, e.g. I/O processors (paper section 3.3).
+
+"Our protocol also applies to processors without caches ... Such a
+processor writes with or without broadcast (as with a write through
+cache), and reads without asserting CA.  A non-caching unit never responds
+to bus events."  These are the ``**`` entries of Table 1.
+
+A non-caching unit has a single (conceptual) state I: it retains nothing,
+so every access goes to the bus and every snoop is a silent no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.actions import BusOp, LocalAction, MasterKind, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import (
+    IllegalTransitionError,
+    LocalContext,
+    Protocol,
+    SnoopContext,
+)
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["NonCachingProtocol"]
+
+I = LineState.INVALID
+
+
+class NonCachingProtocol(Protocol):
+    """A board with no cache: reads without CA, writes past, never snoops."""
+
+    kind = MasterKind.NON_CACHING
+    states = frozenset({I})
+    requires_busy = False
+    paper_table = 1  # the "**" entries of Table 1
+
+    def __init__(
+        self, broadcast_writes: bool = False, name: Optional[str] = None
+    ) -> None:
+        self.broadcast_writes = broadcast_writes
+        self.name = name or (
+            "NonCaching(BC)" if broadcast_writes else "NonCaching"
+        )
+        # "I,R**": read without asserting CA (bus event column 7).
+        self._read = LocalAction(I, MasterSignals(), BusOp.READ,
+                                 kind=MasterKind.NON_CACHING)
+        # "I,IM,BC,W**" / "I,IM,W**" (bus event columns 10 / 9).
+        self._write = LocalAction(
+            I,
+            MasterSignals(im=True, bc=broadcast_writes),
+            BusOp.WRITE,
+            kind=MasterKind.NON_CACHING,
+        )
+
+    def local_action(
+        self,
+        state: LineState,
+        event: LocalEvent,
+        ctx: Optional[LocalContext] = None,
+    ) -> LocalAction:
+        if state is not I:
+            raise IllegalTransitionError(self.name, state, event)
+        if event is LocalEvent.READ:
+            return self._read
+        if event is LocalEvent.WRITE:
+            return self._write
+        raise IllegalTransitionError(self.name, state, event)
+
+    def snoop_action(
+        self,
+        state: LineState,
+        event: BusEvent,
+        ctx: Optional[SnoopContext] = None,
+    ) -> SnoopAction:
+        # "A non-caching unit never responds to bus events."
+        return SnoopAction(I, SnoopResponse.NONE)
+
+    def local_cell(self, state, event):
+        if state is I and event is LocalEvent.READ:
+            return (self._read,)
+        if state is I and event is LocalEvent.WRITE:
+            return (self._write,)
+        return ()
+
+    def snoop_cell(self, state, event):
+        return (SnoopAction(I, SnoopResponse.NONE),)

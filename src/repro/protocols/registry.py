@@ -1,0 +1,76 @@
+"""Registry of all implemented protocols, keyed by name.
+
+Used by examples, benchmarks and the comparison harness to instantiate
+protocols from configuration strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.policy import (
+    InvalidatePolicy,
+    PreferredPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    UpdatePolicy,
+)
+from repro.core.protocol import Protocol
+from repro.protocols.berkeley import BerkeleyProtocol
+from repro.protocols.dragon import DragonProtocol
+from repro.protocols.firefly import FireflyProtocol
+from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.moesi import MoesiProtocol
+from repro.protocols.noncaching import NonCachingProtocol
+from repro.protocols.write_once import WriteOnceProtocol
+from repro.protocols.write_through import WriteThroughProtocol
+
+__all__ = ["PROTOCOL_FACTORIES", "make_protocol", "protocol_names"]
+
+PROTOCOL_FACTORIES: dict[str, Callable[[], Protocol]] = {
+    # The paper's own class, under its various selection policies.
+    "moesi": lambda: MoesiProtocol(PreferredPolicy()),
+    "moesi-invalidate": lambda: MoesiProtocol(
+        InvalidatePolicy(), name="MOESI(invalidate)"
+    ),
+    "moesi-update": lambda: MoesiProtocol(UpdatePolicy(), name="MOESI(update)"),
+    "moesi-random": lambda: MoesiProtocol(
+        RandomPolicy(seed=0), name="MOESI(random)"
+    ),
+    "moesi-round-robin": lambda: MoesiProtocol(
+        RoundRobinPolicy(), name="MOESI(round-robin)"
+    ),
+    # Prior protocols mapped onto the Futurebus (paper section 4).
+    "berkeley": BerkeleyProtocol,
+    "dragon": DragonProtocol,
+    "write-once": WriteOnceProtocol,
+    "illinois": IllinoisProtocol,
+    "firefly": FireflyProtocol,
+    # Simpler boards.
+    "write-through": lambda: WriteThroughProtocol(),
+    "write-through-noalloc-nobc": lambda: WriteThroughProtocol(
+        broadcast_writes=False, write_allocate=False
+    ),
+    "write-through-alloc": lambda: WriteThroughProtocol(write_allocate=True),
+    "non-caching": NonCachingProtocol,
+    "non-caching-bc": lambda: NonCachingProtocol(broadcast_writes=True),
+}
+
+
+def make_protocol(name: str) -> Protocol:
+    """Instantiate a protocol by registry name.
+
+    >>> make_protocol("berkeley").name
+    'Berkeley'
+    """
+    try:
+        factory = PROTOCOL_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_FACTORIES))
+        raise ValueError(f"unknown protocol {name!r}; known: {known}") from None
+    return factory()
+
+
+def protocol_names() -> list[str]:
+    """All registry names, sorted."""
+    return sorted(PROTOCOL_FACTORIES)

@@ -1,0 +1,122 @@
+"""The Write-Once protocol (paper section 4.3, Table 5).
+
+Goodman's write-once protocol [Good83] was the first bus-based consistency
+protocol.  Its name comes from writing the *first* modification of a line
+through to memory (invalidating other copies); later writes stay local.
+
+Write-Once requires that when an intervenient cache supplies a dirty line,
+memory be updated in the same transfer.  The Futurebus cannot do that, so
+the paper's adaptation replaces intervention by an **abort**: the dirty
+cache asserts BS to abort the transaction, immediately pushes the line to
+memory, and when the aborted transaction restarts, memory is up to date
+and no intervention is needed.
+
+The original definition is ambiguous in places; as in the paper, two cells
+offer "or" alternatives (this implementation takes the first).  Write-Once
+is *not* a member of the MOESI class: its first-write ("E,CA,IM,W") lands
+in E after a write-through, which presumes the stronger foreign-protocol
+meaning of S/E ("consistent with memory") -- safe in a homogeneous
+Write-Once system, demonstrably unsafe against an arbitrary MOESI owner
+(see ``repro.verify`` and the tests).
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import BusOp, LocalAction, MasterKind, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import TableProtocol
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["WriteOnceProtocol"]
+
+M, E, S, I = (
+    LineState.MODIFIED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+def _local(next_state, *, ca=False, im=False, op=BusOp.NONE) -> LocalAction:
+    return LocalAction(next_state, MasterSignals(ca=ca, im=im), op)
+
+
+def _abort_push(next_state) -> SnoopAction:
+    """``BS;<state>,CA,W``: abort, push to memory, land in ``next_state``."""
+    return SnoopAction(
+        next_state,
+        SnoopResponse(bs=True),
+        abort_push=True,
+        push_signals=MasterSignals(ca=True),
+    )
+
+
+def _snoop(next_state, *, ch=False, di=False) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch, di=di))
+
+
+class WriteOnceProtocol(TableProtocol):
+    """Goodman's Write-Once, BS-adapted for the Futurebus -- Table 5."""
+
+    name = "Write-Once"
+    kind = MasterKind.COPY_BACK
+    states = frozenset({M, E, S, I})
+    requires_busy = True
+    paper_table = 5
+    # Write-Once's S state means "consistent with memory", so it must NOT
+    # adopt class defaults blindly; it is intended for homogeneous systems.
+    snoop_default_to_class = False
+
+    local_transitions = {
+        (M, LocalEvent.READ): _local(M),
+        (E, LocalEvent.READ): _local(E),
+        (S, LocalEvent.READ): _local(S),
+        (I, LocalEvent.READ): _local(S, ca=True, op=BusOp.READ),
+        (M, LocalEvent.WRITE): _local(M),
+        (E, LocalEvent.WRITE): _local(M),
+        # The eponymous "write once": write through, invalidating other
+        # copies, and land in E (called "Reserved" in [Good83]).
+        (S, LocalEvent.WRITE): _local(E, ca=True, im=True, op=BusOp.WRITE),
+        # Write miss: read-with-invalidate ("M,CA,IM,R"), or Read>Write.
+        (I, LocalEvent.WRITE): _local(M, ca=True, im=True, op=BusOp.READ),
+        # Replacement.
+        (M, LocalEvent.PASS): _local(E, ca=True, op=BusOp.WRITE),
+        (M, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE),
+        (E, LocalEvent.FLUSH): _local(I),
+        (S, LocalEvent.FLUSH): _local(I),
+    }
+
+    snoop_transitions = {
+        # Column 5: dirty data is pushed via abort before the read retries.
+        (M, BusEvent.CACHE_READ): _abort_push(S),
+        (E, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (S, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (I, BusEvent.CACHE_READ): _snoop(I),
+        # Column 6: supply-and-invalidate ("I,DI"), the paper's preferred
+        # reading; the alternative "BS;S,CA,W" also appears in Table 5.
+        (M, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I, di=True),
+        (E, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (S, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (I, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+    }
+
+    #: The paper's "or" alternatives, exposed so the table generator can
+    #: print both entries and tests can exercise either: a dirty snooper
+    #: may answer a read-for-modify by abort-push instead of
+    #: supply-and-invalidate, and a write miss may be handled as two
+    #: transactions (read to S, then the write-once write-through).
+    ALTERNATE_M_COL6 = _abort_push(S)
+    ALTERNATE_I_WRITE = _local(S, ca=True, op=BusOp.READ_THEN_WRITE)
+
+    def snoop_cell(self, state, event):
+        cell = super().snoop_cell(state, event)
+        if (state, event) == (M, BusEvent.CACHE_READ_FOR_MODIFY):
+            return cell + (self.ALTERNATE_M_COL6,)
+        return cell
+
+    def local_cell(self, state, event):
+        cell = super().local_cell(state, event)
+        if (state, event) == (I, LocalEvent.WRITE):
+            return cell + (self.ALTERNATE_I_WRITE,)
+        return cell

@@ -1,0 +1,28 @@
+"""System layer: the discrete-event engine, processors, the system builder
+(atomic runs with runtime coherence checking), the timed runner, and
+statistics."""
+
+from repro.system.arbitrated import ArbitratedRun, arbitrated_run_from_trace
+from repro.system.des import EventQueue, ScheduledEvent, Simulator
+from repro.system.processor import Processor, ProcessorStats, ProcessorTiming
+from repro.system.runner import TimedRun, timed_run_from_trace
+from repro.system.stats import BusStats, SystemReport
+from repro.system.system import BoardSpec, CoherenceError, System
+
+__all__ = [
+    "ArbitratedRun",
+    "arbitrated_run_from_trace",
+    "EventQueue",
+    "ScheduledEvent",
+    "Simulator",
+    "Processor",
+    "ProcessorStats",
+    "ProcessorTiming",
+    "TimedRun",
+    "timed_run_from_trace",
+    "BusStats",
+    "SystemReport",
+    "BoardSpec",
+    "CoherenceError",
+    "System",
+]

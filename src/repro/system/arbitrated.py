@@ -1,0 +1,162 @@
+"""Arbitrated timed runner: bus grants ordered by an explicit arbiter.
+
+:class:`~repro.system.runner.TimedRun` serializes bus work in request
+order (implicit FCFS).  This runner defers bus work until an
+:class:`~repro.bus.arbiter.FcfsArbiter` or
+:class:`~repro.bus.arbiter.PriorityArbiter` grants the bus, which makes
+arbitration policy observable: a priority slot for an I/O board (the
+backplane tradition) visibly shortens its bus-wait at the expense of the
+CPUs.
+
+Mechanics: when a processor's next reference *may* need the bus (probed
+against its cache directory and protocol without executing anything), it
+enqueues an arbitration request and stalls; when the bus frees, the
+arbiter picks the next requester, whose reference then executes
+atomically and occupies the bus for the measured duration.  References
+that hit silently bypass arbitration entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.bus.arbiter import FcfsArbiter, PriorityArbiter
+from repro.cache.controller import CacheController, NonCachingMaster
+from repro.core.events import LocalEvent
+from repro.core.states import LineState
+from repro.system.des import Simulator
+from repro.system.processor import Processor
+from repro.system.stats import SystemReport
+from repro.system.system import System
+from repro.workloads.trace import Op, Trace
+
+__all__ = ["ArbitratedRun", "arbitrated_run_from_trace"]
+
+
+class ArbitratedRun:
+    """Timed run in which an arbiter orders access to the shared bus."""
+
+    def __init__(
+        self,
+        system: System,
+        processors: Iterable[Processor],
+        arbiter: Optional[Union[FcfsArbiter, PriorityArbiter]] = None,
+    ) -> None:
+        self.system = system
+        self.processors = {p.unit_id: p for p in processors}
+        unknown = [
+            unit for unit in self.processors
+            if unit not in system.controllers
+        ]
+        if unknown:
+            raise ValueError(f"processors without boards: {unknown}")
+        self.arbiter = arbiter or FcfsArbiter()
+        self.sim = Simulator()
+        self._bus_busy = False
+        #: The reference each stalled processor is waiting to issue.
+        self._waiting: dict[str, tuple[Op, int]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, until_ns: Optional[float] = None) -> SystemReport:
+        for index, processor in enumerate(self.processors.values()):
+            self.sim.at(float(index), self._make_step(processor))
+        self.sim.run(until=until_ns)
+        return self.system.report(elapsed_ns=self.sim.now)
+
+    # ------------------------------------------------------------------
+    def _may_need_bus(self, unit: str, op: Op, address: int) -> bool:
+        """Probe without executing: could this reference touch the bus?
+
+        Conservative: a miss, or any hit whose protocol action is not
+        silent, needs arbitration.  (The probe may be stale by grant time;
+        the execution simply re-runs the real protocol path.)
+        """
+        board = self.system.controllers[unit]
+        if isinstance(board, NonCachingMaster):
+            return True
+        assert isinstance(board, CacheController)
+        line_address = board.cache.line_address(address)
+        state = board.cache.probe_state(line_address)
+        if state is LineState.INVALID:
+            return True
+        event = LocalEvent.READ if op is Op.READ else LocalEvent.WRITE
+        action = board.protocol.local_action(state, event)
+        return not action.is_silent
+
+    def _execute(self, unit: str, op: Op, address: int) -> float:
+        """Run the reference; return the bus time it consumed."""
+        before = self.system.bus.busy_ns
+        if op is Op.READ:
+            self.system.read(unit, address)
+        else:
+            self.system.write(unit, address)
+        return self.system.bus.busy_ns - before
+
+    def _make_step(self, processor: Processor):
+        def step() -> None:
+            ref = processor.next_reference()
+            if ref is None:
+                processor.stats.finished_at = self.sim.now
+                self._try_grant()
+                return
+            op, address = ref
+            if not self._may_need_bus(processor.unit_id, op, address):
+                self._execute(processor.unit_id, op, address)
+                processor.stats.completed += 1
+                processor.stats.stall_ns += processor.timing.hit_ns
+                self.sim.after(
+                    processor.timing.hit_ns + processor.timing.think_ns, step
+                )
+                return
+            # Needs the bus: request and stall until granted.
+            self._waiting[processor.unit_id] = (op, address)
+            self.arbiter.request(processor.unit_id, self.sim.now)
+            processor.stats.bus_wait_ns -= self.sim.now  # closed at grant
+            self._try_grant()
+
+        return step
+
+    def _try_grant(self) -> None:
+        if self._bus_busy:
+            return
+        request = self.arbiter.grant()
+        if request is None:
+            return
+        unit = request.master
+        op, address = self._waiting.pop(unit)
+        processor = self.processors[unit]
+        processor.stats.bus_wait_ns += self.sim.now  # closes the -= above
+        bus_time = self._execute(unit, op, address)
+        duration = bus_time if bus_time > 0 else processor.timing.hit_ns
+        processor.stats.completed += 1
+        processor.stats.stall_ns += duration
+        self._bus_busy = True
+
+        def release() -> None:
+            self._bus_busy = False
+            self._try_grant()
+
+        self.sim.after(duration, release)
+        self.sim.after(
+            duration + processor.timing.think_ns,
+            self._make_step(processor),
+        )
+
+
+def arbitrated_run_from_trace(
+    system: System,
+    trace: Trace,
+    arbiter: Optional[Union[FcfsArbiter, PriorityArbiter]] = None,
+    timing=None,
+) -> ArbitratedRun:
+    """Partition a trace per unit and build an arbitrated run."""
+    per_unit: dict[str, list[tuple[Op, int]]] = {}
+    for record in trace:
+        per_unit.setdefault(record.unit, []).append(
+            (record.op, record.address)
+        )
+    processors = [
+        Processor(unit, iter(refs), timing)
+        for unit, refs in per_unit.items()
+    ]
+    return ArbitratedRun(system, processors, arbiter=arbiter)

@@ -1,0 +1,104 @@
+"""A minimal discrete-event simulation engine.
+
+Classic calendar-queue design: events are (time, sequence, callback)
+triples in a heap; ties in time are broken by scheduling order so runs are
+fully deterministic.  The engine knows nothing about buses or caches --
+:mod:`repro.system.runner` builds the multiprocessor simulation on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, Optional
+
+__all__ = ["ScheduledEvent", "EventQueue", "Simulator"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+
+class EventQueue:
+    """Heap of pending events."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        event = ScheduledEvent(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        return heapq.heappop(self._heap) if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class Simulator:
+    """Run callbacks in simulated-time order.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.at(5.0, lambda: out.append("b"))
+    >>> _ = sim.at(1.0, lambda: out.append("a"))
+    >>> sim.run()
+    >>> out, sim.now
+    (['a', 'b'], 5.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self._queue.push(time, callback)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` ns of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self._queue.push(self.now + delay, callback)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have run."""
+        processed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            if max_events is not None and processed >= max_events:
+                return
+            event = self._queue.pop()
+            assert event is not None
+            self.now = event.time
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,76 @@
+"""Processor model for the timed simulation.
+
+Each processor issues references from its stream, separated by a think
+time (local computation).  A reference that hits in the cache completes in
+``hit_ns``; one that needs the bus must first win the (serialized) bus and
+then occupy it for the transaction's duration -- the processor stalls for
+the whole memory access, which is the first-order behaviour the paper's
+motivation rests on ("the access time to main memory across a bus ... is
+likely to be so large as to appreciably slow down the processor",
+section 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.workloads.trace import Op
+
+__all__ = ["ProcessorTiming", "ProcessorStats", "Processor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorTiming:
+    """Per-processor delays, in nanoseconds."""
+
+    #: Local computation between consecutive memory references.
+    think_ns: float = 60.0
+    #: Cache-hit access time (no bus involvement).
+    hit_ns: float = 40.0
+
+
+@dataclasses.dataclass
+class ProcessorStats:
+    """What one processor experienced during a timed run."""
+
+    issued: int = 0
+    completed: int = 0
+    stall_ns: float = 0.0
+    bus_wait_ns: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def mean_stall_ns(self) -> float:
+        return self.stall_ns / self.completed if self.completed else 0.0
+
+
+class Processor:
+    """One processor's reference stream and its progress bookkeeping.
+
+    The runner drives :meth:`next_reference`; the processor itself holds
+    no simulation logic so it can be unit-tested in isolation.
+    """
+
+    def __init__(
+        self,
+        unit_id: str,
+        stream: Iterator[tuple[Op, int]],
+        timing: Optional[ProcessorTiming] = None,
+    ) -> None:
+        self.unit_id = unit_id
+        self._stream = iter(stream)
+        self.timing = timing or ProcessorTiming()
+        self.stats = ProcessorStats()
+        self.done = False
+
+    def next_reference(self) -> Optional[tuple[Op, int]]:
+        """The next (op, byte-address) pair, or None when the stream ends."""
+        if self.done:
+            return None
+        ref = next(self._stream, None)
+        if ref is None:
+            self.done = True
+            return None
+        self.stats.issued += 1
+        return ref

@@ -1,0 +1,121 @@
+"""System-wide statistics: bus traffic, protocol events, derived metrics.
+
+The metrics mirror what the paper's performance discussion (section 5.2)
+and its reference comparison [Arch85] report: bus transactions and cycles
+per memory reference, miss ratios, invalidation/update counts, how often
+an intervenient cache (rather than memory) supplied data, and abort/retry
+overhead for the BS-adapted protocols.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.actions import BusOp
+from repro.core.events import BusEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.bus.transaction import Transaction, TransactionResult
+
+__all__ = ["BusStats", "SystemReport"]
+
+
+@dataclasses.dataclass
+class BusStats:
+    """Counters fed by :class:`repro.bus.futurebus.Futurebus`."""
+
+    transactions: int = 0
+    address_only: int = 0
+    reads: int = 0
+    writes: int = 0
+    retries: int = 0
+    interventions: int = 0
+    broadcast_transfers: int = 0
+    connector_updates: int = 0
+    busy_ns: float = 0.0
+    by_event: Counter = dataclasses.field(default_factory=Counter)
+
+    def record_transaction(
+        self, txn: "Transaction", result: "TransactionResult"
+    ) -> None:
+        self.transactions += 1
+        self.by_event[txn.event] += 1
+        if txn.op is BusOp.NONE:
+            self.address_only += 1
+        elif txn.op is BusOp.READ:
+            self.reads += 1
+        elif txn.op is BusOp.WRITE:
+            self.writes += 1
+        self.retries += result.retries
+        if result.intervened:
+            self.interventions += 1
+        if txn.signals.bc or result.connectors:
+            self.broadcast_transfers += 1
+        self.connector_updates += len(result.connectors)
+        self.busy_ns += result.duration_ns
+
+    def count(self, event: BusEvent) -> int:
+        return self.by_event.get(event, 0)
+
+    def reset(self) -> None:
+        self.transactions = 0
+        self.address_only = 0
+        self.reads = 0
+        self.writes = 0
+        self.retries = 0
+        self.interventions = 0
+        self.broadcast_transfers = 0
+        self.connector_updates = 0
+        self.busy_ns = 0.0
+        self.by_event.clear()
+
+
+@dataclasses.dataclass
+class SystemReport:
+    """Derived whole-run metrics, ready for table printing.
+
+    ``accesses`` counts processor references; everything else is
+    normalized against it where sensible.
+    """
+
+    label: str
+    accesses: int
+    bus: BusStats
+    miss_ratio: float
+    invalidations: int
+    updates_received: int
+    write_backs: int
+    abort_pushes: int
+    elapsed_ns: float = 0.0
+
+    @property
+    def bus_transactions_per_access(self) -> float:
+        return self.bus.transactions / self.accesses if self.accesses else 0.0
+
+    @property
+    def bus_ns_per_access(self) -> float:
+        return self.bus.busy_ns / self.accesses if self.accesses else 0.0
+
+    @property
+    def bus_utilization(self) -> Optional[float]:
+        if not self.elapsed_ns:
+            return None
+        return min(1.0, self.bus.busy_ns / self.elapsed_ns)
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for the report/bench printers."""
+        return {
+            "system": self.label,
+            "accesses": self.accesses,
+            "miss_ratio": round(self.miss_ratio, 4),
+            "bus_txns": self.bus.transactions,
+            "txns_per_access": round(self.bus_transactions_per_access, 4),
+            "bus_ns_per_access": round(self.bus_ns_per_access, 1),
+            "invalidations": self.invalidations,
+            "updates": self.updates_received,
+            "write_backs": self.write_backs,
+            "interventions": self.bus.interventions,
+            "aborts": self.bus.retries,
+        }

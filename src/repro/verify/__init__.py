@@ -1,0 +1,53 @@
+"""Verification layer: exhaustive model checking of protocol mixes
+(the paper's compatibility theorem, executable), plus mutants and canned
+mix matrices as positive/negative controls."""
+
+from repro.verify.explorer import (
+    ExplorationResult,
+    Explorer,
+    FullClassProtocol,
+    ScriptedChooser,
+    ScriptedPolicy,
+    Violation,
+    explore,
+)
+from repro.verify.mixes import (
+    MixCase,
+    class_member_mixes,
+    homogeneous_foreign,
+    incompatible_mixes,
+    mutant_mixes,
+    run_matrix,
+)
+from repro.verify.mutations import (
+    ALL_MUTANTS,
+    DoubleOwnerMutant,
+    DropOwnershipMutant,
+    NoInterventionMutant,
+    NoInvalidateOnReadForModifyMutant,
+    ProtocolMutant,
+    SilentSharedWriteMutant,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "Explorer",
+    "FullClassProtocol",
+    "ScriptedChooser",
+    "ScriptedPolicy",
+    "Violation",
+    "explore",
+    "MixCase",
+    "class_member_mixes",
+    "homogeneous_foreign",
+    "incompatible_mixes",
+    "mutant_mixes",
+    "run_matrix",
+    "ALL_MUTANTS",
+    "DoubleOwnerMutant",
+    "DropOwnershipMutant",
+    "NoInterventionMutant",
+    "NoInvalidateOnReadForModifyMutant",
+    "ProtocolMutant",
+    "SilentSharedWriteMutant",
+]

@@ -1,0 +1,453 @@
+"""Exhaustive state-space exploration of small coherent systems.
+
+This is the executable form of the paper's central claim (section 3.4):
+
+    "any system component can select (dynamically) any action permitted by
+    any protocol in the class, and be assured that consistency is
+    maintained throughout the system."
+
+The explorer drives a real system (real controllers, real bus engine, real
+memory) on one line address -- or, with ``lines=2``, on two addresses
+aliasing a single cache frame, so capacity evictions and write-backs join
+the explored space -- enumerating every interleaving of local events
+across all units *and* every permitted action choice at each step,
+deduplicating states up to renaming of data tokens.  After every step it
+checks the MOESI invariants and the read-coherence contract; any stale
+read, broken invariant, multiple-intervention bus error or bus livelock is
+reported as a violation with its full reproduction path.
+
+Three kinds of runs matter:
+
+* **class mixes** -- any combination of class members (MOESI under any
+  policy, Berkeley, Dragon, write-through, non-caching, or the full
+  relaxation closure via :class:`FullClassProtocol`): zero violations,
+  exhaustively;
+* **homogeneous foreign protocols** (Write-Once, Illinois, Firefly with
+  their BS adaptation): zero violations among themselves;
+* **negative controls** -- mutated out-of-class protocols and naive
+  foreign/class mixes: the explorer *finds* the violation, demonstrating
+  the checker has teeth (see :mod:`repro.verify.mutations`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence, Union
+
+from repro.bus.futurebus import BusLivelockError
+from repro.cache.controller import CacheController, NonCachingMaster
+from repro.core.events import LocalEvent
+from repro.core.policy import ActionPolicy
+from repro.core.protocol import IllegalTransitionError, Protocol
+from repro.core.states import LineState
+from repro.core.transitions import MoesiClassTable
+from repro.protocols.moesi import MoesiProtocol
+from repro.protocols.registry import make_protocol
+from repro.system.system import BoardSpec, CoherenceError, System
+
+__all__ = [
+    "ScriptedChooser",
+    "ScriptedPolicy",
+    "FullClassProtocol",
+    "Violation",
+    "ExplorationResult",
+    "Explorer",
+    "explore",
+]
+
+class ScriptedChooser:
+    """A replayable source of choice indices shared by all units.
+
+    During discovery the script is empty and every choice takes index 0
+    while its arity is logged; replays then supply explicit indices so the
+    explorer can enumerate every combination along a step.
+    """
+
+    def __init__(self) -> None:
+        self.script: tuple[int, ...] = ()
+        self.arities: list[int] = []
+        self._position = 0
+
+    def begin(self, script: tuple[int, ...] = ()) -> None:
+        self.script = script
+        self.arities = []
+        self._position = 0
+
+    def pick(self, arity: int) -> int:
+        self.arities.append(arity)
+        index = (
+            self.script[self._position]
+            if self._position < len(self.script)
+            else 0
+        )
+        self._position += 1
+        if not 0 <= index < arity:
+            raise IndexError(f"scripted choice {index} out of range 0..{arity-1}")
+        return index
+
+
+class ScriptedPolicy(ActionPolicy):
+    """An action policy driven by a :class:`ScriptedChooser`."""
+
+    name = "scripted"
+
+    def __init__(self, chooser: ScriptedChooser) -> None:
+        self.chooser = chooser
+
+    def choose_local(self, state, event, choices, ctx=None):
+        return choices[self.chooser.pick(len(choices))]
+
+    def choose_snoop(self, state, event, choices, ctx=None):
+        return choices[self.chooser.pick(len(choices))]
+
+
+class FullClassProtocol(MoesiProtocol):
+    """The *entire* MOESI class as one protocol: each cell offers the full
+    relaxation closure of permitted actions (not just the literal table
+    entries), so exploring it with a scripted policy exercises every
+    behaviour any class member could exhibit."""
+
+    def __init__(self, policy: ActionPolicy, name: str = "FullClass") -> None:
+        super().__init__(policy, name=name)
+        self._table = MoesiClassTable()
+
+    def local_cell(self, state, event):
+        actions = self._table.local_action_set(state, event)
+        return tuple(sorted(actions, key=lambda a: a.notation()))
+
+    def snoop_cell(self, state, event):
+        actions = self._table.snoop_action_set(state, event)
+        return tuple(sorted(actions, key=lambda a: a.notation()))
+
+    def local_action(self, state, event, ctx=None):
+        choices = self.local_cell(state, event)
+        if not choices:
+            raise IllegalTransitionError(self.name, state, event)
+        return self.policy.choose_local(state, event, choices, ctx)
+
+    def snoop_action(self, state, event, ctx=None):
+        choices = self.snoop_cell(state, event)
+        if not choices:
+            raise IllegalTransitionError(self.name, state, event)
+        return self.policy.choose_snoop(state, event, choices, ctx)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Step:
+    """One explored action: a unit performs an event under a choice script."""
+
+    unit: str
+    event: str  # "read", "write", "flush", "pass", "downgrade"
+    script: tuple[int, ...] = ()
+    line: int = 0
+
+    def __str__(self) -> str:
+        suffix = f" choices={list(self.script)}" if self.script else ""
+        line = f"[L{self.line}]" if self.line else ""
+        return f"{self.unit}.{self.event}{line}{suffix}"
+
+
+@dataclasses.dataclass
+class Violation:
+    """A consistency failure, with the path that reproduces it."""
+
+    path: tuple[_Step, ...]
+    error: str
+
+    def __str__(self) -> str:
+        steps = " -> ".join(str(s) for s in self.path)
+        return f"{steps}: {self.error}"
+
+
+@dataclasses.dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive exploration."""
+
+    label: str
+    states_explored: int
+    transitions_taken: int
+    violations: list[Violation]
+    #: True if the search exhausted the reachable space within its bounds.
+    complete: bool
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = (
+            "consistent"
+            if self.consistent
+            else f"{len(self.violations)} violation(s)"
+        )
+        bound = "exhaustive" if self.complete else "bounded"
+        return (
+            f"{self.label}: {verdict} "
+            f"({self.states_explored} states, "
+            f"{self.transitions_taken} transitions, {bound})"
+        )
+
+
+ProtocolSpec = Union[str, Callable[[ScriptedChooser], Protocol]]
+
+
+def _resolve_protocol(spec: ProtocolSpec, chooser: ScriptedChooser) -> Protocol:
+    if callable(spec):
+        return spec(chooser)
+    if spec == "full-class":
+        return FullClassProtocol(ScriptedPolicy(chooser))
+    if spec == "moesi-scripted":
+        return MoesiProtocol(ScriptedPolicy(chooser), name="MOESI(scripted)")
+    return make_protocol(spec)
+
+
+class Explorer:
+    """Breadth-first exploration with snapshot/restore and canonical
+    deduplication of states."""
+
+    def __init__(
+        self,
+        protocol_specs: Sequence[ProtocolSpec],
+        include_pass: bool = True,
+        include_downgrades: bool = True,
+        max_states: int = 100_000,
+        label: Optional[str] = None,
+        lines: int = 1,
+    ) -> None:
+        self.chooser = ScriptedChooser()
+        protocols = [
+            _resolve_protocol(spec, self.chooser) for spec in protocol_specs
+        ]
+        names = [
+            spec if isinstance(spec, str) else protocols[i].name
+            for i, spec in enumerate(protocol_specs)
+        ]
+        self.label = label or "+".join(names)
+        boards = [
+            BoardSpec(
+                unit_id=f"u{i}",
+                protocol=protocol,
+                num_sets=1,
+                associativity=1,
+            )
+            for i, protocol in enumerate(protocols)
+        ]
+        self.system = System(boards, check=True, label=self.label)
+        self.units = list(self.system.controllers)
+        self.include_pass = include_pass
+        self.include_downgrades = include_downgrades
+        self.max_states = max_states
+        if lines < 1:
+            raise ValueError("need at least one line")
+        # With one set and one way, every explored line aliases the same
+        # cache frame, so evictions and write-backs between lines become
+        # part of the explored behaviour (lines > 1).
+        self.lines = tuple(range(lines))
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore / canonical signature.
+    # ------------------------------------------------------------------
+    def _unit_line(self, unit: str):
+        board = self.system.controllers[unit]
+        if isinstance(board, NonCachingMaster):
+            return None
+        return board.cache.ways_of(0)[0]
+
+    def _snapshot(self):
+        units = []
+        for unit in self.units:
+            line = self._unit_line(unit)
+            if line is None:
+                units.append(None)
+            else:
+                units.append((line.state, line.value, line.tag))
+        memory = tuple(self.system.memory.peek(a) for a in self.lines)
+        lasts = tuple(
+            self.system._last_version.get(a, 0) for a in self.lines
+        )
+        return (tuple(units), memory, lasts, self.system._version_counter)
+
+    def _restore(self, snapshot) -> None:
+        units, memory, lasts, counter = snapshot
+        for unit, saved in zip(self.units, units):
+            line = self._unit_line(unit)
+            if line is None:
+                continue
+            state, value, tag = saved
+            line.state = state
+            line.value = value
+            line.tag = tag
+        for address, mem_value, last in zip(self.lines, memory, lasts):
+            self.system.memory.poke(address, mem_value)
+            self.system._last_version[address] = last
+        self.system._version_counter = counter
+
+    def _signature(self, snapshot):
+        units, memory, lasts, _counter = snapshot
+        values = []
+        for saved in units:
+            if saved is not None and saved[0].valid:
+                values.append(saved[1])
+        values.extend(memory)
+        values.extend(lasts)
+        ranks = {v: i for i, v in enumerate(sorted(set(values)))}
+        sig_units = []
+        for saved in units:
+            if saved is None:
+                sig_units.append("nc")
+            elif not saved[0].valid:
+                sig_units.append("I")
+            else:
+                sig_units.append((saved[0].letter, saved[2], ranks[saved[1]]))
+        return (
+            tuple(sig_units),
+            tuple(ranks[v] for v in memory),
+            tuple(ranks[v] for v in lasts),
+        )
+
+    # ------------------------------------------------------------------
+    # Step execution.
+    # ------------------------------------------------------------------
+    def _run_step(self, step: _Step) -> Optional[str]:
+        """Execute one step; returns an error string on violation, None on
+        success.  Raises ``_SkipStep`` for inapplicable steps."""
+        board = self.system.controllers[step.unit]
+        address = step.line
+        byte_address = address * 32
+        self.chooser.begin(step.script)
+        try:
+            if step.event == "read":
+                self.system.read(step.unit, byte_address)
+            elif step.event == "write":
+                self.system.write(step.unit, byte_address)
+            elif step.event == "flush":
+                if isinstance(board, NonCachingMaster):
+                    raise _SkipStep
+                if not board.state_of(address).valid:
+                    raise _SkipStep
+                board.flush_line(address)
+            elif step.event == "pass":
+                if isinstance(board, NonCachingMaster):
+                    raise _SkipStep
+                state = board.state_of(address)
+                if state not in (LineState.MODIFIED, LineState.OWNED):
+                    raise _SkipStep
+                board.clean_line(address)
+            elif step.event == "downgrade":
+                # Relaxations 9/10: M may become O, E may become S, at any
+                # time, silently.
+                found = (
+                    None
+                    if isinstance(board, NonCachingMaster)
+                    else board.cache.lookup(address)
+                )
+                if found is None:
+                    raise _SkipStep
+                line = found[2]
+                if line.state is LineState.MODIFIED:
+                    line.state = LineState.OWNED
+                elif line.state is LineState.EXCLUSIVE:
+                    line.state = LineState.SHAREABLE
+                else:
+                    raise _SkipStep
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown step event {step.event!r}")
+        except IllegalTransitionError:
+            raise _SkipStep from None
+        except (CoherenceError, BusLivelockError, RuntimeError) as exc:
+            return f"{type(exc).__name__}: {exc}"
+        violations = self.system.check_coherence(self.lines)
+        if violations:
+            return "; ".join(str(v) for v in violations)
+        return None
+
+    def _step_kinds(self, unit: str) -> list[str]:
+        kinds = ["read", "write", "flush"]
+        if self.include_pass:
+            kinds.append("pass")
+        if self.include_downgrades:
+            protocol = getattr(self.system.controllers[unit], "protocol", None)
+            if protocol is not None and not protocol.requires_busy:
+                kinds.append("downgrade")
+        return kinds
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExplorationResult:
+        """Breadth-first search over canonical states."""
+        initial = self._snapshot()
+        seen = {self._signature(initial)}
+        frontier: list[tuple] = [(initial, ())]
+        violations: list[Violation] = []
+        transitions = 0
+        complete = True
+
+        while frontier:
+            if len(seen) > self.max_states:
+                complete = False
+                break
+            snapshot, path = frontier.pop(0)
+            for unit in self.units:
+                for kind, address in (
+                    (k, a)
+                    for k in self._step_kinds(unit)
+                    for a in self.lines
+                ):
+                    # Enumerate the step's choice *tree*: later choice
+                    # points may appear or vanish depending on earlier
+                    # picks (e.g. choosing invalidate over broadcast
+                    # removes the snoopers' update-or-drop choices), so
+                    # fixed-shape scripts cannot work.  Instead each run's
+                    # script prefix replays its parent's control flow
+                    # exactly, and we branch at every choice point the run
+                    # reached beyond its script.
+                    pending: list[tuple[int, ...]] = [()]
+                    while pending:
+                        script = pending.pop()
+                        self._restore(snapshot)
+                        step = _Step(unit, kind, script, address)
+                        try:
+                            step_error = self._run_step(step)
+                        except _SkipStep:
+                            break  # applicability is choice-independent
+                        arities = tuple(self.chooser.arities)
+                        taken = script + (0,) * (len(arities) - len(script))
+                        step = _Step(unit, kind, taken, address)
+                        for pos in range(len(script), len(arities)):
+                            for index in range(1, arities[pos]):
+                                pending.append(taken[:pos] + (index,))
+                        transitions += 1
+                        if step_error is not None:
+                            violations.append(
+                                Violation(path + (step,), step_error)
+                            )
+                            continue
+                        new_snapshot = self._snapshot()
+                        signature = self._signature(new_snapshot)
+                        if signature not in seen:
+                            seen.add(signature)
+                            frontier.append((new_snapshot, path + (step,)))
+        return ExplorationResult(
+            label=self.label,
+            states_explored=len(seen),
+            transitions_taken=transitions,
+            violations=violations,
+            complete=complete,
+        )
+
+
+class _SkipStep(Exception):
+    """Internal: the step does not apply in the current state."""
+
+
+def explore(
+    protocol_specs: Sequence[ProtocolSpec],
+    label: Optional[str] = None,
+    **kwargs,
+) -> ExplorationResult:
+    """Convenience wrapper: build an :class:`Explorer` and run it.
+
+    ``protocol_specs`` entries are registry names, the special names
+    ``"full-class"`` / ``"moesi-scripted"`` (explored over *all* their
+    permitted choices), or callables taking the shared chooser.
+    """
+    return Explorer(protocol_specs, label=label, **kwargs).run()

@@ -1,0 +1,36 @@
+"""Workload generation: trace records/IO, the Dubois-Briggs-style synthetic
+model, and named sharing patterns."""
+
+from repro.workloads.kernels import (
+    reduction_trace,
+    spinlock_trace,
+    stencil_trace,
+)
+from repro.workloads.patterns import (
+    migratory,
+    ping_pong,
+    private_streams,
+    producer_consumer,
+    read_mostly,
+)
+from repro.workloads.spatial import SpatialConfig, SpatialWorkload
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+__all__ = [
+    "reduction_trace",
+    "spinlock_trace",
+    "stencil_trace",
+    "migratory",
+    "ping_pong",
+    "private_streams",
+    "producer_consumer",
+    "read_mostly",
+    "SpatialConfig",
+    "SpatialWorkload",
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "Op",
+    "ReferenceRecord",
+    "Trace",
+]

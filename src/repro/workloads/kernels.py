@@ -1,0 +1,173 @@
+"""Parallel-kernel reference generators: stencil, reduction, spinlocks.
+
+The synthetic model (:mod:`repro.workloads.synthetic`) draws references
+from distributions; these generators instead emit the access patterns of
+archetypal shared-memory *programs*, giving the protocol comparisons the
+shapes real multiprocessor software produces:
+
+* :func:`stencil_trace` -- an iterative SPMD stencil: each processor
+  sweeps its own row-block and reads its neighbours' boundary lines each
+  iteration (nearest-neighbour sharing -- also the natural fit for the
+  cluster hierarchy);
+* :func:`reduction_trace` -- parallel partial sums, then a tree combine
+  into shared cells (log-depth write sharing);
+* :func:`spinlock_trace` -- mutual exclusion by test-and-set (``tas``) or
+  test-and-test-and-set (``ttas``).  The classic coherence lesson: TAS
+  spins with *writes*, hammering the bus with invalidations, while TTAS
+  spins with *reads* that hit locally in every waiter's cache until the
+  release, so its traffic is per-handoff instead of per-spin.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+__all__ = ["stencil_trace", "reduction_trace", "spinlock_trace"]
+
+
+def _unit(index: int) -> str:
+    return f"cpu{index}"
+
+
+def stencil_trace(
+    processors: int = 4,
+    iterations: int = 4,
+    lines_per_processor: int = 8,
+    line_size: int = 32,
+) -> Trace:
+    """Iterative nearest-neighbour stencil over a 1-D block partition.
+
+    Per iteration, processor ``p``: reads its block, reads the last line
+    of ``p-1``'s block and the first line of ``p+1``'s block (the halo),
+    then writes its own block.
+    """
+    if processors < 1 or iterations < 1 or lines_per_processor < 1:
+        raise ValueError("degenerate stencil")
+    trace = Trace()
+
+    def block_line(processor: int, line: int) -> int:
+        return (processor * lines_per_processor + line) * line_size
+
+    for _ in range(iterations):
+        for p in range(processors):
+            unit = _unit(p)
+            for line in range(lines_per_processor):
+                trace.append(
+                    ReferenceRecord(unit, Op.READ, block_line(p, line))
+                )
+            if p > 0:
+                trace.append(
+                    ReferenceRecord(
+                        unit,
+                        Op.READ,
+                        block_line(p - 1, lines_per_processor - 1),
+                    )
+                )
+            if p < processors - 1:
+                trace.append(
+                    ReferenceRecord(unit, Op.READ, block_line(p + 1, 0))
+                )
+            for line in range(lines_per_processor):
+                trace.append(
+                    ReferenceRecord(unit, Op.WRITE, block_line(p, line))
+                )
+    return trace
+
+
+def reduction_trace(
+    processors: int = 4,
+    elements_per_processor: int = 16,
+    line_size: int = 32,
+) -> Trace:
+    """Parallel sum: local accumulation, then a binary combining tree.
+
+    Partial sums live one per line (no false sharing); each combining
+    round has the left child of every surviving pair read its partner's
+    cell and write its own.
+    """
+    if processors < 1 or processors & (processors - 1):
+        raise ValueError("processors must be a power of two")
+    trace = Trace()
+    data_base = processors  # line index where the input data starts
+
+    def partial_line(processor: int) -> int:
+        return processor * line_size
+
+    for p in range(processors):
+        unit = _unit(p)
+        for element in range(elements_per_processor):
+            address = (
+                data_base + p * elements_per_processor + element
+            ) * line_size
+            trace.append(ReferenceRecord(unit, Op.READ, address))
+        trace.append(ReferenceRecord(unit, Op.WRITE, partial_line(p)))
+
+    stride = 1
+    while stride < processors:
+        for p in range(0, processors, 2 * stride):
+            unit = _unit(p)
+            trace.append(
+                ReferenceRecord(unit, Op.READ, partial_line(p + stride))
+            )
+            trace.append(ReferenceRecord(unit, Op.READ, partial_line(p)))
+            trace.append(ReferenceRecord(unit, Op.WRITE, partial_line(p)))
+        stride *= 2
+    return trace
+
+
+def spinlock_trace(
+    kind: str = "ttas",
+    processors: int = 4,
+    acquisitions_per_processor: int = 4,
+    spins_while_waiting: int = 6,
+    critical_section_lines: int = 2,
+    line_size: int = 32,
+) -> Trace:
+    """Lock contention under test-and-set or test-and-test-and-set.
+
+    The generator plays out round-robin lock handoffs: while processor
+    ``h`` holds the lock (reading and writing the protected data), every
+    other processor spins ``spins_while_waiting`` times --
+
+    * ``tas``: each spin is an atomic RMW, i.e. a *write* to the lock
+      line (plus the read half of the RMW);
+    * ``ttas``: each spin is a plain *read* of the lock line; only when
+      the lock is released does a waiter attempt one RMW.
+
+    The lock occupies line 0; the protected data follows.
+    """
+    if kind not in ("tas", "ttas"):
+        raise ValueError(f"kind must be 'tas' or 'ttas', got {kind!r}")
+    trace = Trace()
+    lock = 0
+    data_base = line_size  # line 1 onward
+
+    total_handoffs = processors * acquisitions_per_processor
+    for handoff in range(total_handoffs):
+        holder = handoff % processors
+        holder_unit = _unit(holder)
+        # Acquisition: one successful RMW by the next holder.
+        trace.append(ReferenceRecord(holder_unit, Op.READ, lock))
+        trace.append(ReferenceRecord(holder_unit, Op.WRITE, lock))
+        # Critical section.
+        for line in range(critical_section_lines):
+            address = data_base + line * line_size
+            trace.append(ReferenceRecord(holder_unit, Op.READ, address))
+            trace.append(ReferenceRecord(holder_unit, Op.WRITE, address))
+        # Everyone else spins while the lock is held.  Spin rounds are
+        # interleaved across waiters, as concurrent spinning is: under
+        # TAS each waiter's RMW steals the line from the previous
+        # waiter's, so *every* spin is a bus transfer.
+        for _ in range(spins_while_waiting):
+            for waiter in range(processors):
+                if waiter == holder:
+                    continue
+                unit = _unit(waiter)
+                if kind == "tas":
+                    trace.append(ReferenceRecord(unit, Op.READ, lock))
+                    trace.append(ReferenceRecord(unit, Op.WRITE, lock))
+                else:
+                    trace.append(ReferenceRecord(unit, Op.READ, lock))
+        # Release: the holder writes the lock free.
+        trace.append(ReferenceRecord(holder_unit, Op.WRITE, lock))
+    return trace

@@ -1,0 +1,122 @@
+"""Named sharing patterns: the workload archetypes behind the paper's
+performance discussion.
+
+Each factory returns a finite :class:`~repro.workloads.trace.Trace`.
+They correspond to the regimes in which the section 5.2 choices differ:
+
+* :func:`ping_pong` -- two (or more) processors alternately *write* the
+  same line: broadcast-update keeps everyone current with one transaction
+  per write; invalidate forces a miss per handoff;
+* :func:`producer_consumer` -- one writer, many readers: the showcase for
+  updates (readers stay valid) vs invalidates (readers re-miss);
+* :func:`read_mostly` -- widely read, rarely written data;
+* :func:`migratory` -- lock-protected data used read-then-write by one
+  processor at a time: the showcase for invalidation (updates are wasted
+  on caches that will not touch the line again);
+* :func:`private_streams` -- disjoint working sets (no sharing at all):
+  the copy-back vs write-through bus-traffic gap in its purest form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+__all__ = [
+    "ping_pong",
+    "producer_consumer",
+    "read_mostly",
+    "migratory",
+    "private_streams",
+]
+
+
+def _units(n: int) -> list[str]:
+    return [f"cpu{i}" for i in range(n)]
+
+
+def ping_pong(
+    rounds: int = 100,
+    processors: int = 2,
+    address: int = 0,
+) -> Trace:
+    """Processors take turns writing (then reading) one shared line."""
+    units = _units(processors)
+    trace = Trace()
+    for round_index in range(rounds):
+        unit = units[round_index % processors]
+        trace.append(ReferenceRecord(unit, Op.WRITE, address))
+        trace.append(ReferenceRecord(unit, Op.READ, address))
+    return trace
+
+def producer_consumer(
+    items: int = 50,
+    consumers: int = 3,
+    address: int = 0,
+    reads_per_item: int = 1,
+) -> Trace:
+    """cpu0 produces (writes); every consumer reads each item."""
+    trace = Trace()
+    consumer_units = [f"cpu{i + 1}" for i in range(consumers)]
+    for _ in range(items):
+        trace.append(ReferenceRecord("cpu0", Op.WRITE, address))
+        for unit in consumer_units:
+            for _ in range(reads_per_item):
+                trace.append(ReferenceRecord(unit, Op.READ, address))
+    return trace
+
+
+def read_mostly(
+    references: int = 400,
+    processors: int = 4,
+    writes_every: int = 50,
+    address: int = 0,
+) -> Trace:
+    """Everyone reads a shared line; an occasional write perturbs it."""
+    units = _units(processors)
+    trace = Trace()
+    for i in range(references):
+        unit = units[i % processors]
+        if writes_every and i % writes_every == writes_every - 1:
+            trace.append(ReferenceRecord(unit, Op.WRITE, address))
+        else:
+            trace.append(ReferenceRecord(unit, Op.READ, address))
+    return trace
+
+
+def migratory(
+    handoffs: int = 50,
+    processors: int = 4,
+    accesses_per_visit: int = 4,
+    address: int = 0,
+) -> Trace:
+    """Lock-style migration: each visitor reads then writes repeatedly,
+    then the line moves to the next processor."""
+    units = _units(processors)
+    trace = Trace()
+    for h in range(handoffs):
+        unit = units[h % processors]
+        for _ in range(accesses_per_visit):
+            trace.append(ReferenceRecord(unit, Op.READ, address))
+            trace.append(ReferenceRecord(unit, Op.WRITE, address))
+    return trace
+
+
+def private_streams(
+    references_per_processor: int = 100,
+    processors: int = 4,
+    blocks_per_processor: int = 4,
+    line_size: int = 32,
+    write_fraction_pattern: Sequence[Op] = (Op.READ, Op.READ, Op.WRITE),
+) -> Trace:
+    """Disjoint per-processor working sets; no line is ever shared."""
+    units = _units(processors)
+    trace = Trace()
+    for i in range(references_per_processor):
+        for p, unit in enumerate(units):
+            block = i % blocks_per_processor
+            address = (p * blocks_per_processor + block) * line_size
+            op = write_fraction_pattern[i % len(write_fraction_pattern)]
+            trace.append(ReferenceRecord(unit, op, address))
+    return trace

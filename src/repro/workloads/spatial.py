@@ -1,0 +1,119 @@
+"""Byte-granular workloads with spatial locality.
+
+The block-pool model in :mod:`repro.workloads.synthetic` works at line
+granularity, which is right for protocol comparisons but useless for the
+**line-size selection** question of section 5.1 (the paper defers to
+[Smit85c] for "the data and methodology to be used for such a
+recommendation").  Line-size selection is a trade-off only visible with
+byte addresses:
+
+* *spatial locality* -- sequential scans benefit from larger lines (one
+  miss fetches more future hits);
+* *transfer cost* -- larger lines move more words per miss;
+* *false sharing* -- independent variables co-resident in one large line
+  ping-pong between writers that never share data at all.
+
+:class:`SpatialWorkload` generates exactly those three ingredients: each
+processor interleaves a word-stride sequential scan of its private buffer
+with writes to its *own* slot of a packed shared array (the classic
+false-sharing shape).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator
+
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+__all__ = ["SpatialConfig", "SpatialWorkload"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpatialConfig:
+    """Parameters of the byte-granular model."""
+
+    processors: int = 4
+    #: Bytes of private sequential buffer per processor.
+    private_bytes: int = 4096
+    #: Word stride of the sequential scan.
+    stride: int = 4
+    #: Probability a reference targets the packed shared array.
+    p_shared: float = 0.15
+    #: Probability a shared-array access is a write (counters are mostly
+    #: written).
+    p_shared_write: float = 0.7
+    #: Probability a private access is a write.
+    p_private_write: float = 0.2
+    #: Bytes per processor slot in the packed shared array.  Slots are
+    #: contiguous, so any line size above the slot size induces false
+    #: sharing between neighbouring processors.
+    shared_slot_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.stride < 1 or self.private_bytes < self.stride:
+            raise ValueError("degenerate private buffer")
+        for name in ("p_shared", "p_shared_write", "p_private_write"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+
+    @property
+    def shared_region_bytes(self) -> int:
+        return self.processors * self.shared_slot_bytes
+
+    def unit_ids(self) -> list[str]:
+        return [f"cpu{i}" for i in range(self.processors)]
+
+
+class SpatialWorkload:
+    """Reproducible byte-granular reference streams.
+
+    Address map: the packed shared array occupies [0, shared_region);
+    each processor's private buffer follows, aligned to 4096 bytes so
+    line-size sweeps never blend private regions.
+    """
+
+    def __init__(self, config: SpatialConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+
+    def private_base(self, processor: int) -> int:
+        region = max(4096, self.config.private_bytes)
+        return 4096 + processor * region
+
+    def shared_slot(self, processor: int) -> int:
+        return processor * self.config.shared_slot_bytes
+
+    def stream(self, processor: int) -> Iterator[tuple[Op, int]]:
+        cfg = self.config
+        rng = random.Random(f"{self.seed}/{processor}")
+        base = self.private_base(processor)
+        scan_offset = 0
+        while True:
+            if rng.random() < cfg.p_shared:
+                # Touch the processor's own slot in the packed array --
+                # logically private, physically adjacent to the others.
+                address = self.shared_slot(processor) + (
+                    rng.randrange(cfg.shared_slot_bytes // cfg.stride)
+                    * cfg.stride
+                )
+                write = rng.random() < cfg.p_shared_write
+            else:
+                address = base + scan_offset
+                scan_offset = (scan_offset + cfg.stride) % cfg.private_bytes
+                write = rng.random() < cfg.p_private_write
+            yield (Op.WRITE if write else Op.READ, address)
+
+    def trace(self, references: int) -> Trace:
+        unit_ids = self.config.unit_ids()
+        streams = [self.stream(i) for i in range(self.config.processors)]
+        trace = Trace()
+        for i in range(references):
+            processor = i % self.config.processors
+            op, address = next(streams[processor])
+            trace.append(ReferenceRecord(unit_ids[processor], op, address))
+        return trace

@@ -1,0 +1,146 @@
+"""Synthetic multiprocessor reference generator (Dubois-Briggs style).
+
+The paper's performance discussion rests on [Arch85], whose simulations
+"are based only on a model of program behavior [Dubo82]" -- a
+probabilistic model, not address traces.  This module implements that
+class of model:
+
+* each processor owns a pool of **private** blocks and all share a pool
+  of **shared** blocks;
+* each reference is shared with probability ``p_shared``, a write with
+  probability ``p_write`` (independently for shared/private);
+* temporal locality: with probability ``locality`` a reference re-uses
+  the processor's previous block of that class instead of drawing a new
+  one;
+* shared blocks are drawn from a geometric-ish skew so some blocks are
+  "hot" (actively shared) -- the regime where the update-vs-invalidate
+  choice matters (section 5.2).
+
+All draws come from a seeded :class:`random.Random`, so traces are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator, Optional
+
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+__all__ = ["SyntheticConfig", "SyntheticWorkload"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the probabilistic program-behaviour model."""
+
+    processors: int = 4
+    #: Distinct shared blocks (line-sized).
+    shared_blocks: int = 16
+    #: Distinct private blocks per processor.
+    private_blocks: int = 64
+    #: Probability a reference targets shared data.
+    p_shared: float = 0.2
+    #: Probability a reference is a write (applied to both classes).
+    p_write: float = 0.3
+    #: Probability of re-referencing the previous block of the same class.
+    locality: float = 0.6
+    #: Skew of the shared-block popularity (1.0 = uniform; higher = hotter
+    #: hot set).
+    sharing_skew: float = 2.0
+    #: Line size used to turn block numbers into byte addresses.
+    line_size: int = 32
+
+    def __post_init__(self) -> None:
+        for name in ("p_shared", "p_write", "locality"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.shared_blocks < 1 or self.private_blocks < 1:
+            raise ValueError("block pools must be non-empty")
+        if self.sharing_skew < 1.0:
+            raise ValueError("sharing_skew must be >= 1.0")
+
+    def unit_ids(self) -> list[str]:
+        return [f"cpu{i}" for i in range(self.processors)]
+
+
+class SyntheticWorkload:
+    """Reproducible reference-stream factory for one configuration.
+
+    The address map places all shared blocks first, then each processor's
+    private region, so shared and private lines never collide.
+    """
+
+    def __init__(self, config: SyntheticConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Address map.
+    # ------------------------------------------------------------------
+    def shared_address(self, block: int) -> int:
+        if not 0 <= block < self.config.shared_blocks:
+            raise ValueError(f"shared block out of range: {block}")
+        return block * self.config.line_size
+
+    def private_address(self, processor: int, block: int) -> int:
+        if not 0 <= block < self.config.private_blocks:
+            raise ValueError(f"private block out of range: {block}")
+        base = self.config.shared_blocks + processor * self.config.private_blocks
+        return (base + block) * self.config.line_size
+
+    # ------------------------------------------------------------------
+    def _draw_shared_block(self, rng: random.Random) -> int:
+        """Skewed popularity: block b with weight (b+1)^-skew."""
+        n = self.config.shared_blocks
+        if self.config.sharing_skew == 1.0:
+            return rng.randrange(n)
+        weights = [(b + 1) ** -self.config.sharing_skew for b in range(n)]
+        return rng.choices(range(n), weights=weights, k=1)[0]
+
+    def stream(self, processor: int) -> Iterator[tuple[Op, int]]:
+        """Infinite (op, byte-address) stream for one processor."""
+        cfg = self.config
+        rng = random.Random(f"{self.seed}/{processor}")
+        last_shared: Optional[int] = None
+        last_private: Optional[int] = None
+        while True:
+            is_shared = rng.random() < cfg.p_shared
+            is_write = rng.random() < cfg.p_write
+            if is_shared:
+                if last_shared is not None and rng.random() < cfg.locality:
+                    block = last_shared
+                else:
+                    block = self._draw_shared_block(rng)
+                last_shared = block
+                address = self.shared_address(block)
+            else:
+                if last_private is not None and rng.random() < cfg.locality:
+                    block = last_private
+                else:
+                    block = rng.randrange(cfg.private_blocks)
+                last_private = block
+                address = self.private_address(processor, block)
+            yield (Op.WRITE if is_write else Op.READ, address)
+
+    def trace(self, references: int) -> Trace:
+        """A finite round-robin interleaving of all processors' streams."""
+        unit_ids = self.config.unit_ids()
+        streams = [self.stream(i) for i in range(self.config.processors)]
+        trace = Trace()
+        for i in range(references):
+            processor = i % self.config.processors
+            op, address = next(streams[processor])
+            trace.append(ReferenceRecord(unit_ids[processor], op, address))
+        return trace
+
+    def streams(self) -> dict[str, Iterator[tuple[Op, int]]]:
+        """Per-unit infinite streams for the timed runner."""
+        return {
+            unit_id: self.stream(i)
+            for i, unit_id in enumerate(self.config.unit_ids())
+        }

@@ -1,0 +1,52 @@
+"""Ablation harness mechanics (small/fast configurations; the full-size
+sweeps with shape assertions live in benchmarks/test_bench_ablations.py)."""
+
+from repro.analysis.ablations import (
+    geometry_sweep,
+    line_size_sweep,
+    replacement_policy_sweep,
+)
+
+
+class TestLineSizeSweep:
+    def test_rows_cover_requested_sizes(self):
+        rows = line_size_sweep(line_sizes=(16, 64), references=800)
+        assert [r["line_size"] for r in rows] == [16, 64]
+
+    def test_capacity_held_constant(self):
+        rows = line_size_sweep(
+            line_sizes=(16, 32, 64), references=400, capacity_bytes=2048
+        )
+        for row in rows:
+            assert row["num_sets"] * 2 * row["line_size"] == 2048
+
+    def test_spatial_locality_visible(self):
+        """Even a small run shows the spatial-locality side of the trade."""
+        rows = line_size_sweep(line_sizes=(16, 128), references=2000)
+        assert rows[1]["miss_ratio"] < rows[0]["miss_ratio"]
+
+
+class TestReplacementSweep:
+    def test_rows_per_policy(self):
+        rows = replacement_policy_sweep(
+            policies=("lru", "random"), references=800
+        )
+        assert [r["replacement"] for r in rows] == ["lru", "random"]
+
+    def test_metrics_present(self):
+        (row,) = replacement_policy_sweep(policies=("lru",), references=400)
+        assert {"miss_ratio", "bus_txns", "write_backs"} <= set(row)
+
+
+class TestGeometrySweep:
+    def test_capacity_constant_across_shapes(self):
+        rows = geometry_sweep(references=400)
+        capacities = {r["capacity_lines"] for r in rows}
+        assert len(capacities) == 1
+
+    def test_custom_shapes(self):
+        rows = geometry_sweep(shapes=((4, 2), (2, 4)), references=400)
+        assert [(r["num_sets"], r["associativity"]) for r in rows] == [
+            (4, 2),
+            (2, 4),
+        ]

@@ -1,0 +1,119 @@
+"""The Arch85-substitute comparison harness (small, fast configurations).
+
+These verify the harness mechanics and the *direction* of the headline
+results; the full-size sweeps live in benchmarks/."""
+
+import pytest
+
+from repro.analysis.compare import (
+    protocol_comparison,
+    run_protocol_on_trace,
+    update_vs_invalidate_sweep,
+    write_through_vs_copy_back,
+)
+from repro.analysis.report import format_rows
+from repro.workloads.patterns import ping_pong, producer_consumer
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    config = SyntheticConfig(processors=2, p_shared=0.3, p_write=0.3)
+    return SyntheticWorkload(config, seed=1).trace(600)
+
+
+class TestRunProtocolOnTrace:
+    def test_report_labeled(self, small_trace):
+        report = run_protocol_on_trace("berkeley", small_trace)
+        assert report.label == "berkeley"
+        assert report.accesses == len(small_trace)
+
+    def test_untimed_mode(self, small_trace):
+        report = run_protocol_on_trace("moesi", small_trace, timed=False)
+        assert report.elapsed_ns == 0.0
+        assert report.bus.transactions > 0
+
+    def test_check_mode_validates(self, small_trace):
+        # Should not raise: the protocol is correct.
+        run_protocol_on_trace("moesi", small_trace, timed=False, check=True)
+
+
+class TestProtocolComparison:
+    def test_one_row_per_protocol(self, small_trace):
+        rows = protocol_comparison(
+            trace=small_trace, protocols=("moesi", "berkeley")
+        )
+        assert [r["system"] for r in rows] == ["moesi", "berkeley"]
+
+    def test_rows_formattable(self, small_trace):
+        rows = protocol_comparison(
+            trace=small_trace, protocols=("moesi",)
+        )
+        text = format_rows(rows, "t")
+        assert "moesi" in text
+
+
+class TestHeadlineShapes:
+    """The qualitative results the paper's section 5.2 relies on."""
+
+    def test_update_beats_invalidate_on_active_sharing(self):
+        """[Arch85]: "it was desirable to broadcast writes to other caches
+        rather than to invalidate them" -- with enough sharers."""
+        rows = update_vs_invalidate_sweep(
+            sharing_levels=(0.5,), references=800, processors=4
+        )
+        assert rows[0]["winner"] == "update"
+
+    def test_update_advantage_grows_with_sharing(self):
+        rows = update_vs_invalidate_sweep(
+            sharing_levels=(0.05, 0.5), references=800, processors=4
+        )
+        def gap(row):
+            return (
+                row["invalidate_ns_per_access"] - row["update_ns_per_access"]
+            )
+        assert gap(rows[1]) > gap(rows[0])
+
+    def test_preferred_choice_depends_on_sharer_count(self):
+        """Section 5.2's caveat made concrete: with only two processors
+        there is at most one cache to keep updated, and invalidation can
+        win; with four, broadcast-update wins.  "The preferred protocol is
+        sensitive to the implementation" -- and to the configuration."""
+        two = update_vs_invalidate_sweep(
+            sharing_levels=(0.5,), references=800, processors=2
+        )
+        four = update_vs_invalidate_sweep(
+            sharing_levels=(0.5,), references=800, processors=4
+        )
+        assert two[0]["winner"] == "invalidate"
+        assert four[0]["winner"] == "update"
+
+    def test_copy_back_cuts_traffic(self):
+        """Section 3.1: copy-back gives the "greatest reduction in bus
+        traffic"."""
+        rows = write_through_vs_copy_back(
+            write_fractions=(0.4,), references=800
+        )
+        assert rows[0]["traffic_ratio"] > 1.5
+
+    def test_write_through_gap_grows_with_write_fraction(self):
+        rows = write_through_vs_copy_back(
+            write_fractions=(0.1, 0.5), references=800
+        )
+        assert rows[1]["traffic_ratio"] > rows[0]["traffic_ratio"]
+
+    def test_producer_consumer_favors_update(self):
+        trace = producer_consumer(items=30, consumers=3)
+        update = run_protocol_on_trace("moesi-update", trace)
+        invalidate = run_protocol_on_trace("moesi-invalidate", trace)
+        assert (
+            update.bus.transactions < invalidate.bus.transactions
+        )
+
+    def test_abort_protocols_pay_on_pingpong(self):
+        trace = ping_pong(rounds=40)
+        illinois = run_protocol_on_trace("illinois", trace)
+        moesi = run_protocol_on_trace("moesi", trace)
+        assert illinois.bus.retries > 0
+        assert moesi.bus.retries == 0
+        assert illinois.bus_ns_per_access > moesi.bus_ns_per_access

@@ -1,0 +1,87 @@
+"""Figure regeneration (F1-F4)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_broadcast_handshake,
+    figure2_parallel_protocol,
+    figure3_characteristics,
+    figure3_rows,
+    figure4_groups,
+    figure4_state_pairs,
+    render_waveforms,
+)
+from repro.bus.wired_or import WiredOrLine
+from repro.core.states import LineState
+
+
+class TestFigure1:
+    def test_mentions_filter_and_glitches(self):
+        text = figure1_broadcast_handshake()
+        assert "inertial filter" in text
+        assert "glitches absorbed: 2" in text
+
+    def test_waveform_shows_assert_then_release(self):
+        text = figure1_broadcast_handshake()
+        wave_line = next(l for l in text.splitlines() if "SYNC*" in l)
+        assert "_" in wave_line and "~" in wave_line
+
+    def test_glitch_markers_present(self):
+        text = figure1_broadcast_handshake()
+        assert "!" in text
+
+    def test_custom_release_times(self):
+        text = figure1_broadcast_handshake(release_times=(10.0, 20.0))
+        assert "glitches absorbed: 1" in text
+
+
+class TestFigure2:
+    def test_all_four_signals_rendered(self):
+        text = figure2_parallel_protocol()
+        for name in ("AD", "AS*", "AK*", "AI*"):
+            assert name in text
+
+    def test_reports_filtered_glitches(self):
+        text = figure2_parallel_protocol()
+        assert "wired-OR glitch" in text
+
+
+class TestFigure3:
+    def test_rows_match_paper(self):
+        rows = figure3_rows()
+        assert rows[0] == ("M", "Modified", "valid", "exclusive", "owned")
+        assert rows[1] == ("O", "Owned", "valid", "shareable", "owned")
+        assert rows[2] == ("E", "Exclusive", "valid", "exclusive", "unowned")
+        assert rows[3] == ("S", "Shareable", "valid", "shareable", "unowned")
+        assert rows[4] == ("I", "Invalid", "invalid", "-", "-")
+
+    def test_render(self):
+        text = figure3_characteristics()
+        assert "validity" in text and "ownership" in text
+
+
+class TestFigure4:
+    def test_groups_derive_from_predicates(self):
+        groups = figure4_groups()
+        assert groups["M+O"][0] == {LineState.MODIFIED, LineState.OWNED}
+        assert groups["E+S"][0] == {
+            LineState.EXCLUSIVE,
+            LineState.SHAREABLE,
+        }
+
+    def test_render_mentions_intervention(self):
+        assert "intervenient" in figure4_state_pairs()
+
+
+class TestWaveformRenderer:
+    def test_levels_sampled(self):
+        line = WiredOrLine("X")
+        line.assert_("a", 10.0)
+        line.release("a", 20.0)
+        text = render_waveforms({"X": line}, 0.0, 30.0, width=30)
+        row = text.splitlines()[0]
+        assert row.count("_") > 0 and row.count("~") > 0
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            render_waveforms({"X": WiredOrLine("X")}, 10.0, 10.0)

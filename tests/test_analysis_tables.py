@@ -1,0 +1,89 @@
+"""Table regeneration and paper diffing (experiments T1-T7)."""
+
+import pytest
+
+from repro.analysis.paper_data import canonical_cell
+from repro.analysis.tables import (
+    diff_all_tables,
+    diff_protocol_table,
+    diff_table1,
+    diff_table2,
+    moesi_local_cells,
+    moesi_snoop_cells,
+    protocol_cells,
+    render_cells,
+)
+from repro.protocols.berkeley import BerkeleyProtocol
+
+
+class TestPaperDiffs:
+    def test_table1_matches(self):
+        diff = diff_table1()
+        assert diff.matches, [str(m) for m in diff.mismatches]
+        assert diff.cells_compared == 20
+
+    def test_table2_matches(self):
+        diff = diff_table2()
+        assert diff.matches, [str(m) for m in diff.mismatches]
+        assert diff.cells_compared == 30
+
+    @pytest.mark.parametrize("number", [3, 4, 5, 6, 7])
+    def test_protocol_tables_match(self, number):
+        diff = diff_protocol_table(number)
+        assert diff.matches, [str(m) for m in diff.mismatches]
+
+    def test_all_tables_helper(self):
+        diffs = diff_all_tables()
+        assert len(diffs) == 7
+        assert all(d.matches for d in diffs)
+
+    def test_unknown_table_number(self):
+        with pytest.raises(ValueError, match="know 3-7"):
+            diff_protocol_table(9)
+
+
+class TestCanonicalization:
+    def test_token_order_insensitive(self):
+        assert canonical_cell("M,DI,CH?") == canonical_cell("M,CH?,DI")
+
+    def test_state_head_preserved(self):
+        assert canonical_cell("O,CH,DI").startswith("O,")
+
+    def test_bs_prefix_kept_in_head(self):
+        assert canonical_cell("BS;S,CA,W").startswith("BS;S")
+
+    def test_different_states_differ(self):
+        assert canonical_cell("S,CH") != canonical_cell("E,CH")
+
+
+class TestCellExtraction:
+    def test_moesi_local_cells_complete(self):
+        cells = moesi_local_cells()
+        assert len(cells) == 20
+        assert cells[("O", "Write")] == ["CH:O/M,CA,IM,BC,W", "M,CA,IM",
+                                         ]
+
+    def test_moesi_snoop_cells_complete(self):
+        cells = moesi_snoop_cells()
+        assert len(cells) == 30
+        assert cells[("M", 8)] == []
+
+    def test_protocol_cells_respects_columns(self):
+        cells = protocol_cells(BerkeleyProtocol(), ["Read", 5])
+        assert ("M", "Read") in cells and ("M", 5) in cells
+        assert ("M", "Write") not in cells
+
+
+class TestRendering:
+    def test_render_contains_all_states_and_columns(self):
+        text = render_cells(moesi_snoop_cells(), "T2")
+        for token in ("T2", "| M ", "| O ", "| I ", "col 5", "col 10"):
+            assert token in text
+
+    def test_illegal_cells_render_as_dashes(self):
+        text = render_cells(moesi_snoop_cells(), "T2")
+        assert "--" in text
+
+    def test_alternatives_render_with_or(self):
+        text = render_cells(moesi_local_cells(), "T1")
+        assert "or M,CA,IM" in text

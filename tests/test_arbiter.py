@@ -1,0 +1,49 @@
+"""Bus arbitration disciplines."""
+
+from repro.bus.arbiter import FcfsArbiter, PriorityArbiter
+
+
+class TestFcfs:
+    def test_grants_in_request_time_order(self):
+        arbiter = FcfsArbiter()
+        arbiter.request("b", 2.0)
+        arbiter.request("a", 1.0)
+        assert arbiter.grant().master == "a"
+        assert arbiter.grant().master == "b"
+
+    def test_ties_broken_by_arrival(self):
+        arbiter = FcfsArbiter()
+        arbiter.request("x", 1.0)
+        arbiter.request("y", 1.0)
+        assert arbiter.grant().master == "x"
+
+    def test_empty_returns_none(self):
+        assert FcfsArbiter().grant() is None
+
+    def test_pending_count(self):
+        arbiter = FcfsArbiter()
+        arbiter.request("a", 0.0)
+        arbiter.request("b", 0.0)
+        assert arbiter.pending == 2
+        arbiter.grant()
+        assert arbiter.pending == 1
+
+
+class TestPriority:
+    def test_higher_priority_wins_despite_later_request(self):
+        arbiter = PriorityArbiter({"io": 1, "cpu": 10})
+        arbiter.request("cpu", 0.0)
+        arbiter.request("io", 5.0)
+        assert arbiter.grant().master == "io"
+
+    def test_fcfs_among_equal_priorities(self):
+        arbiter = PriorityArbiter({"a": 5, "b": 5})
+        arbiter.request("b", 1.0)
+        arbiter.request("a", 2.0)
+        assert arbiter.grant().master == "b"
+
+    def test_unlisted_masters_get_default_priority(self):
+        arbiter = PriorityArbiter({"vip": 1})
+        arbiter.request("pleb", 0.0)
+        arbiter.request("vip", 9.0)
+        assert arbiter.grant().master == "vip"

@@ -1,0 +1,126 @@
+"""Set-associative cache directory."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.line import CacheLine
+from repro.core.states import LineState
+
+M, E, S, I = (
+    LineState.MODIFIED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+class TestGeometry:
+    def test_address_decomposition(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2, line_size=32)
+        assert cache.line_address(0) == 0
+        assert cache.line_address(31) == 0
+        assert cache.line_address(32) == 1
+        assert cache.set_index(5) == 1
+        assert cache.tag(5) == 1
+        assert cache.address_of(1, 1) == 5
+
+    def test_capacity(self):
+        cache = SetAssociativeCache(num_sets=8, associativity=2, line_size=64)
+        assert cache.capacity_bytes == 8 * 2 * 64
+
+    @pytest.mark.parametrize("bad", [0, 3, 12])
+    def test_non_power_of_two_sets_rejected(self, bad):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(num_sets=bad)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(line_size=48)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(associativity=0)
+
+    def test_replacement_geometry_must_match(self):
+        from repro.cache.replacement import LruPolicy
+
+        with pytest.raises(ValueError, match="geometry mismatch"):
+            SetAssociativeCache(num_sets=4, replacement=LruPolicy(8, 2))
+
+
+class TestLookupAndFill:
+    def test_miss_on_empty(self):
+        assert SetAssociativeCache().lookup(0) is None
+
+    def test_fill_then_hit(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        cache.fill(5, S, 42)
+        found = cache.lookup(5)
+        assert found is not None
+        _, _, line = found
+        assert line.state is S and line.value == 42
+
+    def test_probe_state_invalid_when_absent(self):
+        assert SetAssociativeCache().probe_state(7) is I
+
+    def test_conflicting_tags_coexist_up_to_associativity(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        cache.fill(1, S, 0)   # set 1
+        cache.fill(5, E, 0)   # same set, different tag
+        assert cache.lookup(1) and cache.lookup(5)
+
+    def test_victim_prefers_invalid_way(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        cache.fill(1, S, 0)
+        _, way, victim = cache.choose_victim(5)
+        assert not victim.valid
+
+    def test_victim_from_replacement_when_full(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        cache.fill(1, S, 0)
+        cache.fill(5, S, 0)
+        cache.touch(*cache.lookup(1)[:2])  # protect line 1
+        _, _, victim = cache.choose_victim(9)
+        assert victim.tag == cache.tag(5)
+
+    def test_fill_reuses_named_way(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        cache.fill(1, S, 0, way=1)
+        _, way, _ = cache.lookup(1)
+        assert way == 1
+
+
+class TestInspection:
+    def test_valid_lines_roundtrip_addresses(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        for address in (0, 2, 5, 9):  # sets 0, 2, 1, 1 -- no overflow
+            cache.fill(address, S, address * 10)
+        found = dict(cache.valid_lines())
+        assert set(found) == {0, 2, 5, 9}
+        assert found[5].value == 50
+
+    def test_occupancy(self):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        cache.fill(0, S, 0)
+        cache.fill(1, M, 0)
+        assert cache.occupancy() == 2
+
+    def test_contains(self):
+        cache = SetAssociativeCache()
+        cache.fill(3, E, 0)
+        assert 3 in cache and 4 not in cache
+
+
+class TestCacheLine:
+    def test_dirty_tracks_ownership(self):
+        line = CacheLine(state=M)
+        assert line.dirty
+        line.state = LineState.OWNED
+        assert line.dirty
+        line.state = S
+        assert not line.dirty
+
+    def test_invalidate(self):
+        line = CacheLine(state=E)
+        line.invalidate()
+        assert not line.valid

@@ -1,0 +1,188 @@
+"""The relaxation closure (section 3.3, items 9-12) and membership
+predicates of :class:`MoesiClassTable`."""
+
+import pytest
+
+from repro.core.actions import (
+    CH_O_OR_M,
+    CH_S_OR_E,
+    BusOp,
+    LocalAction,
+    SnoopAction,
+)
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+from repro.core.transitions import MoesiClassTable
+
+M, O, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+TABLE = MoesiClassTable()
+STRICT = MoesiClassTable(include_relaxations=False)
+
+
+def _local(next_state, *, ca=False, im=False, bc=False, op=BusOp.NONE,
+           bc_dont_care=False):
+    return LocalAction(next_state, MasterSignals(ca, im, bc), op,
+                       bc_dont_care=bc_dont_care)
+
+
+def _snoop(next_state, *, ch=False, di=False, sl=False):
+    return SnoopAction(next_state, SnoopResponse(ch=ch, di=di, sl=sl))
+
+
+class TestRelaxation9:
+    """CH:O/M may be replaced by O; M may become O at any time."""
+
+    def test_o_write_with_plain_o_result(self):
+        action = _local(O, ca=True, im=True, bc=True, op=BusOp.WRITE)
+        assert TABLE.permits_local(O, LocalEvent.WRITE, action)
+
+    def test_strict_table_rejects_it(self):
+        action = _local(O, ca=True, im=True, bc=True, op=BusOp.WRITE)
+        assert not STRICT.permits_local(O, LocalEvent.WRITE, action)
+
+    def test_conditional_original_still_permitted(self):
+        action = _local(CH_O_OR_M, ca=True, im=True, bc=True, op=BusOp.WRITE)
+        assert TABLE.permits_local(O, LocalEvent.WRITE, action)
+
+
+class TestRelaxation10:
+    """CH:S/E may be replaced by S (Berkeley's read miss)."""
+
+    def test_read_miss_to_plain_s(self):
+        action = _local(S, ca=True, op=BusOp.READ)
+        assert TABLE.permits_local(I, LocalEvent.READ, action)
+
+    def test_pass_from_o_landing_s(self):
+        action = _local(S, ca=True, op=BusOp.WRITE, bc_dont_care=False)
+        assert TABLE.permits_local(O, LocalEvent.PASS, action)
+
+    def test_pass_from_m_landing_s(self):
+        """Berkeley has no E: its push-and-keep lands in S via 10."""
+        action = _local(S, ca=True, op=BusOp.WRITE)
+        assert TABLE.permits_local(M, LocalEvent.PASS, action)
+
+
+class TestRelaxation11:
+    """On bus events, any transition to E or S may become I (no CH)."""
+
+    def test_s_col5_may_invalidate(self):
+        assert TABLE.permits_snoop(S, BusEvent.CACHE_READ, _snoop(I))
+
+    def test_e_col7_may_invalidate(self):
+        assert TABLE.permits_snoop(E, BusEvent.UNCACHED_READ, _snoop(I))
+
+    def test_invalidating_variant_must_not_assert_ch(self):
+        """CH means "I will retain": an invalidating snooper may not lie."""
+        lying = _snoop(I, ch=True)
+        assert not TABLE.permits_snoop(S, BusEvent.CACHE_READ, lying)
+
+    def test_strict_rejects_invalidation_variant(self):
+        assert not STRICT.permits_snoop(S, BusEvent.CACHE_READ, _snoop(I))
+
+    def test_owner_cannot_relax_to_invalid_without_supplying(self):
+        """M on col 5 must still intervene; plain I is out of class."""
+        assert not TABLE.permits_snoop(M, BusEvent.CACHE_READ, _snoop(I))
+
+
+class TestRelaxation12:
+    """E may be replaced by M (with a write-back cost)."""
+
+    def test_read_miss_conditional_to_m(self):
+        """E is replaced by M *inside* the conditional: CH:S/M."""
+        from repro.core.actions import ConditionalState
+
+        action = _local(ConditionalState(S, M), ca=True, op=BusOp.READ)
+        assert TABLE.permits_local(I, LocalEvent.READ, action)
+
+    def test_read_miss_unconditional_m_rejected(self):
+        """Plain M regardless of CH would claim exclusivity while other
+        copies may exist -- not licensed by any relaxation."""
+        action = _local(M, ca=True, op=BusOp.READ)
+        assert not TABLE.permits_local(I, LocalEvent.READ, action)
+
+    def test_pass_from_m_landing_m_not_permitted(self):
+        """Keeping M after a push is NOT licensed: the push's entry is E,
+        and 12 substitutes E->M only transitively via local entry; check
+        documented closure shape."""
+        action = _local(M, ca=True, op=BusOp.WRITE, bc_dont_care=False)
+        # E -> {E, S, M} closure includes M, so this IS permitted: a cache
+        # may push and remain owner of the (now clean) line.
+        assert TABLE.permits_local(M, LocalEvent.PASS, action)
+
+
+class TestOutOfClassRejected:
+    """Things no relaxation licenses."""
+
+    def test_silent_shared_write(self):
+        action = _local(M)  # no bus activity at all
+        assert not TABLE.permits_local(S, LocalEvent.WRITE, action)
+
+    def test_silent_owned_flush(self):
+        action = _local(I)
+        assert not TABLE.permits_local(M, LocalEvent.FLUSH, action)
+
+    def test_read_miss_without_bus(self):
+        action = _local(S)
+        assert not TABLE.permits_local(I, LocalEvent.READ, action)
+
+    def test_write_once_first_write(self):
+        """Write-Once's S-write ("E,CA,IM,W") is outside the class."""
+        action = _local(E, ca=True, im=True, op=BusOp.WRITE)
+        assert not TABLE.permits_local(S, LocalEvent.WRITE, action)
+
+    def test_firefly_shared_write(self):
+        """Firefly's CH:S/E broadcast write is outside the class."""
+        action = _local(CH_S_OR_E, ca=True, im=True, bc=True, op=BusOp.WRITE)
+        assert not TABLE.permits_local(S, LocalEvent.WRITE, action)
+
+    def test_snoop_staying_shared_on_invalidate(self):
+        assert not TABLE.permits_snoop(
+            S, BusEvent.CACHE_READ_FOR_MODIFY, _snoop(S, ch=True)
+        )
+
+    def test_double_owner_on_broadcast(self):
+        assert not TABLE.permits_snoop(
+            O, BusEvent.CACHE_BROADCAST_WRITE, _snoop(O, ch=True, sl=True)
+        )
+
+
+class TestClosureSets:
+    def test_local_set_contains_literal_entries(self):
+        actions = TABLE.local_action_set(S, LocalEvent.WRITE)
+        notations = {a.notation() for a in actions}
+        assert "CH:O/M,CA,IM,BC,W" in notations
+        assert "M,CA,IM" in notations
+
+    def test_snoop_set_grows_under_relaxation(self):
+        strict = STRICT.snoop_action_set(S, BusEvent.CACHE_READ)
+        relaxed = TABLE.snoop_action_set(S, BusEvent.CACHE_READ)
+        assert strict < relaxed
+
+    def test_all_cells_iterates_both_tables(self):
+        cells = list(TABLE.all_cells())
+        assert len(cells) == 5 * 4 + 5 * 6
+
+    def test_ch_dont_care_matches_either_polarity(self):
+        """M on col 7 is "M,DI,CH?": asserting or not asserting CH both
+        satisfy the class."""
+        assert TABLE.permits_snoop(
+            M, BusEvent.UNCACHED_READ, _snoop(M, ch=True, di=True)
+        )
+        assert TABLE.permits_snoop(
+            M, BusEvent.UNCACHED_READ, _snoop(M, ch=False, di=True)
+        )
+
+    def test_bc_dont_care_matches_broadcast_push(self):
+        """"E,CA,BC?,W": pushing with BC asserted is within the entry."""
+        action = LocalAction(
+            E, MasterSignals(ca=True, bc=True), BusOp.WRITE
+        )
+        assert TABLE.permits_local(M, LocalEvent.PASS, action)

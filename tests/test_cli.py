@@ -1,0 +1,112 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["tables"],
+            ["figures"],
+            ["membership"],
+            ["verify", "--quick"],
+            ["shootout", "--references", "100"],
+            ["hierarchy", "--references", "50"],
+            ["run", "moesi", "--references", "100"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestCommands:
+    def test_tables_exit_zero_and_report(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "all match" in out
+
+    def test_tables_render(self, capsys):
+        assert main(["tables", "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "CH:O/M,CA,IM,BC,W" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 4" in out
+
+    def test_membership_all(self, capsys):
+        assert main(["membership"]) == 0
+        out = capsys.readouterr().out
+        assert "Berkeley:" in out and "Illinois:" in out
+
+    def test_membership_selected_verbose(self, capsys):
+        assert main(["membership", "write-once", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "adapted" in out
+        assert "E,CA,IM,W" in out  # the out-of-class cell printed
+
+    def test_verify_quick(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "as expected" in out
+
+    def test_shootout_small(self, capsys):
+        assert main(["shootout", "--references", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "moesi" in out and "berkeley" in out
+
+    def test_hierarchy_small(self, capsys):
+        assert main(["hierarchy", "--references", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "violations: 0" in out
+
+    def test_run_synthetic(self, capsys):
+        assert main(["run", "dragon", "--references", "200", "--check",
+                     "--atomic"]) == 0
+        out = capsys.readouterr().out
+        assert "dragon" in out
+
+    def test_run_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.trc"
+        path.write_text(
+            "# two cpus\ncpu0 W 0x0\ncpu1 R 0x0\ncpu1 W 0x20\ncpu0 R 0x20\n"
+        )
+        assert main(["run", "moesi", "--trace", str(path), "--check",
+                     "--atomic"]) == 0
+        out = capsys.readouterr().out
+        assert "4 references" in out
+
+    def test_unknown_protocol_errors(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            main(["run", "nonsense", "--references", "10"])
+
+
+class TestDiagramAndAblation:
+    def test_diagram_adjacency(self, capsys):
+        assert main(["diagram", "berkeley"]) == 0
+        out = capsys.readouterr().out
+        assert "Berkeley transition diagram" in out
+
+    def test_diagram_dot(self, capsys):
+        assert main(["diagram", "moesi", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_ablation_geometry(self, capsys):
+        assert main(["ablation", "geometry", "--references", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "associativity" in out
+
+    def test_ablation_line_size(self, capsys):
+        assert main(["ablation", "line-size", "--references", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "line_size" in out

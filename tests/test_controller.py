@@ -1,0 +1,132 @@
+"""Cache controller internals beyond the per-protocol scenarios:
+Read>Write chaining, eviction paths, snoop bookkeeping, error handling."""
+
+import pytest
+
+from repro.bus.futurebus import Futurebus
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.controller import CacheController
+from repro.core.protocol import ProtocolGapError
+from repro.memory.main_memory import MainMemory
+from repro.protocols.registry import make_protocol
+
+
+class TestAttachment:
+    def test_requires_bus_for_misses(self):
+        controller = CacheController("lonely", make_protocol("moesi"))
+        with pytest.raises(RuntimeError, match="not attached"):
+            controller.read(0)
+
+    def test_attach_registers_with_bus(self):
+        bus = Futurebus(MainMemory())
+        controller = CacheController("c", make_protocol("moesi"))
+        controller.attach_to(bus)
+        assert bus.agent("c") is controller
+
+
+class TestReadThenWrite:
+    def test_dragon_write_miss_chains(self, mini):
+        """Read>Write executes as two bus transactions at most."""
+        rig = mini("dragon", "dragon")
+        rig[0].read(0)
+        before = rig[1].stats.bus_transactions
+        rig[1].write(0, 5)
+        # Read (1 txn) + broadcast write (1 txn).
+        assert rig[1].stats.bus_transactions == before + 2
+
+    def test_read_then_write_silent_second_half(self, mini):
+        """Alone, Dragon's Read>Write lands E; the write is silent."""
+        rig = mini("dragon", "dragon")
+        rig[0].write(0, 5)
+        assert rig[0].stats.bus_transactions == 1
+
+
+class TestEvictionPaths:
+    def test_dirty_victim_written_back_before_fill(self, mini):
+        rig = mini("moesi", num_sets=1, associativity=2)
+        rig[0].write(0, 1)     # M
+        rig[0].write(32, 2)    # M (second way)
+        rig[0].write(64, 3)    # evicts LRU (line 0) -> write-back
+        assert rig.memory.peek(0) == 1
+        assert rig[0].state_of(0).letter == "I"
+        assert rig[0].stats.write_backs == 1
+
+    def test_clean_victim_dropped_silently(self, mini):
+        rig = mini("moesi", num_sets=1, associativity=1)
+        rig[0].read(0)
+        writes_before = rig.memory.stats.writes
+        rig[0].read(32)
+        assert rig.memory.stats.writes == writes_before
+        assert rig[0].stats.evictions == 1
+
+    def test_flush_absent_line_is_noop(self, mini):
+        rig = mini("moesi")
+        rig[0].flush_line(123)  # nothing happens
+        assert rig[0].stats.write_backs == 0
+
+    def test_clean_line_on_unowned_state_is_noop(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)  # E: nothing to push
+        before = rig[0].stats.bus_transactions
+        rig[0].clean_line(0)
+        assert rig[0].stats.bus_transactions == before
+
+
+class TestSnoopBookkeeping:
+    def test_pending_cleared_after_finalize(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        assert rig[0]._pending is None
+        assert rig[1]._pending is None
+
+    def test_snoop_miss_responds_nothing(self, mini):
+        from repro.core.signals import SnoopResponse
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)  # u1 has nothing; its response was NONE
+        # Directly probe:
+        from repro.bus.transaction import Transaction
+        from repro.core.actions import BusOp
+        from repro.core.signals import MasterSignals
+
+        txn = Transaction("x", 99, MasterSignals(ca=True), BusOp.READ,
+                          serial=999)
+        assert rig[1].snoop(txn) == SnoopResponse.NONE
+
+    def test_protocol_gap_surfaces_as_error(self, mini):
+        """An undefined snoop cell raises ProtocolGapError (section 4)."""
+        rig = mini("illinois", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        with pytest.raises(ProtocolGapError, match="col 8"):
+            rig[1].write(0, 1)  # MOESI broadcasts; Illinois has no col 8
+
+
+class TestValueSemantics:
+    def test_read_returns_installed_token(self, mini):
+        rig = mini("moesi", "moesi")
+        rig.memory.poke(0, 77)
+        assert rig[0].read(0) == 77
+
+    def test_write_token_wins_over_fetched_data(self, mini):
+        """Read-for-ownership fetches, then the new token overwrites."""
+        rig = mini("moesi", "moesi")
+        rig.memory.poke(0, 77)
+        rig[0].write(0, 5)
+        assert rig[0].value_of(0) == 5
+        assert rig[0].read(0) == 5
+
+    def test_cached_lines_iteration(self, mini):
+        rig = mini("moesi")
+        rig[0].read(0)
+        rig[0].write(32, 2)
+        entries = {addr: (state.letter, value)
+                   for addr, state, value in rig[0].cached_lines()}
+        assert entries[0] == ("E", 0)
+        assert entries[1] == ("M", 2)
+
+    def test_miss_ratio_property(self, mini):
+        rig = mini("moesi")
+        rig[0].read(0)
+        rig[0].read(0)
+        assert rig[0].stats.miss_ratio == pytest.approx(0.5)

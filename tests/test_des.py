@@ -1,0 +1,100 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.system.des import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_by_insertion(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulator:
+    def test_runs_in_order_and_advances_clock(self):
+        sim = Simulator()
+        out = []
+        sim.at(5.0, lambda: out.append(("b", sim.now)))
+        sim.at(1.0, lambda: out.append(("a", sim.now)))
+        sim.run()
+        assert out == [("a", 1.0), ("b", 5.0)]
+        assert sim.now == 5.0
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.after(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+
+    def test_callbacks_may_schedule_more(self):
+        sim = Simulator()
+        hits = []
+
+        def tick():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                sim.after(10.0, tick)
+
+        sim.after(0.0, tick)
+        sim.run()
+        assert hits == [0.0, 10.0, 20.0]
+
+    def test_until_bound(self):
+        sim = Simulator()
+        hits = []
+
+        def tick():
+            hits.append(sim.now)
+            sim.after(10.0, tick)
+
+        sim.after(0.0, tick)
+        sim.run(until=25.0)
+        assert hits == [0.0, 10.0, 20.0]
+        assert sim.now == 25.0
+        assert sim.pending == 1  # the 30.0 event remains queued
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        hits = []
+
+        def tick():
+            hits.append(sim.now)
+            sim.after(1.0, tick)
+
+        sim.after(0.0, tick)
+        sim.run(max_events=5)
+        assert len(hits) == 5
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2

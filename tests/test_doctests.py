@@ -1,0 +1,26 @@
+"""Run the library's embedded doctests (usage examples in docstrings)."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.paper_data
+import repro.analysis.report
+import repro.core.states
+import repro.ext.linecross
+import repro.system.des
+
+MODULES = [
+    repro.core.states,
+    repro.analysis.paper_data,
+    repro.analysis.report,
+    repro.ext.linecross,
+    repro.system.des,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,90 @@
+"""Tests for local/bus event taxonomy (table notes 1-10)."""
+
+import pytest
+
+from repro.core.events import (
+    ALL_BUS_EVENTS,
+    ALL_LOCAL_EVENTS,
+    BusEvent,
+    LocalEvent,
+)
+from repro.core.signals import MasterSignals
+
+
+class TestLocalEvents:
+    def test_note_numbers(self):
+        assert [e.note for e in ALL_LOCAL_EVENTS] == [1, 2, 3, 4]
+
+    def test_order_matches_paper_columns(self):
+        assert ALL_LOCAL_EVENTS == (
+            LocalEvent.READ,
+            LocalEvent.WRITE,
+            LocalEvent.PASS,
+            LocalEvent.FLUSH,
+        )
+
+
+class TestBusEventClassification:
+    """Columns 5-10 are fully determined by (CA, IM, BC)."""
+
+    @pytest.mark.parametrize(
+        "ca,im,bc,expected",
+        [
+            (True, False, False, BusEvent.CACHE_READ),
+            (True, True, False, BusEvent.CACHE_READ_FOR_MODIFY),
+            (False, False, False, BusEvent.UNCACHED_READ),
+            (True, True, True, BusEvent.CACHE_BROADCAST_WRITE),
+            (False, True, False, BusEvent.UNCACHED_WRITE),
+            (False, True, True, BusEvent.UNCACHED_BROADCAST_WRITE),
+        ],
+    )
+    def test_from_signals(self, ca, im, bc, expected):
+        signals = MasterSignals(ca=ca, im=im, bc=bc)
+        assert BusEvent.from_signals(signals) is expected
+
+    def test_note_numbers(self):
+        assert [e.note for e in ALL_BUS_EVENTS] == [5, 6, 7, 8, 9, 10]
+
+    def test_roundtrip_signals(self):
+        for event in ALL_BUS_EVENTS:
+            assert BusEvent.from_signals(event.master_signals) is event
+
+    @pytest.mark.parametrize("ca", [True, False])
+    def test_broadcast_push_classifies_as_non_modifying(self, ca):
+        """BC with ~IM (a broadcast write-back) looks like column 5/7."""
+        signals = MasterSignals(ca=ca, im=False, bc=True)
+        expected = BusEvent.CACHE_READ if ca else BusEvent.UNCACHED_READ
+        assert BusEvent.from_signals(signals) is expected
+
+    @pytest.mark.parametrize(
+        "event,is_read",
+        [
+            (BusEvent.CACHE_READ, True),
+            (BusEvent.CACHE_READ_FOR_MODIFY, False),
+            (BusEvent.UNCACHED_READ, True),
+            (BusEvent.CACHE_BROADCAST_WRITE, False),
+        ],
+    )
+    def test_read_write_predicates(self, event, is_read):
+        assert event.is_read is is_read
+        assert event.is_write is not is_read
+
+    @pytest.mark.parametrize(
+        "event,expected",
+        [
+            (BusEvent.CACHE_READ, True),
+            (BusEvent.UNCACHED_READ, False),
+            (BusEvent.UNCACHED_WRITE, False),
+            (BusEvent.CACHE_BROADCAST_WRITE, True),
+        ],
+    )
+    def test_by_cache_master(self, event, expected):
+        assert event.by_cache_master is expected
+
+    def test_notation_matches_paper_headings(self):
+        assert BusEvent.CACHE_READ.notation() == "CA,~IM,~BC"
+        assert BusEvent.UNCACHED_BROADCAST_WRITE.notation() == "~CA,IM,BC"
+
+    def test_broadcast_predicate(self):
+        assert BusEvent.CACHE_BROADCAST_WRITE.is_broadcast
+        assert not BusEvent.UNCACHED_WRITE.is_broadcast

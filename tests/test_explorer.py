@@ -1,0 +1,151 @@
+"""The model checker itself: exhaustiveness, dedup, violation reporting."""
+
+import pytest
+
+from repro.verify.explorer import (
+    Explorer,
+    FullClassProtocol,
+    ScriptedChooser,
+    ScriptedPolicy,
+    explore,
+)
+
+
+class TestScriptedChooser:
+    def test_default_picks_zero_and_logs_arity(self):
+        chooser = ScriptedChooser()
+        chooser.begin(())
+        assert chooser.pick(3) == 0
+        assert chooser.pick(2) == 0
+        assert chooser.arities == [3, 2]
+
+    def test_script_replayed(self):
+        chooser = ScriptedChooser()
+        chooser.begin((2, 1))
+        assert chooser.pick(3) == 2
+        assert chooser.pick(2) == 1
+
+    def test_beyond_script_defaults_to_zero(self):
+        chooser = ScriptedChooser()
+        chooser.begin((1,))
+        chooser.pick(2)
+        assert chooser.pick(5) == 0
+
+    def test_out_of_range_rejected(self):
+        chooser = ScriptedChooser()
+        chooser.begin((7,))
+        with pytest.raises(IndexError):
+            chooser.pick(2)
+
+
+class TestFullClassProtocol:
+    def test_cells_are_closure_sized(self):
+        from repro.core.events import LocalEvent
+        from repro.core.states import LineState
+        from repro.core.transitions import local_choices
+
+        protocol = FullClassProtocol(ScriptedPolicy(ScriptedChooser()))
+        closure = protocol.local_cell(LineState.SHAREABLE, LocalEvent.WRITE)
+        literal = local_choices(LineState.SHAREABLE, LocalEvent.WRITE)
+        assert len(closure) > len(literal)
+
+    def test_cells_deterministic_order(self):
+        protocol = FullClassProtocol(ScriptedPolicy(ScriptedChooser()))
+        from repro.core.events import BusEvent
+        from repro.core.states import LineState
+
+        a = protocol.snoop_cell(LineState.SHAREABLE, BusEvent.CACHE_READ)
+        b = protocol.snoop_cell(LineState.SHAREABLE, BusEvent.CACHE_READ)
+        assert a == b
+
+
+class TestExploration:
+    def test_homogeneous_moesi_consistent_and_exhaustive(self):
+        result = explore(["moesi", "moesi"])
+        assert result.consistent and result.complete
+        assert result.states_explored > 5
+
+    def test_state_dedup_keeps_space_small(self):
+        """Two caches on one line: well under a hundred canonical states."""
+        result = explore(["moesi-scripted", "moesi-scripted"])
+        assert result.states_explored < 100
+
+    def test_max_states_bound_reported(self):
+        explorer = Explorer(["moesi", "moesi"], max_states=3)
+        result = explorer.run()
+        assert not result.complete
+
+    def test_violation_path_is_reproducible_narrative(self):
+        result = explore(["write-once", "moesi"])
+        assert result.violations
+        text = str(result.violations[0])
+        assert "->" in text or "." in text  # unit.event steps
+
+    def test_label_defaults_to_spec_names(self):
+        result = explore(["berkeley", "dragon"])
+        assert result.label == "berkeley+dragon"
+
+    def test_summary_format(self):
+        result = explore(["moesi", "moesi"])
+        assert "consistent" in result.summary()
+        assert "exhaustive" in result.summary()
+
+    def test_callable_spec(self):
+        from repro.protocols.moesi import MoesiProtocol
+
+        result = explore(
+            [lambda chooser: MoesiProtocol(ScriptedPolicy(chooser)), "moesi"]
+        )
+        assert result.consistent
+
+    def test_downgrades_explored_for_members(self):
+        """Relaxations 9/10 (spontaneous M->O, E->S) appear as steps."""
+        explorer = Explorer(["moesi", "moesi"], include_downgrades=True)
+        result = explorer.run()
+        no_downgrades = Explorer(
+            ["moesi", "moesi"], include_downgrades=False
+        ).run()
+        assert result.transitions_taken > no_downgrades.transitions_taken
+
+    def test_three_unit_exploration_terminates(self):
+        result = explore(["moesi", "berkeley", "non-caching"])
+        assert result.complete and result.consistent
+
+
+class TestMultiLineExploration:
+    """Two line addresses aliasing one cache frame: evictions and
+    write-backs become part of the explored space."""
+
+    def test_two_lines_consistent_moesi(self):
+        result = Explorer(["moesi", "moesi"], lines=2).run()
+        assert result.consistent and result.complete
+        # Far more states than the single-line space (18).
+        assert result.states_explored > 100
+
+    def test_two_lines_mixed_members(self):
+        result = Explorer(["berkeley", "dragon"], lines=2).run()
+        assert result.consistent and result.complete
+
+    def test_two_lines_foreign_homogeneous(self):
+        result = Explorer(["illinois", "illinois"], lines=2).run()
+        assert result.consistent and result.complete
+
+    def test_eviction_mutant_caught_with_two_lines(self):
+        """DropOwnershipMutant silently discards M lines on eviction --
+        only multi-line exploration can trigger capacity eviction."""
+        from repro.verify.mutations import DropOwnershipMutant
+
+        result = Explorer(
+            [lambda ch: DropOwnershipMutant(), "moesi"], lines=2
+        ).run()
+        assert not result.consistent
+
+    def test_step_labels_carry_line(self):
+        from repro.verify.explorer import _Step
+
+        step = _Step("u0", "write", (), line=1)
+        assert "[L1]" in str(step)
+
+    def test_lines_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Explorer(["moesi"], lines=0)

@@ -1,0 +1,79 @@
+"""Line crossers (section 5.1): per-line splitting of wide accesses."""
+
+import pytest
+
+from repro.ext.linecross import LineCrossingPort, split_reference
+
+
+class TestSplitReference:
+    def test_within_one_line(self):
+        pieces = split_reference(4, 8, 32)
+        assert len(pieces) == 1
+        assert pieces[0].line_address == 0 and pieces[0].size == 8
+
+    def test_crossing_two_lines(self):
+        pieces = split_reference(30, 8, 32)
+        assert [(p.line_address, p.size) for p in pieces] == [(0, 2), (1, 6)]
+
+    def test_spanning_three_lines(self):
+        pieces = split_reference(16, 80, 32)
+        assert [(p.line_address, p.size) for p in pieces] == [
+            (0, 16),
+            (1, 32),
+            (2, 32),
+        ]
+
+    def test_exact_line_boundary_no_split(self):
+        pieces = split_reference(32, 32, 32)
+        assert len(pieces) == 1 and pieces[0].line_address == 1
+
+    def test_sizes_sum(self):
+        pieces = split_reference(13, 100, 32)
+        assert sum(p.size for p in pieces) == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_reference(0, 0, 32)
+        with pytest.raises(ValueError):
+            split_reference(-1, 4, 32)
+
+
+class TestLineCrossingPort:
+    def test_crossing_write_touches_both_lines(self, mini):
+        rig = mini("moesi", "moesi")
+        port = LineCrossingPort(rig[0])
+        port.write(30, 5, size=8)  # spans lines 0 and 1
+        assert rig[0].state_of(0).letter == "M"
+        assert rig[0].state_of(1).letter == "M"
+        assert port.split_accesses == 1
+
+    def test_crossing_read_returns_piece_per_line(self, mini):
+        rig = mini("moesi", "moesi")
+        port = LineCrossingPort(rig[0])
+        rig[1].write(0, 1)
+        rig[1].write(32, 2)
+        values = port.read(30, size=8)
+        assert values == [1, 2]
+
+    def test_each_piece_is_separate_bus_transaction(self, mini):
+        """The paper's requirement: one transaction per line involved."""
+        rig = mini("moesi", "moesi")
+        port = LineCrossingPort(rig[0])
+        before = rig[0].stats.bus_transactions
+        port.read(30, size=8)  # two read misses
+        assert rig[0].stats.bus_transactions == before + 2
+
+    def test_non_crossing_not_counted(self, mini):
+        rig = mini("moesi", "moesi")
+        port = LineCrossingPort(rig[0])
+        port.read(0, size=4)
+        assert port.split_accesses == 0
+
+    def test_peer_coherence_across_split_write(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[1].read(0)
+        rig[1].read(32)
+        port = LineCrossingPort(rig[0])
+        port.write(30, 9, size=8)
+        assert rig[1].read(0) == 9
+        assert rig[1].read(32) == 9

@@ -1,0 +1,37 @@
+"""The line-size mismatch demonstrator (section 5.1)."""
+
+from repro.ext.linesize import (
+    demonstrate_mismatch,
+    demonstrate_uniform_ok,
+)
+
+
+class TestMismatchDemo:
+    def test_mixed_sizes_produce_stale_read(self):
+        demo = demonstrate_mismatch()
+        assert demo.stale_read
+        assert demo.expected_tokens != demo.observed_tokens
+
+    def test_narrative_tells_the_story(self):
+        demo = demonstrate_mismatch()
+        text = "\n".join(demo.narrative)
+        assert "A(64B)" in text and "B(32B)" in text
+
+    def test_owned_half_is_merged_but_other_half_stale(self):
+        """The charitable merge supplies B's half; the failure is the
+        half no snooper could cover."""
+        demo = demonstrate_mismatch()
+        assert demo.observed_tokens[1] == demo.expected_tokens[1]
+        assert demo.observed_tokens[0] != demo.expected_tokens[0]
+
+    def test_summary_flags_staleness(self):
+        assert "STALE READ" in demonstrate_mismatch().summary()
+
+
+class TestUniformControl:
+    def test_uniform_sizes_consistent(self):
+        demo = demonstrate_uniform_ok()
+        assert not demo.stale_read
+
+    def test_summary_reports_consistent(self):
+        assert "consistent" in demonstrate_uniform_ok().summary()

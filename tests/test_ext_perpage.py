@@ -1,0 +1,96 @@
+"""Per-page protocol selection (section 3.4, Clipper-style)."""
+
+import pytest
+
+from repro.core.validation import check_membership
+from repro.ext.perpage import PageClass, PageMap, PerPageProtocol
+from repro.system.system import BoardSpec, System
+from repro.verify.explorer import explore
+
+
+def _protocol(**kwargs):
+    defaults = dict(page_size=128, line_size=32)
+    defaults.update(kwargs)
+    return PerPageProtocol(PageMap(**defaults))
+
+
+class TestPageMap:
+    def test_classify_by_page(self):
+        page_map = PageMap(
+            page_size=128,
+            line_size=32,
+            assignments={0: PageClass.WRITE_THROUGH, 1: PageClass.UNCACHEABLE},
+        )
+        assert page_map.classify(0) == PageClass.WRITE_THROUGH   # line 0
+        assert page_map.classify(3) == PageClass.WRITE_THROUGH   # line 3, page 0
+        assert page_map.classify(4) == PageClass.UNCACHEABLE     # page 1
+        assert page_map.classify(8) == PageClass.COPY_BACK       # default
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            PageMap(default="weird")
+        with pytest.raises(ValueError):
+            PageMap(assignments={0: "weird"})
+
+
+class TestMembership:
+    def test_full_member(self):
+        report = check_membership(_protocol())
+        assert report.is_full_member, report.summary()
+
+    def test_model_checks_clean(self):
+        result = explore(
+            [
+                lambda ch: _protocol(default=PageClass.WRITE_THROUGH),
+                "moesi",
+            ],
+            label="perpage-wt+moesi",
+        )
+        assert result.consistent
+
+
+class TestBehaviourByPage:
+    def _system(self, assignments):
+        protocol = PerPageProtocol(
+            PageMap(page_size=128, line_size=32, assignments=assignments)
+        )
+        return System(
+            [BoardSpec("cpu0", protocol), BoardSpec("cpu1", "moesi")]
+        )
+
+    def test_copy_back_page_takes_ownership(self):
+        system = self._system({})
+        system.write("cpu0", 0)
+        assert system.controllers["cpu0"].state_of(0).letter == "M"
+
+    def test_write_through_page_writes_to_memory(self):
+        system = self._system({0: PageClass.WRITE_THROUGH})
+        system.read("cpu0", 0)
+        token = system.write("cpu0", 0)
+        assert system.memory.peek(0) == token
+        assert system.controllers["cpu0"].state_of(0).letter == "S"
+
+    def test_uncacheable_page_retains_nothing(self):
+        system = self._system({0: PageClass.UNCACHEABLE})
+        system.read("cpu0", 0)
+        assert system.controllers["cpu0"].state_of(0).letter == "I"
+        token = system.write("cpu0", 0)
+        assert system.memory.peek(0) == token
+
+    def test_pages_independent(self):
+        system = self._system({1: PageClass.UNCACHEABLE})
+        system.write("cpu0", 0)      # page 0: copy-back
+        system.write("cpu0", 128)    # page 1: uncacheable
+        cpu0 = system.controllers["cpu0"]
+        assert cpu0.state_of(0).letter == "M"
+        assert cpu0.state_of(4).letter == "I"
+
+    def test_mixed_pages_stay_coherent(self):
+        system = self._system({0: PageClass.WRITE_THROUGH,
+                               1: PageClass.UNCACHEABLE})
+        for address in (0, 128, 256):
+            system.write("cpu0", address)
+            system.read("cpu1", address)
+            system.write("cpu1", address)
+            system.read("cpu0", address)
+        assert not system.check_coherence()

@@ -1,0 +1,125 @@
+"""The Puzak-style recency refinement (section 5.2, experiment E4)."""
+
+import pytest
+
+from repro.core.events import BusEvent
+from repro.core.protocol import SnoopContext
+from repro.core.states import LineState
+from repro.core.transitions import snoop_choices
+from repro.core.validation import check_membership
+from repro.ext.puzak import (
+    RecencyAwarePolicy,
+    make_puzak_protocol,
+    puzak_comparison,
+)
+from repro.verify.explorer import explore
+
+S = LineState.SHAREABLE
+COL8 = BusEvent.CACHE_BROADCAST_WRITE
+CHOICES = snoop_choices(S, COL8)
+
+
+class TestPolicy:
+    def test_recent_line_updated(self):
+        policy = RecencyAwarePolicy(threshold=0.5)
+        ctx = SnoopContext(recency=0.0)  # MRU
+        assert policy.choose_snoop(S, COL8, CHOICES, ctx).retains_copy
+
+    def test_stale_line_discarded(self):
+        policy = RecencyAwarePolicy(threshold=0.5)
+        ctx = SnoopContext(recency=1.0)  # LRU, about to be replaced
+        assert not policy.choose_snoop(S, COL8, CHOICES, ctx).retains_copy
+
+    def test_threshold_boundary_inclusive(self):
+        policy = RecencyAwarePolicy(threshold=0.5)
+        ctx = SnoopContext(recency=0.5)
+        assert policy.choose_snoop(S, COL8, CHOICES, ctx).retains_copy
+
+    def test_no_recency_falls_back_to_preferred(self):
+        policy = RecencyAwarePolicy()
+        chosen = policy.choose_snoop(S, COL8, CHOICES, SnoopContext())
+        assert chosen is CHOICES[0]
+
+    def test_single_choice_cells_unaffected(self):
+        single = snoop_choices(S, BusEvent.CACHE_READ)
+        policy = RecencyAwarePolicy()
+        ctx = SnoopContext(recency=1.0)
+        assert policy.choose_snoop(S, BusEvent.CACHE_READ, single, ctx) is single[0]
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RecencyAwarePolicy(threshold=1.5)
+
+
+class TestProtocol:
+    def test_is_class_member(self):
+        """The refinement only picks among permitted actions."""
+        report = check_membership(make_puzak_protocol())
+        assert report.is_full_member, report.summary()
+
+    def test_model_checks_clean_against_class(self):
+        result = explore(
+            [lambda ch: make_puzak_protocol(), "moesi"],
+            label="puzak+moesi",
+        )
+        assert result.consistent and result.complete
+
+    def test_name_carries_threshold(self):
+        assert "0.25" in make_puzak_protocol(0.25).name
+
+
+class TestTwoWayBehaviour:
+    def test_mru_updated_lru_dropped_in_two_way_set(self, mini):
+        """The paper's example: in a 2-way set, update the MRU element,
+        discard the LRU element."""
+        from repro.bus.futurebus import Futurebus
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.controller import CacheController
+        from repro.memory.main_memory import MainMemory
+        from repro.protocols.registry import make_protocol
+
+        memory = MainMemory()
+        bus = Futurebus(memory)
+        snooper = CacheController(
+            "snooper",
+            make_puzak_protocol(0.5),
+            SetAssociativeCache(num_sets=1, associativity=2),
+            bus,
+        )
+        writer = CacheController(
+            "writer",
+            make_protocol("moesi-update"),
+            SetAssociativeCache(num_sets=2, associativity=2),
+            bus,
+        )
+        # The snooper holds lines 0 and 1 in its single set; line 1 is MRU.
+        snooper.read(0)
+        snooper.read(32)
+        writer.read(0)
+        writer.read(32)
+        # Writer broadcasts to both lines; only the snooper's MRU line (1)
+        # should survive as an updated copy.
+        writer.write(32, 1)   # MRU at snooper -> updated
+        writer.write(0, 2)    # LRU at snooper -> discarded
+        assert snooper.state_of(1).letter == "S"
+        assert snooper.value_of(1) == 1
+        assert snooper.state_of(0).letter == "I"
+
+
+class TestComparison:
+    def test_rows_cover_three_policies(self):
+        rows = puzak_comparison(references=600)
+        systems = [r["system"] for r in rows]
+        assert systems[0] == "always-update"
+        assert systems[1] == "always-invalidate"
+        assert any("puzak" in s for s in systems)
+
+    def test_puzak_between_extremes_on_updates(self):
+        rows = puzak_comparison(references=1200)
+        by_name = {r["system"]: r for r in rows}
+        puzak_row = next(v for k, v in by_name.items() if "puzak" in k)
+        assert (
+            by_name["always-invalidate"]["updates"]
+            <= puzak_row["updates"]
+            <= by_name["always-update"]["updates"]
+        )

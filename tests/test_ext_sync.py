@@ -1,0 +1,121 @@
+"""Consistency commands (section 6): sync and flush across the bus."""
+
+import pytest
+
+from repro.ext.sync import ConsistencyCommander
+from repro.system.system import BoardSpec, System
+
+
+def _commander(system: System) -> ConsistencyCommander:
+    return ConsistencyCommander(system.bus)
+
+
+class TestSyncLine:
+    def test_memory_updated_copies_kept(self):
+        system = System.homogeneous("moesi", 2)
+        token = system.write("cpu0", 0)        # owner M, memory stale
+        assert system.memory.peek(0) != token
+        value = _commander(system).sync_line(0)
+        assert value == token
+        assert system.memory.peek(0) == token
+        # The owner retains its (still-owned) copy; reads still hit.
+        assert system.controllers["cpu0"].state_of(0).valid
+        assert system.read("cpu0", 0) == token
+        assert not system.check_coherence()
+
+    def test_noop_when_memory_already_owner(self):
+        system = System.homogeneous("moesi", 2)
+        system.read("cpu0", 0)                 # clean copy, memory current
+        commander = _commander(system)
+        commander.sync_line(0)
+        assert commander.stats.transactions == 1  # just the probe read
+
+    def test_shared_dirty_line_synced(self):
+        system = System.homogeneous("berkeley", 3)
+        token = system.write("cpu0", 0)
+        system.read("cpu1", 0)                 # O + S, memory stale
+        system.read("cpu2", 0)
+        _commander(system).sync_line(0)
+        assert system.memory.peek(0) == token
+        for unit in ("cpu0", "cpu1", "cpu2"):
+            assert system.read(unit, 0) == token
+        assert not system.check_coherence()
+
+    @pytest.mark.parametrize(
+        "protocol", ["moesi", "berkeley", "dragon", "moesi-invalidate"]
+    )
+    def test_across_protocols(self, protocol):
+        system = System.homogeneous(protocol, 2)
+        token = system.write("cpu0", 0)
+        _commander(system).sync_line(0)
+        assert system.memory.peek(0) == token
+        assert not system.check_coherence()
+
+
+class TestFlushLine:
+    def test_memory_updated_copies_purged(self):
+        system = System.homogeneous("moesi", 3)
+        token = system.write("cpu0", 0)
+        system.read("cpu1", 0)
+        value = _commander(system).flush_line(0)
+        assert value == token
+        assert system.memory.peek(0) == token
+        for unit in ("cpu0", "cpu1", "cpu2"):
+            assert not system.controllers[unit].state_of(0).valid
+        assert not system.check_coherence()
+
+    def test_next_read_comes_from_memory(self):
+        system = System.homogeneous("moesi", 2)
+        token = system.write("cpu0", 0)
+        _commander(system).flush_line(0)
+        reads_before = system.memory.stats.reads
+        assert system.read("cpu1", 0) == token
+        assert system.memory.stats.reads == reads_before + 1
+
+    def test_flush_clean_line(self):
+        system = System.homogeneous("moesi", 2)
+        system.read("cpu0", 0)
+        _commander(system).flush_line(0)
+        assert not system.controllers["cpu0"].state_of(0).valid
+        assert not system.check_coherence()
+
+    def test_mixed_system_flush(self):
+        system = System(
+            [
+                BoardSpec("a", "moesi"),
+                BoardSpec("b", "dragon"),
+                BoardSpec("c", "write-through"),
+            ]
+        )
+        token = system.write("a", 0)
+        system.read("b", 0)
+        system.read("c", 0)
+        _commander(system).flush_line(0)
+        assert system.memory.peek(0) == token
+        assert all(
+            not system.controllers[u].state_of(0).valid for u in "abc"
+        )
+        assert not system.check_coherence()
+
+
+class TestRanges:
+    def test_sync_range(self):
+        system = System.homogeneous("moesi", 2)
+        tokens = [system.write("cpu0", line * 32) for line in range(4)]
+        commander = _commander(system)
+        assert commander.sync_range(0, 3) == 4
+        for line, token in enumerate(tokens):
+            assert system.memory.peek(line) == token
+        assert commander.stats.syncs == 4
+
+    def test_flush_range_dma_scenario(self):
+        """The I/O story: flush before handing a buffer to a device."""
+        system = System(
+            [BoardSpec("cpu", "moesi"), BoardSpec("dma", "non-caching")]
+        )
+        tokens = [system.write("cpu", line * 32) for line in range(3)]
+        _commander(system).flush_range(0, 2)
+        # The DMA engine now sees every line directly from memory.
+        for line, token in enumerate(tokens):
+            assert system.read("dma", line * 32) == token
+        assert not system.check_coherence()

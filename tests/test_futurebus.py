@@ -1,0 +1,242 @@
+"""The Futurebus transaction engine, driven by stub agents.
+
+These tests pin the engine's routing rules independently of the cache
+controller: who supplies reads, who absorbs writes, when memory updates,
+how BS aborts retry, and how errors are surfaced."""
+
+import pytest
+
+from repro.bus.futurebus import BusAgent, BusLivelockError, Futurebus
+from repro.bus.transaction import Transaction
+from repro.core.actions import BusOp
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.memory.main_memory import MainMemory
+
+
+class StubAgent(BusAgent):
+    """Scriptable snooper: responds with a fixed SnoopResponse."""
+
+    def __init__(self, unit_id, response=SnoopResponse.NONE, data=99):
+        self.unit_id = unit_id
+        self.response = response
+        self.data = data
+        self.captured = []
+        self.updated = []
+        self.finalized = []
+        self.aborted = []
+
+    def snoop(self, txn):
+        return self.response
+
+    def supply_data(self, txn):
+        return self.data
+
+    def capture_write(self, txn):
+        self.captured.append(txn.value)
+
+    def connect_update(self, txn):
+        self.updated.append(txn.value)
+
+    def finalize(self, txn, aggregate):
+        self.finalized.append((txn.serial, aggregate))
+
+    def transaction_aborted(self, txn):
+        self.aborted.append(txn.serial)
+
+
+class PushingAgent(StubAgent):
+    """Asserts BS once, pushes, then goes quiet -- like a dirty cache."""
+
+    def __init__(self, unit_id, push_value):
+        super().__init__(unit_id, SnoopResponse(bs=True), push_value)
+        self.pushed = False
+
+    def snoop(self, txn):
+        if self.pushed:
+            return SnoopResponse(ch=True)
+        return SnoopResponse(bs=True)
+
+    def abort_push(self, txn, bus):
+        bus.execute(
+            self.unit_id, txn.address, MasterSignals(ca=True), BusOp.WRITE,
+            self.data,
+        )
+        self.pushed = True
+
+
+@pytest.fixture
+def rig():
+    memory = MainMemory()
+    bus = Futurebus(memory)
+    return bus, memory
+
+
+class TestReads:
+    def test_memory_supplies_by_default(self, rig):
+        bus, memory = rig
+        memory.poke(0, 42)
+        bus.attach(StubAgent("a"))
+        result = bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert result.value == 42 and result.supplier == "memory"
+
+    def test_di_preempts_memory(self, rig):
+        bus, memory = rig
+        memory.poke(0, 42)
+        owner = StubAgent("owner", SnoopResponse(di=True), data=7)
+        bus.attach(owner)
+        result = bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert result.value == 7 and result.supplier == "owner"
+        assert memory.stats.reads == 0
+
+    def test_master_does_not_snoop_itself(self, rig):
+        bus, _ = rig
+        agent = StubAgent("m", SnoopResponse(di=True))
+        bus.attach(agent)
+        result = bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert result.supplier == "memory"
+
+    def test_ch_aggregated(self, rig):
+        bus, _ = rig
+        bus.attach(StubAgent("a", SnoopResponse(ch=True)))
+        bus.attach(StubAgent("b"))
+        result = bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert result.shared
+
+
+class TestWrites:
+    def test_plain_write_updates_memory(self, rig):
+        bus, memory = rig
+        bus.attach(StubAgent("a"))
+        bus.execute("m", 0, MasterSignals(im=True), BusOp.WRITE, 5)
+        assert memory.peek(0) == 5
+
+    def test_owner_captures_non_broadcast_write(self, rig):
+        """DI on a write: the owner absorbs it; memory must stay stale."""
+        bus, memory = rig
+        owner = StubAgent("owner", SnoopResponse(di=True))
+        bus.attach(owner)
+        bus.execute("m", 0, MasterSignals(im=True), BusOp.WRITE, 5)
+        assert owner.captured == [5]
+        assert memory.stats.writes == 0
+
+    def test_broadcast_write_updates_memory_and_connectors(self, rig):
+        bus, memory = rig
+        a = StubAgent("a", SnoopResponse(sl=True, ch=True))
+        b = StubAgent("b")
+        bus.attach(a)
+        bus.attach(b)
+        result = bus.execute(
+            "m", 0, MasterSignals(ca=True, im=True, bc=True), BusOp.WRITE, 5
+        )
+        assert memory.peek(0) == 5
+        assert a.updated == [5] and b.updated == []
+        assert result.connectors == ("a",)
+
+    def test_di_on_broadcast_is_an_error(self, rig):
+        bus, _ = rig
+        bus.attach(StubAgent("a", SnoopResponse(di=True)))
+        with pytest.raises(RuntimeError, match="DI asserted on broadcast"):
+            bus.execute(
+                "m", 0, MasterSignals(ca=True, im=True, bc=True),
+                BusOp.WRITE, 5,
+            )
+
+    def test_write_without_value_rejected(self, rig):
+        bus, _ = rig
+        with pytest.raises(ValueError, match="write without data"):
+            bus.execute("m", 0, MasterSignals(im=True), BusOp.WRITE)
+
+    def test_multiple_di_detected(self, rig):
+        """Two intervenient responders = broken single-owner invariant."""
+        bus, _ = rig
+        bus.attach(StubAgent("a", SnoopResponse(di=True)))
+        bus.attach(StubAgent("b", SnoopResponse(di=True)))
+        with pytest.raises(RuntimeError, match="multiple intervenient"):
+            bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+
+
+class TestAddressOnly:
+    def test_no_data_movement(self, rig):
+        bus, memory = rig
+        agent = StubAgent("a")
+        bus.attach(agent)
+        result = bus.execute(
+            "m", 0, MasterSignals(ca=True, im=True), BusOp.NONE
+        )
+        assert memory.stats.writes == 0 and memory.stats.reads == 0
+        assert result.value is None
+        assert agent.finalized  # still snooped and finalized
+
+
+class TestAbortRetry:
+    def test_bs_causes_push_then_retry(self, rig):
+        bus, memory = rig
+        pusher = PushingAgent("dirty", push_value=9)
+        bus.attach(pusher)
+        result = bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert result.retries == 1
+        assert memory.peek(0) == 9      # push reached memory first
+        assert result.value == 9        # retry read the fresh value
+        assert result.supplier == "memory"
+
+    def test_non_pushers_notified_of_abort(self, rig):
+        bus, _ = rig
+        pusher = PushingAgent("dirty", push_value=9)
+        bystander = StubAgent("by")
+        bus.attach(pusher)
+        bus.attach(bystander)
+        bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert bystander.aborted  # told about the aborted first attempt
+
+    def test_livelock_detected(self, rig):
+        bus, _ = rig
+
+        class ForeverBusy(StubAgent):
+            def snoop(self, txn):
+                return SnoopResponse(bs=True)
+
+            def abort_push(self, txn, bus):
+                pass  # never makes progress
+
+        bus.attach(ForeverBusy("stuck"))
+        with pytest.raises(BusLivelockError):
+            bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+
+
+class TestBookkeeping:
+    def test_duplicate_unit_rejected(self, rig):
+        bus, _ = rig
+        bus.attach(StubAgent("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            bus.attach(StubAgent("a"))
+
+    def test_trace_records_transactions(self):
+        memory = MainMemory()
+        trace = []
+        bus = Futurebus(memory, trace=trace)
+        bus.execute("m", 0, MasterSignals(im=True), BusOp.WRITE, 1)
+        assert len(trace) == 1
+        txn, result = trace[0]
+        assert isinstance(txn, Transaction) and txn.master == "m"
+
+    def test_busy_time_accumulates(self, rig):
+        bus, _ = rig
+        bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        first = bus.busy_ns
+        bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert bus.busy_ns > first
+
+    def test_read_then_write_rejected_at_engine(self, rig):
+        bus, _ = rig
+        with pytest.raises(ValueError, match="two transactions"):
+            bus.execute(
+                "m", 0, MasterSignals(ca=True), BusOp.READ_THEN_WRITE
+            )
+
+    def test_serial_numbers_increase(self, rig):
+        bus, _ = rig
+        trace = []
+        bus.trace = trace
+        bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        bus.execute("m", 0, MasterSignals(ca=True), BusOp.READ)
+        assert trace[1][0].serial > trace[0][0].serial

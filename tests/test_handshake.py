@@ -1,0 +1,61 @@
+"""The broadcast address handshake (sections 2.1-2.2, Figure 2)."""
+
+import pytest
+
+from repro.bus.handshake import SlaveTiming, run_address_handshake
+
+
+def _slaves(*done_delays):
+    return [
+        SlaveTiming(f"s{i}", ack_delay=5.0, done_delay=d, position=float(i))
+        for i, d in enumerate(done_delays)
+    ]
+
+
+class TestHandshakeCompletion:
+    def test_completes_when_slowest_slave_done(self):
+        trace = run_address_handshake(_slaves(20.0, 45.0, 30.0))
+        assert trace.ai_released_at == trace.as_asserted_at + 45.0
+
+    def test_filter_window_added(self):
+        trace = run_address_handshake(_slaves(20.0), filter_window=25.0)
+        assert trace.ai_observed_high_at == trace.ai_released_at + 25.0
+
+    def test_address_held_until_all_done(self):
+        """The master must keep the address until AI* rises."""
+        trace = run_address_handshake(_slaves(20.0, 60.0))
+        ad = trace.lines["AD"]
+        assert ad.raw_level_at(trace.ai_released_at - 1.0)
+        assert not ad.raw_level_at(trace.address_removed_at + 1.0)
+
+    def test_all_slaves_acknowledge(self):
+        trace = run_address_handshake(_slaves(20.0, 25.0, 30.0))
+        ak = trace.lines["AK*"]
+        assert ak.raw_level_at(trace.as_asserted_at + 10.0)
+
+    def test_needs_a_slave(self):
+        with pytest.raises(ValueError):
+            run_address_handshake([])
+
+
+class TestGlitches:
+    def test_staggered_releases_glitch(self):
+        """N slaves releasing at distinct times -> N-1 glitches on AI*."""
+        trace = run_address_handshake(_slaves(20.0, 30.0, 40.0, 50.0))
+        assert trace.glitch_count == 3
+
+    def test_simultaneous_release_single_glitch_free_edge(self):
+        trace = run_address_handshake(_slaves(30.0))
+        assert trace.glitch_count == 0
+
+
+class TestDuration:
+    def test_duration_dominated_by_slowest_plus_filter(self):
+        fast = run_address_handshake(_slaves(20.0))
+        slow = run_address_handshake(_slaves(90.0))
+        assert slow.duration - fast.duration == pytest.approx(70.0)
+
+    def test_start_time_offset(self):
+        trace = run_address_handshake(_slaves(20.0), start_time=1000.0)
+        assert trace.address_valid_from == 1000.0
+        assert trace.complete_at > 1000.0

@@ -1,0 +1,292 @@
+"""Multi-bus hierarchy (section 6 future work): cluster bridges.
+
+Scenario tests pin the cross-level mechanics (intervention across
+clusters, ownership migration, directory states); randomized tests sweep
+interleavings; negative tests confirm the hierarchy checker notices
+forged inconsistencies."""
+
+import random
+
+import pytest
+
+from repro.hierarchy import (
+    ClusterSpec,
+    DirectoryState,
+    HierarchicalSystem,
+)
+from repro.system.system import CoherenceError
+
+
+@pytest.fixture
+def grid22():
+    return HierarchicalSystem.grid(2, 2)
+
+
+def units(h):
+    return list(h.controllers)
+
+
+class TestConstruction:
+    def test_grid_naming(self, grid22):
+        assert units(grid22) == [
+            "c0.cpu0", "c0.cpu1", "c1.cpu0", "c1.cpu1",
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalSystem([])
+
+    def test_uniform_line_size_enforced(self):
+        with pytest.raises(ValueError, match="uniform"):
+            HierarchicalSystem(
+                [
+                    ClusterSpec("a", line_size=32),
+                    ClusterSpec("b", line_size=64),
+                ]
+            )
+
+    def test_mixed_protocols_within_cluster(self):
+        h = HierarchicalSystem(
+            [
+                ClusterSpec("a", protocols=("moesi", "berkeley")),
+                ClusterSpec("b", protocols=("dragon", "write-through")),
+            ]
+        )
+        assert len(h.controllers) == 4
+
+
+class TestIntraCluster:
+    """Traffic that never needs the global bus after the first fetch."""
+
+    def test_local_sharing_stays_local(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        global_before = h.global_bus._serial
+        assert h.read("c0.cpu1", 0) == 1  # owner intervenes locally
+        assert h.global_bus._serial == global_before
+
+    def test_local_handoff_stays_local(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        h.write("c0.cpu1", 0)
+        global_before = h.global_bus._serial
+        h.write("c0.cpu0", 0)
+        h.read("c0.cpu1", 0)
+        assert h.global_bus._serial == global_before
+
+    def test_directory_modified_after_local_write(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        assert h.bridges["c0"].directory_state(0) is DirectoryState.MODIFIED
+        assert h.bridges["c1"].directory_state(0) is DirectoryState.INVALID
+
+
+class TestCrossCluster:
+    def test_remote_read_intervenes_through_bridge(self, grid22):
+        h = grid22
+        token = h.write("c0.cpu0", 0)
+        assert h.read("c1.cpu0", 0) == token
+        assert h.bridges["c0"].stats.supplies == 1
+        assert h.bridges["c0"].directory_state(0) is DirectoryState.OWNED
+        assert h.bridges["c1"].directory_state(0) is DirectoryState.SHARED
+
+    def test_remote_write_invalidates_other_cluster(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        h.read("c1.cpu0", 0)
+        token = h.write("c1.cpu0", 0)
+        # c0's copies must be gone or updated; a read must see the token.
+        assert h.read("c0.cpu1", 0) == token
+        assert not h.check_coherence()
+
+    def test_ownership_migrates(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        h.write("c1.cpu0", 0)
+        assert h.bridges["c1"].directory_state(0).owns
+        assert not h.bridges["c0"].directory_state(0).owns
+
+    def test_shared_in_both_clusters(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        h.read("c1.cpu0", 0)
+        h.read("c1.cpu1", 0)
+        h.read("c0.cpu1", 0)
+        states = {
+            name: bridge.directory_state(0)
+            for name, bridge in h.bridges.items()
+        }
+        assert states["c0"].owns
+        assert states["c1"] is DirectoryState.SHARED
+        assert not h.check_coherence()
+
+    def test_no_silent_exclusive_while_globally_shared(self, grid22):
+        """The pretend-sharer CH: a local reader must land S (not E) when
+        another cluster holds the line."""
+        h = grid22
+        h.write("c0.cpu0", 0)      # c0 owns
+        h.read("c1.cpu0", 0)       # c1 shares
+        # A second c1 reader must land S -- the line exists in c0 too.
+        h.read("c1.cpu1", 0)
+        assert h.controllers["c1.cpu1"].state_of(0).letter == "S"
+
+    def test_first_reader_of_unshared_line_can_take_exclusive(self, grid22):
+        h = grid22
+        h.read("c0.cpu0", 0)
+        assert h.controllers["c0.cpu0"].state_of(0).letter == "E"
+
+    def test_write_back_propagates_on_cross_read(self, grid22):
+        """Evicted dirty line lands in the bridge; remote reads get it."""
+        h = HierarchicalSystem(
+            [
+                ClusterSpec("a", protocols=("moesi",), num_sets=1,
+                            associativity=1),
+                ClusterSpec("b", protocols=("moesi",), num_sets=1,
+                            associativity=1),
+            ]
+        )
+        token = h.write("a.cpu0", 0)
+        h.write("a.cpu0", 32)          # evicts line 0 -> push to bridge
+        assert h.bridges["a"].directory[0].value == token
+        assert h.read("b.cpu0", 0) == token
+
+    def test_uncached_style_write_through_cluster(self):
+        h = HierarchicalSystem(
+            [
+                ClusterSpec("a", protocols=("write-through", "moesi")),
+                ClusterSpec("b", protocols=("moesi",)),
+            ]
+        )
+        h.read("a.cpu0", 0)
+        h.read("b.cpu0", 0)
+        token = h.write("a.cpu0", 0)   # WT write past the cache
+        assert h.read("b.cpu0", 0) == token
+        assert not h.check_coherence()
+
+
+class TestRandomizedHierarchy:
+    @pytest.mark.parametrize(
+        "clusters,cpus,seed",
+        [(2, 2, 0), (3, 2, 1), (2, 3, 2), (2, 2, 3)],
+    )
+    def test_random_traffic_clean(self, clusters, cpus, seed):
+        h = HierarchicalSystem.grid(clusters, cpus)
+        rng = random.Random(seed)
+        all_units = units(h)
+        for _ in range(1500):
+            unit = rng.choice(all_units)
+            address = rng.randrange(6) * 32
+            if rng.random() < 0.4:
+                h.write(unit, address)
+            else:
+                h.read(unit, address)
+        assert not h.check_coherence()
+
+    def test_mixed_protocol_clusters_clean(self):
+        h = HierarchicalSystem(
+            [
+                ClusterSpec("a", protocols=("moesi", "berkeley")),
+                ClusterSpec("b", protocols=("dragon", "write-through")),
+            ]
+        )
+        rng = random.Random(7)
+        all_units = units(h)
+        for _ in range(1500):
+            unit = rng.choice(all_units)
+            address = rng.randrange(4) * 32
+            if rng.random() < 0.4:
+                h.write(unit, address)
+            else:
+                h.read(unit, address)
+        assert not h.check_coherence()
+
+
+class TestHierarchyChecker:
+    def test_forged_double_cluster_ownership_detected(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        from repro.hierarchy.bridge import DirectoryEntry
+
+        h.bridges["c1"].directory[0] = DirectoryEntry(
+            DirectoryState.MODIFIED, 99
+        )
+        assert any(
+            "multiple owning clusters" in p for p in h.check_coherence()
+        )
+
+    def test_forged_stale_leaf_detected(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        h.read("c0.cpu1", 0)
+        h.controllers["c0.cpu1"].cache.lookup(0)[2].value = 4242
+        with pytest.raises(CoherenceError):
+            h.read("c0.cpu1", 0)
+
+    def test_traffic_counters(self, grid22):
+        h = grid22
+        h.write("c0.cpu0", 0)
+        h.read("c1.cpu0", 0)
+        traffic = h.traffic()
+        assert traffic["global_transactions"] >= 2
+        assert traffic["local_transactions"] >= 2
+
+
+class TestHierarchyFiltering:
+    def test_global_bus_sees_less_than_flat_system(self):
+        """The point of the hierarchy: cluster-local sharing never hits
+        the global bus, so it scales past a single bus's bandwidth."""
+        h = HierarchicalSystem.grid(2, 2)
+        rng = random.Random(11)
+        all_units = units(h)
+        for _ in range(2000):
+            unit = rng.choice(all_units)
+            # Mostly cluster-local lines (per-cluster private regions).
+            cluster = unit.split(".")[0]
+            base = 0 if cluster == "c0" else 8
+            address = (base + rng.randrange(6)) * 32
+            h.write(unit, address) if rng.random() < 0.4 else h.read(
+                unit, address
+            )
+        traffic = h.traffic()
+        assert traffic["global_transactions"] < traffic["local_transactions"] / 5
+        assert not h.check_coherence()
+
+
+class TestTraceInterface:
+    def test_run_trace_with_records(self):
+        from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+        h = HierarchicalSystem.grid(2, 1)
+        trace = Trace(
+            [
+                ReferenceRecord("c0.cpu0", Op.WRITE, 0),
+                ReferenceRecord("c1.cpu0", Op.READ, 0),
+                ReferenceRecord("c1.cpu0", Op.WRITE, 32),
+                ReferenceRecord("c0.cpu0", Op.READ, 32),
+            ]
+        )
+        h.run_trace(trace)
+        assert h.accesses == 4
+        assert not h.check_coherence()
+
+
+class TestStatsInterfaces:
+    def test_bus_stats_count_and_reset(self):
+        from repro.core.events import BusEvent
+        from repro.system.system import System
+
+        system = System.homogeneous("moesi", 2)
+        system.write("cpu0", 0)
+        assert system.bus_stats.count(BusEvent.CACHE_READ_FOR_MODIFY) == 1
+        system.bus_stats.reset()
+        assert system.bus_stats.transactions == 0
+        assert system.bus_stats.count(BusEvent.CACHE_READ_FOR_MODIFY) == 0
+
+    def test_controller_stats_reset(self):
+        from repro.system.system import System
+
+        system = System.homogeneous("moesi", 1)
+        system.read("cpu0", 0)
+        controller = system.controllers["cpu0"]
+        controller.stats.reset()
+        assert controller.stats.reads == 0

@@ -1,0 +1,166 @@
+"""Arbitrary-depth hierarchies: bridges compose.
+
+Nothing in :class:`~repro.hierarchy.bridge.ClusterBridge` knows whether
+its "global" bus is the root or another bridge's local bus, so hierarchies
+nest without any new code -- a three-level tree (and mixed-depth trees,
+with leaves and sub-bridges sharing one bus) maintains coherence under
+oracle-checked random traffic."""
+
+import random
+
+import pytest
+
+from repro.bus.futurebus import Futurebus
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.controller import CacheController
+from repro.hierarchy import ClusterBridge
+from repro.memory.main_memory import MainMemory
+from repro.protocols.registry import make_protocol
+
+
+class _Tree:
+    """A hand-built nested hierarchy with a last-write oracle."""
+
+    def __init__(self) -> None:
+        self.memory = MainMemory()
+        self.root = Futurebus(self.memory)
+        self.leaves: dict[str, CacheController] = {}
+        self._last: dict[int, int] = {}
+        self._counter = 0
+
+    def bridge(self, name: str, parent_bus: Futurebus) -> ClusterBridge:
+        return ClusterBridge(name, parent_bus)
+
+    def leaf(self, name: str, bus: Futurebus,
+             protocol: str = "moesi") -> CacheController:
+        controller = CacheController(
+            name,
+            make_protocol(protocol),
+            SetAssociativeCache(num_sets=4, associativity=2),
+            bus,
+        )
+        self.leaves[name] = controller
+        return controller
+
+    def write(self, name: str, line: int) -> None:
+        self._counter += 1
+        self.leaves[name].write(line * 32, self._counter)
+        self._last[line] = self._counter
+
+    def read(self, name: str, line: int) -> None:
+        got = self.leaves[name].read(line * 32)
+        want = self._last.get(line, 0)
+        assert got == want, f"{name} line {line}: {got} != {want}"
+
+    def churn(self, steps: int, lines: int = 5, seed: int = 0) -> None:
+        rng = random.Random(seed)
+        names = list(self.leaves)
+        for _ in range(steps):
+            name = rng.choice(names)
+            line = rng.randrange(lines)
+            if rng.random() < 0.4:
+                self.write(name, line)
+            else:
+                self.read(name, line)
+
+
+@pytest.fixture
+def three_level():
+    tree = _Tree()
+    a = tree.bridge("A", tree.root)
+    b = tree.bridge("B", tree.root)
+    a1 = tree.bridge("A1", a.local_bus)
+    a2 = tree.bridge("A2", a.local_bus)
+    tree.leaf("a1x", a1.local_bus)
+    tree.leaf("a1y", a1.local_bus)
+    tree.leaf("a2x", a2.local_bus)
+    tree.leaf("bx", b.local_bus)
+    tree.leaf("by", b.local_bus)
+    tree.bridges = {"A": a, "B": b, "A1": a1, "A2": a2}
+    return tree
+
+
+class TestThreeLevels:
+    def test_cross_subtree_write_read(self, three_level):
+        tree = three_level
+        tree.write("a1x", 0)   # deepest leaf dirties the line
+        tree.read("by", 0)     # read from the other top-level subtree
+        tree.write("by", 0)
+        tree.read("a1y", 0)    # and back down the other side
+
+    def test_sibling_subclusters(self, three_level):
+        tree = three_level
+        tree.write("a1x", 1)
+        tree.read("a2x", 1)    # crosses A1 -> A -> A2, not the root...
+        tree.write("a2x", 1)
+        tree.read("a1y", 1)
+
+    def test_sibling_traffic_stays_inside_supercluster(self, three_level):
+        tree = three_level
+        tree.write("a1x", 2)    # one cold root fetch happens here
+        root_before = tree.root._serial
+        # Once the line lives inside supercluster A, sibling exchange
+        # between A1 and A2 generates no root-bus traffic at all.
+        tree.read("a2x", 2)
+        tree.read("a1x", 2)
+        tree.write("a2x", 2)
+        tree.read("a1y", 2)
+        assert tree.root._serial == root_before
+
+    def test_random_churn_oracle_checked(self, three_level):
+        three_level.churn(2500, seed=11)
+
+    def test_deep_leaf_exclusive_booked_conservatively(self, three_level):
+        tree = three_level
+        tree.read("a1x", 3)
+        # Every bridge on the path records potential ownership (M).
+        assert tree.bridges["A1"].directory_state(3).owns
+        assert tree.bridges["A"].directory_state(3).owns
+
+
+class TestMixedDepth:
+    def test_leaves_and_subbridges_on_one_bus(self):
+        """A leaf cache directly on A's bus coexists with A1's subtree."""
+        tree = _Tree()
+        a = tree.bridge("A", tree.root)
+        a1 = tree.bridge("A1", a.local_bus)
+        tree.leaf("shallow", a.local_bus)      # depth 2
+        tree.leaf("deep", a1.local_bus)        # depth 3
+        tree.leaf("top", tree.root)            # depth 1 (!) on the root
+        tree.churn(2000, seed=5)
+
+    def test_mixed_protocols_at_depth(self):
+        tree = _Tree()
+        a = tree.bridge("A", tree.root)
+        a1 = tree.bridge("A1", a.local_bus)
+        tree.leaf("d", a1.local_bus, protocol="dragon")
+        tree.leaf("k", a1.local_bus, protocol="berkeley")
+        tree.leaf("w", a.local_bus, protocol="write-through")
+        tree.churn(1500, seed=9)
+
+
+class TestBoundedFuzz:
+    """A scaled-down version of the 400k-trial randomized search that
+    found the cross-level bugs now pinned in
+    test_hierarchy_regressions.py; kept in the suite as an ongoing
+    tripwire."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_protocol_triples(self, seed):
+        import itertools
+
+        rng = random.Random(seed)
+        pool = [
+            "moesi", "moesi-invalidate", "moesi-update", "berkeley",
+            "dragon", "write-through", "write-through-noalloc-nobc",
+            "non-caching", "non-caching-bc",
+        ]
+        for _ in range(60):
+            tree = _Tree()
+            a = tree.bridge("A", tree.root)
+            a1 = tree.bridge("A1", a.local_bus)
+            tree.leaf("shallow", a.local_bus, protocol=rng.choice(pool))
+            tree.leaf("deep", a1.local_bus, protocol=rng.choice(pool))
+            tree.leaf("top", tree.root, protocol=rng.choice(pool))
+            tree.churn(rng.randrange(5, 25), lines=2,
+                       seed=rng.randrange(10**6))

@@ -1,0 +1,121 @@
+"""Regression tests: bugs found by randomized search over nested
+hierarchies, pinned as minimal scenarios.
+
+Each of these is a genuine cross-level protocol subtlety; together they
+document the three rules a correct bridge must follow:
+
+1. assert CH on a local broadcast write while the line is visible outside
+   the cluster (an upper-level sharer may survive the announce, so the
+   writer must land O, not M);
+2. forward uncached writes upward with their broadcast-ness *preserved*
+   (column 9's everyone-else-invalidates contract differs from column
+   10's holders-update contract);
+3. preserve the directory state on capture (Table 2: O -> O,DI), because
+   a write-through writer on the parent bus retains its copy.
+"""
+
+import pytest
+
+from repro.bus.futurebus import Futurebus
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.controller import CacheController
+from repro.hierarchy import ClusterBridge, DirectoryState
+from repro.memory.main_memory import MainMemory
+from repro.protocols.registry import make_protocol
+
+
+def _nested(shallow="moesi", deep="moesi", top="moesi"):
+    """Root bus with leaf 'top'; bridge A on root with leaf 'shallow';
+    bridge A1 inside A with leaf 'deep'."""
+    memory = MainMemory()
+    root = Futurebus(memory)
+    a = ClusterBridge("A", root)
+    a1 = ClusterBridge("A1", a.local_bus)
+    leaves = {
+        "shallow": CacheController(
+            "shallow", make_protocol(shallow),
+            SetAssociativeCache(num_sets=1, associativity=1), a.local_bus,
+        ),
+        "deep": CacheController(
+            "deep", make_protocol(deep),
+            SetAssociativeCache(num_sets=1, associativity=1), a1.local_bus,
+        ),
+        "top": CacheController(
+            "top", make_protocol(top),
+            SetAssociativeCache(num_sets=1, associativity=1), root,
+        ),
+    }
+    return leaves, {"A": a, "A1": a1}, memory
+
+
+class TestBroadcastWriteNeedsPretendSharerCH:
+    """Bug 1: deep's broadcast write resolved CH:O/M to M while shallow
+    (one level up) retained an updated S copy; deep's next write was then
+    silent and shallow read stale data."""
+
+    def test_writer_lands_owned_not_modified(self):
+        leaves, bridges, _ = _nested()
+        leaves["deep"].read(0)
+        leaves["shallow"].read(0)
+        leaves["deep"].write(0, 1)
+        # The A1 watcher asserted CH on deep's broadcast: deep must be O.
+        assert leaves["deep"].state_of(0).letter == "O"
+
+    def test_second_write_reaches_upper_sharer(self):
+        leaves, _, _ = _nested()
+        leaves["deep"].read(0)
+        leaves["shallow"].read(0)
+        leaves["deep"].write(0, 1)
+        leaves["deep"].write(0, 2)
+        assert leaves["shallow"].read(0) == 2
+
+
+class TestUncachedWriteForwardPreservesBroadcastness:
+    """Bug 2: an ownerless uncached write forwarded upward as CA,IM,BC
+    hit the illegal broadcast-against-M case; and a column-9 write
+    forwarded as a broadcast let remote copies survive that the inner
+    cluster believed dead."""
+
+    def test_ownerless_uncached_write_with_remote_owner(self):
+        leaves, _, _ = _nested(shallow="non-caching")
+        leaves["top"].write(0, 0)  # top owns at the root
+        token_holder = leaves["top"]
+        # Non-caching shallow writes through its (empty) cluster: must be
+        # forwarded as an uncached write, captured by top.
+        leaves["shallow"].write(0, 5)
+        assert token_holder.value_of(0) == 5
+        assert leaves["deep"].read(0) == 5
+
+    def test_col9_contract_holds_across_levels(self):
+        leaves, _, _ = _nested(shallow="non-caching")
+        leaves["deep"].read(0)
+        leaves["top"].read(0)
+        leaves["shallow"].write(0, 1)   # column 9 up and down
+        leaves["deep"].write(0, 2)
+        assert leaves["top"].read(0) == 2
+
+
+class TestCapturePreservesOwnedState:
+    """Bug 3: a bridge capturing a column-9 write forced its entry to
+    MODIFIED although the write-through writer on the parent bus retained
+    an S copy; the cluster then modified 'silently'."""
+
+    def test_capture_keeps_owned(self):
+        leaves, bridges, _ = _nested(
+            shallow="write-through-noalloc-nobc", deep="non-caching"
+        )
+        leaves["deep"].read(0)      # A1 entry M
+        leaves["shallow"].read(0)   # A1 downgrades to O, shallow S
+        assert bridges["A1"].directory_state(0) is DirectoryState.OWNED
+        leaves["shallow"].write(0, 1)  # col 9; A1 captures
+        assert bridges["A1"].directory_state(0) is DirectoryState.OWNED
+
+    def test_inner_write_after_capture_reaches_retainer(self):
+        leaves, _, _ = _nested(
+            shallow="write-through-noalloc-nobc", deep="non-caching"
+        )
+        leaves["deep"].read(0)
+        leaves["shallow"].read(0)
+        leaves["shallow"].write(0, 1)
+        leaves["deep"].write(0, 2)     # forwarded col 9 invalidates shallow
+        assert leaves["shallow"].read(0) == 2

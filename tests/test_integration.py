@@ -1,0 +1,164 @@
+"""Cross-module integration scenarios: longer walks exercising several
+subsystems together, with runtime checking enabled throughout."""
+
+import pytest
+
+from repro.analysis.compare import run_protocol_on_trace
+from repro.bus.timing import BusTiming
+from repro.system.runner import timed_run_from_trace
+from repro.system.system import BoardSpec, System
+from repro.workloads.patterns import (
+    migratory,
+    ping_pong,
+    private_streams,
+    producer_consumer,
+    read_mostly,
+)
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+
+ALL_PATTERNS = {
+    "ping_pong": lambda n: ping_pong(rounds=30, processors=n),
+    "producer_consumer": lambda n: producer_consumer(
+        items=20, consumers=n - 1
+    ),
+    "read_mostly": lambda n: read_mostly(references=120, processors=n),
+    "migratory": lambda n: migratory(handoffs=20, processors=n),
+    "private": lambda n: private_streams(
+        references_per_processor=30, processors=n
+    ),
+}
+
+
+class TestPatternsAcrossProtocols:
+    @pytest.mark.parametrize("pattern", sorted(ALL_PATTERNS))
+    @pytest.mark.parametrize(
+        "protocol", ["moesi", "moesi-invalidate", "berkeley", "dragon"]
+    )
+    def test_checked_atomic_run(self, pattern, protocol):
+        trace = ALL_PATTERNS[pattern](4)
+        system = System.homogeneous(protocol, 4)
+        system.run_trace(trace)  # check=True raises on any violation
+        assert not system.check_coherence()
+
+    @pytest.mark.parametrize("pattern", sorted(ALL_PATTERNS))
+    def test_checked_timed_run_heterogeneous(self, pattern):
+        trace = ALL_PATTERNS[pattern](4)
+        system = System(
+            [
+                BoardSpec("cpu0", "moesi"),
+                BoardSpec("cpu1", "berkeley"),
+                BoardSpec("cpu2", "dragon"),
+                BoardSpec("cpu3", "write-through"),
+            ]
+        )
+        report = timed_run_from_trace(system, trace).run()
+        assert report.accesses == len(trace)
+        assert not system.check_coherence()
+
+
+class TestSmallCachePressure:
+    """Tiny caches force constant eviction traffic; everything must stay
+    coherent under replacement churn."""
+
+    @pytest.mark.parametrize(
+        "protocol",
+        ["moesi", "berkeley", "dragon", "illinois", "write-once", "firefly"],
+    )
+    def test_thrashing_working_set(self, protocol):
+        config = SyntheticConfig(
+            processors=3,
+            shared_blocks=12,
+            private_blocks=12,
+            p_shared=0.5,
+            p_write=0.4,
+        )
+        trace = SyntheticWorkload(config, seed=9).trace(900)
+        system = System.homogeneous(
+            protocol, 3, num_sets=2, associativity=1
+        )
+        system.run_trace(trace)
+        assert not system.check_coherence()
+        report = system.report()
+        caching = system.controllers.values()
+        assert sum(c.stats.evictions for c in caching) > 0
+
+
+class TestRandomRoundRobinPolicies:
+    """The paper's "extreme case": random/round-robin action selection."""
+
+    def test_random_policy_long_run(self):
+        config = SyntheticConfig(processors=4, p_shared=0.4, p_write=0.4)
+        trace = SyntheticWorkload(config, seed=21).trace(2000)
+        system = System.homogeneous("moesi-random", 4)
+        system.run_trace(trace)
+        assert not system.check_coherence()
+
+    def test_round_robin_policy_long_run(self):
+        config = SyntheticConfig(processors=4, p_shared=0.4, p_write=0.4)
+        trace = SyntheticWorkload(config, seed=22).trace(2000)
+        system = System.homogeneous("moesi-round-robin", 4)
+        system.run_trace(trace)
+        assert not system.check_coherence()
+
+    def test_random_against_fixed_members(self):
+        trace = migratory(handoffs=40, processors=3)
+        system = System(
+            [
+                BoardSpec("cpu0", "moesi-random"),
+                BoardSpec("cpu1", "dragon"),
+                BoardSpec("cpu2", "berkeley"),
+            ]
+        )
+        system.run_trace(trace)
+        assert not system.check_coherence()
+
+
+class TestTimingSensitivity:
+    def test_slower_memory_increases_elapsed(self):
+        trace = ping_pong(rounds=40)
+
+        def elapsed(memory_latency):
+            timing = BusTiming(memory_latency_ns=memory_latency)
+            system = System.homogeneous("berkeley", 2, label="t")
+            system_timing = timed_run_from_trace(system, trace)
+            system.bus.timing = timing
+            return system_timing.run().elapsed_ns
+
+        assert elapsed(800.0) > elapsed(100.0)
+
+    def test_report_consistent_between_modes(self):
+        """Atomic and timed runs of the same trace agree on traffic
+        (timing changes *when*, not *what*, under per-unit streams that
+        preserve program order)."""
+        trace = private_streams(references_per_processor=40, processors=2)
+        atomic = run_protocol_on_trace("moesi", trace, timed=False)
+        timed = run_protocol_on_trace("moesi", trace, timed=True)
+        assert atomic.bus.transactions == timed.bus.transactions
+        assert atomic.miss_ratio == timed.miss_ratio
+
+
+class TestIoCoprocessorStory:
+    """The intro's motivating configuration: CPUs with caches plus an
+    I/O processor without one."""
+
+    def test_dma_like_traffic(self):
+        system = System(
+            [
+                BoardSpec("cpu0", "moesi"),
+                BoardSpec("cpu1", "moesi"),
+                BoardSpec("dma", "non-caching"),
+            ]
+        )
+        # CPUs build up dirty state; the DMA engine streams through it.
+        for i in range(8):
+            system.write("cpu0", i * 32)
+            system.write("cpu1", (i + 8) * 32)
+        for i in range(16):
+            system.read("dma", i * 32)     # owners must intervene
+        for i in range(16):
+            system.write("dma", i * 32)    # owners must capture
+        assert not system.check_coherence()
+        caching = [system.controllers["cpu0"], system.controllers["cpu1"]]
+        assert sum(c.stats.interventions_supplied for c in caching) == 16
+        assert sum(c.stats.writes_captured for c in caching) == 16

@@ -1,0 +1,139 @@
+"""System-wide consistency invariants (section 3.1)."""
+
+import pytest
+
+from repro.core.invariants import (
+    CopyView,
+    InconsistencyError,
+    Invariant,
+    LineView,
+    assert_line_consistent,
+    check_line,
+)
+from repro.core.states import LineState
+
+M, O, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+def _view(copies, memory_fresh=True):
+    return LineView.of(copies, memory_fresh=memory_fresh)
+
+
+def _kinds(violations):
+    return {v.invariant for v in violations}
+
+
+class TestConsistentConfigurations:
+    """Legal quiescent snapshots produce no violations."""
+
+    @pytest.mark.parametrize(
+        "copies,memory_fresh",
+        [
+            ([], True),
+            ([CopyView("a", M)], False),
+            ([CopyView("a", E)], True),
+            ([CopyView("a", S), CopyView("b", S)], True),
+            ([CopyView("a", O), CopyView("b", S)], False),
+            ([CopyView("a", O), CopyView("b", S), CopyView("c", S)], True),
+            ([CopyView("a", I), CopyView("b", M)], False),
+        ],
+    )
+    def test_no_violations(self, copies, memory_fresh):
+        assert check_line(_view(copies, memory_fresh)) == []
+
+    def test_invalid_copies_ignored(self):
+        view = _view([CopyView("a", I, fresh=False), CopyView("b", E)])
+        assert check_line(view) == []
+
+
+class TestSingleOwner:
+    def test_two_owners_detected(self):
+        view = _view([CopyView("a", M), CopyView("b", O)], memory_fresh=False)
+        assert Invariant.SINGLE_OWNER in _kinds(check_line(view))
+
+    def test_two_o_states_detected(self):
+        view = _view([CopyView("a", O), CopyView("b", O)])
+        assert Invariant.SINGLE_OWNER in _kinds(check_line(view))
+
+
+class TestExclusiveIsSole:
+    @pytest.mark.parametrize("state", [M, E])
+    def test_exclusive_with_other_copy(self, state):
+        view = _view([CopyView("a", state), CopyView("b", S)])
+        assert Invariant.EXCLUSIVE_IS_SOLE in _kinds(check_line(view))
+
+    def test_two_exclusives(self):
+        view = _view([CopyView("a", E), CopyView("b", E)])
+        kinds = _kinds(check_line(view))
+        assert Invariant.EXCLUSIVE_IS_SOLE in kinds
+
+
+class TestFreshness:
+    def test_stale_owner(self):
+        view = _view([CopyView("a", M, fresh=False)])
+        kinds = _kinds(check_line(view))
+        assert Invariant.OWNER_CURRENT in kinds
+
+    def test_stale_shared_copy(self):
+        view = _view(
+            [CopyView("a", O), CopyView("b", S, fresh=False)],
+            memory_fresh=False,
+        )
+        assert Invariant.COPIES_CURRENT in _kinds(check_line(view))
+
+    def test_stale_memory_without_owner(self):
+        view = _view([CopyView("a", S)], memory_fresh=False)
+        assert Invariant.MEMORY_CURRENT_IF_UNOWNED in _kinds(check_line(view))
+
+    def test_stale_memory_with_owner_is_fine(self):
+        view = _view([CopyView("a", M)], memory_fresh=False)
+        assert check_line(view) == []
+
+
+class TestForeignSharedSemantics:
+    """Illinois/Firefly/Write-Once S means consistent-with-memory."""
+
+    def test_shared_with_stale_memory_flagged_in_foreign_mode(self):
+        view = _view(
+            [CopyView("a", O), CopyView("b", S)], memory_fresh=False
+        )
+        assert check_line(view) == []  # fine for the MOESI class
+        kinds = _kinds(check_line(view, memory_consistent_shared=True))
+        assert Invariant.MEMORY_CURRENT_IF_SHARED in kinds
+
+    def test_foreign_mode_ok_when_memory_fresh(self):
+        view = _view([CopyView("a", S), CopyView("b", S)])
+        assert check_line(view, memory_consistent_shared=True) == []
+
+
+class TestAssertHelper:
+    def test_raises_with_all_violations(self):
+        view = _view(
+            [CopyView("a", M, fresh=False), CopyView("b", O)],
+            memory_fresh=False,
+        )
+        with pytest.raises(InconsistencyError) as excinfo:
+            assert_line_consistent(view)
+        assert len(excinfo.value.violations) >= 2
+
+    def test_passes_silently(self):
+        assert_line_consistent(_view([CopyView("a", E)]))
+
+    def test_violation_str_has_address(self):
+        view = LineView.of([CopyView("a", S)], memory_fresh=False,
+                           address=0x40)
+        (violation,) = check_line(view)
+        assert "@0x40" in str(violation)
+
+
+class TestLineViewAccessors:
+    def test_owners_and_valid_copies(self):
+        view = _view([CopyView("a", O), CopyView("b", S), CopyView("c", I)])
+        assert [c.unit for c in view.owners] == ["a"]
+        assert [c.unit for c in view.valid_copies] == ["a", "b"]

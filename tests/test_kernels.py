@@ -1,0 +1,117 @@
+"""Parallel-kernel workload generators (stencil, reduction, spinlocks)."""
+
+import pytest
+
+from repro.analysis.compare import run_protocol_on_trace
+from repro.system.system import System
+from repro.workloads.kernels import (
+    reduction_trace,
+    spinlock_trace,
+    stencil_trace,
+)
+from repro.workloads.trace import Op
+
+
+class TestStencil:
+    def test_reference_count(self):
+        # Per iteration per processor: L reads + halo reads + L writes.
+        trace = stencil_trace(processors=3, iterations=2,
+                              lines_per_processor=4)
+        interior_halos = 2 * 2  # middle processor has 2, ends have 1 each
+        assert len(trace) == 2 * (3 * (4 + 4) + interior_halos)
+
+    def test_halo_reads_touch_neighbours(self):
+        trace = stencil_trace(processors=2, iterations=1,
+                              lines_per_processor=2, line_size=32)
+        cpu0_reads = {
+            r.address // 32 for r in trace
+            if r.unit == "cpu0" and r.op is Op.READ
+        }
+        assert 2 in cpu0_reads  # first line of cpu1's block
+
+    def test_runs_coherently(self):
+        trace = stencil_trace()
+        system = System.homogeneous("moesi", 4)
+        system.run_trace(trace)
+        assert not system.check_coherence()
+
+    def test_nearest_neighbour_sharing_only(self):
+        """Non-adjacent processors never touch each other's lines."""
+        trace = stencil_trace(processors=4, iterations=1,
+                              lines_per_processor=4, line_size=32)
+        cpu0_lines = {r.address // 32 for r in trace if r.unit == "cpu0"}
+        cpu3_lines = {r.address // 32 for r in trace if r.unit == "cpu3"}
+        assert cpu0_lines.isdisjoint(cpu3_lines)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            stencil_trace(processors=0)
+
+
+class TestReduction:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            reduction_trace(processors=3)
+
+    def test_tree_depth(self):
+        """log2(P) combining rounds: P-1 combine writes in total."""
+        trace = reduction_trace(processors=8, elements_per_processor=1)
+        combine_writes = [
+            r for r in trace
+            if r.op is Op.WRITE and r.address < 8 * 32
+        ]
+        # One initial partial-sum write per processor + P-1 combines.
+        assert len(combine_writes) == 8 + 7
+
+    def test_runs_coherently(self):
+        trace = reduction_trace()
+        system = System.homogeneous("moesi", 4)
+        system.run_trace(trace)
+        assert not system.check_coherence()
+
+    def test_root_accumulates(self):
+        trace = reduction_trace(processors=4, elements_per_processor=1)
+        # cpu0 performs the final combine: last write is to its cell.
+        last_write = [r for r in trace if r.op is Op.WRITE][-1]
+        assert last_write.unit == "cpu0" and last_write.address == 0
+
+
+class TestSpinlock:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            spinlock_trace(kind="mcs")
+
+    def test_tas_spins_are_writes(self):
+        trace = spinlock_trace(kind="tas", processors=2,
+                               acquisitions_per_processor=1,
+                               spins_while_waiting=3)
+        lock_writes = [
+            r for r in trace if r.address == 0 and r.op is Op.WRITE
+        ]
+        # Per handoff: acquire RMW write + 3 spin RMW writes + release.
+        assert len(lock_writes) == 2 * (1 + 3 + 1)
+
+    def test_ttas_spins_are_reads(self):
+        trace = spinlock_trace(kind="ttas", processors=2,
+                               acquisitions_per_processor=1,
+                               spins_while_waiting=3)
+        lock_writes = [
+            r for r in trace if r.address == 0 and r.op is Op.WRITE
+        ]
+        assert len(lock_writes) == 2 * (1 + 1)  # acquire + release only
+
+    def test_ttas_generates_less_bus_traffic(self):
+        """The classic lesson: spin locally in the cache."""
+        tas = run_protocol_on_trace(
+            "moesi-invalidate", spinlock_trace(kind="tas"), timed=False
+        )
+        ttas = run_protocol_on_trace(
+            "moesi-invalidate", spinlock_trace(kind="ttas"), timed=False
+        )
+        assert ttas.bus.transactions < tas.bus.transactions / 3
+
+    def test_runs_coherently_both_kinds(self):
+        for kind in ("tas", "ttas"):
+            system = System.homogeneous("moesi", 4)
+            system.run_trace(spinlock_trace(kind=kind))
+            assert not system.check_coherence()

@@ -1,0 +1,47 @@
+"""Main memory: a stateless-by-design value store (section 3.1.3)."""
+
+from repro.memory.main_memory import MainMemory
+
+
+class TestValueStore:
+    def test_uninitialized_reads_initial_value(self):
+        assert MainMemory().read(5) == 0
+        assert MainMemory(initial_value=7).read(5) == 7
+
+    def test_write_then_read(self):
+        memory = MainMemory()
+        memory.write(3, 42)
+        assert memory.read(3) == 42
+
+    def test_sparse_addresses(self):
+        memory = MainMemory()
+        memory.write(10**9, 1)
+        assert memory.read(10**9) == 1
+        assert len(memory) == 1
+
+    def test_addresses_sorted(self):
+        memory = MainMemory()
+        memory.write(5, 1)
+        memory.write(2, 1)
+        assert memory.addresses() == (2, 5)
+
+
+class TestCounters:
+    def test_reads_and_writes_counted(self):
+        memory = MainMemory()
+        memory.read(0)
+        memory.write(0, 1)
+        memory.write(1, 1)
+        assert memory.stats.reads == 1 and memory.stats.writes == 2
+
+    def test_peek_poke_uncounted(self):
+        memory = MainMemory()
+        memory.poke(0, 9)
+        assert memory.peek(0) == 9
+        assert memory.stats.reads == 0 and memory.stats.writes == 0
+
+    def test_stats_reset(self):
+        memory = MainMemory()
+        memory.read(0)
+        memory.stats.reset()
+        assert memory.stats.reads == 0

@@ -1,0 +1,80 @@
+"""Named sharing patterns."""
+
+import pytest
+
+from repro.workloads.patterns import (
+    migratory,
+    ping_pong,
+    private_streams,
+    producer_consumer,
+    read_mostly,
+)
+from repro.workloads.trace import Op
+
+
+class TestPingPong:
+    def test_alternates_writers(self):
+        trace = ping_pong(rounds=4, processors=2)
+        writers = [r.unit for r in trace if r.op is Op.WRITE]
+        assert writers == ["cpu0", "cpu1", "cpu0", "cpu1"]
+
+    def test_single_address(self):
+        trace = ping_pong(rounds=10, address=0x80)
+        assert trace.addresses() == {0x80}
+
+    def test_length(self):
+        assert len(ping_pong(rounds=7)) == 14  # write + read per round
+
+
+class TestProducerConsumer:
+    def test_producer_writes_consumers_read(self):
+        trace = producer_consumer(items=3, consumers=2)
+        assert all(
+            r.op is Op.WRITE if r.unit == "cpu0" else r.op is Op.READ
+            for r in trace
+        )
+
+    def test_every_consumer_reads_each_item(self):
+        trace = producer_consumer(items=5, consumers=3)
+        reads = [r for r in trace if r.op is Op.READ]
+        assert len(reads) == 15
+
+
+class TestReadMostly:
+    def test_write_cadence(self):
+        trace = read_mostly(references=100, writes_every=10)
+        writes = sum(1 for r in trace if r.op is Op.WRITE)
+        assert writes == 10
+
+    def test_all_processors_participate(self):
+        trace = read_mostly(references=40, processors=4)
+        assert len(trace.units()) == 4
+
+
+class TestMigratory:
+    def test_each_visit_reads_then_writes(self):
+        trace = migratory(handoffs=1, accesses_per_visit=2)
+        ops = [r.op for r in trace]
+        assert ops == [Op.READ, Op.WRITE, Op.READ, Op.WRITE]
+
+    def test_rotates_processors(self):
+        trace = migratory(handoffs=4, processors=4, accesses_per_visit=1)
+        visitors = [trace[i * 2].unit for i in range(4)]
+        assert visitors == ["cpu0", "cpu1", "cpu2", "cpu3"]
+
+
+class TestPrivateStreams:
+    def test_no_address_shared_between_processors(self):
+        trace = private_streams(references_per_processor=20, processors=3)
+        owner_of = {}
+        for record in trace:
+            owner_of.setdefault(record.address, record.unit)
+            assert owner_of[record.address] == record.unit
+
+    def test_write_pattern_applied(self):
+        trace = private_streams(
+            references_per_processor=3,
+            processors=1,
+            write_fraction_pattern=(Op.WRITE,),
+        )
+        assert all(r.op is Op.WRITE for r in trace)

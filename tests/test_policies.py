@@ -1,0 +1,133 @@
+"""Action-selection policies (section 3.4)."""
+
+import pytest
+
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.policy import (
+    InvalidatePolicy,
+    PreferredPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    UpdatePolicy,
+    policy_by_name,
+)
+from repro.core.states import LineState
+from repro.core.transitions import local_choices, snoop_choices
+
+S = LineState.SHAREABLE
+O = LineState.OWNED
+
+WRITE_CHOICES = local_choices(O, LocalEvent.WRITE)
+SNOOP_CHOICES = snoop_choices(S, BusEvent.CACHE_BROADCAST_WRITE)
+
+
+class TestPreferredPolicy:
+    def test_local_takes_first(self):
+        chosen = PreferredPolicy().choose_local(
+            O, LocalEvent.WRITE, WRITE_CHOICES
+        )
+        assert chosen is WRITE_CHOICES[0]
+
+    def test_snoop_takes_first(self):
+        chosen = PreferredPolicy().choose_snoop(
+            S, BusEvent.CACHE_BROADCAST_WRITE, SNOOP_CHOICES
+        )
+        assert chosen is SNOOP_CHOICES[0]
+
+
+class TestInvalidatePolicy:
+    def test_local_prefers_address_only_invalidate(self):
+        chosen = InvalidatePolicy().choose_local(
+            O, LocalEvent.WRITE, WRITE_CHOICES
+        )
+        assert chosen.signals.im and not chosen.signals.bc
+
+    def test_snoop_prefers_dropping(self):
+        chosen = InvalidatePolicy().choose_snoop(
+            S, BusEvent.CACHE_BROADCAST_WRITE, SNOOP_CHOICES
+        )
+        assert not chosen.retains_copy
+
+    def test_falls_back_when_no_invalidate_option(self):
+        choices = local_choices(LineState.MODIFIED, LocalEvent.READ)
+        chosen = InvalidatePolicy().choose_local(
+            LineState.MODIFIED, LocalEvent.READ, choices
+        )
+        assert chosen is choices[0]
+
+
+class TestUpdatePolicy:
+    def test_local_prefers_broadcast(self):
+        chosen = UpdatePolicy().choose_local(O, LocalEvent.WRITE, WRITE_CHOICES)
+        assert chosen.signals.bc
+
+    def test_snoop_prefers_retaining(self):
+        chosen = UpdatePolicy().choose_snoop(
+            S, BusEvent.CACHE_BROADCAST_WRITE, SNOOP_CHOICES
+        )
+        assert chosen.retains_copy
+
+
+class TestRandomPolicy:
+    def test_deterministic_given_seed(self):
+        a = [
+            RandomPolicy(seed=42).choose_local(O, LocalEvent.WRITE, WRITE_CHOICES)
+            for _ in range(5)
+        ]
+        b = [
+            RandomPolicy(seed=42).choose_local(O, LocalEvent.WRITE, WRITE_CHOICES)
+            for _ in range(5)
+        ]
+        assert a == b
+
+    def test_eventually_covers_all_choices(self):
+        policy = RandomPolicy(seed=0)
+        seen = {
+            policy.choose_local(O, LocalEvent.WRITE, WRITE_CHOICES)
+            for _ in range(100)
+        }
+        assert seen == set(WRITE_CHOICES)
+
+    def test_always_within_choices(self):
+        policy = RandomPolicy(seed=3)
+        for _ in range(50):
+            assert (
+                policy.choose_snoop(
+                    S, BusEvent.CACHE_BROADCAST_WRITE, SNOOP_CHOICES
+                )
+                in SNOOP_CHOICES
+            )
+
+
+class TestRoundRobinPolicy:
+    def test_cycles_in_order(self):
+        policy = RoundRobinPolicy()
+        picks = [
+            policy.choose_local(O, LocalEvent.WRITE, WRITE_CHOICES)
+            for _ in range(2 * len(WRITE_CHOICES))
+        ]
+        assert picks == list(WRITE_CHOICES) * 2
+
+    def test_counters_are_per_cell(self):
+        policy = RoundRobinPolicy()
+        policy.choose_local(O, LocalEvent.WRITE, WRITE_CHOICES)
+        # A different cell starts from its own beginning.
+        chosen = policy.choose_snoop(
+            S, BusEvent.CACHE_BROADCAST_WRITE, SNOOP_CHOICES
+        )
+        assert chosen is SNOOP_CHOICES[0]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["preferred", "invalidate", "update", "random", "round-robin"]
+    )
+    def test_lookup(self, name):
+        assert policy_by_name(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            policy_by_name("bogus")
+
+    def test_random_accepts_seed(self):
+        assert isinstance(policy_by_name("random", seed=9), RandomPolicy)

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis): randomized event sequences, policy
+mixes, and data-structure invariants.
+
+These generalize the scenario tests: *any* interleaving of reads, writes
+and flushes across boards running *any* mix of class-member protocols must
+preserve the MOESI invariants and read-coherence -- the probabilistic
+companion to the exhaustive model checker."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.replacement import LruPolicy
+from repro.core.states import LineState
+from repro.core.transitions import MoesiClassTable
+from repro.ext.linecross import split_reference
+from repro.system.system import BoardSpec, System
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+CLASS_MEMBERS = [
+    "moesi",
+    "moesi-invalidate",
+    "moesi-update",
+    "moesi-random",
+    "moesi-round-robin",
+    "berkeley",
+    "dragon",
+    "write-through",
+    "write-through-alloc",
+    "non-caching",
+]
+
+FOREIGN = ["illinois", "write-once", "firefly"]
+
+#: (unit index, op, line index) events over a small address space.
+_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from(["read", "write", "flush"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=60,
+)
+
+
+def _run_events(system: System, events, line_size=32) -> None:
+    units = list(system.controllers)
+    for unit_index, op, line in events:
+        unit = units[unit_index % len(units)]
+        address = line * line_size
+        if op == "read":
+            system.read(unit, address)
+        elif op == "write":
+            system.write(unit, address)
+        else:
+            board = system.controllers[unit]
+            if hasattr(board, "flush_line"):
+                board.flush_line(line)
+
+
+class TestRandomizedCoherence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        protocols=st.lists(
+            st.sampled_from(CLASS_MEMBERS), min_size=2, max_size=3
+        ),
+        events=_events,
+    )
+    def test_any_class_mix_any_interleaving(self, protocols, events):
+        """System.check=True raises on any stale read or invariant break;
+        completing the run IS the assertion."""
+        boards = [
+            BoardSpec(f"u{i}", name, num_sets=2, associativity=1)
+            for i, name in enumerate(protocols)
+        ]
+        system = System(boards, check=True)
+        _run_events(system, events)
+        assert not system.check_coherence()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        protocol=st.sampled_from(FOREIGN),
+        events=_events,
+    )
+    def test_homogeneous_foreign_protocols(self, protocol, events):
+        system = System.homogeneous(
+            protocol, 3, num_sets=2, associativity=1
+        )
+        _run_events(system, events)
+        assert not system.check_coherence()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        p_shared=st.floats(min_value=0.0, max_value=1.0),
+        p_write=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_synthetic_workloads_clean(self, seed, p_shared, p_write):
+        config = SyntheticConfig(
+            processors=3,
+            p_shared=p_shared,
+            p_write=p_write,
+            shared_blocks=4,
+            private_blocks=4,
+        )
+        trace = SyntheticWorkload(config, seed=seed).trace(150)
+        system = System.homogeneous(
+            "moesi-random", 3, num_sets=2, associativity=2
+        )
+        system.run_trace(trace)
+        assert not system.check_coherence()
+
+
+class TestClassTableProperties:
+    TABLE = MoesiClassTable()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        state=st.sampled_from(list(LineState)),
+        event_index=st.integers(min_value=0, max_value=3),
+    )
+    def test_every_closure_action_is_permitted(self, state, event_index):
+        """The closure is self-consistent: everything it generates passes
+        its own membership predicate."""
+        from repro.core.events import ALL_LOCAL_EVENTS
+
+        event = ALL_LOCAL_EVENTS[event_index]
+        for action in self.TABLE.local_action_set(state, event):
+            assert self.TABLE.permits_local(state, event, action)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        state=st.sampled_from(list(LineState)),
+        event_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_snoop_closure_self_consistent(self, state, event_index):
+        from repro.core.events import ALL_BUS_EVENTS
+
+        event = ALL_BUS_EVENTS[event_index]
+        for action in self.TABLE.snoop_action_set(state, event):
+            assert self.TABLE.permits_snoop(state, event, action)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        state=st.sampled_from(
+            [LineState.EXCLUSIVE, LineState.SHAREABLE, LineState.INVALID]
+        ),
+        event_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_non_owners_never_intervene(self, state, event_index):
+        from repro.core.events import ALL_BUS_EVENTS
+
+        event = ALL_BUS_EVENTS[event_index]
+        for action in self.TABLE.snoop_action_set(state, event):
+            assert not action.response.di
+
+
+class TestCacheProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1023), max_size=60
+        )
+    )
+    def test_lookup_finds_last_fill(self, addresses):
+        cache = SetAssociativeCache(num_sets=4, associativity=2)
+        expected = {}
+        for address in addresses:
+            cache.fill(address, LineState.SHAREABLE, address)
+            expected[address] = True
+        # Any line still present must carry the value it was filled with.
+        for line_address, line in cache.valid_lines():
+            assert line.value == line_address
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        touches=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=1, max_size=40
+        )
+    )
+    def test_lru_victim_is_never_the_most_recent(self, touches):
+        lru = LruPolicy(1, 4)
+        for way in range(4):
+            lru.fill(0, way)
+        for way in touches:
+            lru.touch(0, way)
+        assert lru.victim(0, range(4)) != touches[-1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        address=st.integers(min_value=0, max_value=10_000),
+        size=st.integers(min_value=1, max_value=300),
+        line_size=st.sampled_from([16, 32, 64]),
+    )
+    def test_split_reference_partitions_exactly(self, address, size, line_size):
+        pieces = split_reference(address, size, line_size)
+        assert sum(p.size for p in pieces) == size
+        assert pieces[0].byte_address == address
+        cursor = address
+        for piece in pieces:
+            assert piece.byte_address == cursor
+            assert piece.line_address == cursor // line_size
+            # No piece crosses a line boundary.
+            assert (
+                piece.byte_address // line_size
+                == (piece.byte_address + piece.size - 1) // line_size
+            )
+            cursor += piece.size
+
+
+class TestTraceProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.sampled_from(["cpu0", "cpu1", "io"]),
+                st.sampled_from(list(Op)),
+                st.integers(min_value=0, max_value=2**32),
+            ),
+            max_size=40,
+        )
+    )
+    def test_trace_text_roundtrip(self, records):
+        trace = Trace(ReferenceRecord(u, o, a) for u, o, a in records)
+        import io
+
+        buffer = io.StringIO()
+        trace.dump(buffer)
+        parsed = Trace.parse(buffer.getvalue().splitlines())
+        assert parsed.records == trace.records

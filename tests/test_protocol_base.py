@@ -1,0 +1,113 @@
+"""The protocol abstractions: TableProtocol, table introspection, gaps."""
+
+import pytest
+
+from repro.core.actions import BusOp, LocalAction, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import (
+    IllegalTransitionError,
+    LocalContext,
+    ProtocolGapError,
+    SnoopContext,
+    TableProtocol,
+)
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+S, I = LineState.SHAREABLE, LineState.INVALID
+
+
+class TinyProtocol(TableProtocol):
+    """Two-state toy protocol for exercising the base class."""
+
+    name = "Tiny"
+    states = frozenset({S, I})
+    local_transitions = {
+        (I, LocalEvent.READ): LocalAction(
+            S, MasterSignals(ca=True), BusOp.READ
+        ),
+        (S, LocalEvent.READ): LocalAction(S),
+    }
+    snoop_transitions = {
+        (S, BusEvent.CACHE_READ): SnoopAction(S, SnoopResponse(ch=True)),
+    }
+
+
+class TinyExtended(TinyProtocol):
+    name = "TinyExtended"
+    snoop_default_to_class = True
+
+
+class TestTableProtocol:
+    def test_defined_cells_served(self):
+        protocol = TinyProtocol()
+        action = protocol.local_action(I, LocalEvent.READ)
+        assert action.bus_op is BusOp.READ
+
+    def test_missing_local_cell_raises(self):
+        with pytest.raises(IllegalTransitionError, match="Tiny"):
+            TinyProtocol().local_action(S, LocalEvent.WRITE)
+
+    def test_missing_snoop_cell_raises_without_extension(self):
+        with pytest.raises(IllegalTransitionError):
+            TinyProtocol().snoop_action(S, BusEvent.UNCACHED_WRITE)
+
+    def test_class_default_extension_fills_gaps(self):
+        """snoop_default_to_class: the paper's 'extended to be
+        compatible' mechanism."""
+        action = TinyExtended().snoop_action(S, BusEvent.UNCACHED_WRITE)
+        assert action.next_state is I  # the class's S col9 response
+
+    def test_extension_does_not_shadow_own_cells(self):
+        action = TinyExtended().snoop_action(S, BusEvent.CACHE_READ)
+        assert action.response.ch is True
+
+    def test_extension_still_raises_for_impossible_cells(self):
+        """Cells the class itself marks '--' stay illegal."""
+        from repro.core.states import LineState
+
+        class WithM(TinyExtended):
+            states = frozenset({LineState.MODIFIED, S, I})
+
+        with pytest.raises(IllegalTransitionError):
+            WithM().snoop_action(
+                LineState.MODIFIED, BusEvent.CACHE_BROADCAST_WRITE
+            )
+
+    def test_cell_introspection(self):
+        protocol = TinyProtocol()
+        assert protocol.local_cell(S, LocalEvent.WRITE) == ()
+        assert len(protocol.local_cell(I, LocalEvent.READ)) == 1
+
+    def test_local_table_covers_declared_states(self):
+        table = TinyProtocol().local_table()
+        rows = {state for state, _ in table}
+        assert rows == {S, I}
+
+    def test_snoop_table_shape(self):
+        table = TinyProtocol().snoop_table()
+        assert len(table) == 2 * 6  # two states x six bus events
+
+
+class TestContexts:
+    def test_local_context_defaults(self):
+        ctx = LocalContext()
+        assert ctx.address == 0 and ctx.sequence == 0
+
+    def test_snoop_context_recency_optional(self):
+        assert SnoopContext().recency is None
+        assert SnoopContext(recency=0.25).recency == 0.25
+
+    def test_contexts_hashable(self):
+        assert hash(LocalContext(1, 2)) == hash(LocalContext(1, 2))
+
+
+class TestErrors:
+    def test_illegal_transition_carries_details(self):
+        error = IllegalTransitionError("P", S, LocalEvent.WRITE)
+        assert error.protocol == "P"
+        assert error.state is S
+        assert "Write" in str(error)
+
+    def test_gap_error_is_runtime_error(self):
+        assert issubclass(ProtocolGapError, RuntimeError)

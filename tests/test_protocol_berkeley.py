@@ -1,0 +1,81 @@
+"""Berkeley protocol (Table 3) scenario tests."""
+
+import pytest
+
+from repro.analysis.tables import diff_protocol_table
+from repro.protocols.berkeley import BerkeleyProtocol
+from repro.core.states import LineState
+
+
+class TestTableFidelity:
+    def test_matches_paper_table3(self):
+        diff = diff_protocol_table(3)
+        assert diff.matches, diff.summary()
+
+    def test_no_exclusive_state(self):
+        assert LineState.EXCLUSIVE not in BerkeleyProtocol.states
+
+    def test_does_not_need_busy(self):
+        assert not BerkeleyProtocol.requires_busy
+
+
+class TestScenarios:
+    def test_read_miss_lands_shared_even_when_alone(self, mini):
+        """No E state: the sole reader still takes S."""
+        rig = mini("berkeley", "berkeley")
+        rig[0].read(0)
+        assert rig.states() == "S,I"
+
+    def test_write_hit_shared_invalidates_peer(self, mini):
+        """Berkeley is pure invalidation: an address-only CA,IM."""
+        rig = mini("berkeley", "berkeley")
+        rig[0].read(0)
+        rig[1].read(0)
+        writes_before = rig.memory.stats.writes
+        rig[1].write(0, 3)
+        assert rig.states() == "I,M"
+        assert rig.memory.stats.writes == writes_before  # address-only
+        assert rig[0].stats.invalidations_received == 1
+
+    def test_dirty_read_creates_owner(self, mini):
+        rig = mini("berkeley", "berkeley")
+        rig[0].write(0, 2)
+        rig[1].read(0)
+        assert rig.states() == "O,S"
+        assert rig[1].value_of(0) == 2
+
+    def test_owner_supplies_without_memory_update(self, mini):
+        """Berkeley ownership: memory stays stale across the supply."""
+        rig = mini("berkeley", "berkeley")
+        rig[0].write(0, 2)
+        rig[1].read(0)
+        assert rig.memory.peek(0) == 0  # still stale; owner intervened
+
+    def test_owner_write_invalidates_and_takes_m(self, mini):
+        rig = mini("berkeley", "berkeley")
+        rig[0].write(0, 2)
+        rig[1].read(0)      # O,S
+        rig[0].write(0, 3)  # address-only invalidate
+        assert rig.states() == "M,I"
+
+    def test_flush_owner_updates_memory(self, mini):
+        rig = mini("berkeley", "berkeley")
+        rig[0].write(0, 2)
+        rig[0].flush_line(0)
+        assert rig.memory.peek(0) == 2
+
+    def test_write_miss_against_owner(self, mini):
+        rig = mini("berkeley", "berkeley")
+        rig[0].write(0, 1)
+        rig[1].write(0, 2)
+        assert rig.states() == "I,M"
+        assert rig[1].read(0) == 2
+
+    def test_mixed_with_moesi_stays_coherent(self, mini):
+        """Berkeley extends with class defaults, so it survives MOESI's
+        broadcast writes (the extension the paper calls for)."""
+        rig = mini("berkeley", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 9)   # MOESI broadcasts; Berkeley's class-default
+        assert rig[0].read(0) == 9

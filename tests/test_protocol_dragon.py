@@ -1,0 +1,91 @@
+"""Dragon protocol (Table 4) scenario tests."""
+
+import pytest
+
+from repro.analysis.tables import diff_protocol_table
+from repro.protocols.dragon import DragonProtocol
+from repro.core.states import LineState
+
+
+class TestTableFidelity:
+    def test_matches_paper_table4(self):
+        diff = diff_protocol_table(4)
+        assert diff.matches, diff.summary()
+
+    def test_has_all_five_states(self):
+        assert DragonProtocol.states == frozenset(LineState)
+
+    def test_no_busy_needed(self):
+        assert not DragonProtocol.requires_busy
+
+
+class TestUpdateSemantics:
+    def test_never_invalidates_peers(self, mini):
+        rig = mini("dragon", "dragon")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 5)
+        assert rig.states() == "S,O"
+        assert rig[0].stats.invalidations_received == 0
+        assert rig[0].value_of(0) == 5
+
+    def test_write_miss_is_two_transactions(self, mini):
+        """Dragon's I-write is Read>Write."""
+        rig = mini("dragon", "dragon")
+        rig[0].write(0, 5)
+        # Read landed E (nobody else), then the write silently took M.
+        assert rig.states() == "M,I"
+        assert rig[0].stats.bus_transactions == 1  # only the read needed bus
+
+    def test_write_miss_with_sharer_broadcasts(self, mini):
+        rig = mini("dragon", "dragon")
+        rig[0].read(0)           # E
+        rig[1].write(0, 7)       # read (E->S, CH) then broadcast write
+        assert rig.states() == "S,O"
+        assert rig[0].value_of(0) == 7
+
+    def test_futurebus_updates_memory_on_broadcast(self, mini):
+        """The paper's noted divergence: Futurebus broadcast writes also
+        update main memory; "extra memory updates cause no
+        incompatibility"."""
+        rig = mini("dragon", "dragon")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 5)
+        assert rig.memory.peek(0) == 5  # true Dragon would still have 0
+
+    def test_dirty_sharing_keeps_owner(self, mini):
+        rig = mini("dragon", "dragon", "dragon")
+        rig[0].write(0, 1)       # M (via Read>Write, silent write)
+        rig[1].read(0)           # O,S
+        rig[2].read(0)
+        assert rig.states() == "O,S,S"
+        rig[0].write(0, 2)       # owner broadcasts, everyone updates
+        assert rig[1].value_of(0) == 2 and rig[2].value_of(0) == 2
+        assert rig.states() == "O,S,S"
+
+    def test_exclusive_write_is_silent(self, mini):
+        rig = mini("dragon", "dragon")
+        rig[0].read(0)
+        before = rig[0].stats.bus_transactions
+        rig[0].write(0, 1)
+        assert rig[0].stats.bus_transactions == before
+        assert rig.states() == "M,I"
+
+    def test_flush_owned_writes_back(self, mini):
+        rig = mini("dragon", "dragon")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 5)       # S,O
+        rig[1].flush_line(0)
+        assert rig.memory.peek(0) == 5
+        assert rig[0].read(0) == 5
+
+    def test_mixed_with_berkeley(self, mini):
+        """Both are class members; any interleaving stays coherent."""
+        rig = mini("dragon", "berkeley")
+        rig[0].read(0)
+        rig[1].write(0, 1)       # Berkeley invalidate-style
+        assert rig[0].read(0) == 1
+        rig[0].write(0, 2)       # Dragon broadcast-style
+        assert rig[1].read(0) == 2

@@ -1,0 +1,78 @@
+"""Firefly protocol (Table 7) scenario tests."""
+
+import pytest
+
+from repro.analysis.tables import diff_protocol_table
+from repro.core.states import LineState
+from repro.protocols.firefly import FireflyProtocol
+
+
+class TestTableFidelity:
+    def test_matches_paper_table7(self):
+        diff = diff_protocol_table(7)
+        assert diff.matches, diff.summary()
+
+    def test_requires_busy(self):
+        assert FireflyProtocol.requires_busy
+
+
+class TestScenarios:
+    def test_dirty_read_pushes_then_lands_shared_via_e(self, mini):
+        """Table 7's subtle two-step: the M holder pushes and takes E;
+        the *retried* read then snoops it in E and downgrades to S."""
+        rig = mini("firefly", "firefly")
+        rig[0].read(0)
+        rig[0].write(0, 4)          # E -> M silent
+        value = rig[1].read(0)
+        assert value == 4
+        assert rig.states() == "S,S"
+        assert rig.memory.peek(0) == 4
+        assert rig[0].stats.abort_pushes == 1
+
+    def test_shared_write_broadcasts_and_stays_clean(self, mini):
+        """Firefly's S-write lands CH:S/E (not O/M): the broadcast also
+        updated memory, so the writer holds clean data."""
+        rig = mini("firefly", "firefly")
+        rig[0].read(0)
+        rig[1].read(0)              # S,S
+        rig[1].write(0, 5)
+        assert rig.states() == "S,S"
+        assert rig.memory.peek(0) == 5
+        assert rig[0].value_of(0) == 5
+
+    def test_shared_write_alone_lands_exclusive(self, mini):
+        """When no other cache retains the line, CH:S/E resolves E."""
+        rig = mini("firefly", "firefly")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[0].flush_line(0)        # drop u0's copy silently (clean)
+        rig[1].write(0, 5)          # broadcast, no CH heard
+        assert rig[1].state_of(0).letter == "E"
+        assert rig.memory.peek(0) == 5
+
+    def test_never_invalidates(self, mini):
+        rig = mini("firefly", "firefly", "firefly")
+        for unit in rig.units:
+            unit.read(0)
+        rig[0].write(0, 9)
+        assert rig.states() == "S,S,S"
+        for unit in rig.units:
+            assert unit.stats.invalidations_received == 0
+            assert unit.value_of(0) == 9
+
+    def test_write_miss_is_read_then_write(self, mini):
+        rig = mini("firefly", "firefly")
+        rig[0].read(0)              # E
+        rig[1].write(0, 2)          # Read>Write: read (S,S), then bcast
+        assert rig.states() == "S,S"
+        assert rig[0].value_of(0) == 2
+
+    def test_no_owned_state_memory_always_fresh_when_shared(self, mini):
+        rig = mini("firefly", "firefly")
+        rig[0].write(0, 1)          # via Read>Write: E then silent M? no --
+        # I-write is Read>Write; the read lands E (alone), then E-write is
+        # a silent upgrade to M.
+        assert rig[0].state_of(0).letter == "M"
+        rig[1].read(0)              # abort-push via E, retry -> S,S
+        assert rig.memory.peek(0) == 1
+        assert rig.states() == "S,S"

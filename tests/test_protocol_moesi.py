@@ -1,0 +1,179 @@
+"""Scenario tests for the full MOESI protocol on the live machinery.
+
+Each test walks the states of Tables 1-2 through real bus transactions
+and asserts the resulting state at every participant (experiment T1/T2's
+dynamic counterpart)."""
+
+import pytest
+
+from repro.core.states import LineState
+
+M, O, E, S, I = "M", "O", "E", "S", "I"
+
+
+class TestReadMissStates:
+    def test_first_reader_gets_exclusive(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        assert rig.states() == "E,I"
+
+    def test_second_reader_shares(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        assert rig.states() == "S,S"
+
+    def test_third_reader_shares_too(self, mini):
+        rig = mini("moesi", "moesi", "moesi")
+        for unit in rig.units:
+            unit.read(0)
+        assert rig.states() == "S,S,S"
+
+    def test_read_from_owner_downgrades_to_owned(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 1)  # write miss -> M
+        rig[1].read(0)
+        assert rig.states() == "O,S"
+        assert rig[1].value_of(0) == 1
+
+
+class TestWriteStates:
+    def test_write_miss_takes_modified(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 5)
+        assert rig.states() == "M,I"
+        assert rig[0].value_of(0) == 5
+
+    def test_write_hit_exclusive_silent_upgrade(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        before = rig[0].stats.bus_transactions
+        rig[0].write(0, 5)
+        assert rig.states() == "M,I"
+        assert rig[0].stats.bus_transactions == before  # silent
+
+    def test_write_to_shared_broadcasts_and_updates_peer(self, mini):
+        """Preferred policy: CA,IM,BC write; peer SL-connects."""
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 9)
+        assert rig.states() == "S,O"
+        assert rig[0].value_of(0) == 9
+        assert rig[0].stats.updates_received == 1
+
+    def test_write_to_shared_alone_takes_m(self, mini):
+        """CH:O/M resolves to M when no other cache retains a copy."""
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].cache.ways_of(0)[  # crude invalidation of u1's copy
+            rig[1].cache.lookup(0)[1]
+        ].invalidate()
+        rig[0].write(0, 3)
+        assert rig[0].state_of(0).letter == "M"
+
+    def test_owner_keeps_writing_broadcast(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 1)
+        rig[1].read(0)          # 0: O, 1: S
+        rig[0].write(0, 2)      # broadcast, peer retains
+        assert rig.states() == "O,S"
+        assert rig[1].read(0) == 2
+
+
+class TestWriteBackAndEviction:
+    def test_flush_owned_writes_memory(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 7)
+        # The broadcast-on-miss policy is read-for-ownership; memory still
+        # has the initial value.
+        assert rig.memory.peek(0) == 0
+        rig[0].flush_line(0)
+        assert rig.memory.peek(0) == 7
+        assert rig.states() == "I,I"
+
+    def test_flush_clean_is_silent(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        before = rig.memory.stats.writes
+        rig[0].flush_line(0)
+        assert rig.memory.stats.writes == before
+
+    def test_clean_line_pass_keeps_copy(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 7)
+        rig[0].clean_line(0)
+        assert rig[0].state_of(0).letter == "E"
+        assert rig.memory.peek(0) == 7
+
+    def test_pass_from_owned_resolves_by_ch(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 1)
+        rig[1].read(0)          # O,S
+        rig[0].clean_line(0)    # push; u1 retains -> CH -> S
+        assert rig.states() == "S,S"
+        assert rig.memory.peek(0) == 1
+
+    def test_capacity_eviction_writes_back(self, mini):
+        rig = mini("moesi", num_sets=1, associativity=1)
+        rig[0].write(0, 1)          # line 0 in the only way
+        rig[0].write(32, 2)         # evicts line 0 -> write-back
+        assert rig.memory.peek(0) == 1
+        assert rig[0].state_of(1).letter == "M"
+        assert rig[0].stats.evictions == 1
+
+
+class TestIntervention:
+    def test_owner_supplies_not_memory(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 4)
+        reads_before = rig.memory.stats.reads
+        value = rig[1].read(0)
+        assert value == 4
+        assert rig.memory.stats.reads == reads_before  # DI preempted
+        assert rig[0].stats.interventions_supplied == 1
+
+    def test_memory_supplies_for_clean_lines(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        before = rig.memory.stats.reads
+        rig[1].read(0)
+        assert rig.memory.stats.reads == before + 1
+
+    def test_write_miss_invalidates_owner(self, mini):
+        rig = mini("moesi", "moesi")
+        rig[0].write(0, 1)
+        rig[1].write(0, 2)   # read-for-ownership: owner supplies + dies
+        assert rig.states() == "I,M"
+        assert rig[1].value_of(0) == 2
+
+
+class TestStatsBookkeeping:
+    def test_hits_and_misses(self, mini):
+        rig = mini("moesi")
+        rig[0].read(0)
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        assert rig[0].stats.read_misses == 1
+        assert rig[0].stats.read_hits == 1
+        assert rig[0].stats.write_hits == 1
+
+    def test_invalidation_received_on_write_miss(self, mini):
+        """A write *miss* is a read-for-ownership (column 6): holders are
+        invalidated, not updated."""
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        rig[1].write(0, 1)
+        assert rig[0].stats.invalidations_received == 1
+        assert rig[0].stats.updates_received == 0
+
+    def test_update_received_on_shared_write_hit(self, mini):
+        """A write *hit* on a shared line broadcasts (column 8): holders
+        update."""
+        rig = mini("moesi", "moesi")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 1)
+        assert rig[0].stats.updates_received == 1
+        assert rig[0].stats.invalidations_received == 0

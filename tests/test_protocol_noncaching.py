@@ -1,0 +1,76 @@
+"""Non-caching masters (the "**" member): I/O processors etc."""
+
+import pytest
+
+from repro.core.signals import SnoopResponse
+from repro.core.validation import check_membership
+from repro.protocols.noncaching import NonCachingProtocol
+
+
+class TestDefinition:
+    def test_full_member(self):
+        assert check_membership(NonCachingProtocol()).is_full_member
+
+    def test_never_responds_to_bus_events(self):
+        protocol = NonCachingProtocol()
+        from repro.core.events import BusEvent
+        from repro.core.states import LineState
+
+        for event in BusEvent:
+            action = protocol.snoop_action(LineState.INVALID, event)
+            assert action.response == SnoopResponse.NONE
+
+
+class TestScenarios:
+    def test_read_returns_current_data_from_memory(self, mini):
+        rig = mini("non-caching", "moesi")
+        rig[1].read(0)
+        assert rig[0].read(0) == 0
+
+    def test_read_served_by_owner_when_dirty(self, mini):
+        rig = mini("non-caching", "moesi")
+        rig[1].write(0, 7)              # owner M, memory stale
+        assert rig[0].read(0) == 7      # DI supply (column 7)
+        assert rig[1].state_of(0).letter == "M"  # owner keeps M
+
+    def test_write_captured_by_owner(self, mini):
+        """Column 9: the owner captures; memory is not updated."""
+        rig = mini("non-caching", "moesi")
+        rig[1].write(0, 1)
+        rig[0].write(0, 2)
+        assert rig[1].value_of(0) == 2
+        assert rig.memory.peek(0) == 0
+
+    def test_write_reaches_memory_when_unowned(self, mini):
+        rig = mini("non-caching", "moesi")
+        rig[0].write(0, 5)
+        assert rig.memory.peek(0) == 5
+
+    def test_write_invalidates_unowned_copies(self, mini):
+        rig = mini("non-caching", "moesi", "moesi")
+        rig[1].read(0)
+        rig[2].read(0)                  # S,S
+        rig[0].write(0, 3)              # column 9: both invalidate
+        assert rig[1].state_of(0).letter == "I"
+        assert rig[2].state_of(0).letter == "I"
+        assert rig[1].read(0) == 3
+
+    def test_broadcast_flavor_updates_copies(self, mini):
+        rig = mini("non-caching-bc", "moesi", "moesi")
+        rig[1].read(0)
+        rig[2].read(0)
+        rig[0].write(0, 3)              # column 10: holders may update
+        assert rig[1].value_of(0) == 3
+        assert rig[2].value_of(0) == 3
+
+    def test_retains_nothing(self, mini):
+        rig = mini("non-caching", "moesi")
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        assert list(rig[0].cached_lines()) == []
+
+    def test_every_access_uses_the_bus(self, mini):
+        rig = mini("non-caching", "moesi")
+        for i in range(5):
+            rig[0].read(0)
+        assert rig[0].stats.bus_transactions == 5

@@ -1,0 +1,81 @@
+"""Write-Once protocol (Table 5) scenario tests: Goodman's scheme with
+the Futurebus BS-abort adaptation."""
+
+import pytest
+
+from repro.analysis.tables import diff_protocol_table
+from repro.core.states import LineState
+from repro.protocols.write_once import WriteOnceProtocol
+
+
+class TestTableFidelity:
+    def test_matches_paper_table5(self):
+        diff = diff_protocol_table(5)
+        assert diff.matches, diff.summary()
+
+    def test_requires_busy(self):
+        assert WriteOnceProtocol.requires_busy
+
+    def test_no_owned_state(self):
+        assert LineState.OWNED not in WriteOnceProtocol.states
+
+
+class TestWriteOnceSemantics:
+    def test_first_write_goes_through_to_memory(self, mini):
+        """The eponymous behaviour: S-write writes through, lands E."""
+        rig = mini("write-once", "write-once")
+        rig[0].read(0)            # S
+        rig[0].write(0, 1)
+        assert rig[0].state_of(0).letter == "E"
+        assert rig.memory.peek(0) == 1
+
+    def test_second_write_stays_local(self, mini):
+        rig = mini("write-once", "write-once")
+        rig[0].read(0)
+        rig[0].write(0, 1)        # E (wrote once)
+        rig[0].write(0, 2)        # silent E -> M
+        assert rig[0].state_of(0).letter == "M"
+        assert rig.memory.peek(0) == 1  # memory only has the first write
+
+    def test_first_write_invalidates_sharers(self, mini):
+        rig = mini("write-once", "write-once")
+        rig[0].read(0)
+        rig[1].read(0)            # S,S
+        rig[1].write(0, 1)        # write-through + invalidate (col 6)
+        assert rig.states() == "I,E"
+
+    def test_read_of_dirty_line_aborts_and_pushes(self, mini):
+        """M holder asserts BS, pushes, the retried read hits memory."""
+        rig = mini("write-once", "write-once")
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        rig[0].write(0, 2)        # M
+        value = rig[1].read(0)
+        assert value == 2
+        assert rig.states() == "S,S"
+        assert rig.memory.peek(0) == 2
+        assert rig[0].stats.abort_pushes == 1
+
+    def test_write_miss_supplies_and_invalidates(self, mini):
+        """Preferred (M, col 6) reading: "I,DI" -- supply directly."""
+        rig = mini("write-once", "write-once")
+        rig[0].read(0); rig[0].write(0, 1); rig[0].write(0, 2)  # M
+        rig[1].write(0, 3)        # M,CA,IM,R against the owner
+        assert rig.states() == "I,M"
+        assert rig[1].read(0) == 3
+
+    def test_homogeneous_memory_always_fresh_for_shared(self, mini):
+        """Write-Once's S state implies memory consistency -- holds in a
+        homogeneous system."""
+        rig = mini("write-once", "write-once")
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        rig[1].read(0)            # E downgrades to S
+        assert rig.states() == "S,S"
+        assert rig.memory.peek(0) == 1
+
+    def test_flush_dirty_writes_back(self, mini):
+        rig = mini("write-once", "write-once")
+        rig[0].read(0); rig[0].write(0, 1); rig[0].write(0, 2)
+        rig[0].flush_line(0)
+        assert rig.memory.peek(0) == 2

@@ -1,0 +1,115 @@
+"""Write-through cache (the class's "*" member, statements 6-8)."""
+
+import pytest
+
+from repro.core.states import LineState
+from repro.core.validation import check_membership
+from repro.protocols.write_through import WriteThroughProtocol
+
+
+class TestDefinition:
+    def test_two_states_only(self):
+        assert WriteThroughProtocol().states == frozenset(
+            {LineState.SHAREABLE, LineState.INVALID}
+        )
+
+    def test_full_member_in_all_configurations(self):
+        for kwargs in (
+            {},
+            {"broadcast_writes": False},
+            {"write_allocate": True},
+            {"update_on_broadcast": False},
+        ):
+            report = check_membership(WriteThroughProtocol(**kwargs))
+            assert report.is_full_member, report.summary()
+
+    def test_name_reflects_flavor(self):
+        assert "noBC" in WriteThroughProtocol(broadcast_writes=False).name
+
+
+class TestWriteThroughSemantics:
+    def test_every_write_reaches_memory(self, mini):
+        rig = mini("write-through", "write-through")
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        rig[0].write(0, 2)
+        rig[0].write(0, 3)
+        assert rig.memory.peek(0) == 3
+        assert rig.memory.stats.writes == 3
+
+    def test_write_keeps_line_valid(self, mini):
+        rig = mini("write-through", "write-through")
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        assert rig[0].state_of(0).letter == "S"
+
+    def test_no_allocate_on_write_miss(self, mini):
+        rig = mini("write-through", "write-through")
+        rig[0].write(0, 1)
+        assert rig[0].state_of(0).letter == "I"
+        assert rig.memory.peek(0) == 1
+
+    def test_broadcast_write_updates_peer(self, mini):
+        """Default flavor broadcasts: other caches may update (col 10)."""
+        rig = mini("write-through", "write-through")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 2)
+        assert rig[0].value_of(0) == 2
+        assert rig[0].stats.updates_received == 1
+
+    def test_read_miss_asserts_ca_and_lands_valid(self, mini):
+        rig = mini("write-through", "write-through")
+        rig[0].read(0)
+        rig[1].read(0)
+        assert rig.states() == "S,S"
+
+    def test_never_dirty_eviction_silent(self, mini):
+        rig = mini("write-through", num_sets=1, associativity=1)
+        rig[0].read(0)
+        rig[0].write(0, 1)
+        writes_before = rig.memory.stats.writes
+        rig[0].read(32)   # evicts line 0
+        assert rig.memory.stats.writes == writes_before  # no write-back
+
+    def test_against_moesi_owner_write_is_captured(self, mini):
+        """A WT write past the cache against a MOESI owner: with
+        broadcast, the owner SL-updates; memory updates too."""
+        rig = mini("write-through", "moesi")
+        rig[1].write(0, 1)          # MOESI owner M
+        rig[0].read(0)              # WT shares; owner -> O
+        rig[0].write(0, 2)
+        assert rig[1].value_of(0) == 2
+        assert rig.memory.peek(0) == 2
+        assert rig[0].read(0) == 2
+
+
+class TestNonBroadcastFlavor:
+    def test_peers_invalidated_instead_of_updated(self, mini):
+        rig = mini("write-through-noalloc-nobc", "write-through-noalloc-nobc")
+        rig[0].read(0)
+        rig[1].read(0)
+        rig[1].write(0, 2)          # ~CA,IM,~BC: column 9
+        assert rig[0].state_of(0).letter == "I"
+        assert rig[1].read(0) == 2
+
+    def test_capture_by_owner_without_memory_update(self, mini):
+        """Column 9 against an owner: DI captures; memory NOT updated."""
+        rig = mini("write-through-noalloc-nobc", "moesi")
+        rig[1].write(0, 1)          # owner M, memory stale
+        writes_before = rig.memory.stats.writes
+        rig[0].write(0, 2)          # non-broadcast write past the cache
+        assert rig[1].value_of(0) == 2
+        assert rig.memory.stats.writes == writes_before
+        assert rig[1].stats.writes_captured == 1
+
+
+class TestAllocateFlavor:
+    def test_write_miss_allocates_via_read(self, mini):
+        rig = mini("write-through-alloc", "write-through-alloc")
+        rig[0].write(0, 1)
+        assert rig[0].state_of(0).letter == "S"
+        assert rig.memory.peek(0) == 1
+        # Subsequent write hits.
+        rig[0].write(0, 2)
+        assert rig[0].stats.write_hits == 1

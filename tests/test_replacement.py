@@ -1,0 +1,100 @@
+"""Replacement policies, including the recency exposure the Puzak
+refinement relies on."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    replacement_by_name,
+)
+
+
+class TestLru:
+    def test_victim_is_least_recently_used(self):
+        lru = LruPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.fill(0, way)
+        lru.touch(0, 0)  # 0 becomes MRU; 1 is now LRU
+        assert lru.victim(0, range(4)) == 1
+
+    def test_touch_protects(self):
+        lru = LruPolicy(1, 2)
+        lru.fill(0, 0)
+        lru.fill(0, 1)
+        lru.touch(0, 0)
+        assert lru.victim(0, range(2)) == 1
+
+    def test_candidates_respected(self):
+        lru = LruPolicy(1, 4)
+        for way in range(4):
+            lru.fill(0, way)
+        # way 0 is LRU overall, but only 2 and 3 are candidates.
+        assert lru.victim(0, [2, 3]) == 2
+
+    def test_recency_normalized(self):
+        lru = LruPolicy(1, 3)
+        for way in (0, 1, 2):
+            lru.fill(0, way)
+        # Order (MRU..LRU): 2, 1, 0.
+        assert lru.recency(0, 2) == 0.0
+        assert lru.recency(0, 1) == 0.5
+        assert lru.recency(0, 0) == 1.0
+
+    def test_single_way_recency_zero(self):
+        lru = LruPolicy(1, 1)
+        assert lru.recency(0, 0) == 0.0
+
+    def test_sets_independent(self):
+        lru = LruPolicy(2, 2)
+        lru.fill(0, 1)
+        assert lru.victim(1, range(2)) == 1  # set 1 untouched order
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            LruPolicy(1, 2).victim(0, [])
+
+
+class TestFifo:
+    def test_touch_does_not_protect(self):
+        fifo = FifoPolicy(1, 2)
+        fifo.fill(0, 0)
+        fifo.fill(0, 1)
+        fifo.touch(0, 0)  # irrelevant for FIFO
+        assert fifo.victim(0, range(2)) == 0
+
+    def test_fill_order_respected(self):
+        fifo = FifoPolicy(1, 3)
+        for way in (2, 0, 1):
+            fifo.fill(0, way)
+        assert fifo.victim(0, range(3)) == 2
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(1, 4, seed=1)
+        b = RandomPolicy(1, 4, seed=1)
+        picks_a = [a.victim(0, range(4)) for _ in range(10)]
+        picks_b = [b.victim(0, range(4)) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_stays_within_candidates(self):
+        policy = RandomPolicy(1, 4, seed=2)
+        for _ in range(20):
+            assert policy.victim(0, [1, 3]) in (1, 3)
+
+    def test_neutral_recency(self):
+        assert RandomPolicy(1, 2).recency(0, 0) == 0.5
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy),
+    ])
+    def test_by_name(self, name, cls):
+        assert isinstance(replacement_by_name(name, 4, 2), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            replacement_by_name("plru", 4, 2)

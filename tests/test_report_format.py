@@ -1,0 +1,39 @@
+"""The ASCII report formatter."""
+
+from repro.analysis.report import format_rows
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(no rows)"
+        assert format_rows([], title="T") == "T"
+
+    def test_alignment(self):
+        text = format_rows([{"a": 1, "bb": "x"}, {"a": 222, "bb": "yyyy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        # All rows have equal visual width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_first(self):
+        text = format_rows([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_explicit_column_order_and_subset(self):
+        rows = [{"x": 1, "y": 2, "z": 3}]
+        text = format_rows(rows, columns=["z", "x"])
+        header = text.splitlines()[0]
+        assert header.index("z") < header.index("x")
+        assert "y" not in header
+
+    def test_missing_keys_blank(self):
+        text = format_rows([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "1" in text and "2" in text
+
+    def test_float_formatting(self):
+        text = format_rows([{"v": 0.5}, {"v": 1.0}])
+        assert "0.5" in text and "1" in text
+
+    def test_bool_rendering(self):
+        text = format_rows([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text

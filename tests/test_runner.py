@@ -1,0 +1,98 @@
+"""The timed (event-driven) runner: contention, stalls, determinism."""
+
+import pytest
+
+from repro.system.processor import Processor, ProcessorTiming
+from repro.system.runner import TimedRun, timed_run_from_trace
+from repro.system.system import System
+from repro.workloads.patterns import ping_pong, private_streams
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Op
+
+
+class TestProcessor:
+    def test_stream_exhaustion(self):
+        p = Processor("cpu0", iter([(Op.READ, 0)]))
+        assert p.next_reference() == (Op.READ, 0)
+        assert p.next_reference() is None
+        assert p.done
+
+    def test_issued_counter(self):
+        p = Processor("cpu0", iter([(Op.READ, 0), (Op.WRITE, 4)]))
+        p.next_reference()
+        p.next_reference()
+        assert p.stats.issued == 2
+
+
+class TestTimedRun:
+    def test_unknown_processor_rejected(self):
+        system = System.homogeneous("moesi", 1)
+        with pytest.raises(ValueError, match="without boards"):
+            TimedRun(system, [Processor("ghost", iter([]))])
+
+    def test_all_references_complete(self):
+        system = System.homogeneous("moesi", 2)
+        trace = ping_pong(rounds=25)
+        run = timed_run_from_trace(system, trace)
+        report = run.run()
+        assert report.accesses == len(trace)
+        per_unit = {p.unit_id: p.stats.completed for p in run.processors}
+        # 25 rounds alternate: cpu0 takes 13 rounds, cpu1 takes 12.
+        assert per_unit == {"cpu0": 26, "cpu1": 24}
+
+    def test_elapsed_time_positive_and_monotone_with_work(self):
+        def elapsed(rounds):
+            system = System.homogeneous("moesi", 2)
+            run = timed_run_from_trace(system, ping_pong(rounds=rounds))
+            return run.run().elapsed_ns
+
+        assert 0 < elapsed(10) < elapsed(40)
+
+    def test_deterministic(self):
+        def run_once():
+            config = SyntheticConfig(processors=3, p_shared=0.3)
+            trace = SyntheticWorkload(config, seed=5).trace(600)
+            system = System.homogeneous("moesi", 3)
+            report = timed_run_from_trace(system, trace).run()
+            return (report.elapsed_ns, report.bus.transactions)
+
+        assert run_once() == run_once()
+
+    def test_bus_contention_accumulates_wait(self):
+        """Non-caching boards need the bus for every access: with several
+        of them hammering, somebody must wait."""
+        from repro.system.system import BoardSpec
+
+        system = System(
+            [BoardSpec(f"cpu{i}", "non-caching") for i in range(4)]
+        )
+        trace = ping_pong(rounds=50, processors=4)
+        run = timed_run_from_trace(system, trace)
+        run.run()
+        total_wait = sum(p.stats.bus_wait_ns for p in run.processors)
+        assert total_wait > 0
+
+    def test_hits_cost_hit_time_not_bus(self):
+        system = System.homogeneous("moesi", 1)
+        timing = ProcessorTiming(think_ns=0.0, hit_ns=10.0)
+        trace = private_streams(
+            references_per_processor=10, processors=1, blocks_per_processor=1
+        )
+        run = timed_run_from_trace(system, trace, timing=timing)
+        report = run.run()
+        # 1 miss (bus), 29 hits.
+        assert report.bus.transactions == 1
+
+    def test_until_cutoff_stops_early(self):
+        system = System.homogeneous("moesi", 2)
+        run = timed_run_from_trace(system, ping_pong(rounds=500))
+        report = run.run(until_ns=5_000.0)
+        assert report.elapsed_ns <= 5_000.0
+        assert report.accesses < 1000
+
+    def test_coherence_checked_during_timed_run(self):
+        system = System.homogeneous("moesi", 3)
+        config = SyntheticConfig(processors=3, p_shared=0.5, p_write=0.5)
+        trace = SyntheticWorkload(config, seed=2).trace(900)
+        timed_run_from_trace(system, trace).run()
+        assert not system.check_coherence()

@@ -1,0 +1,101 @@
+"""Sector caches (section 5.1): tag per sector, consistency state per
+transfer subsector."""
+
+import pytest
+
+from repro.cache.sector import SectorCache
+from repro.core.states import LineState
+
+M, E, S, I = (
+    LineState.MODIFIED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+
+@pytest.fixture
+def cache():
+    return SectorCache(
+        num_sets=4, associativity=2, subsector_size=32, subsectors_per_sector=4
+    )
+
+
+class TestAddressing:
+    def test_sector_and_subsector_decomposition(self, cache):
+        assert cache.sector_size == 128
+        assert cache.sector_address(0) == 0
+        assert cache.sector_address(127) == 0
+        assert cache.sector_address(128) == 1
+        assert cache.subsector_index(0) == 0
+        assert cache.subsector_index(32) == 1
+        assert cache.subsector_index(127) == 3
+
+    def test_subsector_address_is_bus_line_address(self, cache):
+        """The transfer subsector is the bus-visible unit."""
+        assert cache.subsector_address(64) == 2
+
+
+class TestStatePerSubsector:
+    def test_states_are_independent_within_a_sector(self, cache):
+        cache.fill_subsector(0, M, 1)
+        cache.fill_subsector(32, S, 2)
+        assert cache.probe_state(0) is M
+        assert cache.probe_state(32) is S
+        assert cache.probe_state(64) is I  # same sector, never filled
+
+    def test_one_tag_serves_all_subsectors(self, cache):
+        cache.fill_subsector(0, S, 1)
+        cache.fill_subsector(96, E, 2)
+        sectors, subsectors = cache.occupancy()
+        assert sectors == 1 and subsectors == 2
+
+    def test_value_tracking(self, cache):
+        cache.fill_subsector(32, M, 7)
+        assert cache.value_of(32) == 7
+        assert cache.value_of(0) is None
+
+    def test_set_state(self, cache):
+        cache.fill_subsector(0, E, 1)
+        cache.set_state(0, M)
+        assert cache.probe_state(0) is M
+
+    def test_set_state_missing_raises(self, cache):
+        with pytest.raises(KeyError):
+            cache.set_state(0, M)
+
+
+class TestAllocation:
+    def test_allocate_existing_sector_no_eviction(self, cache):
+        cache.fill_subsector(0, S, 1)
+        frame, evicted = cache.allocate(64)  # same sector
+        assert evicted == []
+        assert frame.states[0] is S  # previous subsector intact
+
+    def test_eviction_lists_valid_subsectors(self, cache):
+        small = SectorCache(num_sets=1, associativity=1,
+                            subsector_size=32, subsectors_per_sector=2)
+        small.fill_subsector(0, S, 1)
+        small.fill_subsector(32, S, 2)
+        _, evicted = small.allocate(64)  # new sector displaces old
+        addresses = sorted(a for a, _, _ in evicted)
+        assert addresses == [0, 32]
+
+    def test_owned_eviction_requires_writeback_first(self):
+        small = SectorCache(num_sets=1, associativity=1,
+                            subsector_size=32, subsectors_per_sector=2)
+        small.fill_subsector(0, M, 1)
+        with pytest.raises(RuntimeError, match="write them back"):
+            small.fill_subsector(64, S, 2)
+
+    def test_lru_between_frames(self, cache):
+        small = SectorCache(num_sets=1, associativity=2,
+                            subsector_size=32, subsectors_per_sector=2)
+        small.fill_subsector(0, S, 1)     # sector 0
+        small.fill_subsector(64, S, 2)    # sector 1
+        small.allocate(0)                 # touch sector 0: now MRU
+        _, evicted = small.allocate(128)  # sector 2 evicts sector 1
+        assert evicted and evicted[0][0] == 64
+
+    def test_capacity(self, cache):
+        assert cache.capacity_bytes == 4 * 2 * 128

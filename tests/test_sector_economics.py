@@ -1,0 +1,48 @@
+"""Tag-storage economics of sector caches (why section 5.1 cares)."""
+
+import pytest
+
+from repro.cache.sector import tag_economics
+
+
+class TestTagEconomics:
+    def test_sector_design_saves_directory_bits(self):
+        result = tag_economics()
+        assert result["saving_bits"] > 0
+        assert 0 < result["saving_fraction"] < 1
+
+    def test_saving_grows_with_subsectors_per_sector(self):
+        small = tag_economics(subsectors_per_sector=2)
+        large = tag_economics(subsectors_per_sector=8)
+        assert large["saving_fraction"] > small["saving_fraction"]
+
+    def test_state_bits_unaffected(self):
+        """Consistency state is per transfer subsector in both designs
+        (the paper's conclusion), so only tag storage differs."""
+        result = tag_economics(capacity_bytes=1024, line_size=32,
+                               subsectors_per_sector=4, state_bits=3)
+        lines = result["lines"]
+        plain_states = lines * 3
+        # Subtract state storage from both totals: remaining = tags.
+        plain_tags = result["plain_directory_bits"] - plain_states
+        sector_tags = result["sector_directory_bits"] - plain_states
+        assert plain_tags == lines * result["plain_tag_bits"]
+        assert sector_tags == result["sectors"] * result["sector_tag_bits"]
+
+    def test_sector_tags_shorter(self):
+        """Bigger sector offset -> fewer tag bits per entry too."""
+        result = tag_economics(subsectors_per_sector=4)
+        assert result["sector_tag_bits"] < result["plain_tag_bits"]
+
+    def test_capacity_must_divide(self):
+        with pytest.raises(ValueError):
+            tag_economics(capacity_bytes=1000, line_size=32)
+
+    def test_concrete_numbers(self):
+        """64 KiB, 32-byte lines, 4 subsectors/sector, 32-bit addresses:
+        the classic configuration saves ~69% of directory bits."""
+        result = tag_economics()
+        assert result["lines"] == 2048
+        assert result["plain_tag_bits"] == 27
+        assert result["sector_tag_bits"] == 25
+        assert result["saving_fraction"] == pytest.approx(0.69, abs=0.01)

@@ -1,0 +1,111 @@
+"""Tests for the bus signal lines and wired-OR aggregation (section 3.2)."""
+
+import pytest
+
+from repro.core.signals import (
+    MasterSignals,
+    ResponseAggregate,
+    SignalLine,
+    SnoopResponse,
+)
+
+
+class TestMasterSignals:
+    def test_defaults_deasserted(self):
+        signals = MasterSignals()
+        assert not (signals.ca or signals.im or signals.bc)
+
+    def test_notation_all_asserted(self):
+        assert MasterSignals(True, True, True).notation() == "CA,IM,BC"
+
+    def test_notation_all_deasserted(self):
+        assert MasterSignals().notation() == "~CA,~IM,~BC"
+
+    def test_notation_mixed(self):
+        assert MasterSignals(ca=True, im=True).notation() == "CA,IM,~BC"
+
+    def test_is_write_tracks_im(self):
+        assert MasterSignals(im=True).is_write
+        assert not MasterSignals(ca=True).is_write
+
+    def test_broadcast_push_allowed(self):
+        """BC without IM is a broadcast push (write-back); legal."""
+        signals = MasterSignals(ca=True, im=False, bc=True)
+        assert signals.is_broadcast and not signals.is_write
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MasterSignals().ca = True  # type: ignore[misc]
+
+
+class TestSnoopResponse:
+    def test_none_constant_asserts_nothing(self):
+        assert not SnoopResponse.NONE.asserts_anything
+
+    def test_notation_order(self):
+        response = SnoopResponse(ch=True, di=True)
+        assert response.notation() == "CH,DI"
+
+    def test_ch_dont_care_notation(self):
+        assert SnoopResponse(ch=None, di=True).notation() == "CH?,DI"
+
+    def test_dont_care_does_not_assert(self):
+        assert not SnoopResponse(ch=None).asserts_anything
+
+    def test_bs_notation(self):
+        assert SnoopResponse(bs=True).notation() == "BS"
+
+    def test_empty_str(self):
+        assert str(SnoopResponse()) == "(none)"
+
+
+class TestResponseAggregate:
+    """Open-collector: the observed value is the OR over all drivers."""
+
+    def test_empty(self):
+        agg = ResponseAggregate.of([])
+        assert not (agg.ch or agg.di or agg.sl or agg.bs)
+
+    def test_single_driver_pulls_line(self):
+        agg = ResponseAggregate.of([SnoopResponse(ch=True)])
+        assert agg.ch and agg.shared
+
+    def test_or_over_many(self):
+        agg = ResponseAggregate.of(
+            [
+                SnoopResponse(ch=True),
+                SnoopResponse(di=True),
+                SnoopResponse(sl=True),
+            ]
+        )
+        assert agg.ch and agg.di and agg.sl and not agg.bs
+
+    def test_dont_care_contributes_nothing(self):
+        agg = ResponseAggregate.of([SnoopResponse(ch=None)])
+        assert not agg.ch
+
+    def test_abort_flag(self):
+        assert ResponseAggregate.of([SnoopResponse(bs=True)]).aborted
+
+    def test_intervened_flag(self):
+        assert ResponseAggregate.of([SnoopResponse(di=True)]).intervened
+
+    def test_notation(self):
+        agg = ResponseAggregate(ch=True, sl=True)
+        assert agg.notation() == "CH,SL"
+
+
+class TestSignalLine:
+    @pytest.mark.parametrize("line", [SignalLine.CA, SignalLine.IM, SignalLine.BC])
+    def test_master_signals(self, line):
+        assert line.is_master_signal and not line.is_response_signal
+
+    @pytest.mark.parametrize(
+        "line", [SignalLine.CH, SignalLine.DI, SignalLine.SL, SignalLine.BS]
+    )
+    def test_response_signals(self, line):
+        assert line.is_response_signal and not line.is_master_signal
+
+    def test_seven_lines(self):
+        """Six for MOESI plus BS for the adapted protocols (section 3.2)."""
+        assert len(list(SignalLine)) == 7

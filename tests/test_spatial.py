@@ -1,0 +1,101 @@
+"""The byte-granular spatial workload."""
+
+import pytest
+
+from repro.workloads.spatial import SpatialConfig, SpatialWorkload
+from repro.workloads.trace import Op
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = SpatialConfig()
+        assert config.shared_region_bytes == 4 * 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"processors": 0},
+            {"stride": 0},
+            {"private_bytes": 2, "stride": 4},
+            {"p_shared": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SpatialConfig(**kwargs)
+
+
+class TestAddressMap:
+    def test_private_regions_disjoint_and_aligned(self):
+        workload = SpatialWorkload(SpatialConfig(processors=3))
+        bases = [workload.private_base(p) for p in range(3)]
+        assert bases == sorted(bases)
+        assert all(base % 4096 == 0 for base in bases)
+        assert bases[0] >= SpatialConfig().shared_region_bytes
+
+    def test_shared_slots_packed(self):
+        """Adjacent processors' slots share any line of >= 2 slots --
+        the false-sharing setup."""
+        config = SpatialConfig(shared_slot_bytes=8)
+        workload = SpatialWorkload(config)
+        assert workload.shared_slot(1) - workload.shared_slot(0) == 8
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        config = SpatialConfig()
+        a = SpatialWorkload(config, seed=3).trace(400)
+        b = SpatialWorkload(config, seed=3).trace(400)
+        assert a.records == b.records
+
+    def test_private_scan_is_sequential(self):
+        config = SpatialConfig(processors=1, p_shared=0.0, stride=4)
+        trace = SpatialWorkload(config, seed=1).trace(50)
+        addresses = [r.address for r in trace]
+        deltas = {
+            b - a for a, b in zip(addresses, addresses[1:])
+            if b - a > 0
+        }
+        assert deltas == {4}
+
+    def test_shared_accesses_stay_in_own_slot(self):
+        config = SpatialConfig(processors=4, p_shared=1.0)
+        workload = SpatialWorkload(config, seed=2)
+        trace = workload.trace(400)
+        for record in trace:
+            processor = int(record.unit[3:])
+            slot = workload.shared_slot(processor)
+            assert slot <= record.address < slot + config.shared_slot_bytes
+
+    def test_shared_fraction_approximate(self):
+        config = SpatialConfig(p_shared=0.3)
+        trace = SpatialWorkload(config, seed=5).trace(4000)
+        shared = sum(
+            1 for r in trace if r.address < config.shared_region_bytes
+        )
+        assert shared / len(trace) == pytest.approx(0.3, abs=0.05)
+
+    def test_write_mix(self):
+        config = SpatialConfig(p_shared=0.0, p_private_write=1.0)
+        trace = SpatialWorkload(config, seed=1).trace(100)
+        assert all(r.op is Op.WRITE for r in trace)
+
+
+class TestFalseSharing:
+    def test_large_lines_cause_cross_processor_invalidation(self):
+        """Two processors writing adjacent 8-byte slots never share data,
+        but with 64-byte lines their writes collide."""
+        from repro.system.system import System
+
+        config = SpatialConfig(processors=2, p_shared=1.0,
+                               p_shared_write=1.0)
+        trace = SpatialWorkload(config, seed=7).trace(300)
+
+        def invalidations(line_size):
+            system = System.homogeneous(
+                "moesi-invalidate", 2, line_size=line_size
+            )
+            system.run_trace(trace)
+            return system.report().invalidations
+
+        assert invalidations(64) > invalidations(4) == 0

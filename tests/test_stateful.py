@@ -1,0 +1,129 @@
+"""Hypothesis stateful testing: a rule-based machine drives a mixed
+MOESI-class system and cross-checks it against a trivial reference model
+(a dict of last-written tokens) after every step.
+
+This complements the exhaustive explorer (bounded exhaustiveness on tiny
+configurations) and the fixed-seed fuzz tests (fixed topology) with
+*adaptive* case generation: hypothesis shrinks any failure to a minimal
+operation sequence."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.system.system import BoardSpec, System
+
+PROTOCOL_POOL = (
+    "moesi",
+    "moesi-invalidate",
+    "moesi-update",
+    "berkeley",
+    "dragon",
+    "write-through",
+    "non-caching",
+)
+
+LINES = 4
+LINE_SIZE = 32
+
+
+class CoherentSystemMachine(RuleBasedStateMachine):
+    """Reads/writes/flushes against the real system vs a dict oracle."""
+
+    @initialize(
+        protocols=st.lists(
+            st.sampled_from(PROTOCOL_POOL), min_size=2, max_size=3
+        )
+    )
+    def build(self, protocols):
+        boards = [
+            BoardSpec(f"u{i}", name, num_sets=2, associativity=1)
+            for i, name in enumerate(protocols)
+        ]
+        # check=True: the system itself raises on any stale read or
+        # broken invariant, so rules only need to drive it.
+        self.system = System(boards, check=True)
+        self.units = list(self.system.controllers)
+        self.oracle: dict[int, int] = {}
+
+    @rule(unit=st.integers(0, 2), line=st.integers(0, LINES - 1))
+    def read(self, unit, line):
+        name = self.units[unit % len(self.units)]
+        value = self.system.read(name, line * LINE_SIZE)
+        assert value == self.oracle.get(line, 0)
+
+    @rule(unit=st.integers(0, 2), line=st.integers(0, LINES - 1))
+    def write(self, unit, line):
+        name = self.units[unit % len(self.units)]
+        token = self.system.write(name, line * LINE_SIZE)
+        self.oracle[line] = token
+
+    @rule(unit=st.integers(0, 2), line=st.integers(0, LINES - 1))
+    def flush(self, unit, line):
+        name = self.units[unit % len(self.units)]
+        board = self.system.controllers[name]
+        if hasattr(board, "flush_line"):
+            board.flush_line(line)
+
+    @rule(unit=st.integers(0, 2), line=st.integers(0, LINES - 1))
+    def clean(self, unit, line):
+        name = self.units[unit % len(self.units)]
+        board = self.system.controllers[name]
+        if hasattr(board, "clean_line"):
+            board.clean_line(line)
+
+    @invariant()
+    def moesi_invariants_hold(self):
+        if not hasattr(self, "system"):
+            return
+        violations = self.system.check_coherence()
+        assert not violations, violations
+
+
+CoherentSystemMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+TestCoherentSystemMachine = CoherentSystemMachine.TestCase
+
+
+class HierarchyMachine(RuleBasedStateMachine):
+    """The same idea over a 2x2 cluster hierarchy."""
+
+    @initialize()
+    def build(self):
+        from repro.hierarchy import HierarchicalSystem
+
+        self.system = HierarchicalSystem.grid(2, 2)
+        self.units = list(self.system.controllers)
+        self.oracle: dict[int, int] = {}
+
+    @rule(unit=st.integers(0, 3), line=st.integers(0, LINES - 1))
+    def read(self, unit, line):
+        name = self.units[unit % len(self.units)]
+        self.system.read(name, line * LINE_SIZE)  # oracle-checked inside
+
+    @rule(unit=st.integers(0, 3), line=st.integers(0, LINES - 1))
+    def write(self, unit, line):
+        name = self.units[unit % len(self.units)]
+        self.system.write(name, line * LINE_SIZE)
+
+    @invariant()
+    def hierarchy_invariants_hold(self):
+        if not hasattr(self, "system"):
+            return
+        problems = self.system.check_coherence()
+        assert not problems, problems
+
+
+HierarchyMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+
+TestHierarchyMachine = HierarchyMachine.TestCase

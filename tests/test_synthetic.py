@@ -1,0 +1,130 @@
+"""The probabilistic ([Dubo82]-style) synthetic workload generator."""
+
+import pytest
+
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Op
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("field", ["p_shared", "p_write", "locality"])
+    def test_probabilities_bounded(self, field):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**{field: 1.5})
+
+    def test_processor_count_positive(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(processors=0)
+
+    def test_skew_at_least_one(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(sharing_skew=0.5)
+
+    def test_unit_ids(self):
+        assert SyntheticConfig(processors=2).unit_ids() == ["cpu0", "cpu1"]
+
+
+class TestAddressMap:
+    def test_shared_and_private_disjoint(self):
+        config = SyntheticConfig(shared_blocks=4, private_blocks=8,
+                                 processors=2, line_size=32)
+        workload = SyntheticWorkload(config)
+        shared = {workload.shared_address(b) for b in range(4)}
+        private = {
+            workload.private_address(p, b)
+            for p in range(2)
+            for b in range(8)
+        }
+        assert shared.isdisjoint(private)
+
+    def test_private_regions_per_processor_disjoint(self):
+        config = SyntheticConfig(processors=3)
+        workload = SyntheticWorkload(config)
+        regions = [
+            {workload.private_address(p, b) for b in range(config.private_blocks)}
+            for p in range(3)
+        ]
+        assert regions[0].isdisjoint(regions[1])
+        assert regions[1].isdisjoint(regions[2])
+
+    def test_out_of_range_rejected(self):
+        workload = SyntheticWorkload(SyntheticConfig())
+        with pytest.raises(ValueError):
+            workload.shared_address(999)
+        with pytest.raises(ValueError):
+            workload.private_address(0, 999)
+
+
+class TestGeneration:
+    def test_reproducible_given_seed(self):
+        config = SyntheticConfig()
+        a = SyntheticWorkload(config, seed=4).trace(500)
+        b = SyntheticWorkload(config, seed=4).trace(500)
+        assert a.records == b.records
+
+    def test_different_seeds_differ(self):
+        config = SyntheticConfig()
+        a = SyntheticWorkload(config, seed=1).trace(500)
+        b = SyntheticWorkload(config, seed=2).trace(500)
+        assert a.records != b.records
+
+    def test_round_robin_interleaving(self):
+        config = SyntheticConfig(processors=3)
+        trace = SyntheticWorkload(config).trace(9)
+        units = [r.unit for r in trace]
+        assert units == ["cpu0", "cpu1", "cpu2"] * 3
+
+    def test_write_fraction_approximates_p_write(self):
+        config = SyntheticConfig(p_write=0.3)
+        trace = SyntheticWorkload(config, seed=0).trace(6000)
+        assert trace.write_fraction() == pytest.approx(0.3, abs=0.03)
+
+    def test_shared_fraction_approximates_p_shared(self):
+        config = SyntheticConfig(p_shared=0.25, shared_blocks=8,
+                                 line_size=32)
+        workload = SyntheticWorkload(config, seed=0)
+        trace = workload.trace(6000)
+        shared_limit = config.shared_blocks * config.line_size
+        shared = sum(1 for r in trace if r.address < shared_limit)
+        assert shared / len(trace) == pytest.approx(0.25, abs=0.03)
+
+    def test_skew_concentrates_on_hot_blocks(self):
+        config = SyntheticConfig(
+            p_shared=1.0, shared_blocks=8, sharing_skew=2.5, locality=0.0
+        )
+        trace = SyntheticWorkload(config, seed=0).trace(4000)
+        block0 = sum(1 for r in trace if r.address == 0)
+        block7 = sum(
+            1 for r in trace if r.address == 7 * config.line_size
+        )
+        assert block0 > 5 * max(block7, 1)
+
+    def test_locality_repeats_blocks(self):
+        sticky = SyntheticConfig(p_shared=0.0, locality=0.95,
+                                 private_blocks=64)
+        loose = SyntheticConfig(p_shared=0.0, locality=0.0,
+                                private_blocks=64)
+
+        def repeat_rate(config):
+            trace = SyntheticWorkload(config, seed=3).trace(2000)
+            repeats = sum(
+                1
+                for a, b in zip(trace.records, trace.records[1:])
+                if a.unit == b.unit and a.address == b.address
+            )
+            return repeats
+
+        # With one processor the consecutive-same-unit pairs exist; use
+        # processors=1 variants for a clean comparison.
+        assert repeat_rate(
+            SyntheticConfig(processors=1, p_shared=0.0, locality=0.9)
+        ) > repeat_rate(
+            SyntheticConfig(processors=1, p_shared=0.0, locality=0.0)
+        )
+
+    def test_streams_keyed_by_unit(self):
+        config = SyntheticConfig(processors=2)
+        streams = SyntheticWorkload(config).streams()
+        assert set(streams) == {"cpu0", "cpu1"}
+        op, address = next(streams["cpu0"])
+        assert op in (Op.READ, Op.WRITE) and address >= 0

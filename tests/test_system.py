@@ -1,0 +1,147 @@
+"""The system builder, runtime coherence checking, and reporting."""
+
+import pytest
+
+from repro.system.system import BoardSpec, CoherenceError, System
+from repro.workloads.patterns import ping_pong, producer_consumer
+from repro.workloads.trace import Op, ReferenceRecord, Trace
+
+
+class TestConstruction:
+    def test_homogeneous_builder(self):
+        system = System.homogeneous("moesi", 3)
+        assert sorted(system.controllers) == ["cpu0", "cpu1", "cpu2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one board"):
+            System([])
+
+    def test_line_size_mismatch_rejected(self):
+        """Section 5.1: the system standardizes one line size."""
+        with pytest.raises(ValueError, match="line size mismatch"):
+            System(
+                [
+                    BoardSpec("a", line_size=32),
+                    BoardSpec("b", line_size=64),
+                ]
+            )
+
+    def test_protocol_instances_accepted(self):
+        from repro.protocols.moesi import MoesiProtocol
+
+        system = System([BoardSpec("a", MoesiProtocol())])
+        assert "a" in system.controllers
+
+    def test_non_caching_board(self):
+        from repro.cache.controller import NonCachingMaster
+
+        system = System(
+            [BoardSpec("io", "non-caching"), BoardSpec("cpu", "moesi")]
+        )
+        assert isinstance(system.controllers["io"], NonCachingMaster)
+
+
+class TestVersionedAccess:
+    def test_read_of_unwritten_line_returns_zero(self):
+        system = System.homogeneous("moesi", 2)
+        assert system.read("cpu0", 0) == 0
+
+    def test_write_allocates_monotonic_versions(self):
+        system = System.homogeneous("moesi", 2)
+        v1 = system.write("cpu0", 0)
+        v2 = system.write("cpu1", 0)
+        assert v2 > v1
+
+    def test_read_sees_last_write_across_cpus(self):
+        system = System.homogeneous("moesi", 3)
+        token = system.write("cpu2", 64)
+        assert system.read("cpu0", 64) == token
+
+    def test_sub_line_addresses_share_a_version(self):
+        system = System.homogeneous("moesi", 2, line_size=32)
+        token = system.write("cpu0", 35)
+        assert system.read("cpu1", 40) == token  # same 32-byte line
+
+
+class TestTraceRuns:
+    @pytest.mark.parametrize(
+        "protocol",
+        ["moesi", "berkeley", "dragon", "write-through"],
+    )
+    def test_patterns_run_clean(self, protocol):
+        system = System.homogeneous(protocol, 4)
+        system.run_trace(ping_pong(rounds=40, processors=4))
+        assert not system.check_coherence()
+
+    @pytest.mark.parametrize("protocol", ["illinois", "write-once", "firefly"])
+    def test_foreign_homogeneous_run_clean(self, protocol):
+        system = System.homogeneous(protocol, 4)
+        system.run_trace(producer_consumer(items=20, consumers=3))
+        assert not system.check_coherence()
+
+    def test_apply_routes_ops(self):
+        system = System.homogeneous("moesi", 2)
+        system.apply(ReferenceRecord("cpu0", Op.WRITE, 0))
+        system.apply(ReferenceRecord("cpu1", Op.READ, 0))
+        assert system.accesses == 2
+
+
+class TestCoherenceChecking:
+    def test_stale_read_detected(self):
+        """Bypass the protocol to corrupt a copy; the next read trips."""
+        system = System.homogeneous("moesi", 2)
+        system.write("cpu0", 0)
+        system.read("cpu1", 0)
+        # Corrupt cpu1's copy behind the protocol's back.
+        controller = system.controllers["cpu1"]
+        controller.cache.lookup(0)[2].value = 12345
+        with pytest.raises(CoherenceError):
+            system.read("cpu1", 0)
+
+    def test_invariant_violation_detected(self):
+        system = System.homogeneous("moesi", 2)
+        system.write("cpu0", 0)
+        # Forge a second owner.
+        from repro.core.states import LineState
+
+        other = system.controllers["cpu1"]
+        other.cache.fill(0, LineState.MODIFIED, 1)
+        violations = system.check_coherence([0])
+        assert violations
+
+    def test_check_disabled_skips_validation(self):
+        system = System.homogeneous("moesi", 2, label="unchecked")
+        system.check = False
+        system.write("cpu0", 0)
+        controller = system.controllers["cpu0"]
+        controller.cache.lookup(0)[2].value = 999
+        system.read("cpu0", 0)  # no exception
+
+    def test_line_view_reports_freshness(self):
+        system = System.homogeneous("moesi", 2)
+        system.write("cpu0", 0)
+        view = system.line_view(0)
+        assert view.owners and view.owners[0].fresh
+        assert not view.memory_fresh  # read-for-ownership left it stale
+
+
+class TestReporting:
+    def test_report_aggregates(self):
+        system = System.homogeneous("moesi", 2)
+        system.run_trace(ping_pong(rounds=20))
+        report = system.report()
+        assert report.accesses == 40  # 20 rounds x (write + read)
+        assert report.bus.transactions > 0
+        assert 0 <= report.miss_ratio <= 1
+
+    def test_report_row_keys(self):
+        system = System.homogeneous("moesi", 2)
+        system.write("cpu0", 0)
+        row = system.report().row()
+        for key in ("system", "accesses", "miss_ratio", "bus_txns"):
+            assert key in row
+
+    def test_bus_utilization_requires_elapsed(self):
+        system = System.homogeneous("moesi", 2)
+        assert system.report().bus_utilization is None
+        assert system.report(elapsed_ns=1e6).bus_utilization is not None

@@ -1,0 +1,78 @@
+"""Bus timing model (sections 2.2-2.3)."""
+
+import pytest
+
+from repro.bus.timing import DEFAULT_TIMING, BusTiming
+from repro.core.actions import BusOp
+from repro.core.signals import MasterSignals
+
+
+class TestTransactionCosts:
+    def test_address_only_is_cheapest(self):
+        t = DEFAULT_TIMING
+        addr_only = t.transaction_ns(BusOp.NONE, MasterSignals(ca=True, im=True))
+        read = t.transaction_ns(BusOp.READ, MasterSignals(ca=True))
+        assert addr_only < read
+        assert addr_only == t.arbitration_ns + t.address_cycle_ns
+
+    def test_broadcast_surcharge_applied(self):
+        """Broadcast transfers pay the 25 ns wired-OR penalty."""
+        t = DEFAULT_TIMING
+        plain = t.transaction_ns(
+            BusOp.WRITE, MasterSignals(ca=True, im=True)
+        )
+        broadcast = t.transaction_ns(
+            BusOp.WRITE, MasterSignals(ca=True, im=True, bc=True)
+        )
+        assert broadcast - plain == t.broadcast_surcharge_ns == 25.0
+
+    def test_connector_makes_transfer_broadcast(self):
+        t = DEFAULT_TIMING
+        plain = t.transaction_ns(BusOp.WRITE, MasterSignals(ca=True, im=True))
+        with_connector = t.transaction_ns(
+            BusOp.WRITE, MasterSignals(ca=True, im=True), connectors=1
+        )
+        assert with_connector - plain == t.broadcast_surcharge_ns
+
+    def test_intervention_faster_than_memory(self):
+        t = DEFAULT_TIMING
+        from_memory = t.transaction_ns(BusOp.READ, MasterSignals(ca=True))
+        from_cache = t.transaction_ns(
+            BusOp.READ, MasterSignals(ca=True), intervened=True
+        )
+        assert from_cache < from_memory
+
+    def test_cache_master_moves_full_line(self):
+        t = BusTiming(words_per_line=8)
+        line = t.transaction_ns(BusOp.READ, MasterSignals(ca=True))
+        word = t.transaction_ns(BusOp.READ, MasterSignals())
+        assert line - word == 7 * t.data_beat_ns
+
+    def test_explicit_word_count_overrides(self):
+        t = DEFAULT_TIMING
+        two = t.transaction_ns(BusOp.READ, MasterSignals(ca=True), words=2)
+        four = t.transaction_ns(BusOp.READ, MasterSignals(ca=True), words=4)
+        assert four - two == 2 * t.data_beat_ns
+
+    def test_write_has_no_access_latency(self):
+        t = DEFAULT_TIMING
+        write = t.transaction_ns(BusOp.WRITE, MasterSignals(ca=True, im=True))
+        read = t.transaction_ns(BusOp.READ, MasterSignals(ca=True))
+        assert read - write == t.memory_latency_ns
+
+    def test_abort_cost(self):
+        t = DEFAULT_TIMING
+        assert t.abort_ns() == (
+            t.arbitration_ns + t.address_cycle_ns + t.abort_penalty_ns
+        )
+
+    def test_frozen_dataclass(self):
+        with pytest.raises(Exception):
+            DEFAULT_TIMING.data_beat_ns = 1.0  # type: ignore[misc]
+
+    def test_custom_timing_used(self):
+        t = BusTiming(arbitration_ns=0.0, address_cycle_ns=10.0,
+                      memory_latency_ns=100.0, data_beat_ns=10.0,
+                      words_per_line=1)
+        read = t.transaction_ns(BusOp.READ, MasterSignals(ca=True))
+        assert read == 10.0 + 100.0 + 10.0

@@ -1,0 +1,92 @@
+"""The bus-analyzer trace pretty-printer."""
+
+from repro.analysis.tracelog import format_bus_trace, trace_rows
+from repro.bus.futurebus import Futurebus
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.controller import CacheController
+from repro.memory.main_memory import MainMemory
+from repro.protocols.registry import make_protocol
+
+
+def _traced_rig():
+    memory = MainMemory()
+    log = []
+    bus = Futurebus(memory, trace=log)
+    a = CacheController("A", make_protocol("moesi"),
+                        SetAssociativeCache(), bus)
+    b = CacheController("B", make_protocol("moesi"),
+                        SetAssociativeCache(), bus)
+    return log, a, b, memory
+
+
+class TestTraceRows:
+    def test_read_miss_recorded(self):
+        log, a, b, _ = _traced_rig()
+        a.read(0)
+        (row,) = trace_rows(log)
+        assert row["master"] == "A"
+        assert row["col"] == 5
+        assert row["op"] == "read"
+        assert row["supplier"] == "memory"
+
+    def test_intervention_visible(self):
+        log, a, b, _ = _traced_rig()
+        a.write(0, 1)
+        log.clear()
+        b.read(0)
+        (row,) = trace_rows(log)
+        assert row["supplier"] == "A"
+        assert "DI" in row["responses"]
+        assert "CH" in row["responses"]
+
+    def test_broadcast_write_shows_connectors(self):
+        log, a, b, _ = _traced_rig()
+        a.read(0)
+        b.read(0)
+        log.clear()
+        b.write(0, 2)
+        (row,) = trace_rows(log)
+        assert row["col"] == 8
+        assert row["connectors"] == "A"
+
+    def test_abort_retries_counted(self):
+        from repro.cache.cache import SetAssociativeCache
+        memory = MainMemory()
+        log = []
+        bus = Futurebus(memory, trace=log)
+        a = CacheController("A", make_protocol("illinois"),
+                            SetAssociativeCache(), bus)
+        b = CacheController("B", make_protocol("illinois"),
+                            SetAssociativeCache(), bus)
+        a.write(0, 1)
+        log.clear()
+        b.read(0)
+        rows = trace_rows(log)
+        # The push appears as its own transaction; the retried read
+        # reports one retry.
+        assert any(r["retries"] == 1 for r in rows)
+        assert any(r["master"] == "A" and r["op"] == "write" for r in rows)
+
+    def test_addr_only_invalidate(self):
+        log, a, b, _ = _traced_rig()
+        a.write(0, 1)
+        b.read(0)
+        log.clear()
+        a.write(0, 2)  # O-write, preferred broadcast... force invalidate:
+        # With the preferred policy this is a broadcast; assert whatever
+        # happened is labelled consistently.
+        (row,) = trace_rows(log)
+        assert row["op"] in ("write", "addr-only")
+
+
+class TestFormatting:
+    def test_format_contains_headers(self):
+        log, a, b, _ = _traced_rig()
+        a.read(0)
+        text = format_bus_trace(log, "capture")
+        assert text.splitlines()[0] == "capture"
+        for header in ("master", "signals", "col", "responses"):
+            assert header in text.splitlines()[1]
+
+    def test_empty_log(self):
+        assert format_bus_trace([]) == "Bus transaction trace"

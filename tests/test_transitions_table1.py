@@ -1,0 +1,168 @@
+"""Table 1 (local events) cell-by-cell: the class's local transitions must
+match the paper exactly.  Each test pins one row of the paper's table."""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE1_LOCAL, canonical_cell
+from repro.core.actions import BusOp, MasterKind
+from repro.core.events import ALL_LOCAL_EVENTS, LocalEvent
+from repro.core.states import LineState
+from repro.core.transitions import LOCAL_TABLE, local_choices
+
+M, O, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+_EVENT_NAMES = {
+    LocalEvent.READ: "Read",
+    LocalEvent.WRITE: "Write",
+    LocalEvent.PASS: "Pass",
+    LocalEvent.FLUSH: "Flush",
+}
+
+
+def _cell_notations(state, event):
+    return [a.notation() for a in LOCAL_TABLE[(state, event)]]
+
+
+class TestEveryCellAgainstPaper:
+    """Exhaustive diff: 5 states x 4 events."""
+
+    @pytest.mark.parametrize("state", list(LineState))
+    @pytest.mark.parametrize("event", ALL_LOCAL_EVENTS)
+    def test_cell(self, state, event):
+        ours = [canonical_cell(n) for n in _cell_notations(state, event)]
+        paper = [
+            canonical_cell(entry)
+            for entry in TABLE1_LOCAL[(state.value, _EVENT_NAMES[event])]
+        ]
+        assert ours == paper
+
+
+class TestHitBehaviour:
+    """Reads and writes that need no bus."""
+
+    @pytest.mark.parametrize("state", [M, O, E, S])
+    def test_read_hit_is_silent_and_stays(self, state):
+        (action,) = LOCAL_TABLE[(state, LocalEvent.READ)]
+        assert action.is_silent and action.next_state is state
+
+    def test_write_hit_m_silent(self):
+        (action,) = LOCAL_TABLE[(M, LocalEvent.WRITE)]
+        assert action.is_silent and action.next_state is M
+
+    def test_write_hit_e_silently_takes_m(self):
+        """Sole copy: no warning needed (section 3.1, E/M pair)."""
+        (action,) = LOCAL_TABLE[(E, LocalEvent.WRITE)]
+        assert action.is_silent and action.next_state is M
+
+
+class TestSharedWrites:
+    """O/S writes must announce on the bus (statement 2)."""
+
+    @pytest.mark.parametrize("state", [O, S])
+    def test_no_silent_choice(self, state):
+        for action in LOCAL_TABLE[(state, LocalEvent.WRITE)]:
+            assert action.uses_bus
+
+    @pytest.mark.parametrize("state", [O, S])
+    def test_preferred_is_broadcast(self, state):
+        preferred = LOCAL_TABLE[(state, LocalEvent.WRITE)][0]
+        assert preferred.signals.bc and preferred.bus_op is BusOp.WRITE
+
+    @pytest.mark.parametrize("state", [O, S])
+    def test_invalidate_alternative_is_address_only(self, state):
+        alternative = LOCAL_TABLE[(state, LocalEvent.WRITE)][1]
+        assert alternative.bus_op is BusOp.NONE
+        assert alternative.signals.im and alternative.signals.ca
+        assert alternative.next_state is M
+
+
+class TestWriteBacks:
+    """Pass (3) and flush (4) of owned data."""
+
+    def test_pass_from_m_keeps_copy_clean(self):
+        (action,) = LOCAL_TABLE[(M, LocalEvent.PASS)]
+        assert action.next_state is E
+        assert action.bus_op is BusOp.WRITE
+        assert action.signals.ca and action.bc_dont_care
+
+    def test_pass_from_o_listens_for_sharers(self):
+        (action,) = LOCAL_TABLE[(O, LocalEvent.PASS)]
+        assert action.notation() == "CH:S/E,CA,BC?,W"
+
+    @pytest.mark.parametrize("state", [M, O])
+    def test_flush_owned_writes_back(self, state):
+        (action,) = LOCAL_TABLE[(state, LocalEvent.FLUSH)]
+        assert action.bus_op is BusOp.WRITE
+        assert action.next_state is LineState.INVALID
+
+    @pytest.mark.parametrize("state", [E, S])
+    def test_flush_unowned_is_silent(self, state):
+        (action,) = LOCAL_TABLE[(state, LocalEvent.FLUSH)]
+        assert action.is_silent and action.next_state is LineState.INVALID
+
+    @pytest.mark.parametrize("state", [E, S, I])
+    def test_pass_illegal_for_clean_states(self, state):
+        assert LOCAL_TABLE[(state, LocalEvent.PASS)] == ()
+
+
+class TestMisses:
+    def test_read_miss_preferred_lands_s_or_e(self):
+        preferred = LOCAL_TABLE[(I, LocalEvent.READ)][0]
+        assert preferred.notation() == "CH:S/E,CA,R"
+
+    def test_write_miss_preferred_is_read_for_ownership(self):
+        preferred = LOCAL_TABLE[(I, LocalEvent.WRITE)][0]
+        assert preferred.notation() == "M,CA,IM,R"
+
+    def test_write_miss_two_transaction_alternative(self):
+        second = LOCAL_TABLE[(I, LocalEvent.WRITE)][1]
+        assert second.bus_op is BusOp.READ_THEN_WRITE
+
+    def test_flush_and_pass_of_invalid_illegal(self):
+        assert LOCAL_TABLE[(I, LocalEvent.FLUSH)] == ()
+        assert LOCAL_TABLE[(I, LocalEvent.PASS)] == ()
+
+
+class TestKindFiltering:
+    """The * / ** annotations partition each cell by board kind."""
+
+    def test_copy_back_filter_excludes_starred(self):
+        choices = local_choices(S, LocalEvent.WRITE, MasterKind.COPY_BACK)
+        assert all(c.kind is MasterKind.COPY_BACK for c in choices)
+        assert len(choices) == 2
+
+    def test_write_through_write_choices(self):
+        choices = local_choices(S, LocalEvent.WRITE, MasterKind.WRITE_THROUGH)
+        notations = [c.notation() for c in choices]
+        assert notations == ["S,IM,BC,W*", "S,IM,W*"]
+
+    def test_write_through_read_miss(self):
+        choices = local_choices(I, LocalEvent.READ, MasterKind.WRITE_THROUGH)
+        assert [c.notation() for c in choices] == ["S,CA,R*"]
+
+    def test_non_caching_read(self):
+        choices = local_choices(I, LocalEvent.READ, MasterKind.NON_CACHING)
+        assert [c.notation() for c in choices] == ["I,R**"]
+
+    def test_non_caching_write_options(self):
+        choices = local_choices(I, LocalEvent.WRITE, MasterKind.NON_CACHING)
+        notations = [c.notation() for c in choices]
+        assert notations == ["I,IM,BC,W*,**", "I,IM,W*,**"]
+
+    def test_unfiltered_returns_everything(self):
+        assert len(local_choices(I, LocalEvent.WRITE)) == 5
+
+    def test_write_through_writes_never_assert_ca(self):
+        """A WT write goes *past* the cache: columns 9/10 for snoopers."""
+        for choices_state in (S, I):
+            for action in local_choices(
+                choices_state, LocalEvent.WRITE, MasterKind.WRITE_THROUGH
+            ):
+                if action.bus_op is BusOp.WRITE:
+                    assert not action.signals.ca

@@ -1,0 +1,148 @@
+"""Table 2 (bus events) cell-by-cell, plus the paper's statements 4-5
+about intervenient and non-intervenient snoop behaviour."""
+
+import pytest
+
+from repro.analysis.paper_data import TABLE2_SNOOP, canonical_cell
+from repro.core.actions import CH_O_OR_M
+from repro.core.events import ALL_BUS_EVENTS, BusEvent
+from repro.core.states import LineState
+from repro.core.transitions import SNOOP_TABLE, snoop_choices
+
+M, O, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+COL5 = BusEvent.CACHE_READ
+COL6 = BusEvent.CACHE_READ_FOR_MODIFY
+COL7 = BusEvent.UNCACHED_READ
+COL8 = BusEvent.CACHE_BROADCAST_WRITE
+COL9 = BusEvent.UNCACHED_WRITE
+COL10 = BusEvent.UNCACHED_BROADCAST_WRITE
+
+
+class TestEveryCellAgainstPaper:
+    """Exhaustive diff: 5 states x 6 bus events."""
+
+    @pytest.mark.parametrize("state", list(LineState))
+    @pytest.mark.parametrize("event", ALL_BUS_EVENTS)
+    def test_cell(self, state, event):
+        ours = [
+            canonical_cell(a.notation())
+            for a in SNOOP_TABLE[(state, event)]
+        ]
+        paper = [
+            canonical_cell(entry)
+            for entry in TABLE2_SNOOP[(state.value, event.note)]
+        ]
+        assert ours == paper
+
+
+class TestIntervenientStates:
+    """Statement 4: M/O holders supply, capture, or relinquish."""
+
+    @pytest.mark.parametrize("state", [M, O])
+    def test_supply_on_cache_read(self, state):
+        (action,) = snoop_choices(state, COL5)
+        assert action.intervenes
+        assert action.next_state is O  # requester now shares
+        assert action.response.ch  # "I will retain"
+
+    @pytest.mark.parametrize("state", [M, O])
+    def test_supply_then_invalidate_on_write_miss(self, state):
+        (action,) = snoop_choices(state, COL6)
+        assert action.intervenes and action.next_state is I
+
+    @pytest.mark.parametrize("state", [M, O])
+    def test_capture_uncached_write(self, state):
+        """Column 9: the owner captures the write; memory must not."""
+        (action,) = snoop_choices(state, COL9)
+        assert action.intervenes
+        assert action.next_state is state  # retains ownership
+
+    def test_owner_relinquishes_on_broadcast_write(self):
+        """Column 8: the broadcast writer becomes the new owner."""
+        choices = snoop_choices(O, COL8)
+        assert [a.notation() for a in choices] == ["S,CH,SL", "I"]
+        assert not any(a.next_state in (M, O) for a in choices)
+
+    def test_owner_must_update_on_uncached_broadcast(self):
+        """Column 10 from O: no invalidate option -- the write may be
+        partial, leaving memory stale for the rest of the line."""
+        choices = snoop_choices(O, COL10)
+        assert len(choices) == 1
+        assert choices[0].next_state is O and choices[0].connects
+
+    def test_m_stays_owner_on_uncached_broadcast(self):
+        (action,) = snoop_choices(M, COL10)
+        assert action.next_state is M and action.connects
+
+    def test_o_listens_on_uncached_read(self):
+        """Column 7 from O: CH:O/M -- the owner listens for other CH
+        assertions to learn whether it may promote to M."""
+        (action,) = snoop_choices(O, COL7)
+        assert action.next_state == CH_O_OR_M
+        assert action.response.ch is False  # must not assert, only listen
+        assert action.intervenes
+
+    @pytest.mark.parametrize("state", [M, E])
+    def test_broadcast_write_against_exclusive_impossible(self, state):
+        """Column 8 cannot occur against a sole copy (writer holds none)."""
+        assert snoop_choices(state, COL8) == ()
+
+
+class TestNonIntervenientStates:
+    """Statement 5: S/E go to S on reads (raising CH), invalidate on
+    non-broadcast writes, choose on broadcast writes."""
+
+    @pytest.mark.parametrize("state", [E, S])
+    def test_cache_read_downgrades_to_shared(self, state):
+        (action,) = snoop_choices(state, COL5)
+        assert action.next_state is S and action.response.ch
+
+    def test_e_stays_on_uncached_read(self):
+        """Exception in statement 5: a non-caching master takes no copy."""
+        (action,) = snoop_choices(E, COL7)
+        assert action.next_state is E
+        assert action.response.ch is None  # nobody is listening
+
+    def test_s_asserts_ch_on_uncached_read(self):
+        """An O-state owner may be listening (CH:O/M): S must assert CH."""
+        (action,) = snoop_choices(S, COL7)
+        assert action.next_state is S and action.response.ch is True
+
+    @pytest.mark.parametrize("state", [E, S])
+    @pytest.mark.parametrize("event", [COL6, COL9])
+    def test_invalidate_on_non_broadcast_writes(self, state, event):
+        (action,) = snoop_choices(state, event)
+        assert action.next_state is I
+        assert not action.response.asserts_anything
+
+    @pytest.mark.parametrize("event", [COL8, COL10])
+    def test_s_update_or_invalidate_choice(self, event):
+        choices = snoop_choices(S, event)
+        assert [a.retains_copy for a in choices] == [True, False]
+        update = choices[0]
+        assert update.connects and update.response.ch
+
+
+class TestInvalidRow:
+    @pytest.mark.parametrize("event", ALL_BUS_EVENTS)
+    def test_invalid_ignores_everything(self, event):
+        (action,) = snoop_choices(I, event)
+        assert action.next_state is I
+        assert not action.response.asserts_anything
+
+
+class TestSingleResponder:
+    """At most one DI per column, across any legal state combination."""
+
+    @pytest.mark.parametrize("event", ALL_BUS_EVENTS)
+    def test_only_owner_states_intervene(self, event):
+        for state in (E, S, I):
+            for action in snoop_choices(state, event):
+                assert not action.intervenes

@@ -1,0 +1,117 @@
+"""Class-membership validation: the paper's taxonomy, mechanically."""
+
+import pytest
+
+from repro.core.validation import check_membership
+from repro.protocols import make_protocol, protocol_names
+from repro.verify.mutations import ALL_MUTANTS
+
+
+class TestClassMembers:
+    """Abstract: "the Berkeley protocol and the Dragon protocol fall
+    within this class"."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "moesi",
+            "moesi-invalidate",
+            "moesi-update",
+            "moesi-random",
+            "moesi-round-robin",
+        ],
+    )
+    def test_moesi_variants_are_full_members(self, name):
+        report = check_membership(make_protocol(name))
+        assert report.is_full_member, report.summary()
+
+    def test_berkeley_is_member(self):
+        report = check_membership(make_protocol("berkeley"))
+        assert report.is_member and not report.issues
+
+    def test_berkeley_needs_extension(self):
+        """Berkeley only defines bus columns 5-6; the rest are holes."""
+        report = check_membership(make_protocol("berkeley"))
+        assert not report.is_full_member
+        assert report.uncovered_bus_events
+
+    def test_dragon_is_member(self):
+        report = check_membership(make_protocol("dragon"))
+        assert report.is_member and not report.issues
+
+    def test_dragon_needs_extension(self):
+        report = check_membership(make_protocol("dragon"))
+        notes = {event.note for _, event in report.uncovered_bus_events}
+        # Dragon's own algorithm generates only columns 5 and 8.
+        assert notes == {6, 7, 9, 10}
+
+    @pytest.mark.parametrize(
+        "name",
+        ["write-through", "write-through-alloc", "write-through-noalloc-nobc"],
+    )
+    def test_write_through_variants_are_full_members(self, name):
+        report = check_membership(make_protocol(name))
+        assert report.is_full_member, report.summary()
+
+    @pytest.mark.parametrize("name", ["non-caching", "non-caching-bc"])
+    def test_non_caching_is_full_member(self, name):
+        report = check_membership(make_protocol(name))
+        assert report.is_full_member
+
+
+class TestAdaptedProtocols:
+    """Abstract: "The Illinois, Firefly and Write-Once protocols can be
+    adapted ... the Futurebus currently do[es] not support those protocols
+    without adaptation"."""
+
+    @pytest.mark.parametrize("name", ["write-once", "illinois", "firefly"])
+    def test_adapted_not_members(self, name):
+        report = check_membership(make_protocol(name))
+        assert report.is_adapted
+        assert not report.is_member
+
+    def test_illinois_uses_busy_only(self):
+        """Illinois is in-class except for needing the BS abort."""
+        report = check_membership(make_protocol("illinois"))
+        assert report.uses_busy and not report.issues
+
+    def test_write_once_out_of_class_write(self):
+        """Write-Once's first-write ("E,CA,IM,W") is out of class."""
+        report = check_membership(make_protocol("write-once"))
+        issues = [str(i) for i in report.issues]
+        assert any("E,CA,IM,W" in text for text in issues)
+
+    def test_firefly_out_of_class_write(self):
+        """Firefly's shared write lands CH:S/E, not CH:O/M."""
+        report = check_membership(make_protocol("firefly"))
+        issues = [str(i) for i in report.issues]
+        assert any("CH:S/E,CA,IM,BC,W" in text for text in issues)
+
+
+class TestMutantsRejected:
+    """Every single-cell mutant must fail membership statically."""
+
+    @pytest.mark.parametrize(
+        "mutant_cls", ALL_MUTANTS, ids=lambda c: c.__name__
+    )
+    def test_mutant_not_full_member(self, mutant_cls):
+        report = check_membership(mutant_cls())
+        assert report.issues, f"{mutant_cls.__name__} slipped through"
+
+
+class TestReportShape:
+    def test_summary_mentions_name(self):
+        report = check_membership(make_protocol("berkeley"))
+        assert report.summary().startswith("Berkeley:")
+
+    def test_every_registered_protocol_classifies(self):
+        """No protocol crashes the validator; each lands in a bucket."""
+        for name in protocol_names():
+            report = check_membership(make_protocol(name))
+            assert report.is_member or report.is_adapted or report.issues
+
+    def test_issue_str_contains_cell(self):
+        report = check_membership(make_protocol("write-once"))
+        assert report.issues
+        text = str(report.issues[0])
+        assert "state" in text and "event" in text

@@ -1,0 +1,91 @@
+"""The verification matrix (experiment E1): the paper's compatibility
+claims, exhaustively checked, with positive and negative controls."""
+
+import pytest
+
+from repro.verify.explorer import explore
+from repro.verify.mixes import (
+    class_member_mixes,
+    homogeneous_foreign,
+    incompatible_mixes,
+    mutant_mixes,
+    run_matrix,
+)
+
+
+class TestClassMemberMixes:
+    """Section 3.4: any mix of class members stays consistent."""
+
+    @pytest.mark.parametrize(
+        "case",
+        class_member_mixes(),
+        ids=lambda c: "+".join(str(s) for s in c.specs),
+    )
+    def test_consistent(self, case):
+        result = case.run()
+        assert result.consistent, result.violations[:3]
+        assert result.complete
+
+
+class TestHomogeneousForeign:
+    """Sections 4.3-4.5: BS-adapted protocols work among themselves."""
+
+    @pytest.mark.parametrize(
+        "case",
+        homogeneous_foreign(),
+        ids=lambda c: "+".join(str(s) for s in c.specs),
+    )
+    def test_consistent(self, case):
+        result = case.run()
+        assert result.consistent and result.complete
+
+
+class TestIncompatibleMixes:
+    """Foreign protocols naively mixed with class members must fail --
+    either a protocol gap or a genuine stale-data violation."""
+
+    @pytest.mark.parametrize(
+        "case",
+        incompatible_mixes(),
+        ids=lambda c: "+".join(str(s) for s in c.specs),
+    )
+    def test_violation_found(self, case):
+        result = case.run()
+        assert not result.consistent
+
+    def test_write_once_violation_is_semantic_not_just_a_gap(self):
+        """Write-Once against MOESI breaks *even where its table is
+        defined*: stale memory with no owner."""
+        result = explore(["write-once", "moesi"])
+        semantic = [
+            v for v in result.violations if "memory-current" in v.error
+        ]
+        assert semantic
+
+
+class TestMutants:
+    @pytest.mark.parametrize(
+        "case", mutant_mixes(), ids=lambda c: c.label
+    )
+    def test_mutant_caught(self, case):
+        result = case.run()
+        assert not result.consistent, f"{case.label} was not caught"
+
+
+class TestRunMatrix:
+    def test_rows_record_expectations(self):
+        rows = run_matrix(class_member_mixes()[:2])
+        assert all(r["ok"] for r in rows)
+        assert all(r["expected"] == "consistent" for r in rows)
+
+    def test_full_matrix_all_ok(self):
+        cases = (
+            class_member_mixes()
+            + homogeneous_foreign()
+            + incompatible_mixes()
+            + mutant_mixes()
+        )
+        rows = run_matrix(cases)
+        assert all(r["ok"] for r in rows), [
+            r for r in rows if not r["ok"]
+        ]

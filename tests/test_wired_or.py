@@ -1,0 +1,129 @@
+"""Open-collector wired-OR line model (section 2.2)."""
+
+import pytest
+
+from repro.bus.wired_or import WiredOrLine, all_released
+
+
+class TestBasicSemantics:
+    def test_initially_released(self):
+        assert not WiredOrLine("L").asserted
+
+    def test_single_driver_asserts(self):
+        line = WiredOrLine("L")
+        line.assert_("a", 1.0)
+        assert line.asserted
+
+    def test_any_driver_holds_line_low(self):
+        """One foot on the hose stops the flow."""
+        line = WiredOrLine("L")
+        line.assert_("a", 1.0)
+        line.assert_("b", 2.0)
+        line.release("a", 3.0)
+        assert line.asserted  # b still drives
+
+    def test_rises_only_when_all_release(self):
+        line = WiredOrLine("L")
+        for driver in "abc":
+            line.assert_(driver, 0.0)
+        line.release("a", 1.0)
+        line.release("b", 2.0)
+        assert line.asserted
+        line.release("c", 3.0)
+        assert not line.asserted
+
+    def test_release_of_non_driver_is_noop(self):
+        line = WiredOrLine("L")
+        line.assert_("a", 1.0)
+        line.release("ghost", 2.0)
+        assert line.asserted
+
+    def test_time_must_not_go_backwards(self):
+        line = WiredOrLine("L")
+        line.assert_("a", 5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            line.release("a", 4.0)
+
+    def test_all_released_helper(self):
+        a, b = WiredOrLine("A"), WiredOrLine("B")
+        a.assert_("x", 0.0)
+        assert not all_released([a, b])
+        a.release("x", 1.0)
+        assert all_released([a, b])
+
+
+class TestHistory:
+    def test_history_records_edges_not_driver_changes(self):
+        line = WiredOrLine("L")
+        line.assert_("a", 1.0)
+        line.assert_("b", 2.0)  # no edge: already low
+        line.release("a", 3.0)  # no edge: b holds
+        line.release("b", 4.0)  # rising edge
+        times = [(s.time, s.asserted) for s in line.history]
+        assert times == [(0.0, False), (1.0, True), (4.0, False)]
+
+    def test_raw_level_at(self):
+        line = WiredOrLine("L")
+        line.assert_("a", 10.0)
+        line.release("a", 20.0)
+        assert not line.raw_level_at(5.0)
+        assert line.raw_level_at(15.0)
+        assert not line.raw_level_at(25.0)
+
+
+class TestWiredOrGlitch:
+    def test_glitch_recorded_on_partial_release(self):
+        line = WiredOrLine("L", {"a": 0.0, "b": 10.0})
+        line.assert_("a", 0.0)
+        line.assert_("b", 0.0)
+        line.release("a", 5.0)
+        assert len(line.glitches) == 1
+        glitch = line.glitches[0]
+        assert glitch.releasing_driver == "a"
+        assert glitch.remaining_driver == "b"
+
+    def test_glitch_grows_with_distance(self):
+        near = WiredOrLine("N", {"a": 0.0, "b": 1.0})
+        far = WiredOrLine("F", {"a": 0.0, "b": 30.0})
+        for line in (near, far):
+            line.assert_("a", 0.0)
+            line.assert_("b", 0.0)
+            line.release("a", 5.0)
+        assert far.glitches[0].duration > near.glitches[0].duration
+        assert far.glitches[0].amplitude > near.glitches[0].amplitude
+
+    def test_final_release_is_clean(self):
+        line = WiredOrLine("L")
+        line.assert_("a", 0.0)
+        line.release("a", 5.0)
+        assert line.glitches == ()
+        assert line.rose_clean()
+
+
+class TestInertialFilter:
+    """The asymmetric low-pass filter (the 25 ns penalty)."""
+
+    def test_assertion_passes_immediately(self):
+        line = WiredOrLine("L", filter_window=25.0)
+        line.assert_("a", 10.0)
+        assert line.observed_level_at(10.0)
+
+    def test_release_believed_only_after_window(self):
+        line = WiredOrLine("L", filter_window=25.0)
+        line.assert_("a", 0.0)
+        line.release("a", 100.0)
+        assert line.observed_level_at(110.0)       # still looks asserted
+        assert not line.observed_level_at(125.0)   # window elapsed
+
+    def test_release_observed_time(self):
+        line = WiredOrLine("L", filter_window=25.0)
+        assert line.release_observed_time(100.0) == 125.0
+
+    def test_short_pulse_filtered(self):
+        """A release shorter than the window never becomes visible."""
+        line = WiredOrLine("L", filter_window=25.0)
+        line.assert_("a", 0.0)
+        line.release("a", 50.0)
+        line.assert_("a", 60.0)   # re-asserted within the window
+        assert line.observed_level_at(74.0)
+        assert line.observed_level_at(90.0)
