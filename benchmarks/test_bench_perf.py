@@ -1,0 +1,24 @@
+"""The parallel execution layer: serial-vs-parallel wall time for the E1
+matrix and the E2 sweep, and the explorer's single-worker throughput.
+
+Unlike the experiment benchmarks (which reproduce a paper artifact), this
+module tracks the *toolkit's* performance trajectory: the saved artifact
+is the same machine-readable report ``repro bench`` writes to
+``BENCH_perf.json``, so successive revisions can be diffed.
+"""
+
+import json
+
+from repro.perf.bench import run_bench_suite
+from repro.perf.pool import resolve_workers
+
+
+def test_bench_suite(benchmark, save_artifact):
+    report = benchmark.pedantic(
+        lambda: run_bench_suite(workers=resolve_workers(None), quick=False),
+        rounds=1, iterations=1,
+    )
+    assert report["matrix"]["all_ok"]
+    assert report["matrix"]["rows_identical"]
+    assert report["des"]["rows_identical"]
+    save_artifact("perf_bench", json.dumps(report, indent=2))

@@ -30,7 +30,11 @@ from repro.workloads.trace import Trace
 
 __all__ = [
     "DEFAULT_PROTOCOLS",
+    "HETEROGENEOUS_MIXES",
     "run_protocol_on_trace",
+    "comparison_row",
+    "update_vs_invalidate_row",
+    "heterogeneous_row",
     "protocol_comparison",
     "update_vs_invalidate_sweep",
     "write_through_vs_copy_back",
@@ -83,25 +87,70 @@ def run_protocol_on_trace(
     return report
 
 
+def comparison_row(protocol: str, trace: Trace, timed: bool = True) -> dict:
+    """One E2 row: run ``protocol`` over ``trace``; module-level so worker
+    processes can execute it (shared by serial and parallel sweeps)."""
+    report = run_protocol_on_trace(protocol, trace, timed=timed)
+    row = report.row()
+    if report.elapsed_ns:
+        row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
+    return row
+
+
 def protocol_comparison(
     trace: Optional[Trace] = None,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     references: int = 4000,
     seed: int = 7,
     timed: bool = True,
+    workers: Optional[int] = None,
 ) -> list[dict]:
-    """E2: all protocols on one synthetic workload; one row each."""
+    """E2: all protocols on one synthetic workload; one row each.
+
+    With ``workers`` > 1 the per-protocol runs fan out across a process
+    pool (same rows, same order).
+    """
     if trace is None:
         config = SyntheticConfig(processors=4, p_shared=0.3, p_write=0.3)
         trace = SyntheticWorkload(config, seed=seed).trace(references)
-    rows = []
-    for protocol in protocols:
-        report = run_protocol_on_trace(protocol, trace, timed=timed)
-        row = report.row()
-        if report.elapsed_ns:
-            row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
-        rows.append(row)
-    return rows
+    if workers is not None and workers > 1:
+        from repro.perf.sweeps import protocol_comparison_parallel
+
+        return protocol_comparison_parallel(
+            trace, protocols=protocols, timed=timed, workers=workers
+        )
+    return [comparison_row(protocol, trace, timed) for protocol in protocols]
+
+
+def update_vs_invalidate_row(
+    p_shared: float,
+    references: int = 3000,
+    seed: int = 11,
+    processors: int = 4,
+) -> dict:
+    """One E3 row: both policies at one sharing level.  The trace is
+    regenerated from (config, seed), so workers reproduce the serial
+    sweep's workload exactly."""
+    config = SyntheticConfig(
+        processors=processors, p_shared=p_shared, p_write=0.3
+    )
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    update = run_protocol_on_trace("moesi-update", trace)
+    invalidate = run_protocol_on_trace("moesi-invalidate", trace)
+    return {
+        "p_shared": p_shared,
+        "update_ns_per_access": round(update.bus_ns_per_access, 1),
+        "invalidate_ns_per_access": round(
+            invalidate.bus_ns_per_access, 1
+        ),
+        "update_miss_ratio": round(update.miss_ratio, 4),
+        "invalidate_miss_ratio": round(invalidate.miss_ratio, 4),
+        "winner": (
+            "update"
+            if update.bus_ns_per_access <= invalidate.bus_ns_per_access
+            else "invalidate"
+        ),
+    }
 
 
 def update_vs_invalidate_sweep(
@@ -109,42 +158,29 @@ def update_vs_invalidate_sweep(
     references: int = 3000,
     seed: int = 11,
     processors: int = 4,
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """E3: broadcast-update vs invalidate as sharing intensity grows.
 
     [Arch85]'s observation, which the paper adopts as the preferred
     choice: for actively shared data it is better to broadcast writes than
     to invalidate.  Each row reports the bus cost of both policies at one
-    sharing level.
+    sharing level.  ``workers`` > 1 fans the levels out across processes.
     """
-    rows = []
-    for p_shared in sharing_levels:
-        config = SyntheticConfig(
-            processors=processors, p_shared=p_shared, p_write=0.3
+    if workers is not None and workers > 1:
+        from repro.perf.sweeps import update_vs_invalidate_parallel
+
+        return update_vs_invalidate_parallel(
+            sharing_levels,
+            references=references,
+            seed=seed,
+            processors=processors,
+            workers=workers,
         )
-        trace = SyntheticWorkload(config, seed=seed).trace(references)
-        update = run_protocol_on_trace("moesi-update", trace)
-        invalidate = run_protocol_on_trace("moesi-invalidate", trace)
-        rows.append(
-            {
-                "p_shared": p_shared,
-                "update_ns_per_access": round(
-                    update.bus_ns_per_access, 1
-                ),
-                "invalidate_ns_per_access": round(
-                    invalidate.bus_ns_per_access, 1
-                ),
-                "update_miss_ratio": round(update.miss_ratio, 4),
-                "invalidate_miss_ratio": round(invalidate.miss_ratio, 4),
-                "winner": (
-                    "update"
-                    if update.bus_ns_per_access
-                    <= invalidate.bus_ns_per_access
-                    else "invalidate"
-                ),
-            }
-        )
-    return rows
+    return [
+        update_vs_invalidate_row(p_shared, references, seed, processors)
+        for p_shared in sharing_levels
+    ]
 
 
 def write_through_vs_copy_back(
@@ -181,36 +217,50 @@ def write_through_vs_copy_back(
     return rows
 
 
+#: The E8 board mixes, fixed workload.
+HETEROGENEOUS_MIXES: dict[str, tuple[str, ...]] = {
+    "4x copy-back (MOESI)": ("moesi",) * 4,
+    "3x MOESI + 1x write-through": ("moesi",) * 3 + ("write-through",),
+    "2x MOESI + 2x write-through": ("moesi",) * 2 + ("write-through",) * 2,
+    "3x MOESI + 1x non-caching": ("moesi",) * 3 + ("non-caching",),
+    "MOESI+Berkeley+Dragon+WT": (
+        "moesi", "berkeley", "dragon", "write-through",
+    ),
+    "4x write-through": ("write-through",) * 4,
+}
+
+
+def heterogeneous_row(
+    label: str, protocols: Sequence[str], trace: Trace
+) -> dict:
+    """One E8 row: the given board mix over ``trace``."""
+    boards = [
+        BoardSpec(unit_id=unit, protocol=protocol)
+        for unit, protocol in zip(trace.units(), protocols)
+    ]
+    system = System(boards, check=False, label=label)
+    report = timed_run_from_trace(system, trace).run()
+    row = report.row()
+    row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
+    return row
+
+
 def heterogeneous_mix_sweep(
     references: int = 3000,
     seed: int = 17,
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """E8: keep the workload fixed, vary the board mix."""
     config = SyntheticConfig(processors=4, p_shared=0.25, p_write=0.3)
     trace = SyntheticWorkload(config, seed=seed).trace(references)
-    units = trace.units()
-    mixes = {
-        "4x copy-back (MOESI)": ["moesi"] * 4,
-        "3x MOESI + 1x write-through": ["moesi"] * 3 + ["write-through"],
-        "2x MOESI + 2x write-through": ["moesi"] * 2 + ["write-through"] * 2,
-        "3x MOESI + 1x non-caching": ["moesi"] * 3 + ["non-caching"],
-        "MOESI+Berkeley+Dragon+WT": [
-            "moesi", "berkeley", "dragon", "write-through",
-        ],
-        "4x write-through": ["write-through"] * 4,
-    }
-    rows = []
-    for label, protocols in mixes.items():
-        boards = [
-            BoardSpec(unit_id=unit, protocol=protocol)
-            for unit, protocol in zip(units, protocols)
-        ]
-        system = System(boards, check=False, label=label)
-        report = timed_run_from_trace(system, trace).run()
-        row = report.row()
-        row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
-        rows.append(row)
-    return rows
+    if workers is not None and workers > 1:
+        from repro.perf.sweeps import heterogeneous_parallel
+
+        return heterogeneous_parallel(trace, workers=workers)
+    return [
+        heterogeneous_row(label, protocols, trace)
+        for label, protocols in HETEROGENEOUS_MIXES.items()
+    ]
 
 
 def broadcast_penalty_sweep(

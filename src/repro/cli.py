@@ -11,6 +11,7 @@ Commands
 ``diagram``     emit a protocol state diagram (text or Graphviz DOT)
 ``ablation``    line-size / replacement / geometry sweeps
 ``run``         run one protocol over a synthetic workload or a trace file
+``bench``       serial-vs-parallel performance suite -> BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -102,7 +103,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     cases = class_member_mixes() + homogeneous_foreign()
     if not args.quick:
         cases += incompatible_mixes() + mutant_mixes()
-    rows = run_matrix(cases)
+    rows = run_matrix(cases, workers=args.workers)
     print(
         format_rows(
             rows,
@@ -120,9 +121,48 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
     from repro.analysis.compare import protocol_comparison
     from repro.analysis.report import format_rows
 
-    rows = protocol_comparison(references=args.references, seed=args.seed)
+    rows = protocol_comparison(
+        references=args.references, seed=args.seed, workers=args.workers
+    )
     print(format_rows(rows, "Protocol comparison (timed Futurebus run)"))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_rows
+    from repro.perf.bench import run_bench_suite, write_bench_json
+
+    report = run_bench_suite(workers=args.workers, quick=args.quick)
+    print(
+        format_rows(
+            report["explorer"],
+            "Explorer hot path (single worker, exhaustive)",
+        )
+    )
+    section_rows = []
+    for name in ("matrix", "des"):
+        section = report[name]
+        section_rows.append(
+            {
+                "section": name,
+                "serial_s": section["serial_s"],
+                "parallel_s": section["parallel_s"],
+                "speedup": section["speedup"],
+                "identical": section["rows_identical"],
+            }
+        )
+    print()
+    print(
+        format_rows(
+            section_rows,
+            f"Serial vs parallel ({report['workers']} workers, "
+            f"{report['cpu_count']} cpus)",
+        )
+    )
+    path = write_bench_json(report, args.out)
+    print(f"\nwrote {path}")
+    ok = report["matrix"]["rows_identical"] and report["des"]["rows_identical"]
+    return 0 if ok else 1
 
 
 def _cmd_hierarchy(args: argparse.Namespace) -> int:
@@ -232,11 +272,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="run the model-checking matrix")
     p.add_argument("--quick", action="store_true",
                    help="positive cases only")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan cases out across N worker processes")
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("shootout", help="protocol performance comparison")
     p.add_argument("--references", type=int, default=4000)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan protocols out across N worker processes")
     p.set_defaults(func=_cmd_shootout)
 
     p = sub.add_parser("hierarchy", help="multi-bus demonstration")
@@ -270,6 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="runtime coherence checking on")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "bench",
+        help="serial-vs-parallel performance suite -> BENCH_perf.json",
+    )
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes for the parallel legs")
+    p.add_argument("--quick", action="store_true",
+                   help="small bounds (smoke-test sized)")
+    p.add_argument("--out", default="BENCH_perf.json",
+                   help="where to write the machine-readable report")
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

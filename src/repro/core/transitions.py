@@ -297,6 +297,11 @@ class MoesiClassTable:
 
     def __init__(self, include_relaxations: bool = True) -> None:
         self.include_relaxations = include_relaxations
+        # The tables are immutable, so each cell's closure is computed at
+        # most once; both the membership validator and the model checker
+        # query the same few cells millions of times.
+        self._local_memo: dict[tuple, frozenset[LocalAction]] = {}
+        self._snoop_memo: dict[tuple, frozenset[SnoopAction]] = {}
 
     # -- closure computation ------------------------------------------------
     @staticmethod
@@ -339,8 +344,12 @@ class MoesiClassTable:
         state: LineState,
         event: LocalEvent,
         kind: Optional[MasterKind] = None,
-    ) -> set[LocalAction]:
+    ) -> frozenset[LocalAction]:
         """The closed set of permitted local actions."""
+        key = (state, event, kind)
+        cached = self._local_memo.get(key)
+        if cached is not None:
+            return cached
         actions: set[LocalAction] = set()
         for base in local_choices(state, event, kind):
             actions.add(base)
@@ -358,12 +367,18 @@ class MoesiClassTable:
                         kind=base.kind,
                     )
                 )
-        return actions
+        result = frozenset(actions)
+        self._local_memo[key] = result
+        return result
 
     def snoop_action_set(
         self, state: LineState, event: BusEvent
-    ) -> set[SnoopAction]:
+    ) -> frozenset[SnoopAction]:
         """The closed set of permitted snoop responses."""
+        key = (state, event)
+        cached = self._snoop_memo.get(key)
+        if cached is not None:
+            return cached
         actions: set[SnoopAction] = set()
         for base in snoop_choices(state, event):
             actions.add(base)
@@ -387,7 +402,9 @@ class MoesiClassTable:
                         bs=response.bs,
                     )
                 actions.add(SnoopAction(variant, response))
-        return actions
+        result = frozenset(actions)
+        self._snoop_memo[key] = result
+        return result
 
     # -- membership ---------------------------------------------------------
     def permits_local(

@@ -1,0 +1,42 @@
+"""Parallel execution layer: fan embarrassingly parallel work (the E1
+verification matrix, the Arch85-style DES sweeps, the bench suite) out
+across worker processes.
+
+The ROADMAP's north star is a system that runs as fast as the hardware
+allows; both heavy artifacts -- exhaustive model checking of every
+protocol mix and the multi-protocol timed-simulation sweeps -- are
+embarrassingly parallel across cases.  This package provides:
+
+* :mod:`repro.perf.pool` -- :func:`parallel_map`: a deterministic
+  process-pool map with per-task timeouts and graceful serial fallback;
+* :mod:`repro.perf.matrix` -- the verification matrix across workers,
+  byte-identical rows to the serial path;
+* :mod:`repro.perf.sweeps` -- the DES experiment sweeps across workers;
+* :mod:`repro.perf.bench` -- the ``repro bench`` suite: serial-vs-parallel
+  wall time, explorer states/sec, written to ``BENCH_perf.json``.
+"""
+
+from repro.perf.bench import run_bench_suite, write_bench_json
+from repro.perf.matrix import run_matrix_parallel
+from repro.perf.pool import (
+    ParallelConfig,
+    ParallelTimeoutError,
+    parallel_map,
+    resolve_workers,
+)
+from repro.perf.sweeps import (
+    protocol_comparison_parallel,
+    update_vs_invalidate_parallel,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelTimeoutError",
+    "parallel_map",
+    "resolve_workers",
+    "run_matrix_parallel",
+    "protocol_comparison_parallel",
+    "update_vs_invalidate_parallel",
+    "run_bench_suite",
+    "write_bench_json",
+]

@@ -1,0 +1,137 @@
+"""The ``repro bench`` suite: serial vs parallel wall time, explorer
+throughput, written to ``BENCH_perf.json``.
+
+The suite is fixed so successive PRs can track the trajectory:
+
+* **explorer** -- single-worker exhaustive exploration of canonical
+  mixes; reports states/sec (the hot-path metric the in-process
+  optimisations move);
+* **matrix** -- the full E1 compatibility matrix, serial then pooled;
+* **des** -- the E2 protocol-comparison sweep, serial then pooled.
+
+Wall-clock speedups depend on the host (a single-core container cannot
+beat serial); the JSON records ``cpu_count`` next to every ratio so the
+numbers stay interpretable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Optional
+
+__all__ = ["run_bench_suite", "write_bench_json", "BENCH_FILENAME"]
+
+BENCH_FILENAME = "BENCH_perf.json"
+
+#: Explorer mixes timed by the hot-path section: (label, specs, lines).
+EXPLORER_MIXES = (
+    ("full-class+full-class", ("full-class", "full-class"), 1),
+    ("moesi-scripted x2", ("moesi-scripted", "moesi-scripted"), 1),
+    ("moesi x2 / 2 lines", ("moesi", "moesi"), 2),
+)
+
+
+def _bench_explorer(quick: bool) -> list[dict]:
+    from repro.verify.explorer import Explorer
+
+    mixes = EXPLORER_MIXES[:1] if quick else EXPLORER_MIXES
+    rows = []
+    for label, specs, lines in mixes:
+        start = time.perf_counter()
+        result = Explorer(list(specs), lines=lines, label=label).run()
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "mix": label,
+                "states": result.states_explored,
+                "transitions": result.transitions_taken,
+                "seconds": round(seconds, 4),
+                "states_per_sec": round(result.states_explored / seconds, 1),
+                "transitions_per_sec": round(
+                    result.transitions_taken / seconds, 1
+                ),
+            }
+        )
+    return rows
+
+
+def _bench_matrix(workers: int, quick: bool) -> dict:
+    from repro.verify.mixes import (
+        class_member_mixes,
+        homogeneous_foreign,
+        incompatible_mixes,
+        mutant_mixes,
+        run_matrix,
+    )
+
+    cases = class_member_mixes() + homogeneous_foreign()
+    if not quick:
+        cases += incompatible_mixes() + mutant_mixes()
+    start = time.perf_counter()
+    serial_rows = run_matrix(cases)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_rows = run_matrix(cases, workers=workers)
+    parallel_s = time.perf_counter() - start
+    return {
+        "cases": len(cases),
+        "all_ok": all(r["ok"] for r in serial_rows),
+        "rows_identical": serial_rows == parallel_rows,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+    }
+
+
+def _bench_des(workers: int, quick: bool) -> dict:
+    from repro.analysis.compare import protocol_comparison
+
+    references = 1000 if quick else 4000
+    start = time.perf_counter()
+    serial_rows = protocol_comparison(references=references)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_rows = protocol_comparison(
+        references=references, workers=workers
+    )
+    parallel_s = time.perf_counter() - start
+    return {
+        "protocols": len(serial_rows),
+        "references": references,
+        "rows_identical": serial_rows == parallel_rows,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+    }
+
+
+def run_bench_suite(
+    workers: Optional[int] = None, quick: bool = False
+) -> dict:
+    """Run the fixed suite; returns the machine-readable report dict."""
+    from repro.perf.pool import resolve_workers
+
+    effective = resolve_workers(workers) if workers is None else max(1, workers)
+    return {
+        "suite": "repro-bench",
+        "version": 1,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "workers": effective,
+        "quick": quick,
+        "explorer": _bench_explorer(quick),
+        "matrix": _bench_matrix(effective, quick),
+        "des": _bench_des(effective, quick),
+    }
+
+
+def write_bench_json(report: dict, path: str = BENCH_FILENAME) -> str:
+    """Persist the bench report; returns the path written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -1,0 +1,153 @@
+"""A deterministic, fault-tolerant process-pool map.
+
+:func:`parallel_map` is the single primitive the rest of :mod:`repro.perf`
+builds on.  Guarantees:
+
+* **deterministic ordering** -- results come back in input order no
+  matter which worker finished first;
+* **per-task timeouts** -- a stuck case raises
+  :class:`ParallelTimeoutError` naming the offending task instead of
+  hanging the whole run;
+* **graceful serial fallback** -- on a single-core host, with
+  ``workers <= 1``, when the task function or an item cannot be pickled,
+  or when the pool itself fails to start (restricted sandboxes), the map
+  silently degrades to an in-process loop that produces the same results.
+
+Worker exceptions propagate to the caller in both modes, so parallel and
+serial execution are observationally equivalent (modulo wall time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Sequence, TypeVar
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelTimeoutError",
+    "parallel_map",
+    "resolve_workers",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Upper bound on the default worker count; beyond this the matrix's
+#: longest single case dominates and extra processes only add start-up
+#: cost.
+DEFAULT_MAX_WORKERS = 8
+
+
+class ParallelTimeoutError(TimeoutError):
+    """A pooled task exceeded its per-task timeout."""
+
+    def __init__(self, index: int, timeout_s: float) -> None:
+        super().__init__(
+            f"parallel task #{index} exceeded {timeout_s:g}s timeout"
+        )
+        self.index = index
+        self.timeout_s = timeout_s
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit, else cpu-bounded default."""
+    if workers is not None:
+        return max(1, workers)
+    return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+
+
+@dataclasses.dataclass
+class ParallelConfig:
+    """Knobs for :func:`parallel_map`.
+
+    mode:
+        ``"auto"`` (pool when it can help, serial otherwise),
+        ``"serial"`` (never fork), or ``"process"`` (insist on the pool;
+        still falls back if the pool cannot run the work at all).
+    """
+
+    workers: Optional[int] = None
+    mode: str = "auto"
+    task_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "serial", "process"):
+            raise ValueError(f"unknown parallel mode {self.mode!r}")
+
+    @property
+    def effective_workers(self) -> int:
+        return resolve_workers(self.workers)
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    config: Optional[ParallelConfig] = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` on a process pool; results in input order.
+
+    Falls back to a serial in-process map whenever the pool cannot help
+    (see module docstring).  Exceptions raised by ``fn`` propagate; a task
+    overrunning ``config.task_timeout_s`` raises
+    :class:`ParallelTimeoutError`.
+    """
+    config = config or ParallelConfig()
+    items = list(items)
+    if not items:
+        return []
+    workers = min(config.effective_workers, len(items))
+    if config.mode == "serial" or workers <= 1:
+        return _serial_map(fn, items)
+    if not _picklable(fn, *items):
+        return _serial_map(fn, items)
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):  # restricted sandbox / no semaphores
+        return _serial_map(fn, items)
+    try:
+        with executor:
+            futures = {
+                executor.submit(fn, item): index
+                for index, item in enumerate(items)
+            }
+            results: dict[int, R] = {}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending,
+                    timeout=config.task_timeout_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Nothing finished within the window: the earliest
+                    # still-pending task is declared stuck.
+                    stuck = min(futures[f] for f in pending)
+                    for future in pending:
+                        future.cancel()
+                    raise ParallelTimeoutError(
+                        stuck, config.task_timeout_s or 0.0
+                    )
+                for future in done:
+                    results[futures[future]] = future.result()
+            return [results[index] for index in range(len(items))]
+    except BrokenProcessPool:
+        # A worker died (OOM, signal): redo the whole map serially so the
+        # caller still gets deterministic, complete results.
+        return _serial_map(fn, items)

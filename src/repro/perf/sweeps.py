@@ -1,0 +1,85 @@
+"""The Arch85-style DES experiment sweeps across worker processes.
+
+Each task regenerates or receives its workload deterministically and runs
+one timed simulation, so pooled rows are identical to the serial sweeps
+in :mod:`repro.analysis.compare` -- only the wall clock changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.compare import (
+    DEFAULT_PROTOCOLS,
+    HETEROGENEOUS_MIXES,
+    comparison_row,
+    heterogeneous_row,
+    update_vs_invalidate_row,
+)
+from repro.perf.pool import ParallelConfig, parallel_map
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "protocol_comparison_parallel",
+    "update_vs_invalidate_parallel",
+    "heterogeneous_parallel",
+]
+
+
+def _comparison_task(task: tuple) -> dict:
+    protocol, trace, timed = task
+    return comparison_row(protocol, trace, timed)
+
+
+def protocol_comparison_parallel(
+    trace: Trace,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    timed: bool = True,
+    workers: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+) -> list[dict]:
+    """E2 with one pooled task per protocol; rows in protocol order."""
+    config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
+    tasks = [(protocol, trace, timed) for protocol in protocols]
+    return parallel_map(_comparison_task, tasks, config)
+
+
+def _update_vs_invalidate_task(task: tuple) -> dict:
+    p_shared, references, seed, processors = task
+    return update_vs_invalidate_row(p_shared, references, seed, processors)
+
+
+def update_vs_invalidate_parallel(
+    sharing_levels: Sequence[float],
+    references: int = 3000,
+    seed: int = 11,
+    processors: int = 4,
+    workers: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+) -> list[dict]:
+    """E3 with one pooled task per sharing level."""
+    config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
+    tasks = [
+        (p_shared, references, seed, processors)
+        for p_shared in sharing_levels
+    ]
+    return parallel_map(_update_vs_invalidate_task, tasks, config)
+
+
+def _heterogeneous_task(task: tuple) -> dict:
+    label, protocols, trace = task
+    return heterogeneous_row(label, protocols, trace)
+
+
+def heterogeneous_parallel(
+    trace: Trace,
+    workers: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+) -> list[dict]:
+    """E8 with one pooled task per board mix."""
+    config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
+    tasks = [
+        (label, protocols, trace)
+        for label, protocols in HETEROGENEOUS_MIXES.items()
+    ]
+    return parallel_map(_heterogeneous_task, tasks, config)

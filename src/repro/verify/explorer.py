@@ -32,6 +32,7 @@ Three kinds of runs matter:
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 from typing import Callable, Optional, Sequence, Union
 
 from repro.bus.futurebus import BusLivelockError
@@ -110,14 +111,28 @@ class FullClassProtocol(MoesiProtocol):
     def __init__(self, policy: ActionPolicy, name: str = "FullClass") -> None:
         super().__init__(policy, name=name)
         self._table = MoesiClassTable()
+        # The closure of a cell never changes, but computing it sorts the
+        # action set by notation every time -- the explorer's hottest call.
+        self._local_cells: dict = {}
+        self._snoop_cells: dict = {}
 
     def local_cell(self, state, event):
-        actions = self._table.local_action_set(state, event)
-        return tuple(sorted(actions, key=lambda a: a.notation()))
+        key = (state, event)
+        cell = self._local_cells.get(key)
+        if cell is None:
+            actions = self._table.local_action_set(state, event)
+            cell = tuple(sorted(actions, key=lambda a: a.notation()))
+            self._local_cells[key] = cell
+        return cell
 
     def snoop_cell(self, state, event):
-        actions = self._table.snoop_action_set(state, event)
-        return tuple(sorted(actions, key=lambda a: a.notation()))
+        key = (state, event)
+        cell = self._snoop_cells.get(key)
+        if cell is None:
+            actions = self._table.snoop_action_set(state, event)
+            cell = tuple(sorted(actions, key=lambda a: a.notation()))
+            self._snoop_cells[key] = cell
+        return cell
 
     def local_action(self, state, event, ctx=None):
         choices = self.local_cell(state, event)
@@ -243,6 +258,17 @@ class Explorer:
         # cache frame, so evictions and write-backs between lines become
         # part of the explored behaviour (lines > 1).
         self.lines = tuple(range(lines))
+        # Units, applicable step kinds, and line addresses are all fixed
+        # for the explorer's lifetime: resolve the per-unit line objects
+        # and the full (unit, kind, address) menu once instead of on every
+        # popped frontier state.
+        self._unit_lines = tuple(self._unit_line(unit) for unit in self.units)
+        self._step_menu = tuple(
+            (unit, kind, address)
+            for unit in self.units
+            for kind in self._step_kinds(unit)
+            for address in self.lines
+        )
 
     # ------------------------------------------------------------------
     # Snapshot / restore / canonical signature.
@@ -254,29 +280,21 @@ class Explorer:
         return board.cache.ways_of(0)[0]
 
     def _snapshot(self):
-        units = []
-        for unit in self.units:
-            line = self._unit_line(unit)
-            if line is None:
-                units.append(None)
-            else:
-                units.append((line.state, line.value, line.tag))
-        memory = tuple(self.system.memory.peek(a) for a in self.lines)
-        lasts = tuple(
-            self.system._last_version.get(a, 0) for a in self.lines
+        units = tuple(
+            None if line is None else (line.state, line.value, line.tag)
+            for line in self._unit_lines
         )
-        return (tuple(units), memory, lasts, self.system._version_counter)
+        memory = tuple(self.system.memory.peek(a) for a in self.lines)
+        last_version = self.system._last_version
+        lasts = tuple(last_version.get(a, 0) for a in self.lines)
+        return (units, memory, lasts, self.system._version_counter)
 
     def _restore(self, snapshot) -> None:
         units, memory, lasts, counter = snapshot
-        for unit, saved in zip(self.units, units):
-            line = self._unit_line(unit)
+        for line, saved in zip(self._unit_lines, units):
             if line is None:
                 continue
-            state, value, tag = saved
-            line.state = state
-            line.value = value
-            line.tag = tag
+            line.state, line.value, line.tag = saved
         for address, mem_value, last in zip(self.lines, memory, lasts):
             self.system.memory.poke(address, mem_value)
             self.system._last_version[address] = last
@@ -284,23 +302,24 @@ class Explorer:
 
     def _signature(self, snapshot):
         units, memory, lasts, _counter = snapshot
-        values = []
+        values = set(memory)
+        values.update(lasts)
         for saved in units:
             if saved is not None and saved[0].valid:
-                values.append(saved[1])
-        values.extend(memory)
-        values.extend(lasts)
-        ranks = {v: i for i, v in enumerate(sorted(set(values)))}
-        sig_units = []
-        for saved in units:
-            if saved is None:
-                sig_units.append("nc")
-            elif not saved[0].valid:
-                sig_units.append("I")
-            else:
-                sig_units.append((saved[0].letter, saved[2], ranks[saved[1]]))
+                values.add(saved[1])
+        ranks = {v: i for i, v in enumerate(sorted(values))}
+        sig_units = tuple(
+            "nc"
+            if saved is None
+            else (
+                (saved[0].letter, saved[2], ranks[saved[1]])
+                if saved[0].valid
+                else "I"
+            )
+            for saved in units
+        )
         return (
-            tuple(sig_units),
+            sig_units,
             tuple(ranks[v] for v in memory),
             tuple(ranks[v] for v in lasts),
         )
@@ -362,6 +381,8 @@ class Explorer:
         return None
 
     def _step_kinds(self, unit: str) -> list[str]:
+        """Applicable step kinds for ``unit``; fixed per explorer, so the
+        constructor folds it into the precomputed step menu."""
         kinds = ["read", "write", "flush"]
         if self.include_pass:
             kinds.append("pass")
@@ -376,7 +397,7 @@ class Explorer:
         """Breadth-first search over canonical states."""
         initial = self._snapshot()
         seen = {self._signature(initial)}
-        frontier: list[tuple] = [(initial, ())]
+        frontier: deque[tuple] = deque([(initial, ())])
         violations: list[Violation] = []
         transitions = 0
         complete = True
@@ -385,47 +406,42 @@ class Explorer:
             if len(seen) > self.max_states:
                 complete = False
                 break
-            snapshot, path = frontier.pop(0)
-            for unit in self.units:
-                for kind, address in (
-                    (k, a)
-                    for k in self._step_kinds(unit)
-                    for a in self.lines
-                ):
-                    # Enumerate the step's choice *tree*: later choice
-                    # points may appear or vanish depending on earlier
-                    # picks (e.g. choosing invalidate over broadcast
-                    # removes the snoopers' update-or-drop choices), so
-                    # fixed-shape scripts cannot work.  Instead each run's
-                    # script prefix replays its parent's control flow
-                    # exactly, and we branch at every choice point the run
-                    # reached beyond its script.
-                    pending: list[tuple[int, ...]] = [()]
-                    while pending:
-                        script = pending.pop()
-                        self._restore(snapshot)
-                        step = _Step(unit, kind, script, address)
-                        try:
-                            step_error = self._run_step(step)
-                        except _SkipStep:
-                            break  # applicability is choice-independent
-                        arities = tuple(self.chooser.arities)
-                        taken = script + (0,) * (len(arities) - len(script))
-                        step = _Step(unit, kind, taken, address)
-                        for pos in range(len(script), len(arities)):
-                            for index in range(1, arities[pos]):
-                                pending.append(taken[:pos] + (index,))
-                        transitions += 1
-                        if step_error is not None:
-                            violations.append(
-                                Violation(path + (step,), step_error)
-                            )
-                            continue
-                        new_snapshot = self._snapshot()
-                        signature = self._signature(new_snapshot)
-                        if signature not in seen:
-                            seen.add(signature)
-                            frontier.append((new_snapshot, path + (step,)))
+            snapshot, path = frontier.popleft()
+            for unit, kind, address in self._step_menu:
+                # Enumerate the step's choice *tree*: later choice
+                # points may appear or vanish depending on earlier
+                # picks (e.g. choosing invalidate over broadcast
+                # removes the snoopers' update-or-drop choices), so
+                # fixed-shape scripts cannot work.  Instead each run's
+                # script prefix replays its parent's control flow
+                # exactly, and we branch at every choice point the run
+                # reached beyond its script.
+                pending: list[tuple[int, ...]] = [()]
+                while pending:
+                    script = pending.pop()
+                    self._restore(snapshot)
+                    step = _Step(unit, kind, script, address)
+                    try:
+                        step_error = self._run_step(step)
+                    except _SkipStep:
+                        break  # applicability is choice-independent
+                    arities = tuple(self.chooser.arities)
+                    taken = script + (0,) * (len(arities) - len(script))
+                    step = _Step(unit, kind, taken, address)
+                    for pos in range(len(script), len(arities)):
+                        for index in range(1, arities[pos]):
+                            pending.append(taken[:pos] + (index,))
+                    transitions += 1
+                    if step_error is not None:
+                        violations.append(
+                            Violation(path + (step,), step_error)
+                        )
+                        continue
+                    new_snapshot = self._snapshot()
+                    signature = self._signature(new_snapshot)
+                    if signature not in seen:
+                        seen.add(signature)
+                        frontier.append((new_snapshot, path + (step,)))
         return ExplorationResult(
             label=self.label,
             states_explored=len(seen),

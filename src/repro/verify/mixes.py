@@ -26,30 +26,44 @@ from repro.verify.mutations import ALL_MUTANTS
 
 __all__ = [
     "MixCase",
+    "SUITES",
     "class_member_mixes",
     "homogeneous_foreign",
     "incompatible_mixes",
     "mutant_mixes",
+    "matrix_row",
     "run_matrix",
 ]
 
 
 @dataclasses.dataclass
 class MixCase:
-    """One verification row: protocols to mix and the expected outcome."""
+    """One verification row: protocols to mix and the expected outcome.
+
+    ``suite_ref`` names the case's home suite as ``(suite_name, index)``
+    so worker processes can rebuild it from :data:`SUITES` -- cases whose
+    specs are callables (the mutants) cannot be pickled directly.
+    """
 
     specs: Sequence
     expect_consistent: bool
     label: Optional[str] = None
     note: str = ""
+    suite_ref: Optional[tuple[str, int]] = None
 
     def run(self, **kwargs) -> ExplorationResult:
         return explore(self.specs, label=self.label, **kwargs)
 
 
+def _stamp(suite_name: str, cases: list["MixCase"]) -> list["MixCase"]:
+    for index, case in enumerate(cases):
+        case.suite_ref = (suite_name, index)
+    return cases
+
+
 def class_member_mixes() -> list[MixCase]:
     """Mixes drawn from MOESI-class members: all must be consistent."""
-    return [
+    return _stamp("class-members", [
         MixCase(["moesi", "moesi"], True, note="homogeneous preferred"),
         MixCase(
             ["moesi-scripted", "moesi-scripted"],
@@ -91,23 +105,23 @@ def class_member_mixes() -> list[MixCase]:
             True,
             note="closure against fixed members",
         ),
-    ]
+    ])
 
 
 def homogeneous_foreign() -> list[MixCase]:
     """BS-adapted foreign protocols among themselves: consistent."""
-    return [
+    return _stamp("homogeneous-foreign", [
         MixCase(["write-once", "write-once"], True, note="Table 5"),
         MixCase(["illinois", "illinois"], True, note="Table 6"),
         MixCase(["firefly", "firefly"], True, note="Table 7"),
         MixCase(["illinois", "illinois", "illinois"], True),
         MixCase(["write-once", "write-once", "write-once"], True),
-    ]
+    ])
 
 
 def incompatible_mixes() -> list[MixCase]:
     """Naive foreign/class mixes: the explorer must find the holes."""
-    return [
+    return _stamp("incompatible", [
         MixCase(
             ["write-once", "moesi"],
             False,
@@ -129,7 +143,7 @@ def incompatible_mixes() -> list[MixCase]:
             False,
             note="undefined snoop behaviour for uncached accesses",
         ),
-    ]
+    ])
 
 
 def mutant_mixes() -> list[MixCase]:
@@ -144,23 +158,50 @@ def mutant_mixes() -> list[MixCase]:
                 note="single-cell out-of-class mutation",
             )
         )
-    return cases
+    return _stamp("mutants", cases)
 
 
-def run_matrix(cases: Sequence[MixCase], **kwargs) -> list[dict]:
-    """Run each case; return report rows with pass/fail vs expectation."""
-    rows = []
-    for case in cases:
-        result = case.run(**kwargs)
-        rows.append(
-            {
-                "mix": result.label,
-                "expected": "consistent" if case.expect_consistent else "violation",
-                "observed": "consistent" if result.consistent else "violation",
-                "ok": result.consistent == case.expect_consistent,
-                "states": result.states_explored,
-                "transitions": result.transitions_taken,
-                "note": case.note,
-            }
+#: Named case suites, addressable from worker processes: a stamped
+#: ``suite_ref`` is resolved back to its case by re-running the factory.
+SUITES: dict[str, Callable[[], list[MixCase]]] = {
+    "class-members": class_member_mixes,
+    "homogeneous-foreign": homogeneous_foreign,
+    "incompatible": incompatible_mixes,
+    "mutants": mutant_mixes,
+}
+
+
+def matrix_row(case: MixCase, result: ExplorationResult) -> dict:
+    """The report row for one executed case (shared by the serial path
+    and the :mod:`repro.perf.matrix` workers, so both emit identical
+    rows)."""
+    return {
+        "mix": result.label,
+        "expected": "consistent" if case.expect_consistent else "violation",
+        "observed": "consistent" if result.consistent else "violation",
+        "ok": result.consistent == case.expect_consistent,
+        "states": result.states_explored,
+        "transitions": result.transitions_taken,
+        "note": case.note,
+    }
+
+
+def run_matrix(
+    cases: Sequence[MixCase],
+    workers: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    **kwargs,
+) -> list[dict]:
+    """Run each case; return report rows with pass/fail vs expectation.
+
+    With ``workers`` > 1 the cases fan out across a process pool (rows
+    come back in case order, identical to a serial run); otherwise they
+    run serially in-process.
+    """
+    if workers is not None and workers > 1:
+        from repro.perf.matrix import run_matrix_parallel
+
+        return run_matrix_parallel(
+            cases, workers=workers, task_timeout_s=task_timeout_s, **kwargs
         )
-    return rows
+    return [matrix_row(case, case.run(**kwargs)) for case in cases]

@@ -17,7 +17,9 @@ class TestParser:
             ["figures"],
             ["membership"],
             ["verify", "--quick"],
+            ["verify", "--quick", "--workers", "2"],
             ["shootout", "--references", "100"],
+            ["bench", "--quick", "--workers", "2"],
             ["hierarchy", "--references", "50"],
             ["run", "moesi", "--references", "100"],
         ],
@@ -58,6 +60,25 @@ class TestCommands:
         assert main(["verify", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "as expected" in out
+
+    def test_verify_quick_parallel_matches_serial(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["verify", "--quick", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "--quick", "--workers", "2",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Serial vs parallel" in out and "states_per_sec" in out
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["suite"] == "repro-bench"
+        assert report["matrix"]["rows_identical"]
 
     def test_shootout_small(self, capsys):
         assert main(["shootout", "--references", "200"]) == 0

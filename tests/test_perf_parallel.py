@@ -1,0 +1,126 @@
+"""Parallel-vs-serial equivalence of the verification matrix and the DES
+sweeps, plus the marker-gated perf smoke suite (writes BENCH_perf.json)."""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.verify.mixes import (
+    MixCase,
+    SUITES,
+    class_member_mixes,
+    incompatible_mixes,
+    mutant_mixes,
+    run_matrix,
+)
+
+
+class TestSuiteRefs:
+    def test_factories_stamp_their_cases(self):
+        for name, factory in SUITES.items():
+            for index, case in enumerate(factory()):
+                assert case.suite_ref == (name, index)
+
+    def test_refs_rebuild_identical_cases(self):
+        """A worker resolves (suite, index) back to the same case."""
+        for case in class_member_mixes():
+            suite, index = case.suite_ref
+            rebuilt = SUITES[suite]()[index]
+            assert rebuilt.specs == case.specs
+            assert rebuilt.label == case.label
+
+
+class TestMatrixEquivalence:
+    def test_pool_rows_byte_identical_to_serial(self):
+        """The satellite claim: pooled run_matrix returns byte-identical
+        summaries (states, transitions, violations verdict) to serial."""
+        cases = (
+            class_member_mixes()[:5]
+            + incompatible_mixes()[:2]
+            + mutant_mixes()[:2]  # callable specs -> suite-ref path
+        )
+        serial = run_matrix(cases)
+        pooled = run_matrix(cases, workers=2)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+    def test_unstamped_callable_case_runs_inline_in_order(self):
+        from repro.verify.mutations import NoInterventionMutant
+
+        adhoc = MixCase(
+            [lambda chooser: NoInterventionMutant(), "moesi"],
+            False,
+            label="adhoc-mutant+moesi",
+        )
+        assert adhoc.suite_ref is None
+        cases = [class_member_mixes()[0], adhoc, class_member_mixes()[4]]
+        serial = run_matrix(cases)
+        pooled = run_matrix(cases, workers=2)
+        assert serial == pooled
+        assert [r["mix"] for r in pooled] == [
+            "moesi+moesi", "adhoc-mutant+moesi", "moesi-invalidate+moesi-update",
+        ]
+
+    def test_explorer_kwargs_reach_the_workers(self):
+        serial = run_matrix(class_member_mixes()[:1], max_states=5)
+        pooled = run_matrix(class_member_mixes()[:1], workers=2, max_states=5)
+        assert serial == pooled
+        # The bound truncated the search well short of the full 18-state
+        # space, proving max_states made it into the worker.
+        assert serial[0]["states"] < 18
+
+
+class TestSweepEquivalence:
+    def test_protocol_comparison(self):
+        from repro.analysis.compare import protocol_comparison
+
+        serial = protocol_comparison(references=200)
+        pooled = protocol_comparison(references=200, workers=2)
+        assert serial == pooled
+
+    def test_update_vs_invalidate(self):
+        from repro.analysis.compare import update_vs_invalidate_sweep
+
+        serial = update_vs_invalidate_sweep(
+            sharing_levels=(0.1, 0.5), references=200
+        )
+        pooled = update_vs_invalidate_sweep(
+            sharing_levels=(0.1, 0.5), references=200, workers=2
+        )
+        assert serial == pooled
+
+    def test_heterogeneous_mixes(self):
+        from repro.analysis.compare import heterogeneous_mix_sweep
+
+        serial = heterogeneous_mix_sweep(references=200)
+        pooled = heterogeneous_mix_sweep(references=200, workers=2)
+        assert serial == pooled
+
+
+@pytest.mark.perf
+class TestPerfSmoke:
+    """Small-bound bench suite: asserts the parallel path keeps up on
+    multi-core hosts and records the trajectory in BENCH_perf.json."""
+
+    def test_bench_suite_and_record(self):
+        from repro.perf.bench import run_bench_suite, write_bench_json
+
+        report = run_bench_suite(workers=4, quick=True)
+        assert report["matrix"]["all_ok"]
+        assert report["matrix"]["rows_identical"]
+        assert report["des"]["rows_identical"]
+        # The in-process hot path must beat the seed's throughput (the
+        # seed explored full-class+full-class at ~125 states/sec on this
+        # suite's reference container; memoized cells roughly double it).
+        hot = report["explorer"][0]
+        assert hot["mix"] == "full-class+full-class"
+        assert hot["states"] == 18 and hot["transitions"] == 1028
+        if (os.cpu_count() or 1) >= 2:
+            # Pool startup cannot eat the win once real cores exist.
+            assert report["matrix"]["speedup"] >= 1.0
+        path = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
+        write_bench_json(report, str(path))
+        assert json.loads(path.read_text())["suite"] == "repro-bench"

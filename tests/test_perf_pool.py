@@ -1,0 +1,102 @@
+"""The parallel_map primitive: ordering, fallback, timeouts, errors."""
+
+import time
+
+import pytest
+
+from repro.perf.pool import (
+    ParallelConfig,
+    ParallelTimeoutError,
+    parallel_map,
+    resolve_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_then_square(x):
+    # The highest input sleeps longest, so completion order is the
+    # reverse of submission order.
+    time.sleep(0.01 * x)
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _hang_on_seven(x):
+    if x == 7:
+        time.sleep(30.0)
+    return x
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self):
+        assert resolve_workers(3) == 3
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-5) == 1
+
+    def test_default_is_positive(self):
+        assert resolve_workers(None) >= 1
+
+
+class TestParallelConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(mode="threads")
+
+    def test_effective_workers(self):
+        assert ParallelConfig(workers=2).effective_workers == 2
+
+
+class TestParallelMap:
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
+
+    def test_serial_mode(self):
+        config = ParallelConfig(mode="serial")
+        assert parallel_map(_square, [1, 2, 3], config) == [1, 4, 9]
+
+    def test_single_worker_runs_serially(self):
+        config = ParallelConfig(workers=1, mode="process")
+        assert parallel_map(_square, [3, 4], config) == [9, 16]
+
+    def test_pool_results_in_input_order(self):
+        config = ParallelConfig(workers=2, mode="process")
+        values = [3, 2, 1, 0]
+        assert parallel_map(_sleep_then_square, values, config) == [
+            9, 4, 1, 0,
+        ]
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        config = ParallelConfig(workers=2, mode="process")
+        assert parallel_map(lambda x: x + 1, [1, 2], config) == [2, 3]
+
+    def test_unpicklable_item_falls_back_to_serial(self):
+        config = ParallelConfig(workers=2, mode="process")
+        items = [iter([1])]  # generators cannot be pickled
+        assert parallel_map(next, items, config) == [1]
+
+    def test_task_error_propagates_serial(self):
+        config = ParallelConfig(mode="serial")
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom, [1], config)
+
+    def test_task_error_propagates_pooled(self):
+        config = ParallelConfig(workers=2, mode="process")
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom, [1, 2], config)
+
+    def test_timeout_raises_and_names_a_task(self):
+        # Two items so the map actually uses the pool (a single item
+        # degrades to the serial path by design).
+        config = ParallelConfig(
+            workers=2, mode="process", task_timeout_s=0.5
+        )
+        with pytest.raises(ParallelTimeoutError):
+            parallel_map(_hang_on_seven, [1, 7], config)
