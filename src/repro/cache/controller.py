@@ -110,6 +110,12 @@ class CacheController(BusAgent):
         self._seq = 0
         self._pending: Optional[_PendingSnoop] = None
         self.bus: Optional[Futurebus] = None
+        #: Optional hook called as ``observer(unit_id, side, state, event,
+        #: action)`` for every protocol decision this board takes --
+        #: ``side`` is ``"local"`` or ``"snoop"``.  The fuzzer's
+        #: differential oracle subscribes here to cross-check each observed
+        #: transition against the canonical tables.
+        self.transition_observer = None
         if bus is not None:
             self.attach_to(bus)
 
@@ -126,6 +132,15 @@ class CacheController(BusAgent):
         self._seq += 1
         return LocalContext(address=address, sequence=self._seq)
 
+    def _choose_local(
+        self, state: LineState, event: LocalEvent, ctx: LocalContext
+    ) -> LocalAction:
+        """Consult the protocol for a local event, notifying the observer."""
+        action = self.protocol.local_action(state, event, ctx)
+        if self.transition_observer is not None:
+            self.transition_observer(self.unit_id, "local", state, event, action)
+        return action
+
     # ------------------------------------------------------------------
     # Processor port.
     # ------------------------------------------------------------------
@@ -137,14 +152,14 @@ class CacheController(BusAgent):
         if found is not None:
             set_index, way, line = found
             self.stats.read_hits += 1
-            action = self.protocol.local_action(
+            action = self._choose_local(
                 line.state, LocalEvent.READ, self._next_ctx(line_address)
             )
             self._apply_silent(line, action)
             self.cache.touch(set_index, way)
             return line.value
         self.stats.read_misses += 1
-        action = self.protocol.local_action(
+        action = self._choose_local(
             LineState.INVALID, LocalEvent.READ, self._next_ctx(line_address)
         )
         return self._run_local_action(
@@ -159,7 +174,7 @@ class CacheController(BusAgent):
         if found is not None:
             set_index, way, line = found
             self.stats.write_hits += 1
-            action = self.protocol.local_action(
+            action = self._choose_local(
                 line.state, LocalEvent.WRITE, self._next_ctx(line_address)
             )
             self._run_local_action(
@@ -168,7 +183,7 @@ class CacheController(BusAgent):
             self.cache.touch(set_index, way)
             return
         self.stats.write_misses += 1
-        action = self.protocol.local_action(
+        action = self._choose_local(
             LineState.INVALID, LocalEvent.WRITE, self._next_ctx(line_address)
         )
         self._run_local_action(
@@ -189,7 +204,7 @@ class CacheController(BusAgent):
             return
         line = found[2]
         try:
-            action = self.protocol.local_action(
+            action = self._choose_local(
                 line.state, LocalEvent.PASS, self._next_ctx(line_address)
             )
         except IllegalTransitionError:
@@ -308,7 +323,7 @@ class CacheController(BusAgent):
         assert result.value is not None
         if landed.valid:
             self._install(line_address, landed, result.value)
-        write_action = self.protocol.local_action(
+        write_action = self._choose_local(
             landed, LocalEvent.WRITE, self._next_ctx(line_address)
         )
         if write_action.bus_op is BusOp.READ_THEN_WRITE:
@@ -335,7 +350,7 @@ class CacheController(BusAgent):
         return line
 
     def _evict(self, line: CacheLine, line_address: int) -> None:
-        action = self.protocol.local_action(
+        action = self._choose_local(
             line.state, LocalEvent.FLUSH, self._next_ctx(line_address)
         )
         self._run_local_action(line_address, LocalEvent.FLUSH, action, None)
@@ -359,6 +374,10 @@ class CacheController(BusAgent):
             raise ProtocolGapError(
                 f"{self.unit_id} snooping {txn.describe()}: {exc}"
             ) from exc
+        if self.transition_observer is not None:
+            self.transition_observer(
+                self.unit_id, "snoop", line.state, txn.event, action
+            )
         self._pending = _PendingSnoop(
             serial=txn.serial, line=line, action=action, was_valid=line.valid
         )
@@ -451,6 +470,8 @@ class NonCachingMaster(BusAgent):
         self.protocol = protocol
         self.stats = ControllerStats()
         self.bus: Optional[Futurebus] = None
+        #: Same hook as :attr:`CacheController.transition_observer`.
+        self.transition_observer = None
         if bus is not None:
             self.attach_to(bus)
 
@@ -463,12 +484,18 @@ class NonCachingMaster(BusAgent):
             raise RuntimeError(f"{self.unit_id} is not attached to a bus")
         return self.bus
 
+    def _choose_local(self, event: LocalEvent) -> LocalAction:
+        action = self.protocol.local_action(LineState.INVALID, event, None)
+        if self.transition_observer is not None:
+            self.transition_observer(
+                self.unit_id, "local", LineState.INVALID, event, action
+            )
+        return action
+
     def read(self, byte_address: int) -> int:
         self.stats.reads += 1
         self.stats.read_misses += 1
-        action = self.protocol.local_action(
-            LineState.INVALID, LocalEvent.READ, None
-        )
+        action = self._choose_local(LocalEvent.READ)
         result = self._require_bus().execute(
             self.unit_id, self._line_address(byte_address), action.signals,
             BusOp.READ, None,
@@ -480,9 +507,7 @@ class NonCachingMaster(BusAgent):
     def write(self, byte_address: int, value: int) -> None:
         self.stats.writes += 1
         self.stats.write_misses += 1
-        action = self.protocol.local_action(
-            LineState.INVALID, LocalEvent.WRITE, None
-        )
+        action = self._choose_local(LocalEvent.WRITE)
         self._require_bus().execute(
             self.unit_id, self._line_address(byte_address), action.signals,
             BusOp.WRITE, value,

@@ -12,6 +12,7 @@ Commands
 ``ablation``    line-size / replacement / geometry sweeps
 ``run``         run one protocol over a synthetic workload or a trace file
 ``bench``       serial-vs-parallel performance suite -> BENCH_perf.json
+``fuzz``        differential fuzzing campaign / replay a repro file
 """
 
 from __future__ import annotations
@@ -248,6 +249,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.fuzz import (
+        INJECTABLE_BUGS,
+        CampaignConfig,
+        ScenarioConfig,
+        load_repro,
+        run_campaign,
+        run_scenario,
+    )
+
+    if args.replay:
+        scenario, recorded, note = load_repro(args.replay)
+        print(f"replaying {args.replay}: {scenario.label}")
+        if note:
+            print(f"  note: {note}")
+        result = run_scenario(scenario)
+        if result.failure is None:
+            print("  scenario PASSED (the recorded failure did not "
+                  "reproduce)")
+            if recorded is not None:
+                print(f"  recorded was: {recorded}")
+            return 0
+        print(f"  reproduced: {result.failure}")
+        return 1
+
+    scenario_config = ScenarioConfig()
+    if args.inject:
+        if args.inject not in INJECTABLE_BUGS:
+            known = ", ".join(sorted(INJECTABLE_BUGS))
+            print(f"unknown bug {args.inject!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        scenario_config = dataclasses.replace(scenario_config,
+                                              inject=args.inject)
+    config = CampaignConfig(
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        scenario=scenario_config,
+        shrink=not args.no_shrink,
+    )
+    report = run_campaign(config, workers=args.workers, out_dir=args.out)
+    print(report.summary_text(), end="")
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(report.summary_json())
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,6 +379,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_perf.json",
                    help="where to write the machine-readable report")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing campaign (or --replay a repro file)",
+    )
+    p.add_argument("--seeds", type=int, default=200,
+                   help="number of seeds to run")
+    p.add_argument("--seed-base", type=int, default=0,
+                   help="first seed (campaigns are pure functions of seeds)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes; 0 = serial (identical output)")
+    p.add_argument("--out", default="fuzz_repros",
+                   help="directory for shrunk repro_seed<N>.json files")
+    p.add_argument("--inject", metavar="BUG",
+                   help="plant a known-broken protocol in every scenario "
+                   "(fuzzer self-test)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip counterexample minimisation")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the machine-readable campaign summary")
+    p.add_argument("--replay", metavar="FILE",
+                   help="re-execute a repro file verbatim instead of "
+                   "running a campaign")
+    p.set_defaults(func=_cmd_fuzz)
 
     return parser
 

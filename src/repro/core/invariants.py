@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.core.states import INTERVENIENT_STATES, SOLE_COPY_STATES, LineState
 
@@ -39,6 +39,8 @@ __all__ = [
     "CopyView",
     "LineView",
     "InvariantViolation",
+    "PER_STEP_CHECKERS",
+    "checker_for",
     "check_line",
     "assert_line_consistent",
 ]
@@ -113,28 +115,26 @@ class InconsistencyError(AssertionError):
         self.violations = list(violations)
 
 
-def check_line(
-    view: LineView,
-    memory_consistent_shared: bool = False,
-) -> list[InvariantViolation]:
-    """Check all invariants on one line snapshot; return violations found.
+LineChecker = Callable[[LineView], list[InvariantViolation]]
 
-    An empty list means the line is consistent.
-    """
-    violations: list[InvariantViolation] = []
-    valid = view.valid_copies
+
+def _check_single_owner(view: LineView) -> list[InvariantViolation]:
     owners = view.owners
-
-    if len(owners) > 1:
-        names = ", ".join(f"{c.unit}:{c.state}" for c in owners)
-        violations.append(
-            InvariantViolation(
-                Invariant.SINGLE_OWNER,
-                view.address,
-                f"multiple owners: {names}",
-            )
+    if len(owners) <= 1:
+        return []
+    names = ", ".join(f"{c.unit}:{c.state}" for c in owners)
+    return [
+        InvariantViolation(
+            Invariant.SINGLE_OWNER,
+            view.address,
+            f"multiple owners: {names}",
         )
+    ]
 
+
+def _check_exclusive_is_sole(view: LineView) -> list[InvariantViolation]:
+    valid = view.valid_copies
+    violations: list[InvariantViolation] = []
     for copy in valid:
         if copy.state in SOLE_COPY_STATES and len(valid) > 1:
             others = ", ".join(
@@ -148,52 +148,109 @@ def check_line(
                     f"{others}",
                 )
             )
+    return violations
 
-    for copy in owners:
-        if not copy.fresh:
-            violations.append(
-                InvariantViolation(
-                    Invariant.OWNER_CURRENT,
-                    view.address,
-                    f"owner {copy.unit} ({copy.state}) holds stale data",
-                )
-            )
 
-    for copy in valid:
-        if not copy.fresh:
-            violations.append(
-                InvariantViolation(
-                    Invariant.COPIES_CURRENT,
-                    view.address,
-                    f"valid copy at {copy.unit} ({copy.state}) is stale",
-                )
-            )
-
-    if not owners and not view.memory_fresh:
-        violations.append(
-            InvariantViolation(
-                Invariant.MEMORY_CURRENT_IF_UNOWNED,
-                view.address,
-                "no cache owns the line but memory is stale",
-            )
+def _check_owner_current(view: LineView) -> list[InvariantViolation]:
+    return [
+        InvariantViolation(
+            Invariant.OWNER_CURRENT,
+            view.address,
+            f"owner {copy.unit} ({copy.state}) holds stale data",
         )
+        for copy in view.owners
+        if not copy.fresh
+    ]
 
-    if memory_consistent_shared and not view.memory_fresh:
-        shared = [c for c in valid if c.state is LineState.SHAREABLE]
-        if shared:
-            names = ", ".join(c.unit for c in shared)
-            violations.append(
-                InvariantViolation(
-                    Invariant.MEMORY_CURRENT_IF_SHARED,
-                    view.address,
-                    f"S copies at {names} but memory is stale "
-                    "(foreign-protocol S-state semantics)",
-                )
-            )
 
-    # Deduplicate OWNER_CURRENT vs COPIES_CURRENT double reports for the
-    # same stale owner: keep both kinds (they name different invariants)
-    # but a caller only needs the list to be non-empty to fail.
+def _check_copies_current(view: LineView) -> list[InvariantViolation]:
+    return [
+        InvariantViolation(
+            Invariant.COPIES_CURRENT,
+            view.address,
+            f"valid copy at {copy.unit} ({copy.state}) is stale",
+        )
+        for copy in view.valid_copies
+        if not copy.fresh
+    ]
+
+
+def _check_memory_current_if_unowned(view: LineView) -> list[InvariantViolation]:
+    if view.owners or view.memory_fresh:
+        return []
+    return [
+        InvariantViolation(
+            Invariant.MEMORY_CURRENT_IF_UNOWNED,
+            view.address,
+            "no cache owns the line but memory is stale",
+        )
+    ]
+
+
+def _check_memory_current_if_shared(view: LineView) -> list[InvariantViolation]:
+    if view.memory_fresh:
+        return []
+    shared = [c for c in view.valid_copies if c.state is LineState.SHAREABLE]
+    if not shared:
+        return []
+    names = ", ".join(c.unit for c in shared)
+    return [
+        InvariantViolation(
+            Invariant.MEMORY_CURRENT_IF_SHARED,
+            view.address,
+            f"S copies at {names} but memory is stale "
+            "(foreign-protocol S-state semantics)",
+        )
+    ]
+
+
+#: The individual per-step checkers, keyed by the invariant they enforce.
+#: :func:`check_line` composes them; external step-wise tooling (the
+#: fuzzer's invariant oracle, negative-path tests) can apply each checker
+#: in isolation to attribute a failure to one precise property.
+#: MEMORY_CURRENT_IF_SHARED is excluded from the default composition: it
+#: only holds under the foreign-protocol S-state semantics (see
+#: ``memory_consistent_shared``).
+PER_STEP_CHECKERS: dict[Invariant, LineChecker] = {
+    Invariant.SINGLE_OWNER: _check_single_owner,
+    Invariant.EXCLUSIVE_IS_SOLE: _check_exclusive_is_sole,
+    Invariant.OWNER_CURRENT: _check_owner_current,
+    Invariant.COPIES_CURRENT: _check_copies_current,
+    Invariant.MEMORY_CURRENT_IF_UNOWNED: _check_memory_current_if_unowned,
+    Invariant.MEMORY_CURRENT_IF_SHARED: _check_memory_current_if_shared,
+}
+
+#: Checkers applied by default, in reporting order.
+_DEFAULT_CHECKERS: tuple[Invariant, ...] = (
+    Invariant.SINGLE_OWNER,
+    Invariant.EXCLUSIVE_IS_SOLE,
+    Invariant.OWNER_CURRENT,
+    Invariant.COPIES_CURRENT,
+    Invariant.MEMORY_CURRENT_IF_UNOWNED,
+)
+
+
+def checker_for(invariant: Invariant) -> LineChecker:
+    """The standalone checker enforcing exactly one invariant."""
+    return PER_STEP_CHECKERS[invariant]
+
+
+def check_line(
+    view: LineView,
+    memory_consistent_shared: bool = False,
+) -> list[InvariantViolation]:
+    """Check all invariants on one line snapshot; return violations found.
+
+    An empty list means the line is consistent.  The check is the
+    composition of :data:`PER_STEP_CHECKERS`; a stale owner is reported
+    under both OWNER_CURRENT and COPIES_CURRENT (they name different
+    invariants), but a caller only needs the list to be non-empty to fail.
+    """
+    violations: list[InvariantViolation] = []
+    for invariant in _DEFAULT_CHECKERS:
+        violations.extend(PER_STEP_CHECKERS[invariant](view))
+    if memory_consistent_shared:
+        violations.extend(_check_memory_current_if_shared(view))
     return violations
 
 

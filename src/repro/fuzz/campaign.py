@@ -1,0 +1,194 @@
+"""Seeded fuzz campaigns: fan-out, shrinking, repro files, summaries.
+
+A campaign runs seeds ``seed_base .. seed_base + seeds - 1`` through
+:func:`repro.fuzz.runner.run_scenario`, fanning out over
+:func:`repro.perf.parallel_map` from PR 1.  Because each seed's scenario
+and verdict are pure functions of ``(seed, config)``, and results come
+back in input order, ``--workers N`` and ``--workers 0`` produce
+byte-identical campaign summaries -- the worker count is deliberately
+excluded from the report.
+
+Failing seeds are shrunk in the parent process (in seed order, so the
+report is deterministic) and written as replayable repro files named
+``repro_seed<N>.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.fuzz.replay import write_repro
+from repro.fuzz.runner import StepFailure, run_scenario
+from repro.fuzz.scenario import Scenario, ScenarioConfig, generate_scenario
+from repro.fuzz.shrink import shrink_scenario
+from repro.perf.pool import ParallelConfig, parallel_map
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignFailure",
+    "CampaignReport",
+    "run_campaign",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """What to fuzz and how hard."""
+
+    seeds: int = 200
+    seed_base: int = 0
+    scenario: ScenarioConfig = dataclasses.field(
+        default_factory=ScenarioConfig
+    )
+    #: Shrink failing seeds to minimal counterexamples (slow but precise).
+    shrink: bool = True
+
+
+@dataclasses.dataclass
+class CampaignFailure:
+    """One failing seed: original verdict, minimal counterexample, repro."""
+
+    seed: int
+    failure: StepFailure  # as first observed on the generated scenario
+    scenario: Scenario  # shrunk (or original, if shrinking is off)
+    shrunk_failure: StepFailure  # the failure the minimal scenario produces
+    repro_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "failure": self.failure.to_dict(),
+            "scenario": self.scenario.to_dict(),
+            "shrunk_failure": self.shrunk_failure.to_dict(),
+            "repro_file": Path(self.repro_path).name if self.repro_path else None,
+        }
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """Deterministic campaign outcome (worker count intentionally absent)."""
+
+    config: CampaignConfig
+    seeds_run: int
+    steps_run: int
+    transitions_checked: int
+    failures: list[CampaignFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "seeds": self.config.seeds,
+            "seed_base": self.config.seed_base,
+            "scenario_config": self.config.scenario.to_dict(),
+            "seeds_run": self.seeds_run,
+            "steps_run": self.steps_run,
+            "transitions_checked": self.transitions_checked,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def summary_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def summary_text(self) -> str:
+        lines = [
+            f"fuzz campaign: {self.config.seeds} seeds "
+            f"(base {self.config.seed_base})",
+            f"  seeds run:           {self.seeds_run}",
+            f"  steps executed:      {self.steps_run}",
+            f"  transitions checked: {self.transitions_checked}",
+            f"  failures:            {len(self.failures)}",
+        ]
+        for item in self.failures:
+            lines.append(f"  seed {item.seed}: {item.failure}")
+            lines.append(
+                f"    minimal: {len(item.scenario.events)} events / "
+                f"{len(item.scenario.units)} units "
+                f"[{' '.join(str(e) for e in item.scenario.events)}] "
+                f"-> {item.shrunk_failure}"
+            )
+            if item.repro_path:
+                lines.append(f"    repro: {Path(item.repro_path).name}")
+        return "\n".join(lines) + "\n"
+
+
+def _run_one(task: tuple) -> dict:
+    """Pool worker: run one seed; returns a picklable digest.
+
+    The scenario itself is not shipped back -- the parent regenerates it
+    from the seed when (and only when) it needs to shrink a failure.
+    """
+    seed, scenario_config = task
+    scenario = generate_scenario(seed, ScenarioConfig.from_dict(scenario_config))
+    result = run_scenario(scenario)
+    return {
+        "seed": seed,
+        "steps_run": result.steps_run,
+        "transitions_checked": result.transitions_checked,
+        "failure": result.failure.to_dict() if result.failure else None,
+    }
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    workers: int = 0,
+    out_dir: Optional[Union[str, Path]] = None,
+) -> CampaignReport:
+    """Run a campaign; ``workers=0`` means serial (same report either way)."""
+    config = config or CampaignConfig()
+    scenario_dict = config.scenario.to_dict()
+    tasks = [
+        (config.seed_base + offset, scenario_dict)
+        for offset in range(config.seeds)
+    ]
+    pool = ParallelConfig(
+        workers=workers if workers > 0 else 1,
+        mode="serial" if workers <= 1 else "auto",
+    )
+    digests = parallel_map(_run_one, tasks, pool)
+
+    failures: list[CampaignFailure] = []
+    steps_run = 0
+    transitions_checked = 0
+    for digest in digests:
+        steps_run += digest["steps_run"]
+        transitions_checked += digest["transitions_checked"]
+        if digest["failure"] is None:
+            continue
+        seed = digest["seed"]
+        failure = StepFailure.from_dict(digest["failure"])
+        scenario = generate_scenario(seed, config.scenario)
+        if config.shrink:
+            minimal, final = shrink_scenario(scenario)
+        else:
+            minimal, final = scenario, run_scenario(scenario)
+        item = CampaignFailure(
+            seed=seed,
+            failure=failure,
+            scenario=minimal,
+            shrunk_failure=final.failure,
+        )
+        if out_dir is not None:
+            path = Path(out_dir) / f"repro_seed{seed}.json"
+            write_repro(
+                path,
+                minimal,
+                final.failure,
+                note=f"shrunk from fuzz seed {seed} "
+                f"({len(scenario.events)} events originally)",
+            )
+            item.repro_path = str(path)
+        failures.append(item)
+
+    return CampaignReport(
+        config=config,
+        seeds_run=len(digests),
+        steps_run=steps_run,
+        transitions_checked=transitions_checked,
+        failures=failures,
+    )

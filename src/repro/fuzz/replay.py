@@ -1,0 +1,64 @@
+"""Replayable ``.json`` repro files and their verbatim re-execution.
+
+A repro file is the complete counterexample: the (shrunk) scenario value
+plus the failure it produced when it was written.  ``repro fuzz --replay
+file.json`` rebuilds the scenario from the file alone -- protocols,
+geometry, schedule, and every dynamic action choice (seeded into the spec
+strings) -- and runs it again; a real bug fails again, byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.fuzz.runner import ScenarioResult, StepFailure, run_scenario
+from repro.fuzz.scenario import Scenario
+
+__all__ = ["REPRO_FORMAT", "write_repro", "load_repro", "replay_file"]
+
+REPRO_FORMAT = "repro.fuzz/1"
+
+
+def write_repro(
+    path: Union[str, Path],
+    scenario: Scenario,
+    failure: StepFailure,
+    note: str = "",
+) -> Path:
+    """Write one counterexample; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": REPRO_FORMAT,
+        "scenario": scenario.to_dict(),
+        "failure": failure.to_dict(),
+        "note": note,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(
+    path: Union[str, Path]
+) -> tuple[Scenario, Optional[StepFailure], str]:
+    """Read a repro file back: (scenario, recorded failure, note)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: not a {REPRO_FORMAT} repro file "
+            f"(format={data.get('format')!r})"
+        )
+    failure = (
+        StepFailure.from_dict(data["failure"])
+        if data.get("failure")
+        else None
+    )
+    return Scenario.from_dict(data["scenario"]), failure, data.get("note", "")
+
+
+def replay_file(path: Union[str, Path]) -> ScenarioResult:
+    """Re-execute a repro file's scenario verbatim."""
+    scenario, _, _ = load_repro(path)
+    return run_scenario(scenario)

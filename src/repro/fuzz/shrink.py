@@ -1,0 +1,118 @@
+"""Counterexample shrinking: delta-debug failing scenarios to minimality.
+
+Two passes, in the order that pays best:
+
+1. **events** -- classic ddmin over the schedule (Zeller & Hildebrandt):
+   remove event chunks at doubling granularity while the scenario still
+   fails, then strip single events to a 1-minimal schedule;
+2. **caches** -- drop boards one at a time (their events go with them,
+   surviving events are renumbered) while the failure persists.
+
+"Still fails" means *any* oracle failure, not the byte-identical one: a
+shrink that surfaces a different symptom of the same bug is a better
+counterexample than a longer schedule.  Shrinking is deterministic: every
+candidate run is the pure :func:`repro.fuzz.runner.run_scenario`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.fuzz.runner import ScenarioResult, run_scenario
+from repro.fuzz.scenario import FuzzEvent, Scenario
+
+__all__ = ["shrink_scenario"]
+
+RunFn = Callable[[Scenario], ScenarioResult]
+
+
+def _with_events(scenario: Scenario, events: tuple[FuzzEvent, ...]) -> Scenario:
+    return dataclasses.replace(scenario, events=events)
+
+
+def _fails(scenario: Scenario, run: RunFn) -> bool:
+    return run(scenario).failure is not None
+
+
+def _ddmin_events(scenario: Scenario, run: RunFn) -> Scenario:
+    events = scenario.events
+    granularity = 2
+    while len(events) >= 2:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and _fails(_with_events(scenario, candidate), run):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(events), granularity * 2)
+    return _with_events(scenario, events)
+
+
+def _strip_single_events(scenario: Scenario, run: RunFn) -> Scenario:
+    """Final 1-minimality pass: no single event can be removed."""
+    changed = True
+    while changed and len(scenario.events) > 1:
+        changed = False
+        for index in range(len(scenario.events)):
+            candidate = _with_events(
+                scenario,
+                scenario.events[:index] + scenario.events[index + 1:],
+            )
+            if _fails(candidate, run):
+                scenario = candidate
+                changed = True
+                break
+    return scenario
+
+
+def _without_unit(scenario: Scenario, index: int) -> Scenario:
+    units = scenario.units[:index] + scenario.units[index + 1:]
+    events = tuple(
+        FuzzEvent(
+            unit=e.unit - 1 if e.unit > index else e.unit,
+            kind=e.kind,
+            line=e.line,
+        )
+        for e in scenario.events
+        if e.unit != index
+    )
+    return dataclasses.replace(scenario, units=units, events=events)
+
+
+def _shrink_units(scenario: Scenario, run: RunFn) -> Scenario:
+    index = len(scenario.units) - 1
+    while index >= 0 and len(scenario.units) > 1:
+        candidate = _without_unit(scenario, index)
+        if candidate.events and _fails(candidate, run):
+            scenario = candidate
+        index -= 1
+    return scenario
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    run: Optional[RunFn] = None,
+) -> tuple[Scenario, ScenarioResult]:
+    """Shrink a failing scenario; returns (minimal scenario, its result).
+
+    The input must fail under ``run`` (default: the real runner); raises
+    ``ValueError`` otherwise so callers cannot silently "shrink" a passing
+    case.
+    """
+    run = run or run_scenario
+    result = run(scenario)
+    if result.failure is None:
+        raise ValueError("shrink_scenario needs a failing scenario")
+    scenario = _ddmin_events(scenario, run)
+    scenario = _strip_single_events(scenario, run)
+    scenario = _shrink_units(scenario, run)
+    final = run(scenario)
+    assert final.failure is not None
+    return scenario, final

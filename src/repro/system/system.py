@@ -175,6 +175,26 @@ class System:
             self.apply(record)
 
     # ------------------------------------------------------------------
+    # Observation hooks.
+    # ------------------------------------------------------------------
+    def install_transition_observer(self, observer) -> None:
+        """Subscribe ``observer(unit_id, side, state, event, action)`` to
+        every protocol decision on every board.
+
+        ``side`` is ``"local"`` (Table 1) or ``"snoop"`` (Table 2); the
+        action is the one the protocol *chose*, before conditional-state
+        resolution -- exactly what the tables print.  Pass ``None`` to
+        unsubscribe.  The fuzzer's differential oracle is the main client.
+        """
+        for board in self.controllers.values():
+            board.transition_observer = observer
+
+    def last_written_token(self, line_address: int) -> int:
+        """The globally last written version token for ``line_address``
+        (0 if the line was never written) -- the read-coherence oracle."""
+        return self._last_version.get(line_address, 0)
+
+    # ------------------------------------------------------------------
     # Coherence checking.
     # ------------------------------------------------------------------
     def line_view(self, line_address: int) -> LineView:

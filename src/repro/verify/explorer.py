@@ -37,11 +37,16 @@ from typing import Callable, Optional, Sequence, Union
 
 from repro.bus.futurebus import BusLivelockError
 from repro.cache.controller import CacheController, NonCachingMaster
-from repro.core.events import LocalEvent
+from repro.core.actions import LocalAction, MasterKind, SnoopAction
+from repro.core.events import BusEvent, LocalEvent
 from repro.core.policy import ActionPolicy
 from repro.core.protocol import IllegalTransitionError, Protocol
 from repro.core.states import LineState
-from repro.core.transitions import MoesiClassTable
+from repro.core.transitions import (
+    MoesiClassTable,
+    _same_local_behaviour,
+    _same_snoop_behaviour,
+)
 from repro.protocols.moesi import MoesiProtocol
 from repro.protocols.registry import make_protocol
 from repro.system.system import BoardSpec, CoherenceError, System
@@ -50,6 +55,9 @@ __all__ = [
     "ScriptedChooser",
     "ScriptedPolicy",
     "FullClassProtocol",
+    "TransitionQuery",
+    "ClassTransitionQuery",
+    "ProtocolTransitionQuery",
     "Violation",
     "ExplorationResult",
     "Explorer",
@@ -145,6 +153,121 @@ class FullClassProtocol(MoesiProtocol):
         if not choices:
             raise IllegalTransitionError(self.name, state, event)
         return self.policy.choose_snoop(state, event, choices, ctx)
+
+
+class TransitionQuery:
+    """Reachable-transition queries: is a concrete (state, event, action)
+    transition one the exhaustive explorer could take?
+
+    The explorer's search space is exactly the canonical tables -- the
+    MOESI-class closure for class members, a protocol's own declared cells
+    for the adapted foreign protocols.  Exposing that space as a query lets
+    step-wise tooling (the fuzzer's differential oracle) cross-check every
+    transition a *running* system exhibits against the canonical table,
+    without re-running the exhaustive search.
+    """
+
+    def permits_local(
+        self,
+        state: LineState,
+        event: LocalEvent,
+        action: LocalAction,
+    ) -> bool:
+        raise NotImplementedError
+
+    def permits_snoop(
+        self,
+        state: LineState,
+        event: BusEvent,
+        action: SnoopAction,
+    ) -> bool:
+        raise NotImplementedError
+
+    def permits(self, side: str, state, event, action) -> bool:
+        """Dispatch on ``side`` (``"local"`` / ``"snoop"``) -- the shape
+        the transition observer reports."""
+        if side == "local":
+            return self.permits_local(state, event, action)
+        if side == "snoop":
+            return self.permits_snoop(state, event, action)
+        raise ValueError(f"unknown transition side {side!r}")
+
+
+class ClassTransitionQuery(TransitionQuery):
+    """Membership in the MOESI class's relaxation closure (Tables 1-2 plus
+    section 3.3 items 9-12) -- the space the full-class explorer walks.
+
+    ``kind`` narrows the Table-1 rows to those a given kind of board may
+    use (write-through members are the ``*`` entries, non-caching ``**``).
+    """
+
+    def __init__(self, kind: Optional[MasterKind] = None) -> None:
+        self.kind = kind
+        self._table = MoesiClassTable()
+
+    def permits_local(self, state, event, action) -> bool:
+        if self._table.permits_local(state, event, action, self.kind):
+            return True
+        # Table 1 annotates only the rows where kinds *differ* (misses,
+        # broadcast writes); hit and replacement rows are written once in
+        # the copy-back column and shared by every kind.  When the
+        # kind-narrowed row is empty the row is one of those shared ones:
+        # judge against the unfiltered closure, as membership checking
+        # (:func:`repro.core.validation.check_membership`) does.
+        if (
+            self.kind is not None
+            and not self._table.local_action_set(state, event, self.kind)
+        ):
+            return self._table.permits_local(state, event, action, None)
+        return False
+
+    def permits_snoop(self, state, event, action) -> bool:
+        return self._table.permits_snoop(state, event, action)
+
+    def reachable_local(self, state, event) -> frozenset[LocalAction]:
+        """Every local action the explorer could take at (state, event)."""
+        return self._table.local_action_set(state, event, self.kind)
+
+    def reachable_snoop(self, state, event) -> frozenset[SnoopAction]:
+        return self._table.snoop_action_set(state, event)
+
+
+class ProtocolTransitionQuery(TransitionQuery):
+    """Membership in one concrete protocol's canonical table.
+
+    Built from a *fresh* canonical instance (registry name or instance), so
+    a mutated or buggy protocol running in the system under test deviates
+    from this reference -- which is exactly what differential testing needs
+    for the adapted foreign protocols (Illinois, Firefly, Write-Once) whose
+    BS/abort rows and S-state semantics are deliberately outside the class
+    closure.
+    """
+
+    def __init__(self, protocol: Union[str, Protocol]) -> None:
+        self.protocol = (
+            make_protocol(protocol) if isinstance(protocol, str) else protocol
+        )
+        self._class_fallback = ClassTransitionQuery(self.protocol.kind)
+
+    def permits_local(self, state, event, action) -> bool:
+        cell = self.protocol.local_cell(state, event)
+        return any(_same_local_behaviour(action, c) for c in cell)
+
+    def permits_snoop(self, state, event, action) -> bool:
+        cell = self.protocol.snoop_cell(state, event)
+        if any(_same_snoop_behaviour(action, c) for c in cell):
+            return True
+        # Foreign protocols extended for mixed systems answer bus events
+        # outside their own table with the class-preferred response.
+        if not cell and getattr(self.protocol, "snoop_default_to_class", False):
+            return self._class_fallback.permits_snoop(state, event, action)
+        return False
+
+    def reachable_local(self, state, event) -> tuple[LocalAction, ...]:
+        return self.protocol.local_cell(state, event)
+
+    def reachable_snoop(self, state, event) -> tuple[SnoopAction, ...]:
+        return self.protocol.snoop_cell(state, event)
 
 
 @dataclasses.dataclass(frozen=True)

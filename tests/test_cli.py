@@ -22,6 +22,10 @@ class TestParser:
             ["bench", "--quick", "--workers", "2"],
             ["hierarchy", "--references", "50"],
             ["run", "moesi", "--references", "100"],
+            ["fuzz", "--seeds", "10"],
+            ["fuzz", "--seeds", "10", "--workers", "2", "--inject",
+             "illinois-silent-im"],
+            ["fuzz", "--replay", "some/file.json"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -131,3 +135,48 @@ class TestDiagramAndAblation:
         assert main(["ablation", "line-size", "--references", "400"]) == 0
         out = capsys.readouterr().out
         assert "line_size" in out
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        assert main(["fuzz", "--seeds", "15",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign: 15 seeds" in out
+        assert "failures:            0" in out
+
+    def test_serial_and_parallel_output_identical(self, tmp_path, capsys):
+        main(["fuzz", "--seeds", "20", "--workers", "0",
+              "--out", str(tmp_path / "a")])
+        serial = capsys.readouterr().out
+        main(["fuzz", "--seeds", "20", "--workers", "2",
+              "--out", str(tmp_path / "b")])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_injected_bug_fails_shrinks_and_replays(self, tmp_path, capsys):
+        """End-to-end acceptance path: inject -> catch -> shrink ->
+        repro file -> --replay re-fails."""
+        out_dir = tmp_path / "repros"
+        assert main(["fuzz", "--seeds", "30", "--inject",
+                     "illinois-silent-im", "--out", str(out_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "repro_seed" in out
+        repro = sorted(out_dir.glob("repro_seed*.json"))[0]
+        assert main(["fuzz", "--replay", str(repro)]) == 1
+        replay_out = capsys.readouterr().out
+        assert "reproduced:" in replay_out
+
+    def test_json_summary_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "summary.json"
+        assert main(["fuzz", "--seeds", "10", "--out",
+                     str(tmp_path / "r"), "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["seeds_run"] == 10
+        assert data["failures"] == []
+
+    def test_unknown_bug_exits_two(self, capsys):
+        assert main(["fuzz", "--seeds", "5", "--inject", "nope"]) == 2
+        assert "known:" in capsys.readouterr().err

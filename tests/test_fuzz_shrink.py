@@ -1,0 +1,91 @@
+"""Delta-debugging: minimality, unit dropping, failure preservation."""
+
+import pytest
+
+from repro.fuzz.runner import run_scenario
+from repro.fuzz.scenario import FuzzEvent, Geometry, Scenario
+from repro.fuzz.shrink import _without_unit, shrink_scenario
+
+
+def _bug_scenario(extra_events=()):
+    """A failing Illinois-bug scenario with optional noise events."""
+    core = (
+        FuzzEvent(0, "read", 0),
+        FuzzEvent(1, "read", 0),
+        FuzzEvent(1, "write", 0),
+    )
+    return Scenario(
+        seed=1,
+        units=("bug:illinois-silent-im", "illinois", "illinois"),
+        geometry=Geometry(lines=2),
+        events=tuple(extra_events) + core,
+    )
+
+
+class TestShrinking:
+    def test_rejects_passing_scenario(self):
+        passing = Scenario(
+            seed=0,
+            units=("moesi", "moesi"),
+            geometry=Geometry(),
+            events=(FuzzEvent(0, "read", 0),),
+        )
+        with pytest.raises(ValueError, match="needs a failing scenario"):
+            shrink_scenario(passing)
+
+    def test_noise_events_removed(self):
+        noise = (
+            FuzzEvent(2, "read", 1),
+            FuzzEvent(2, "write", 1),
+            FuzzEvent(0, "read", 1),
+            FuzzEvent(2, "read", 1),
+            FuzzEvent(1, "read", 1),
+        )
+        scenario = _bug_scenario(noise)
+        minimal, result = shrink_scenario(scenario)
+        assert result.failure is not None
+        assert len(minimal.events) <= 3
+
+    def test_spectator_unit_dropped(self):
+        minimal, _ = shrink_scenario(_bug_scenario())
+        # u2 never acts; the unit pass must drop it.
+        assert len(minimal.units) == 2
+
+    def test_one_minimality(self):
+        """No single event of the minimal scenario can be removed."""
+        minimal, _ = shrink_scenario(_bug_scenario())
+        for index in range(len(minimal.events)):
+            import dataclasses
+
+            candidate = dataclasses.replace(
+                minimal,
+                events=minimal.events[:index] + minimal.events[index + 1:],
+            )
+            assert run_scenario(candidate).failure is None, (
+                f"event {index} of the 'minimal' scenario is removable"
+            )
+
+    def test_shrunk_result_still_fails(self):
+        _, result = shrink_scenario(_bug_scenario())
+        assert result.failure is not None
+        assert result.failure.oracle in ("differential", "invariant")
+
+
+class TestWithoutUnit:
+    def test_events_renumbered(self):
+        scenario = Scenario(
+            seed=0,
+            units=("a-proto", "b-proto", "c-proto"),
+            geometry=Geometry(),
+            events=(
+                FuzzEvent(0, "read", 0),
+                FuzzEvent(1, "read", 0),
+                FuzzEvent(2, "write", 1),
+            ),
+        )
+        dropped = _without_unit(scenario, 1)
+        assert dropped.units == ("a-proto", "c-proto")
+        assert dropped.events == (
+            FuzzEvent(0, "read", 0),
+            FuzzEvent(1, "write", 1),
+        )

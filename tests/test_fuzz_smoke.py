@@ -1,0 +1,44 @@
+"""Fuzz campaign smoke: ``pytest -m fuzz``.
+
+The full 200-seed serial campaign the CI job runs.  Deliberately marked
+so the default (tier-1) run stays fast; the campaign itself is pure, so
+a failure here is replayable from its seed alone.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz import CampaignConfig, ScenarioConfig, run_campaign
+
+pytestmark = pytest.mark.fuzz
+
+SMOKE_SEEDS = 200
+
+
+def test_clean_campaign_200_seeds_serial():
+    """No correct mix may fail either oracle over the smoke seed range."""
+    report = run_campaign(CampaignConfig(seeds=SMOKE_SEEDS), workers=0)
+    assert report.seeds_run == SMOKE_SEEDS
+    assert report.ok, report.summary_text()
+    # The campaign must actually exercise the differential oracle.
+    assert report.transitions_checked > SMOKE_SEEDS
+
+
+def test_injected_bug_caught_within_smoke_budget(tmp_path):
+    """The acceptance-criteria bug (Illinois skipping its IM invalidation)
+    is caught, shrinks to <= 6 events, and the repro file re-fails."""
+    from repro.fuzz import replay_file
+
+    config = CampaignConfig(
+        seeds=SMOKE_SEEDS,
+        scenario=dataclasses.replace(
+            ScenarioConfig(), inject="illinois-silent-im"
+        ),
+    )
+    report = run_campaign(config, workers=0, out_dir=tmp_path)
+    assert report.failures, "bug:illinois-silent-im survived the campaign"
+    first = report.failures[0]
+    assert len(first.scenario.events) <= 6
+    replayed = replay_file(first.repro_path)
+    assert replayed.failure is not None, "repro file did not re-fail"

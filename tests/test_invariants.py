@@ -3,12 +3,14 @@
 import pytest
 
 from repro.core.invariants import (
+    PER_STEP_CHECKERS,
     CopyView,
     InconsistencyError,
     Invariant,
     LineView,
     assert_line_consistent,
     check_line,
+    checker_for,
 )
 from repro.core.states import LineState
 
@@ -137,3 +139,98 @@ class TestLineViewAccessors:
         view = _view([CopyView("a", O), CopyView("b", S), CopyView("c", I)])
         assert [c.unit for c in view.owners] == ["a"]
         assert [c.unit for c in view.valid_copies] == ["a", "b"]
+
+
+class TestPerStepCheckers:
+    """The per-invariant checkers exposed for step-wise oracles.
+
+    Negative paths with *precise* diagnostics: each broken configuration
+    must be attributed to exactly the right invariant, naming the units
+    and states involved, so a fuzz counterexample reads as a diagnosis
+    rather than a boolean.
+    """
+
+    def test_registry_covers_every_invariant(self):
+        assert set(PER_STEP_CHECKERS) == set(Invariant)
+
+    def test_checker_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            checker_for("not-an-invariant")
+
+    def test_two_owners_named_in_diagnostic(self):
+        view = _view([CopyView("a", M), CopyView("b", O)],
+                     memory_fresh=False)
+        (violation,) = checker_for(Invariant.SINGLE_OWNER)(view)
+        assert violation.invariant is Invariant.SINGLE_OWNER
+        assert "multiple owners" in violation.detail
+        assert "a:M" in violation.detail and "b:O" in violation.detail
+
+    def test_single_owner_checker_ignores_other_breakage(self):
+        """Each checker judges only its own property: an M copy alongside
+        an S copy breaks EXCLUSIVE_IS_SOLE, not SINGLE_OWNER."""
+        view = _view([CopyView("a", M), CopyView("b", S)],
+                     memory_fresh=False)
+        assert checker_for(Invariant.SINGLE_OWNER)(view) == []
+        (violation,) = checker_for(Invariant.EXCLUSIVE_IS_SOLE)(view)
+        assert "a holds M" in violation.detail
+        assert "b:S" in violation.detail
+
+    def test_m_shared_full_check_reports_exclusive_not_owner(self):
+        view = _view([CopyView("a", M), CopyView("b", S)],
+                     memory_fresh=False)
+        kinds = _kinds(check_line(view))
+        assert Invariant.EXCLUSIVE_IS_SOLE in kinds
+        assert Invariant.SINGLE_OWNER not in kinds
+
+    def test_stale_owner_diagnostic_names_unit_and_state(self):
+        view = _view([CopyView("a", O, fresh=False), CopyView("b", S)],
+                     memory_fresh=False)
+        (violation,) = checker_for(Invariant.OWNER_CURRENT)(view)
+        assert violation.detail == "owner a (O) holds stale data"
+
+    def test_stale_memory_under_owner_is_not_unowned_violation(self):
+        """O with stale memory is the class's normal operating point; the
+        MEMORY_CURRENT_IF_UNOWNED checker must not fire."""
+        view = _view([CopyView("a", O), CopyView("b", S)],
+                     memory_fresh=False)
+        assert checker_for(Invariant.MEMORY_CURRENT_IF_UNOWNED)(view) == []
+
+    def test_stale_memory_without_owner_diagnostic(self):
+        view = _view([CopyView("a", S)], memory_fresh=False)
+        (violation,) = checker_for(Invariant.MEMORY_CURRENT_IF_UNOWNED)(view)
+        assert violation.detail == (
+            "no cache owns the line but memory is stale"
+        )
+
+    def test_foreign_shared_checker_names_s_holders(self):
+        view = _view([CopyView("a", O), CopyView("b", S), CopyView("c", S)],
+                     memory_fresh=False)
+        (violation,) = checker_for(Invariant.MEMORY_CURRENT_IF_SHARED)(view)
+        assert "S copies at b, c" in violation.detail
+        assert "foreign-protocol" in violation.detail
+
+    def test_checkers_compose_to_check_line(self):
+        """check_line is exactly the union of the default checkers."""
+        view = _view(
+            [CopyView("a", M, fresh=False), CopyView("b", O)],
+            memory_fresh=False,
+        )
+        composed = []
+        for invariant in (
+            Invariant.SINGLE_OWNER,
+            Invariant.EXCLUSIVE_IS_SOLE,
+            Invariant.OWNER_CURRENT,
+            Invariant.COPIES_CURRENT,
+            Invariant.MEMORY_CURRENT_IF_UNOWNED,
+        ):
+            composed.extend(checker_for(invariant)(view))
+        assert {str(v) for v in composed} == {
+            str(v) for v in check_line(view)
+        }
+
+    def test_violation_str_carries_address_and_detail(self):
+        view = LineView.of([CopyView("a", M), CopyView("b", O)],
+                           memory_fresh=False, address=0x80)
+        (violation,) = checker_for(Invariant.SINGLE_OWNER)(view)
+        text = str(violation)
+        assert "@0x80" in text and "multiple owners" in text

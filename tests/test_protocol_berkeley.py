@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.tables import diff_protocol_table
+from repro.analysis.paper_data import BERKELEY_TABLE3, canonical_cell
+from repro.analysis.tables import diff_protocol_table, protocol_cells
 from repro.protocols.berkeley import BerkeleyProtocol
 from repro.core.states import LineState
 
@@ -79,3 +80,33 @@ class TestScenarios:
         rig[1].read(0)
         rig[1].write(0, 9)   # MOESI broadcasts; Berkeley's class-default
         assert rig[0].read(0) == 9
+
+
+class TestTable3Golden:
+    """Every cell of the paper's Table 3, one assertion per cell.
+
+    Exhaustive and parametrized (including the BS/abort rows), so a
+    single drifted cell fails with its own (state, column) id instead of
+    being buried in a whole-table diff.
+    """
+
+    _columns = ("Read", "Write", 5, 6)
+    _cells = protocol_cells(BerkeleyProtocol(), _columns)
+
+    @pytest.mark.parametrize(
+        "state,column",
+        sorted(BERKELEY_TABLE3, key=lambda key: (key[0], str(key[1]))),
+        ids=lambda value: str(value),
+    )
+    def test_cell_matches_paper(self, state, column):
+        paper = [canonical_cell(c) for c in BERKELEY_TABLE3[(state, column)]]
+        ours = [canonical_cell(c) for c in self._cells[(state, column)]]
+        assert ours == paper, (
+            f"Table 3 cell ({state}, {column}): "
+            f"emitted {ours} != paper {paper}"
+        )
+
+    def test_reference_is_exhaustive(self):
+        """The paper reference covers every (state, column) the protocol
+        itself defines -- no cell escapes the golden comparison."""
+        assert set(BERKELEY_TABLE3) == set(self._cells)

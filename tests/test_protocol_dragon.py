@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.tables import diff_protocol_table
+from repro.analysis.paper_data import DRAGON_TABLE4, canonical_cell
+from repro.analysis.tables import diff_protocol_table, protocol_cells
 from repro.protocols.dragon import DragonProtocol
 from repro.core.states import LineState
 
@@ -89,3 +90,33 @@ class TestUpdateSemantics:
         assert rig[0].read(0) == 1
         rig[0].write(0, 2)       # Dragon broadcast-style
         assert rig[1].read(0) == 2
+
+
+class TestTable4Golden:
+    """Every cell of the paper's Table 4, one assertion per cell.
+
+    Exhaustive and parametrized (including the BS/abort rows), so a
+    single drifted cell fails with its own (state, column) id instead of
+    being buried in a whole-table diff.
+    """
+
+    _columns = ("Read", "Write", 5, 8)
+    _cells = protocol_cells(DragonProtocol(), _columns)
+
+    @pytest.mark.parametrize(
+        "state,column",
+        sorted(DRAGON_TABLE4, key=lambda key: (key[0], str(key[1]))),
+        ids=lambda value: str(value),
+    )
+    def test_cell_matches_paper(self, state, column):
+        paper = [canonical_cell(c) for c in DRAGON_TABLE4[(state, column)]]
+        ours = [canonical_cell(c) for c in self._cells[(state, column)]]
+        assert ours == paper, (
+            f"Table 4 cell ({state}, {column}): "
+            f"emitted {ours} != paper {paper}"
+        )
+
+    def test_reference_is_exhaustive(self):
+        """The paper reference covers every (state, column) the protocol
+        itself defines -- no cell escapes the golden comparison."""
+        assert set(DRAGON_TABLE4) == set(self._cells)

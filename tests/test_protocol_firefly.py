@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.tables import diff_protocol_table
+from repro.analysis.paper_data import FIREFLY_TABLE7, canonical_cell
+from repro.analysis.tables import diff_protocol_table, protocol_cells
 from repro.core.states import LineState
 from repro.protocols.firefly import FireflyProtocol
 
@@ -76,3 +77,33 @@ class TestScenarios:
         rig[1].read(0)              # abort-push via E, retry -> S,S
         assert rig.memory.peek(0) == 1
         assert rig.states() == "S,S"
+
+
+class TestTable7Golden:
+    """Every cell of the paper's Table 7, one assertion per cell.
+
+    Exhaustive and parametrized (including the BS/abort rows), so a
+    single drifted cell fails with its own (state, column) id instead of
+    being buried in a whole-table diff.
+    """
+
+    _columns = ("Read", "Write", 5, 8)
+    _cells = protocol_cells(FireflyProtocol(), _columns)
+
+    @pytest.mark.parametrize(
+        "state,column",
+        sorted(FIREFLY_TABLE7, key=lambda key: (key[0], str(key[1]))),
+        ids=lambda value: str(value),
+    )
+    def test_cell_matches_paper(self, state, column):
+        paper = [canonical_cell(c) for c in FIREFLY_TABLE7[(state, column)]]
+        ours = [canonical_cell(c) for c in self._cells[(state, column)]]
+        assert ours == paper, (
+            f"Table 7 cell ({state}, {column}): "
+            f"emitted {ours} != paper {paper}"
+        )
+
+    def test_reference_is_exhaustive(self):
+        """The paper reference covers every (state, column) the protocol
+        itself defines -- no cell escapes the golden comparison."""
+        assert set(FIREFLY_TABLE7) == set(self._cells)

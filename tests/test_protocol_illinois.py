@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.tables import diff_protocol_table
+from repro.analysis.paper_data import ILLINOIS_TABLE6, canonical_cell
+from repro.analysis.tables import diff_protocol_table, protocol_cells
 from repro.core.states import LineState
 from repro.protocols.illinois import IllinoisProtocol
 
@@ -94,3 +95,33 @@ class TestScenarios:
         rig[0].write(0, 3)
         assert rig[0].stats.bus_transactions == before
         assert rig[0].state_of(0).letter == "M"
+
+
+class TestTable6Golden:
+    """Every cell of the paper's Table 6, one assertion per cell.
+
+    Exhaustive and parametrized (including the BS/abort rows), so a
+    single drifted cell fails with its own (state, column) id instead of
+    being buried in a whole-table diff.
+    """
+
+    _columns = ("Read", "Write", 5, 6)
+    _cells = protocol_cells(IllinoisProtocol(), _columns)
+
+    @pytest.mark.parametrize(
+        "state,column",
+        sorted(ILLINOIS_TABLE6, key=lambda key: (key[0], str(key[1]))),
+        ids=lambda value: str(value),
+    )
+    def test_cell_matches_paper(self, state, column):
+        paper = [canonical_cell(c) for c in ILLINOIS_TABLE6[(state, column)]]
+        ours = [canonical_cell(c) for c in self._cells[(state, column)]]
+        assert ours == paper, (
+            f"Table 6 cell ({state}, {column}): "
+            f"emitted {ours} != paper {paper}"
+        )
+
+    def test_reference_is_exhaustive(self):
+        """The paper reference covers every (state, column) the protocol
+        itself defines -- no cell escapes the golden comparison."""
+        assert set(ILLINOIS_TABLE6) == set(self._cells)

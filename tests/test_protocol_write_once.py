@@ -3,7 +3,8 @@ the Futurebus BS-abort adaptation."""
 
 import pytest
 
-from repro.analysis.tables import diff_protocol_table
+from repro.analysis.paper_data import WRITE_ONCE_TABLE5, canonical_cell
+from repro.analysis.tables import diff_protocol_table, protocol_cells
 from repro.core.states import LineState
 from repro.protocols.write_once import WriteOnceProtocol
 
@@ -79,3 +80,33 @@ class TestWriteOnceSemantics:
         rig[0].read(0); rig[0].write(0, 1); rig[0].write(0, 2)
         rig[0].flush_line(0)
         assert rig.memory.peek(0) == 2
+
+
+class TestTable5Golden:
+    """Every cell of the paper's Table 5, one assertion per cell.
+
+    Exhaustive and parametrized (including the BS/abort rows), so a
+    single drifted cell fails with its own (state, column) id instead of
+    being buried in a whole-table diff.
+    """
+
+    _columns = ("Read", "Write", 5, 6)
+    _cells = protocol_cells(WriteOnceProtocol(), _columns)
+
+    @pytest.mark.parametrize(
+        "state,column",
+        sorted(WRITE_ONCE_TABLE5, key=lambda key: (key[0], str(key[1]))),
+        ids=lambda value: str(value),
+    )
+    def test_cell_matches_paper(self, state, column):
+        paper = [canonical_cell(c) for c in WRITE_ONCE_TABLE5[(state, column)]]
+        ours = [canonical_cell(c) for c in self._cells[(state, column)]]
+        assert ours == paper, (
+            f"Table 5 cell ({state}, {column}): "
+            f"emitted {ours} != paper {paper}"
+        )
+
+    def test_reference_is_exhaustive(self):
+        """The paper reference covers every (state, column) the protocol
+        itself defines -- no cell escapes the golden comparison."""
+        assert set(WRITE_ONCE_TABLE5) == set(self._cells)
