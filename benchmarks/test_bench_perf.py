@@ -21,4 +21,7 @@ def test_bench_suite(benchmark, save_artifact):
     assert report["matrix"]["all_ok"]
     assert report["matrix"]["rows_identical"]
     assert report["des"]["rows_identical"]
+    # The disabled-path observability budget: guards only, <5% vs a
+    # direct pre-facade run of the same workload.
+    assert report["obs"]["overhead_disabled_pct"] < 5.0
     save_artifact("perf_bench", json.dumps(report, indent=2))

@@ -1,36 +1,35 @@
 #!/usr/bin/env python3
-"""Quickstart: build a small mixed-protocol multiprocessor, run a
-workload, and inspect coherence and traffic.
+"""Quickstart: run a small mixed-protocol multiprocessor through the
+:mod:`repro.api` facade, inspect coherence and traffic, and export a
+structured trace viewable in Perfetto.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import BoardSpec, System
+from repro import Session
 from repro.workloads import ping_pong
 
 
 def main() -> None:
+    # One session owns the trace; every run it performs lands in the
+    # same timeline.
+    session = Session(label="quickstart", trace=True)
+
     # Three boards on one Futurebus, each running a *different* protocol
-    # from the MOESI class -- the paper's headline capability.
-    system = System(
-        [
-            BoardSpec("cpu0", "moesi"),          # full five-state copy-back
-            BoardSpec("cpu1", "dragon"),         # update-based (Xerox PARC)
-            BoardSpec("cpu2", "write-through"),  # simple two-state board
-        ],
+    # from the MOESI class -- the paper's headline capability.  Two
+    # processors ping-pong a shared line; the third watches.
+    result = session.run_experiment(
+        protocols=["moesi", "dragon", "write-through"],
+        workload=ping_pong(rounds=50, processors=3),
         label="quickstart",
     )
 
-    # Two processors ping-pong a shared line; the third watches.
-    system.run_trace(ping_pong(rounds=50, processors=3))
+    # Every read was checked against the last write at run time; the
+    # result carries a final whole-memory invariant sweep.
+    print(f"coherence violations: {len(result.violations)}")
+    assert result.ok
 
-    # Every read was checked against the last write at run time; a final
-    # sweep re-checks the MOESI invariants on every line.
-    violations = system.check_coherence()
-    print(f"coherence violations: {len(violations)}")
-    assert not violations
-
-    report = system.report()
+    report = result.report
     print(f"accesses:            {report.accesses}")
     print(f"miss ratio:          {report.miss_ratio:.3f}")
     print(f"bus transactions:    {report.bus.transactions}")
@@ -39,9 +38,19 @@ def main() -> None:
     print(f"updates received:    {report.updates_received}")
     print(f"interventions:       {report.bus.interventions}")
 
+    # The metrics snapshot has the per-state hit breakdown and more.
+    for name in sorted(result.metrics):
+        if name.startswith("cache.hits_in_state."):
+            print(f"{name}: {result.metrics[name]}")
+
     # Peek at the final per-board state of the contended line.
-    for unit_id, board in system.controllers.items():
+    for unit_id, board in result.system.controllers.items():
         print(f"{unit_id}: line 0 in state {board.state_of(0)}")
+
+    # Export the structured trace (bus signals + MOESI transitions) in
+    # Chrome trace-event format -- open it at https://ui.perfetto.dev.
+    path = result.write_trace("quickstart.trace.json")
+    print(f"trace written to {path} ({len(result.trace)} events)")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,16 @@
 Cache Consistency Protocols and their Support by the IEEE Futurebus"
 (ISCA 1986) -- the paper that defined MOESI.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
+
+    from repro import Session
+
+    session = Session(trace=True)
+    result = session.run_experiment(protocol="illinois", references=500)
+    assert result.ok
+    result.write_trace("out.trace.json")   # Chrome/Perfetto format
+
+or, building the system by hand::
 
     from repro import System, BoardSpec
     from repro.workloads import ping_pong
@@ -38,17 +47,29 @@ Packages:
   protocols, line crossers, line-size mismatch demo, sync/flush
   commands);
 * :mod:`repro.hierarchy` -- multi-bus cluster bridges (the section-6
-  open problem, built; they compose to arbitrary depth).
+  open problem, built; they compose to arbitrary depth);
+* :mod:`repro.obs` -- observability: structured tracing, the metrics
+  registry, Chrome-trace/JSONL exporters, profiling;
+* :mod:`repro.api` -- the unified facade (:class:`Session`,
+  :func:`run_experiment`, :func:`fuzz_campaign`) with typed results.
 """
 
+from repro.api import (
+    ExperimentResult,
+    FuzzResult,
+    Session,
+    VerifyResult,
+    explore,
+    fuzz_campaign,
+    run_experiment,
+)
 from repro.core.states import LineState
 from repro.hierarchy.system import ClusterSpec, HierarchicalSystem
 from repro.core.validation import check_membership
 from repro.protocols.registry import make_protocol, protocol_names
 from repro.system.system import BoardSpec, CoherenceError, System
-from repro.verify.explorer import explore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LineState",
@@ -60,6 +81,12 @@ __all__ = [
     "BoardSpec",
     "CoherenceError",
     "System",
+    "Session",
+    "ExperimentResult",
+    "VerifyResult",
+    "FuzzResult",
+    "run_experiment",
     "explore",
+    "fuzz_campaign",
     "__version__",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "HETEROGENEOUS_MIXES",
     "run_protocol_on_trace",
     "comparison_row",
+    "comparison_row_traced",
     "update_vs_invalidate_row",
     "heterogeneous_row",
     "protocol_comparison",
@@ -65,12 +66,15 @@ def run_protocol_on_trace(
     timing: Optional[BusTiming] = None,
     timed: bool = True,
     check: bool = False,
+    tracer=None,
     **board_kwargs,
 ) -> SystemReport:
     """Run one homogeneous system over a trace; return its report.
 
     ``timed=True`` uses the event-driven runner (contention modeled);
-    otherwise references execute atomically in trace order.
+    otherwise references execute atomically in trace order.  A
+    :class:`repro.obs.trace.Tracer` captures the structured trace (and
+    the report then embeds its export).
     """
     units = trace.units()
     n = n_boards if n_boards is not None else len(units)
@@ -79,6 +83,8 @@ def run_protocol_on_trace(
         for unit in units[:n]
     ]
     system = System(boards, timing=timing, check=check, label=protocol)
+    if tracer is not None:
+        system.attach_tracer(tracer)
     if timed:
         report = timed_run_from_trace(system, trace).run()
     else:
@@ -97,6 +103,23 @@ def comparison_row(protocol: str, trace: Trace, timed: bool = True) -> dict:
     return row
 
 
+def comparison_row_traced(
+    protocol: str, trace: Trace, timed: bool = True
+) -> dict:
+    """Like :func:`comparison_row`, but run under a per-protocol child
+    :class:`~repro.obs.trace.Tracer` and ship the exported event stream
+    alongside the row.  Module-level and fully deterministic, so serial
+    and pooled shootouts absorb identical streams."""
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(stream=protocol)
+    report = run_protocol_on_trace(protocol, trace, timed=timed, tracer=tracer)
+    row = report.row()
+    if report.elapsed_ns:
+        row["elapsed_us"] = round(report.elapsed_ns / 1000.0, 1)
+    return {"row": row, "events": tracer.export()}
+
+
 def protocol_comparison(
     trace: Optional[Trace] = None,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
@@ -104,20 +127,43 @@ def protocol_comparison(
     seed: int = 7,
     timed: bool = True,
     workers: Optional[int] = None,
+    tracer=None,
+    profiler=None,
 ) -> list[dict]:
     """E2: all protocols on one synthetic workload; one row each.
 
     With ``workers`` > 1 the per-protocol runs fan out across a process
-    pool (same rows, same order).
+    pool (same rows, same order).  With a ``tracer``, each protocol runs
+    under its own stream and the streams are absorbed in protocol order
+    -- byte-identical whether the rows came from the pool or not.
     """
     if trace is None:
         config = SyntheticConfig(processors=4, p_shared=0.3, p_write=0.3)
         trace = SyntheticWorkload(config, seed=seed).trace(references)
+    if tracer is not None:
+        if workers is not None and workers > 1:
+            from repro.perf.sweeps import protocol_comparison_parallel
+
+            payloads = protocol_comparison_parallel(
+                trace, protocols=protocols, timed=timed, workers=workers,
+                traced=True, profiler=profiler,
+            )
+        else:
+            payloads = [
+                comparison_row_traced(protocol, trace, timed)
+                for protocol in protocols
+            ]
+        rows = []
+        for payload in payloads:
+            tracer.absorb(payload["events"])
+            rows.append(payload["row"])
+        return rows
     if workers is not None and workers > 1:
         from repro.perf.sweeps import protocol_comparison_parallel
 
         return protocol_comparison_parallel(
-            trace, protocols=protocols, timed=timed, workers=workers
+            trace, protocols=protocols, timed=timed, workers=workers,
+            profiler=profiler,
         )
     return [comparison_row(protocol, trace, timed) for protocol in protocols]
 

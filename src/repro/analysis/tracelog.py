@@ -6,46 +6,46 @@ as a ``(Transaction, TransactionResult)`` pair; :func:`format_bus_trace`
 renders the log in a form that reads like a bus analyzer capture --
 master, asserted signals, the paper's column number, the wired-OR
 responses observed, who supplied data, and any BS retries.
+
+The rendering itself lives in :mod:`repro.obs.export` (shared with the
+structured :class:`~repro.obs.trace.Tracer` stream); this module adapts
+the raw bus-log pairs into that event shape, so both capture paths
+print identical rows.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.analysis.report import format_rows
 from repro.bus.transaction import Transaction, TransactionResult
-from repro.core.actions import BusOp
+from repro.obs.export import bus_rows, format_trace
+from repro.obs.trace import bus_event_args
 
 __all__ = ["trace_rows", "format_bus_trace"]
+
+
+def _as_events(
+    log: Iterable[tuple[Transaction, TransactionResult]],
+) -> list[dict]:
+    """Lift raw ``(Transaction, TransactionResult)`` pairs into the
+    structured-trace event shape the exporters consume."""
+    return [
+        {
+            "kind": "bus",
+            "name": txn.event.name,
+            "t_ns": 0.0,
+            "unit": txn.master,
+            "args": bus_event_args(txn, result),
+        }
+        for txn, result in log
+    ]
 
 
 def trace_rows(
     log: Iterable[tuple[Transaction, TransactionResult]],
 ) -> list[dict]:
     """Flatten a bus log into printable rows."""
-    rows = []
-    for txn, result in log:
-        op = {
-            BusOp.READ: "read",
-            BusOp.WRITE: "write",
-            BusOp.NONE: "addr-only",
-        }.get(txn.op, str(txn.op))
-        rows.append(
-            {
-                "#": txn.serial,
-                "master": txn.master,
-                "signals": txn.signals.notation(),
-                "col": txn.event.note,
-                "op": op,
-                "line": f"0x{txn.address:x}",
-                "responses": result.aggregate.notation() or "-",
-                "supplier": result.supplier or "-",
-                "connectors": ",".join(result.connectors) or "-",
-                "retries": result.retries,
-                "ns": round(result.duration_ns),
-            }
-        )
-    return rows
+    return bus_rows(_as_events(log))
 
 
 def format_bus_trace(
@@ -53,5 +53,4 @@ def format_bus_trace(
     title: Optional[str] = None,
 ) -> str:
     """One analyzer-style line per transaction."""
-    rows = trace_rows(log)
-    return format_rows(rows, title or "Bus transaction trace")
+    return format_trace(_as_events(log), title or "Bus transaction trace")

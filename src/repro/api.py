@@ -1,0 +1,392 @@
+"""The unified front door: sessions, experiments, typed results.
+
+Everything the toolkit can do -- run a (possibly heterogeneous) system
+over a workload, exhaustively verify a protocol mix, fuzz with the
+differential oracles, race the protocols against each other -- is
+reachable from here with observability built in: a :class:`Session`
+owns one :class:`~repro.obs.trace.Tracer` and one
+:class:`~repro.obs.profile.Profiler`, threads them through every layer,
+and hands back typed results that carry their trace, metrics snapshot
+and profile alongside the domain payload.
+
+Quickstart::
+
+    from repro import Session
+
+    session = Session(trace=True)
+    result = session.run_experiment(protocol="illinois", references=500)
+    assert result.ok
+    result.write_trace("out.trace.json")      # open in Perfetto
+
+The pre-facade entry points (``System`` + ``run_trace``,
+``fuzz.campaign.run_campaign``, ``system.runner.Runner``) keep working;
+the deprecated ones warn once and point here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.obs.export import (
+    to_jsonl,
+    validate_chrome_trace,  # noqa: F401  (re-exported convenience)
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer
+from repro.system.stats import SystemReport
+from repro.system.system import BoardSpec, System
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "Session",
+    "ExperimentResult",
+    "VerifyResult",
+    "FuzzResult",
+    "run_experiment",
+    "explore",
+    "fuzz_campaign",
+]
+
+
+def _default_workload(
+    processors: int, references: int, seed: int
+) -> Trace:
+    config = SyntheticConfig(
+        processors=processors, p_shared=0.3, p_write=0.3
+    )
+    return SyntheticWorkload(config, seed=seed).trace(references)
+
+
+def _write_events(
+    events: list, path: Union[str, Path], fmt: str, label: str
+) -> Path:
+    if fmt == "chrome":
+        return write_chrome_trace(path, events, label=label)
+    if fmt == "jsonl":
+        return write_jsonl(path, events)
+    raise ValueError(f"unknown trace format {fmt!r} (chrome or jsonl)")
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One workload run: report + coherence verdict + observability."""
+
+    label: str
+    report: SystemReport
+    #: Final whole-memory coherence sweep (empty means coherent).
+    violations: list
+    #: Whole-system metrics snapshot (``MetricsRegistry.to_dict``).
+    metrics: dict
+    #: Exported structured trace events, or None if tracing was off.
+    trace: Optional[list] = None
+    profile: Optional[Profiler] = None
+    #: The live system, for state inspection after the run.
+    system: Optional[System] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def write_trace(
+        self, path: Union[str, Path], fmt: str = "chrome"
+    ) -> Path:
+        """Export the attached trace (``chrome`` for Perfetto, or
+        ``jsonl``)."""
+        if self.trace is None:
+            raise ValueError(
+                "experiment ran without tracing; pass trace=True"
+            )
+        return _write_events(self.trace, path, fmt, self.label)
+
+    def to_json(self) -> str:
+        return self.report.to_json()
+
+
+@dataclasses.dataclass
+class VerifyResult:
+    """One verification matrix run: per-mix rows + observability."""
+
+    rows: list
+    trace: Optional[list] = None
+    profile: Optional[Profiler] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(row["ok"] for row in self.rows)
+
+    @property
+    def failures(self) -> list:
+        return [row for row in self.rows if not row["ok"]]
+
+
+@dataclasses.dataclass
+class FuzzResult:
+    """One fuzz campaign: the deterministic report + observability."""
+
+    report: object  # repro.fuzz.campaign.CampaignReport
+    trace: Optional[list] = None
+    profile: Optional[Profiler] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def failures(self) -> list:
+        return self.report.failures
+
+
+class Session:
+    """One observability context threaded through every entry point.
+
+    ``trace=True`` attaches a structured :class:`Tracer` (logical time,
+    deterministic); ``profile=True`` a wall-clock :class:`Profiler`.
+    Both default off, preserving the zero-overhead discipline.  Results
+    returned by a session share the session's tracer stream, so one
+    session tracing several runs yields one merged timeline.
+    """
+
+    def __init__(
+        self,
+        label: str = "session",
+        trace: bool = False,
+        profile: bool = False,
+    ) -> None:
+        self.label = label
+        self.tracer: Optional[Tracer] = Tracer(stream=label) if trace else None
+        self.profiler: Optional[Profiler] = Profiler() if profile else None
+
+    # ------------------------------------------------------------------
+    def _snapshot_trace(self) -> Optional[list]:
+        return None if self.tracer is None else self.tracer.export()
+
+    def run_experiment(
+        self,
+        protocol: str = "moesi",
+        protocols: Optional[Sequence[str]] = None,
+        workload: Optional[Trace] = None,
+        processors: int = 4,
+        references: int = 2000,
+        seed: int = 7,
+        timed: bool = False,
+        timing=None,
+        check: bool = True,
+        label: Optional[str] = None,
+        **board_kwargs,
+    ) -> ExperimentResult:
+        """Run one system over one workload and return a typed result.
+
+        ``protocols`` gives each board its own protocol (the paper's
+        mixed-backplane capability); otherwise every board runs
+        ``protocol``.  Without an explicit ``workload`` a synthetic
+        shared-memory trace is generated from ``(processors, seed)``.
+        """
+        if workload is None:
+            workload = _default_workload(processors, references, seed)
+        units = workload.units()
+        names = list(protocols) if protocols else [protocol] * len(units)
+        if len(names) < len(units):
+            raise ValueError(
+                f"{len(units)} workload units but only "
+                f"{len(names)} protocols"
+            )
+        run_label = label or (
+            protocol if not protocols else "+".join(names)
+        )
+        boards = [
+            BoardSpec(unit_id=unit, protocol=name, **board_kwargs)
+            for unit, name in zip(units, names)
+        ]
+        system = System(
+            boards, timing=timing, check=check, label=run_label
+        )
+        if self.tracer is not None:
+            system.attach_tracer(self.tracer)
+
+        def _run() -> SystemReport:
+            if timed:
+                from repro.system.runner import timed_run_from_trace
+
+                return timed_run_from_trace(system, workload).run()
+            system.run_trace(workload)
+            return system.report()
+
+        if self.profiler is not None:
+            with self.profiler.region(
+                "experiment", label=run_label, references=len(workload)
+            ):
+                report = _run()
+        else:
+            report = _run()
+        violations = system.check_coherence()
+        return ExperimentResult(
+            label=run_label,
+            report=report,
+            violations=violations,
+            metrics=report.metrics or {},
+            trace=report.trace,
+            profile=self.profiler,
+            system=system,
+        )
+
+    def explore(self, protocol_specs, label=None, **kwargs):
+        """Exhaustively explore a protocol mix (the model checker); see
+        :func:`repro.verify.explorer.explore`."""
+        from repro.verify.explorer import Explorer
+
+        explorer = Explorer(
+            protocol_specs, label=label, profiler=self.profiler, **kwargs
+        )
+        result = explorer.run()
+        if self.tracer is not None:
+            self.tracer.mark(
+                "explore.result",
+                label=result.label,
+                consistent=result.consistent,
+                states=result.states_explored,
+                transitions=result.transitions_taken,
+            )
+        return result
+
+    def verify(
+        self,
+        cases=None,
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> VerifyResult:
+        """Run the verification matrix (all suites by default)."""
+        from repro.verify.mixes import SUITES, run_matrix
+
+        if cases is None:
+            cases = [
+                case for suite in SUITES.values() for case in suite()
+            ]
+        rows = run_matrix(
+            cases,
+            workers=workers,
+            tracer=self.tracer,
+            profiler=self.profiler,
+            **kwargs,
+        )
+        return VerifyResult(
+            rows=rows,
+            trace=self._snapshot_trace(),
+            profile=self.profiler,
+        )
+
+    def fuzz_campaign(
+        self,
+        config=None,
+        seeds: Optional[int] = None,
+        workers: int = 0,
+        out_dir: Optional[Union[str, Path]] = None,
+    ) -> FuzzResult:
+        """Run a differential fuzz campaign (see :mod:`repro.fuzz`)."""
+        from repro.fuzz.campaign import CampaignConfig, _run_campaign
+
+        if config is None:
+            config = CampaignConfig(
+                **({"seeds": seeds} if seeds is not None else {})
+            )
+        elif seeds is not None:
+            raise ValueError("pass either config or seeds, not both")
+        report = _run_campaign(
+            config,
+            workers=workers,
+            out_dir=out_dir,
+            profiler=self.profiler,
+            tracer=self.tracer,
+        )
+        return FuzzResult(
+            report=report,
+            trace=self._snapshot_trace(),
+            profile=self.profiler,
+        )
+
+    def shootout(
+        self,
+        trace: Optional[Trace] = None,
+        protocols: Optional[Sequence[str]] = None,
+        references: int = 4000,
+        seed: int = 7,
+        timed: bool = True,
+        workers: Optional[int] = None,
+    ) -> list:
+        """The [Arch85]-style protocol comparison, one row per protocol.
+        Traced runs absorb per-protocol streams in protocol order --
+        byte-identical serial vs pooled."""
+        from repro.analysis.compare import (
+            DEFAULT_PROTOCOLS,
+            protocol_comparison,
+        )
+
+        return protocol_comparison(
+            trace=trace,
+            protocols=tuple(protocols) if protocols else DEFAULT_PROTOCOLS,
+            references=references,
+            seed=seed,
+            timed=timed,
+            workers=workers,
+            tracer=self.tracer,
+            profiler=self.profiler,
+        )
+
+    # ------------------------------------------------------------------
+    def write_trace(
+        self, path: Union[str, Path], fmt: str = "chrome"
+    ) -> Path:
+        """Export everything this session's tracer has collected."""
+        if self.tracer is None:
+            raise ValueError("session created without trace=True")
+        return _write_events(self.tracer.export(), path, fmt, self.label)
+
+    def trace_jsonl(self) -> str:
+        """The session's trace as JSON-lines text (byte-stable)."""
+        if self.tracer is None:
+            raise ValueError("session created without trace=True")
+        return to_jsonl(self.tracer.export())
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences (one-shot sessions).
+# ----------------------------------------------------------------------
+def run_experiment(
+    protocol: str = "moesi",
+    trace: bool = False,
+    profile: bool = False,
+    **kwargs,
+) -> ExperimentResult:
+    """One-shot :meth:`Session.run_experiment`."""
+    session = Session(label=protocol, trace=trace, profile=profile)
+    return session.run_experiment(protocol=protocol, **kwargs)
+
+
+def explore(protocol_specs, label=None, **kwargs):
+    """Exhaustively explore a protocol mix; identical to
+    :func:`repro.verify.explorer.explore` (kept on the facade so
+    ``from repro import explore`` keeps meaning the model checker)."""
+    from repro.verify.explorer import explore as _explore
+
+    return _explore(protocol_specs, label=label, **kwargs)
+
+
+def fuzz_campaign(
+    config=None,
+    seeds: Optional[int] = None,
+    workers: int = 0,
+    out_dir: Optional[Union[str, Path]] = None,
+    trace: bool = False,
+    profile: bool = False,
+) -> FuzzResult:
+    """One-shot :meth:`Session.fuzz_campaign`."""
+    session = Session(label="fuzz", trace=trace, profile=profile)
+    return session.fuzz_campaign(
+        config=config, seeds=seeds, workers=workers, out_dir=out_dir
+    )

@@ -127,6 +127,10 @@ class Futurebus:
         self.stats = stats
         #: Optional transaction log: (Transaction, TransactionResult) pairs.
         self.trace = trace
+        #: Optional structured-trace hook, called as ``observer(txn,
+        #: result)`` for every completed transaction --
+        #: :meth:`repro.obs.trace.Tracer.bus_transaction` subscribes here.
+        self.observer = None
         self._agents: dict[str, BusAgent] = {}
         self._serial = 0
         self.busy_ns = 0.0
@@ -218,6 +222,8 @@ class Futurebus:
             self.stats.record_transaction(txn, result)
         if self.trace is not None:
             self.trace.append((txn, result))
+        if self.observer is not None:
+            self.observer(txn, result)
         return result
 
     # ------------------------------------------------------------------

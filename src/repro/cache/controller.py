@@ -26,6 +26,7 @@ Execution of one local event covers all the shapes Table 1 can produce:
 from __future__ import annotations
 
 import dataclasses
+from collections import Counter
 from typing import Optional
 
 from repro.bus.futurebus import BusAgent, Futurebus
@@ -65,6 +66,9 @@ class ControllerStats:
     writes_captured: int = 0
     abort_pushes: int = 0
     bus_transactions: int = 0
+    #: Hits keyed by the MOESI state letter the line was found in -- the
+    #: per-state breakdown section 5.2's analysis needs.
+    hits_by_state: Counter = dataclasses.field(default_factory=Counter)
 
     @property
     def accesses(self) -> int:
@@ -80,7 +84,10 @@ class ControllerStats:
 
     def reset(self) -> None:
         for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+            if field.name == "hits_by_state":
+                self.hits_by_state.clear()
+            else:
+                setattr(self, field.name, 0)
 
 
 @dataclasses.dataclass
@@ -116,6 +123,11 @@ class CacheController(BusAgent):
         #: differential oracle subscribes here to cross-check each observed
         #: transition against the canonical tables.
         self.transition_observer = None
+        #: Optional structured-trace hook with the same signature --
+        #: :meth:`repro.obs.trace.Tracer.transition` subscribes here.  Kept
+        #: separate from :attr:`transition_observer` so tracing a fuzzed
+        #: run never displaces the oracle.
+        self.trace_observer = None
         if bus is not None:
             self.attach_to(bus)
 
@@ -139,6 +151,8 @@ class CacheController(BusAgent):
         action = self.protocol.local_action(state, event, ctx)
         if self.transition_observer is not None:
             self.transition_observer(self.unit_id, "local", state, event, action)
+        if self.trace_observer is not None:
+            self.trace_observer(self.unit_id, "local", state, event, action)
         return action
 
     # ------------------------------------------------------------------
@@ -152,6 +166,7 @@ class CacheController(BusAgent):
         if found is not None:
             set_index, way, line = found
             self.stats.read_hits += 1
+            self.stats.hits_by_state[line.state.letter] += 1
             action = self._choose_local(
                 line.state, LocalEvent.READ, self._next_ctx(line_address)
             )
@@ -174,6 +189,7 @@ class CacheController(BusAgent):
         if found is not None:
             set_index, way, line = found
             self.stats.write_hits += 1
+            self.stats.hits_by_state[line.state.letter] += 1
             action = self._choose_local(
                 line.state, LocalEvent.WRITE, self._next_ctx(line_address)
             )
@@ -378,6 +394,10 @@ class CacheController(BusAgent):
             self.transition_observer(
                 self.unit_id, "snoop", line.state, txn.event, action
             )
+        if self.trace_observer is not None:
+            self.trace_observer(
+                self.unit_id, "snoop", line.state, txn.event, action
+            )
         self._pending = _PendingSnoop(
             serial=txn.serial, line=line, action=action, was_valid=line.valid
         )
@@ -470,8 +490,9 @@ class NonCachingMaster(BusAgent):
         self.protocol = protocol
         self.stats = ControllerStats()
         self.bus: Optional[Futurebus] = None
-        #: Same hook as :attr:`CacheController.transition_observer`.
+        #: Same hooks as on :class:`CacheController`.
         self.transition_observer = None
+        self.trace_observer = None
         if bus is not None:
             self.attach_to(bus)
 
@@ -488,6 +509,10 @@ class NonCachingMaster(BusAgent):
         action = self.protocol.local_action(LineState.INVALID, event, None)
         if self.transition_observer is not None:
             self.transition_observer(
+                self.unit_id, "local", LineState.INVALID, event, action
+            )
+        if self.trace_observer is not None:
+            self.trace_observer(
                 self.unit_id, "local", LineState.INVALID, event, action
             )
         return action

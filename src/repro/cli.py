@@ -13,17 +13,84 @@ Commands
 ``run``         run one protocol over a synthetic workload or a trace file
 ``bench``       serial-vs-parallel performance suite -> BENCH_perf.json
 ``fuzz``        differential fuzzing campaign / replay a repro file
+
+Observability
+-------------
+Every command accepts ``--json`` and prints one machine-readable
+envelope ``{"command", "ok", "data", "metrics"}`` instead of the human
+report.  The simulation commands (``run``, ``verify``, ``shootout``,
+``fuzz``, ``hierarchy``) also accept ``--trace FILE`` -- write the
+structured trace in Chrome trace-event format (open it in Perfetto;
+name the file ``*.jsonl`` for JSON-lines instead) -- and ``--metrics``
+to print the metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
 
 
+# ----------------------------------------------------------------------
+# Shared plumbing: the --json envelope and the observability flags.
+# ----------------------------------------------------------------------
+def _emit(args: argparse.Namespace, command: str, ok: bool, data,
+          metrics: Optional[dict] = None) -> int:
+    """Print the uniform ``--json`` envelope and map ``ok`` to an exit
+    code.  Only called when ``args.json`` is set."""
+    envelope = {
+        "command": command,
+        "ok": bool(ok),
+        "data": data,
+        "metrics": metrics or {},
+    }
+    print(json.dumps(envelope, indent=2, sort_keys=True, default=str))
+    return 0 if ok else 1
+
+
+def _maybe_write_trace(args: argparse.Namespace, session) -> Optional[str]:
+    """Export the session's trace when ``--trace FILE`` was given."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    fmt = "jsonl" if str(path).endswith(".jsonl") else "chrome"
+    return str(session.write_trace(path, fmt=fmt))
+
+
+def _print_metrics(metrics: dict) -> None:
+    if not metrics:
+        print("(no metrics)")
+        return
+    width = max(len(name) for name in metrics)
+    print("metrics:")
+    for name in sorted(metrics):
+        print(f"  {name:<{width}}  {metrics[name]}")
+
+
+def _add_json_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json", action="store_true",
+        help='machine-readable envelope {"command","ok","data","metrics"} '
+             "on stdout instead of the human report")
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="write the structured trace: Chrome trace-event JSON "
+             "(Perfetto), or JSON-lines if FILE ends in .jsonl")
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics snapshot after the run")
+
+
+# ----------------------------------------------------------------------
+# Commands.
+# ----------------------------------------------------------------------
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.analysis.tables import (
         diff_all_tables,
@@ -35,6 +102,23 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.protocols.registry import make_protocol
 
     diffs = diff_all_tables()
+    ok = all(d.matches for d in diffs)
+    if args.json:
+        data = {
+            "diffs": [
+                {
+                    "summary": d.summary(),
+                    "matches": d.matches,
+                    "mismatches": list(d.mismatches),
+                }
+                for d in diffs
+            ]
+        }
+        metrics = {
+            "tables.diffed": len(diffs),
+            "tables.mismatches": sum(len(d.mismatches) for d in diffs),
+        }
+        return _emit(args, "tables", ok, data, metrics)
     for diff in diffs:
         print(diff.summary())
         for mismatch in diff.mismatches:
@@ -55,7 +139,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             print()
             print(render_cells(protocol_cells(protocol, columns),
                                f"Table {number}: {protocol.name}"))
-    return 0 if all(d.matches for d in diffs) else 1
+    return 0 if ok else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -66,12 +150,16 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         figure4_state_pairs,
     )
 
-    for text in (
+    texts = [
         figure1_broadcast_handshake(),
         figure2_parallel_protocol(),
         figure3_characteristics(),
         figure4_state_pairs(),
-    ):
+    ]
+    if args.json:
+        return _emit(args, "figures", True, {"figures": texts},
+                     {"figures.rendered": len(texts)})
+    for text in texts:
         print(text)
         print()
     return 0
@@ -82,8 +170,22 @@ def _cmd_membership(args: argparse.Namespace) -> int:
     from repro.protocols.registry import make_protocol, protocol_names
 
     names = args.protocol or protocol_names()
-    for name in names:
-        report = check_membership(make_protocol(name))
+    reports = [(name, check_membership(make_protocol(name)))
+               for name in names]
+    if args.json:
+        data = {
+            "reports": [
+                {
+                    "protocol": name,
+                    "summary": report.summary(),
+                    "issues": [str(issue) for issue in report.issues],
+                }
+                for name, report in reports
+            ]
+        }
+        return _emit(args, "membership", True, data,
+                     {"membership.checked": len(reports)})
+    for _, report in reports:
         print(report.summary())
         if args.verbose:
             for issue in report.issues:
@@ -93,18 +195,30 @@ def _cmd_membership(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_rows
+    from repro.api import Session
     from repro.verify.mixes import (
         class_member_mixes,
         homogeneous_foreign,
         incompatible_mixes,
         mutant_mixes,
-        run_matrix,
     )
 
     cases = class_member_mixes() + homogeneous_foreign()
     if not args.quick:
         cases += incompatible_mixes() + mutant_mixes()
-    rows = run_matrix(cases, workers=args.workers)
+    session = Session(label="verify", trace=bool(args.trace))
+    result = session.verify(cases=cases, workers=args.workers)
+    rows, bad = result.rows, result.failures
+    metrics = {
+        "verify.cases": len(rows),
+        "verify.failures": len(bad),
+        "verify.states": sum(r["states"] for r in rows),
+        "verify.transitions": sum(r["transitions"] for r in rows),
+    }
+    trace_path = _maybe_write_trace(args, session)
+    if args.json:
+        return _emit(args, "verify", result.ok,
+                     {"rows": rows, "trace_path": trace_path}, metrics)
     print(
         format_rows(
             rows,
@@ -113,19 +227,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                      "transitions"],
         )
     )
-    bad = [r for r in rows if not r["ok"]]
     print(f"\n{len(rows) - len(bad)}/{len(rows)} cases as expected")
+    if trace_path:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        _print_metrics(metrics)
     return 0 if not bad else 1
 
 
 def _cmd_shootout(args: argparse.Namespace) -> int:
-    from repro.analysis.compare import protocol_comparison
     from repro.analysis.report import format_rows
+    from repro.api import Session
 
-    rows = protocol_comparison(
+    session = Session(label="shootout", trace=bool(args.trace))
+    rows = session.shootout(
         references=args.references, seed=args.seed, workers=args.workers
     )
+    metrics = {
+        "shootout.protocols": len(rows),
+        "shootout.references": args.references,
+    }
+    trace_path = _maybe_write_trace(args, session)
+    if args.json:
+        return _emit(args, "shootout", True,
+                     {"rows": rows, "trace_path": trace_path}, metrics)
     print(format_rows(rows, "Protocol comparison (timed Futurebus run)"))
+    if trace_path:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        _print_metrics(metrics)
     return 0
 
 
@@ -134,6 +264,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_bench_suite, write_bench_json
 
     report = run_bench_suite(workers=args.workers, quick=args.quick)
+    ok = (report["matrix"]["rows_identical"]
+          and report["des"]["rows_identical"])
+    if args.json:
+        return _emit(args, "bench", ok, report,
+                     {"bench.workers": report["workers"]})
     print(
         format_rows(
             report["explorer"],
@@ -160,9 +295,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{report['cpu_count']} cpus)",
         )
     )
+    obs = report["obs"]
+    print(f"\nobservability tax ({obs['references']} refs, best of "
+          f"{obs['repeats']}): disabled {obs['overhead_disabled_pct']:+.2f}%,"
+          f" traced {obs['overhead_traced_pct']:+.2f}% vs direct")
     path = write_bench_json(report, args.out)
     print(f"\nwrote {path}")
-    ok = report["matrix"]["rows_identical"] and report["des"]["rows_identical"]
     return 0 if ok else 1
 
 
@@ -172,6 +310,12 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
     from repro.hierarchy import HierarchicalSystem
 
     h = HierarchicalSystem.grid(args.clusters, args.cpus)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer, attach_tracer
+
+        tracer = Tracer(stream="hierarchy")
+        attach_tracer(h, tracer)
     rng = random.Random(args.seed)
     units = list(h.controllers)
     for _ in range(args.references):
@@ -183,12 +327,39 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
             h.read(unit, address)
     violations = h.check_coherence()
     traffic = h.traffic()
+    metrics = {f"hierarchy.{name}": value
+               for name, value in sorted(traffic.items())}
+    metrics["hierarchy.violations"] = len(violations)
+    trace_path = None
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace, write_jsonl
+
+        if str(args.trace).endswith(".jsonl"):
+            trace_path = str(write_jsonl(args.trace, tracer.export()))
+        else:
+            trace_path = str(write_chrome_trace(
+                args.trace, tracer.export(), label="hierarchy"))
+    ok = not violations
+    if args.json:
+        data = {
+            "clusters": args.clusters,
+            "cpus": args.cpus,
+            "references": args.references,
+            "violations": len(violations),
+            "traffic": traffic,
+            "trace_path": trace_path,
+        }
+        return _emit(args, "hierarchy", ok, data, metrics)
     print(f"{args.clusters} clusters x {args.cpus} cpus, "
           f"{args.references} checked references")
     print(f"violations: {len(violations)}")
     print(f"global transactions: {traffic['global_transactions']}")
     print(f"local transactions:  {traffic['local_transactions']}")
-    return 0 if not violations else 1
+    if trace_path:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        _print_metrics(metrics)
+    return 0 if ok else 1
 
 
 def _cmd_diagram(args: argparse.Namespace) -> int:
@@ -196,10 +367,15 @@ def _cmd_diagram(args: argparse.Namespace) -> int:
     from repro.protocols.registry import make_protocol
 
     protocol = make_protocol(args.protocol)
-    if args.dot:
-        print(to_dot(protocol))
-    else:
-        print(render_adjacency(protocol))
+    text = to_dot(protocol) if args.dot else render_adjacency(protocol)
+    if args.json:
+        data = {
+            "protocol": args.protocol,
+            "format": "dot" if args.dot else "text",
+            "text": text,
+        }
+        return _emit(args, "diagram", True, data)
+    print(text)
     return 0
 
 
@@ -220,54 +396,89 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
                      "Associativity vs sets at fixed capacity"),
     }
     fn, title = sweeps[args.sweep]
-    print(format_rows(fn(references=args.references), title))
+    rows = fn(references=args.references)
+    if args.json:
+        return _emit(args, "ablation", True,
+                     {"sweep": args.sweep, "rows": rows},
+                     {"ablation.rows": len(rows)})
+    print(format_rows(rows, title))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.analysis.compare import run_protocol_on_trace
     from repro.analysis.report import format_rows
+    from repro.api import Session
     from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
     from repro.workloads.trace import Trace
 
-    if args.trace:
-        trace = Trace.load(args.trace)
+    protocol = args.protocol_opt or args.protocol or "moesi"
+    if args.workload:
+        workload = Trace.load(args.workload)
     else:
         config = SyntheticConfig(
             processors=args.processors,
             p_shared=args.p_shared,
             p_write=args.p_write,
         )
-        trace = SyntheticWorkload(config, seed=args.seed).trace(
+        workload = SyntheticWorkload(config, seed=args.seed).trace(
             args.references
         )
-    report = run_protocol_on_trace(
-        args.protocol, trace, timed=not args.atomic, check=args.check
+    session = Session(label=protocol, trace=bool(args.trace))
+    result = session.run_experiment(
+        protocol=protocol,
+        workload=workload,
+        timed=not args.atomic,
+        check=args.check,
     )
-    print(format_rows([report.row()], f"{args.protocol} over "
-                                      f"{len(trace)} references"))
-    return 0
+    trace_path = _maybe_write_trace(args, session)
+    if args.json:
+        data = {
+            "row": result.report.row(),
+            "violations": len(result.violations),
+            "trace_path": trace_path,
+        }
+        return _emit(args, "run", result.ok, data, result.metrics)
+    print(format_rows([result.report.row()],
+                      f"{protocol} over {len(workload)} references"))
+    if result.violations:
+        print(f"\ncoherence violations: {len(result.violations)}")
+    if trace_path:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        _print_metrics(result.metrics)
+    return 0 if result.ok else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     import dataclasses
 
+    from repro.api import Session
     from repro.fuzz import (
         INJECTABLE_BUGS,
         CampaignConfig,
         ScenarioConfig,
         load_repro,
-        run_campaign,
         run_scenario,
     )
 
     if args.replay:
         scenario, recorded, note = load_repro(args.replay)
+        result = run_scenario(scenario)
+        reproduced = result.failure is not None
+        if args.json:
+            data = {
+                "replay": args.replay,
+                "scenario": scenario.label,
+                "note": note,
+                "reproduced": reproduced,
+                "failure": str(result.failure) if reproduced else None,
+                "recorded": str(recorded) if recorded is not None else None,
+            }
+            return _emit(args, "fuzz", not reproduced, data)
         print(f"replaying {args.replay}: {scenario.label}")
         if note:
             print(f"  note: {note}")
-        result = run_scenario(scenario)
-        if result.failure is None:
+        if not reproduced:
             print("  scenario PASSED (the recorded failure did not "
                   "reproduce)")
             if recorded is not None:
@@ -291,14 +502,27 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         scenario=scenario_config,
         shrink=not args.no_shrink,
     )
-    report = run_campaign(config, workers=args.workers, out_dir=args.out)
-    print(report.summary_text(), end="")
+    session = Session(label="fuzz", trace=bool(args.trace))
+    result = session.fuzz_campaign(
+        config=config, workers=args.workers, out_dir=args.out
+    )
+    report = result.report
+    metrics = {
+        "fuzz.seeds_run": report.seeds_run,
+        "fuzz.steps_run": report.steps_run,
+        "fuzz.transitions_checked": report.transitions_checked,
+        "fuzz.failures": len(report.failures),
+    }
+    trace_path = _maybe_write_trace(args, session)
     if args.json:
-        from pathlib import Path
-
-        Path(args.json).write_text(report.summary_json())
-        print(f"wrote {args.json}")
-    return 0 if report.ok else 1
+        data = dict(report.to_dict(), trace_path=trace_path)
+        return _emit(args, "fuzz", result.ok, data, metrics)
+    print(report.summary_text(), end="")
+    if trace_path:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        _print_metrics(metrics)
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,14 +536,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="regenerate + diff Tables 1-7")
     p.add_argument("--render", action="store_true",
                    help="print the full tables, not just the diffs")
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_tables)
 
     p = sub.add_parser("figures", help="regenerate Figures 1-4")
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("membership", help="classify protocols vs the class")
     p.add_argument("protocol", nargs="*", help="registry names (default all)")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_membership)
 
     p = sub.add_parser("verify", help="run the model-checking matrix")
@@ -327,6 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="positive cases only")
     p.add_argument("--workers", type=int, default=None,
                    help="fan cases out across N worker processes")
+    _add_obs_args(p)
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("shootout", help="protocol performance comparison")
@@ -334,6 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=None,
                    help="fan protocols out across N worker processes")
+    _add_obs_args(p)
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_shootout)
 
     p = sub.add_parser("hierarchy", help="multi-bus demonstration")
@@ -342,21 +573,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--references", type=int, default=2000)
     p.add_argument("--lines", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p)
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_hierarchy)
 
     p = sub.add_parser("diagram", help="emit a protocol state diagram")
     p.add_argument("protocol", help="registry name")
     p.add_argument("--dot", action="store_true", help="Graphviz DOT output")
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_diagram)
 
     p = sub.add_parser("ablation", help="design-choice sweeps")
     p.add_argument("sweep", choices=["line-size", "replacement", "geometry"])
     p.add_argument("--references", type=int, default=4000)
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser("run", help="run one protocol over a workload")
-    p.add_argument("protocol", help="registry name, e.g. moesi, berkeley")
-    p.add_argument("--trace", help="trace file (unit R/W addr per line)")
+    p.add_argument("protocol", nargs="?", default=None,
+                   help="registry name, e.g. moesi, berkeley "
+                        "(default moesi)")
+    p.add_argument("--protocol", dest="protocol_opt", metavar="NAME",
+                   help="registry name (same as the positional)")
+    p.add_argument("--workload", metavar="FILE",
+                   help="trace file (unit R/W addr per line) instead of "
+                        "the synthetic workload")
     p.add_argument("--references", type=int, default=4000)
     p.add_argument("--processors", type=int, default=4)
     p.add_argument("--p-shared", type=float, default=0.3)
@@ -366,6 +607,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="atomic trace-order run instead of timed")
     p.add_argument("--check", action="store_true",
                    help="runtime coherence checking on")
+    _add_obs_args(p)
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
@@ -378,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small bounds (smoke-test sized)")
     p.add_argument("--out", default="BENCH_perf.json",
                    help="where to write the machine-readable report")
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -397,11 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "(fuzzer self-test)")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip counterexample minimisation")
-    p.add_argument("--json", metavar="FILE",
-                   help="also write the machine-readable campaign summary")
     p.add_argument("--replay", metavar="FILE",
                    help="re-execute a repro file verbatim instead of "
                    "running a campaign")
+    _add_obs_args(p)
+    _add_json_arg(p)
     p.set_defaults(func=_cmd_fuzz)
 
     return parser

@@ -1,0 +1,32 @@
+"""Warn-once deprecation shims for pre-``repro.api`` entry points.
+
+Old call sites keep working; the first direct use of a deprecated entry
+point per process emits one :class:`DeprecationWarning` naming its
+``repro.api`` replacement, and subsequent uses stay silent (a long fuzz
+campaign should not print the same warning two hundred times).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated", "reset_deprecation_warnings"]
+
+_warned: set[str] = set()
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit one DeprecationWarning per process for ``old``."""
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget what has warned (tests only)."""
+    _warned.clear()

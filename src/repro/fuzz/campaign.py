@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.deprecation import warn_deprecated
 from repro.fuzz.replay import write_repro
 from repro.fuzz.runner import StepFailure, run_scenario
 from repro.fuzz.scenario import Scenario, ScenarioConfig, generate_scenario
@@ -134,12 +135,19 @@ def _run_one(task: tuple) -> dict:
     }
 
 
-def run_campaign(
+def _run_campaign(
     config: Optional[CampaignConfig] = None,
     workers: int = 0,
     out_dir: Optional[Union[str, Path]] = None,
+    profiler=None,
+    tracer=None,
 ) -> CampaignReport:
-    """Run a campaign; ``workers=0`` means serial (same report either way)."""
+    """The campaign engine behind :func:`repro.api.fuzz_campaign`.
+
+    ``workers=0`` means serial (same report either way).  A
+    :class:`repro.obs.profile.Profiler` times the execute/shrink stages;
+    a :class:`repro.obs.trace.Tracer` gets stage and per-failure marks.
+    """
     config = config or CampaignConfig()
     scenario_dict = config.scenario.to_dict()
     tasks = [
@@ -150,7 +158,15 @@ def run_campaign(
         workers=workers if workers > 0 else 1,
         mode="serial" if workers <= 1 else "auto",
     )
-    digests = parallel_map(_run_one, tasks, pool)
+    if tracer is not None:
+        tracer.mark(
+            "fuzz.start", seeds=config.seeds, seed_base=config.seed_base
+        )
+    if profiler is not None:
+        with profiler.region("fuzz.execute", seeds=len(tasks)):
+            digests = parallel_map(_run_one, tasks, pool)
+    else:
+        digests = parallel_map(_run_one, tasks, pool)
 
     failures: list[CampaignFailure] = []
     steps_run = 0
@@ -163,16 +179,24 @@ def run_campaign(
         seed = digest["seed"]
         failure = StepFailure.from_dict(digest["failure"])
         scenario = generate_scenario(seed, config.scenario)
-        if config.shrink:
-            minimal, final = shrink_scenario(scenario)
+        if profiler is not None:
+            with profiler.region("fuzz.shrink", seed=seed):
+                minimal, final = _shrink_stage(config, scenario)
         else:
-            minimal, final = scenario, run_scenario(scenario)
+            minimal, final = _shrink_stage(config, scenario)
         item = CampaignFailure(
             seed=seed,
             failure=failure,
             scenario=minimal,
             shrunk_failure=final.failure,
         )
+        if tracer is not None:
+            tracer.mark(
+                "fuzz.failure",
+                seed=seed,
+                oracle=failure.oracle,
+                events=len(minimal.events),
+            )
         if out_dir is not None:
             path = Path(out_dir) / f"repro_seed{seed}.json"
             write_repro(
@@ -185,6 +209,13 @@ def run_campaign(
             item.repro_path = str(path)
         failures.append(item)
 
+    if tracer is not None:
+        tracer.mark(
+            "fuzz.done",
+            seeds_run=len(digests),
+            steps_run=steps_run,
+            failures=len(failures),
+        )
     return CampaignReport(
         config=config,
         seeds_run=len(digests),
@@ -192,3 +223,23 @@ def run_campaign(
         transitions_checked=transitions_checked,
         failures=failures,
     )
+
+
+def _shrink_stage(config: CampaignConfig, scenario: Scenario):
+    if config.shrink:
+        return shrink_scenario(scenario)
+    return scenario, run_scenario(scenario)
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    workers: int = 0,
+    out_dir: Optional[Union[str, Path]] = None,
+) -> CampaignReport:
+    """Deprecated direct entry point; use :func:`repro.api.fuzz_campaign`.
+
+    Delegates unchanged (and warns once per process)."""
+    warn_deprecated(
+        "repro.fuzz.campaign.run_campaign", "repro.api.fuzz_campaign"
+    )
+    return _run_campaign(config, workers=workers, out_dir=out_dir)

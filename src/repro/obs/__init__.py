@@ -1,0 +1,63 @@
+"""Observability (the ``repro.obs`` subsystem): tracing, metrics,
+profiling, exporters.
+
+The paper's central claim is behavioural -- any mix of boards picking any
+permitted action preserves consistency (section 3.3, Tables 1-2) -- so
+*why* a run behaved as it did (which signal lines asserted, which table
+cell fired, who intervened with DI) is exactly what this layer makes
+visible:
+
+* :mod:`repro.obs.trace` -- the structured trace bus: typed bus/
+  transition/DES/mark events with deterministic logical timestamps;
+* :mod:`repro.obs.metrics` -- the counters/histograms registry the
+  statistics layer sits on;
+* :mod:`repro.obs.export` -- JSON-lines and Chrome-trace (Perfetto)
+  exporters, the analyzer table and the signal-line waveform renderer;
+* :mod:`repro.obs.profile` -- wall-clock profiling of the toolkit's own
+  machinery (explorer frontier, fuzz stages, pool fan-outs), kept out of
+  the deterministic trace stream.
+
+Everything is zero-overhead when off: producers guard each emission with
+a single ``tracer is None`` test.
+"""
+
+from repro.obs.export import (
+    bus_rows,
+    format_trace,
+    render_waveforms,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Accumulator,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    system_metrics,
+)
+from repro.obs.profile import Profiler, ProfileRecord
+from repro.obs.trace import TraceEvent, Tracer, attach_tracer
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "attach_tracer",
+    "Counter",
+    "Accumulator",
+    "Histogram",
+    "MetricsRegistry",
+    "system_metrics",
+    "Profiler",
+    "ProfileRecord",
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "bus_rows",
+    "format_trace",
+    "render_waveforms",
+]

@@ -1,0 +1,267 @@
+"""Trace exporters: JSON-lines, Chrome trace-event format, text waveforms.
+
+Three consumers of one event stream:
+
+* :func:`to_jsonl` -- one JSON object per line, sorted keys, trailing
+  newline; byte-stable so CI can diff serial vs parallel captures;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  trace-event format (the ``traceEvents`` JSON object) viewable in
+  Perfetto or ``chrome://tracing``: bus transactions as duration slices
+  per master, protocol transitions and DES activity as instant events;
+* :func:`bus_rows` / :func:`format_trace` / :func:`render_waveforms` --
+  the text renderers: a bus-analyzer table (shared with
+  :mod:`repro.analysis.tracelog`) and a per-signal-line waveform of the
+  CA/IM/BC master signals and CH/DI/SL/BS wired-OR responses, the view
+  :mod:`examples/futurebus_waveforms.py` prints.
+
+:func:`validate_chrome_trace` is the schema check the CI job runs on
+emitted files; it is hand-rolled so the toolkit stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "bus_rows",
+    "format_trace",
+    "render_waveforms",
+]
+
+
+EventLike = Union[TraceEvent, dict]
+
+
+def _as_dicts(events: Iterable[EventLike]) -> list[dict]:
+    return [
+        event.to_dict() if isinstance(event, TraceEvent) else event
+        for event in events
+    ]
+
+
+# ----------------------------------------------------------------------
+# JSON-lines.
+# ----------------------------------------------------------------------
+def to_jsonl(events: Iterable[EventLike]) -> str:
+    """One sorted-keys JSON object per line (byte-stable)."""
+    lines = [
+        json.dumps(data, sort_keys=True, separators=(",", ":"))
+        for data in _as_dicts(events)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: Union[str, Path], events: Iterable[EventLike]) -> Path:
+    path = Path(path)
+    path.write_text(to_jsonl(events), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format.
+# ----------------------------------------------------------------------
+def _pid_map(events: list[dict]) -> dict[str, int]:
+    pids: dict[str, int] = {}
+    for data in events:
+        stream = data.get("stream", "run")
+        if stream not in pids:
+            pids[stream] = len(pids) + 1
+    return pids
+
+
+def to_chrome_trace(
+    events: Iterable[EventLike], label: str = "repro"
+) -> dict:
+    """Render the stream as a Chrome trace-event JSON object.
+
+    Streams become processes, units become threads; ``bus`` events are
+    complete slices (``ph: "X"``) whose duration is the transaction's bus
+    occupancy, everything else is an instant event (``ph: "i"``).  Logical
+    nanoseconds map to trace microseconds.
+    """
+    events = _as_dicts(events)
+    pids = _pid_map(events)
+    trace_events: list[dict] = []
+    for stream, pid in pids.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"{label}:{stream}"},
+            }
+        )
+    for data in events:
+        pid = pids[data.get("stream", "run")]
+        tid = data.get("unit") or "-"
+        ts = data["t_ns"] / 1000.0
+        kind = data["kind"]
+        record = {
+            "ph": "i",
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "name": f"{kind}:{data['name']}",
+            "cat": kind,
+            "s": "t",
+            "args": dict(sorted(data.get("args", {}).items())),
+        }
+        if kind == "bus":
+            record["ph"] = "X"
+            record.pop("s")
+            record["dur"] = data["args"].get("duration_ns", 0.0) / 1000.0
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"tool": "repro.obs", "label": label},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Iterable[EventLike],
+    label: str = "repro",
+) -> Path:
+    """Write the Chrome-trace JSON (deterministic bytes) to ``path``."""
+    path = Path(path)
+    payload = to_chrome_trace(events, label=label)
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+_PHASES = {"X", "i", "M", "B", "E", "C"}
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Schema-check a Chrome-trace object; returns a list of problems
+    (empty when valid).  This is the check the CI trace job runs."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["traceEvents missing or not a list"]
+    for index, record in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = record.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+        if not isinstance(record.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if "pid" not in record or "tid" not in record:
+            problems.append(f"{where}: missing pid/tid")
+        if phase in ("X", "i"):
+            ts = record.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where}: missing ts")
+        if phase == "X" and not isinstance(
+            record.get("dur"), (int, float)
+        ):
+            problems.append(f"{where}: X event without dur")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Text renderers.
+# ----------------------------------------------------------------------
+def bus_rows(events: Iterable[EventLike]) -> list[dict]:
+    """Analyzer-style rows for the ``bus`` events of a stream (the shape
+    :func:`repro.analysis.tracelog.trace_rows` has always printed)."""
+    rows = []
+    for data in _as_dicts(events):
+        if data["kind"] != "bus":
+            continue
+        args = data["args"]
+        master_signals = ",".join(
+            name if args[name] else "~" + name
+            for name in ("CA", "IM", "BC")
+        )
+        responses = ",".join(
+            name for name in ("CH", "DI", "SL", "BS") if args[name]
+        )
+        rows.append(
+            {
+                "#": args["serial"],
+                "master": data["unit"],
+                "signals": master_signals,
+                "col": args["column"],
+                "op": args["op"],
+                "line": f"0x{args['address']:x}",
+                "responses": responses or "-",
+                "supplier": args["supplier"] or "-",
+                "connectors": ",".join(args["connectors"]) or "-",
+                "retries": args["retries"],
+                "ns": round(args["duration_ns"]),
+            }
+        )
+    return rows
+
+
+def format_trace(
+    events: Iterable[EventLike], title: Optional[str] = None
+) -> str:
+    """One analyzer-style line per bus transaction."""
+    from repro.analysis.report import format_rows
+
+    return format_rows(bus_rows(events), title or "Bus transaction trace")
+
+
+_SIGNALS = ("CA", "IM", "BC", "CH", "DI", "SL", "BS")
+
+
+def render_waveforms(
+    events: Iterable[EventLike], title: Optional[str] = None
+) -> str:
+    """A per-signal-line text waveform of the consistency lines.
+
+    One column per bus transaction; ``#`` marks an asserted line
+    (driven low on the physical open-collector bus), ``.`` a released
+    one -- the view a logic analyzer on the backplane would show.
+    """
+    columns = []
+    for data in _as_dicts(events):
+        if data["kind"] != "bus":
+            continue
+        args = data["args"]
+        columns.append(
+            {
+                "serial": args["serial"],
+                "master": data["unit"] or "?",
+                **{name: bool(args[name]) for name in _SIGNALS},
+            }
+        )
+    lines = [title or "Consistency-line waveform"]
+    if not columns:
+        lines.append("(no bus transactions)")
+        return "\n".join(lines)
+    width = max(3, *(len(str(c["serial"])) for c in columns))
+    header = "txn  " + " ".join(
+        str(c["serial"]).rjust(width) for c in columns
+    )
+    lines.append(header)
+    for name in _SIGNALS:
+        marks = " ".join(
+            ("#" if c[name] else ".").rjust(width) for c in columns
+        )
+        bar = "|" if name == "CH" else " "
+        lines.append(f"{name:<3}{bar} {marks}")
+    masters = " ".join(c["master"][-width:].rjust(width) for c in columns)
+    lines.append(f"by   {masters}")
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""The metrics registry: counters, accumulators and histograms.
+
+The registry is the single sink the statistics layer sits on
+(:class:`repro.system.stats.BusStats` keeps its counters here), mirroring
+what the paper's performance discussion (section 5.2) needs measured --
+hits by state, interventions, invalidations vs broadcast updates, bus
+occupancy, copy-back traffic -- and what "Hybrid Update/Invalidate
+Schemes" (PAPERS.md) uses for per-line policy analysis.
+
+Design constraints:
+
+* **cheap when idle** -- a metric is a plain attribute update, no locks,
+  no string formatting on the hot path;
+* **deterministic** -- snapshots render with sorted keys, so two runs of
+  the same workload serialize identically;
+* **mergeable** -- :meth:`MetricsRegistry.merge` folds worker snapshots
+  into a parent registry in input order (the parallel sweeps use this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Accumulator",
+    "Histogram",
+    "MetricsRegistry",
+    "system_metrics",
+]
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclasses.dataclass
+class Accumulator:
+    """A float total (bus occupancy in ns, elapsed time, ...)."""
+
+    name: str
+    total: float = 0.0
+
+    def add(self, amount: float) -> None:
+        self.total += amount
+
+    def reset(self) -> None:
+        self.total = 0.0
+
+
+@dataclasses.dataclass
+class Histogram:
+    """Count/sum/min/max summary of an observed distribution.
+
+    Full bucketing is overkill for the toolkit's metrics; the summary is
+    enough for the report tables and stays O(1) per observation.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics, addressable by dotted name.
+
+    Metric objects are created on first use and cached, so call sites can
+    hold direct references (one attribute update per event) while the
+    registry still enumerates everything for snapshots.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._counters: dict[str, Counter] = {}
+        self._accumulators: dict[str, Accumulator] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(self._qualify(name))
+        return metric
+
+    def accumulator(self, name: str) -> Accumulator:
+        metric = self._accumulators.get(name)
+        if metric is None:
+            metric = self._accumulators[name] = Accumulator(
+                self._qualify(name)
+            )
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(self._qualify(name))
+        return metric
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for group in (self._counters, self._accumulators, self._histograms):
+            for metric in group.values():
+                metric.reset()
+
+    def to_dict(self) -> dict:
+        """Deterministic snapshot: sorted dotted names -> plain values."""
+        snapshot: dict[str, object] = {}
+        for name, counter in self._counters.items():
+            snapshot[self._qualify(name)] = counter.value
+        for name, accumulator in self._accumulators.items():
+            snapshot[self._qualify(name)] = round(accumulator.total, 6)
+        for name, histogram in self._histograms.items():
+            snapshot[self._qualify(name)] = histogram.to_dict()
+        return dict(sorted(snapshot.items()))
+
+    def load_dict(self, snapshot: dict) -> None:
+        """Restore counters/accumulators from a :meth:`to_dict` snapshot
+        (histograms restore their summary fields)."""
+        strip = len(self.prefix) + 1 if self.prefix else 0
+        for qualified, value in snapshot.items():
+            name = qualified[strip:] if strip else qualified
+            if isinstance(value, dict):
+                histogram = self.histogram(name)
+                histogram.count = value.get("count", 0)
+                histogram.total = value.get("total", 0.0)
+                histogram.min = value.get("min")
+                histogram.max = value.get("max")
+            elif isinstance(value, float):
+                self.accumulator(name).total = value
+            else:
+                self.counter(name).value = int(value)
+
+    def merge(self, snapshots: Iterable[dict]) -> None:
+        """Fold worker snapshots in (adding counters and accumulators,
+        merging histogram summaries), in input order."""
+        strip = len(self.prefix) + 1 if self.prefix else 0
+        for snapshot in snapshots:
+            for qualified, value in snapshot.items():
+                name = qualified[strip:] if strip else qualified
+                if isinstance(value, dict):
+                    histogram = self.histogram(name)
+                    histogram.count += value.get("count", 0)
+                    histogram.total += value.get("total", 0.0)
+                    for bound, pick in (("min", min), ("max", max)):
+                        incoming = value.get(bound)
+                        if incoming is None:
+                            continue
+                        current = getattr(histogram, bound)
+                        setattr(
+                            histogram,
+                            bound,
+                            incoming if current is None
+                            else pick(current, incoming),
+                        )
+                elif isinstance(value, float):
+                    self.accumulator(name).add(value)
+                else:
+                    self.counter(name).inc(int(value))
+
+
+def system_metrics(system) -> MetricsRegistry:
+    """Build the whole-system registry the paper's section 5.2 analysis
+    needs, from a :class:`repro.system.system.System` (or any object with
+    ``controllers`` and ``bus_stats``).
+
+    Includes the update-vs-invalidate counters ("Hybrid Update/Invalidate
+    Schemes"), intervention and copy-back traffic, per-state hit counts,
+    and bus occupancy.
+    """
+    from repro.cache.controller import CacheController
+
+    registry = MetricsRegistry()
+    bus = getattr(system, "bus_stats", None)
+    if bus is not None:
+        registry.merge([bus.to_dict()])
+    hits_by_state: dict[str, int] = {}
+    totals = {
+        "cache.accesses": 0,
+        "cache.hits": 0,
+        "cache.read_misses": 0,
+        "cache.write_misses": 0,
+        "cache.write_backs": 0,
+        "cache.evictions": 0,
+        "cache.invalidations_received": 0,
+        "cache.updates_received": 0,
+        "cache.interventions_supplied": 0,
+        "cache.abort_pushes": 0,
+    }
+    for board in system.controllers.values():
+        stats = board.stats
+        totals["cache.accesses"] += stats.accesses
+        totals["cache.read_misses"] += stats.read_misses
+        totals["cache.write_misses"] += stats.write_misses
+        if not isinstance(board, CacheController):
+            continue
+        totals["cache.hits"] += stats.hits
+        totals["cache.write_backs"] += stats.write_backs
+        totals["cache.evictions"] += stats.evictions
+        totals["cache.invalidations_received"] += stats.invalidations_received
+        totals["cache.updates_received"] += stats.updates_received
+        totals["cache.interventions_supplied"] += stats.interventions_supplied
+        totals["cache.abort_pushes"] += stats.abort_pushes
+        for letter, count in stats.hits_by_state.items():
+            hits_by_state[letter] = hits_by_state.get(letter, 0) + count
+    for name, value in totals.items():
+        registry.counter(name).value = value
+    for letter in sorted(hits_by_state):
+        registry.counter(f"cache.hits_in_state.{letter}").value = (
+            hits_by_state[letter]
+        )
+    return registry

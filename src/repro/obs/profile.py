@@ -1,0 +1,114 @@
+"""Wall-clock profiling hooks for the toolkit's own machinery.
+
+Where :mod:`repro.obs.trace` is deterministic by construction (logical
+time only), profiling is inherently wall-clock: how long the explorer
+spent expanding its frontier, what each fuzz-campaign stage cost, how a
+``parallel_map`` fan-out amortized.  The two concerns are deliberately
+separate streams so profile jitter never perturbs trace equivalence
+checks.
+
+Producers take an optional :class:`Profiler` and guard with one ``None``
+test, the same zero-overhead-when-off discipline as tracing.  Worker
+processes return records as dicts; :meth:`Profiler.merge_child` folds
+them back in input order, so the *set and order* of profile records is
+deterministic even though the timings are not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+from typing import Iterable, Optional
+
+__all__ = ["ProfileRecord", "Profiler"]
+
+
+@dataclasses.dataclass
+class ProfileRecord:
+    """One timed region: name, wall seconds, structured metadata."""
+
+    name: str
+    wall_s: float
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_s": round(self.wall_s, 6),
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileRecord":
+        return cls(
+            name=data["name"],
+            wall_s=data["wall_s"],
+            meta=dict(data.get("meta", {})),
+        )
+
+
+class Profiler:
+    """Collects :class:`ProfileRecord` entries in emission order."""
+
+    def __init__(self) -> None:
+        self.records: list[ProfileRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @contextmanager
+    def region(self, name: str, **meta):
+        """Time a ``with`` block; ``meta`` may be extended inside the
+        block through the yielded dict."""
+        start = time.perf_counter()
+        record_meta = dict(meta)
+        try:
+            yield record_meta
+        finally:
+            self.records.append(
+                ProfileRecord(
+                    name=name,
+                    wall_s=time.perf_counter() - start,
+                    meta=record_meta,
+                )
+            )
+
+    def add(self, name: str, wall_s: float, **meta) -> None:
+        self.records.append(ProfileRecord(name, wall_s, dict(meta)))
+
+    def merge_child(
+        self, records: Iterable[dict], prefix: Optional[str] = None
+    ) -> None:
+        """Fold a worker's exported records in, in input order."""
+        for data in records:
+            record = ProfileRecord.from_dict(data)
+            if prefix:
+                record.name = f"{prefix}.{record.name}"
+            self.records.append(record)
+
+    def export(self) -> list[dict]:
+        return [record.to_dict() for record in self.records]
+
+    def total_s(self, name: Optional[str] = None) -> float:
+        return sum(
+            r.wall_s for r in self.records if name is None or r.name == name
+        )
+
+    def summary_rows(self) -> list[dict]:
+        """Aggregated per-name rows for the report printer."""
+        order: list[str] = []
+        grouped: dict[str, list[ProfileRecord]] = {}
+        for record in self.records:
+            if record.name not in grouped:
+                grouped[record.name] = []
+                order.append(record.name)
+            grouped[record.name].append(record)
+        return [
+            {
+                "region": name,
+                "calls": len(grouped[name]),
+                "wall_s": round(sum(r.wall_s for r in grouped[name]), 4),
+            }
+            for name in order
+        ]

@@ -1,0 +1,236 @@
+"""The structured trace bus: typed events from bus, caches and the DES.
+
+Every observable the toolkit produces flows through one :class:`Tracer`
+as a :class:`TraceEvent`:
+
+* ``bus`` -- one completed Futurebus transaction, carrying the master's
+  CA/IM/BC signals and the wired-OR CH/DI/SL/BS responses, the paper's
+  bus-event column, supplier, connectors, retries and duration;
+* ``transition`` -- one protocol decision on one board: the
+  (state, event, action) table cell that fired, tagged ``local``
+  (Table 1) or ``snoop`` (Table 2);
+* ``des`` -- discrete-event simulator activity (schedule/fire/retire of
+  processor references) with simulated timestamps;
+* ``mark`` -- named waypoints (a verification case finishing, a fuzz
+  campaign stage) with structured arguments.
+
+Determinism is load-bearing: events carry *logical* time (simulated or
+bus-occupancy nanoseconds) and a sequence number -- never wall-clock --
+so a traced run is a pure function of its inputs and a parallel run's
+merged stream is byte-identical to the serial one.  Wall-clock profiling
+lives in :mod:`repro.obs.profile`, deliberately outside this stream.
+
+Zero overhead when off: producers hold ``tracer = None`` and guard every
+emission with one attribute test; nothing is formatted, allocated or
+dispatched unless a tracer is attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+__all__ = ["TraceEvent", "Tracer", "attach_tracer", "bus_event_args"]
+
+
+def bus_event_args(txn, result) -> dict:
+    """The structured payload for one completed Futurebus transaction.
+
+    Shared by :meth:`Tracer.bus_transaction` and the legacy bus-log
+    adapter in :mod:`repro.analysis.tracelog`, so a raw
+    ``(Transaction, TransactionResult)`` capture and a traced run
+    describe the same transaction with the same fields.
+    """
+    from repro.core.actions import BusOp
+
+    signals = txn.signals
+    aggregate = result.aggregate
+    op = {BusOp.READ: "read", BusOp.WRITE: "write",
+          BusOp.NONE: "addr-only"}.get(txn.op, str(txn.op))
+    return {
+        "serial": txn.serial,
+        "address": txn.address,
+        "op": op,
+        "CA": signals.ca,
+        "IM": signals.im,
+        "BC": signals.bc,
+        "CH": aggregate.ch,
+        "DI": aggregate.di,
+        "SL": aggregate.sl,
+        "BS": aggregate.bs,
+        "column": txn.event.note,
+        "supplier": result.supplier,
+        "connectors": list(result.connectors),
+        "retries": result.retries,
+        "duration_ns": round(result.duration_ns, 3),
+    }
+
+
+@dataclasses.dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``t_ns`` is logical time: the tracer's bus-occupancy clock for ``bus``
+    and ``transition`` events, simulated time for ``des`` events.  ``seq``
+    is the global emission index (total order).  ``stream`` groups events
+    from one sub-run (a verification case, one shootout protocol) so
+    merged traces stay separable.
+    """
+
+    seq: int
+    kind: str  # "bus" | "transition" | "des" | "mark"
+    name: str
+    t_ns: float
+    unit: Optional[str] = None
+    stream: str = "run"
+    args: dict = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "t_ns": self.t_ns,
+            "unit": self.unit,
+            "stream": self.stream,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            seq=data["seq"],
+            kind=data["kind"],
+            name=data["name"],
+            t_ns=data["t_ns"],
+            unit=data.get("unit"),
+            stream=data.get("stream", "run"),
+            args=dict(data.get("args", {})),
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from every instrumented layer.
+
+    The tracer keeps a logical clock fed by bus-transaction durations, so
+    untimed (synchronous) runs still render as a meaningful timeline; DES
+    events carry their own simulated timestamps.
+    """
+
+    enabled = True
+
+    def __init__(self, stream: str = "run") -> None:
+        self.stream = stream
+        self.events: list[TraceEvent] = []
+        self.clock_ns = 0.0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Emission.
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        t_ns: float,
+        unit: Optional[str],
+        args: dict,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            seq=self._seq,
+            kind=kind,
+            name=name,
+            t_ns=round(t_ns, 3),
+            unit=unit,
+            stream=self.stream,
+            args=args,
+        )
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def bus_transaction(self, txn, result) -> None:
+        """Record one completed Futurebus transaction (the hook
+        :attr:`repro.bus.futurebus.Futurebus.observer` calls)."""
+        start = self.clock_ns
+        self.clock_ns += result.duration_ns
+        self._emit(
+            "bus",
+            txn.event.name,
+            start,
+            txn.master,
+            bus_event_args(txn, result),
+        )
+
+    def transition(self, unit: str, side: str, state, event, action) -> None:
+        """Record one protocol decision: the (state, event, action) cell
+        that fired, as the controller trace hooks report it."""
+        self._emit(
+            "transition",
+            f"{state.letter}/{event.name}",
+            self.clock_ns,
+            unit,
+            {
+                "side": side,
+                "state": state.letter,
+                "event": event.name,
+                "action": action.notation(),
+            },
+        )
+
+    def des(self, name: str, t_ns: float, unit: str, **args) -> None:
+        """Record DES activity (``schedule`` / ``fire`` / ``retire``) at
+        simulated time ``t_ns``."""
+        if t_ns > self.clock_ns:
+            self.clock_ns = t_ns
+        self._emit("des", name, t_ns, unit, args)
+
+    def mark(self, name: str, unit: Optional[str] = None, **args) -> None:
+        """Record a named waypoint with structured arguments."""
+        self._emit("mark", name, self.clock_ns, unit, args)
+
+    # ------------------------------------------------------------------
+    # Merging (serial/parallel equivalence).
+    # ------------------------------------------------------------------
+    def export(self) -> list[dict]:
+        """The event stream as plain dicts (picklable, JSON-able)."""
+        return [event.to_dict() for event in self.events]
+
+    def absorb(
+        self, events: Iterable[dict], stream: Optional[str] = None
+    ) -> None:
+        """Fold a child tracer's exported stream into this one.
+
+        Sequence numbers are reassigned in arrival order and the child's
+        logical times are kept verbatim, so absorbing per-case streams in
+        input order yields the same bytes whether the children ran
+        serially in-process or on a worker pool.
+        """
+        for data in events:
+            event = TraceEvent.from_dict(data)
+            if stream is not None:
+                event.stream = stream
+            event.seq = self._seq
+            self._seq += 1
+            self.events.append(event)
+
+
+def attach_tracer(system, tracer: Optional[Tracer]) -> None:
+    """Wire ``tracer`` into a System or HierarchicalSystem: the bus-level
+    transaction observer plus every controller's transition trace hook.
+    Pass ``None`` to detach."""
+    hook = None if tracer is None else tracer.bus_transaction
+    transition = None if tracer is None else tracer.transition
+    for attr in ("bus", "global_bus"):
+        bus = getattr(system, attr, None)
+        if bus is not None:
+            bus.observer = hook
+    bridges = getattr(system, "bridges", None)
+    if bridges:
+        for bridge in bridges.values():
+            bridge.local_bus.observer = hook
+    for board in system.controllers.values():
+        board.trace_observer = transition

@@ -7,7 +7,11 @@ The suite is fixed so successive PRs can track the trajectory:
   mixes; reports states/sec (the hot-path metric the in-process
   optimisations move);
 * **matrix** -- the full E1 compatibility matrix, serial then pooled;
-* **des** -- the E2 protocol-comparison sweep, serial then pooled.
+* **des** -- the E2 protocol-comparison sweep, serial then pooled;
+* **obs** -- observability overhead: the same heterogeneous run driven
+  directly (pre-facade style), through :class:`repro.api.Session` with
+  tracing disabled (the guard-only path, budgeted at <5%), and with
+  tracing enabled.
 
 Wall-clock speedups depend on the host (a single-core container cannot
 beat serial); the JSON records ``cpu_count`` next to every ratio so the
@@ -108,6 +112,73 @@ def _bench_des(workers: int, quick: bool) -> dict:
     }
 
 
+def _bench_obs(quick: bool) -> dict:
+    """Observability tax on one heterogeneous DES-free run.
+
+    ``baseline`` builds and drives the System directly (how pre-facade
+    callers did); ``disabled`` goes through the Session facade with no
+    tracer (every emission site evaluates its ``is not None`` guard);
+    ``traced`` records the full structured stream.  Legs are interleaved
+    and the per-leg minimum taken, so a background stall cannot charge
+    one leg only.
+    """
+    from repro.api import Session
+    from repro.system.system import BoardSpec, System
+    from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+    references = 800 if quick else 3000
+    repeats = 2 if quick else 4
+    config = SyntheticConfig(processors=4, p_shared=0.3, p_write=0.3)
+    workload = SyntheticWorkload(config, seed=11).trace(references)
+    protocols = ("moesi", "dragon", "berkeley", "write-through")
+    units = workload.units()
+
+    def _direct() -> None:
+        system = System(
+            [BoardSpec(unit, name)
+             for unit, name in zip(units, protocols)],
+            check=False,
+        )
+        system.run_trace(workload)
+        system.check_coherence()
+        system.report()
+
+    def _facade(trace: bool) -> None:
+        session = Session(label="bench-obs", trace=trace)
+        session.run_experiment(
+            protocols=protocols, workload=workload, check=False
+        )
+
+    def _time(fn) -> float:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    legs: dict[str, list[float]] = {
+        "baseline": [], "disabled": [], "traced": []
+    }
+    for _ in range(repeats):
+        legs["baseline"].append(_time(_direct))
+        legs["disabled"].append(_time(lambda: _facade(False)))
+        legs["traced"].append(_time(lambda: _facade(True)))
+    baseline_s = min(legs["baseline"])
+    disabled_s = min(legs["disabled"])
+    traced_s = min(legs["traced"])
+    return {
+        "references": references,
+        "repeats": repeats,
+        "baseline_s": round(baseline_s, 4),
+        "disabled_s": round(disabled_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_disabled_pct": round(
+            (disabled_s - baseline_s) / baseline_s * 100.0, 2
+        ),
+        "overhead_traced_pct": round(
+            (traced_s - baseline_s) / baseline_s * 100.0, 2
+        ),
+    }
+
+
 def run_bench_suite(
     workers: Optional[int] = None, quick: bool = False
 ) -> dict:
@@ -126,6 +197,7 @@ def run_bench_suite(
         "explorer": _bench_explorer(quick),
         "matrix": _bench_matrix(effective, quick),
         "des": _bench_des(effective, quick),
+        "obs": _bench_obs(quick),
     }
 
 

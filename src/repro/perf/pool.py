@@ -100,16 +100,34 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     config: Optional[ParallelConfig] = None,
+    profiler=None,
 ) -> list[R]:
     """Map ``fn`` over ``items`` on a process pool; results in input order.
 
     Falls back to a serial in-process map whenever the pool cannot help
     (see module docstring).  Exceptions raised by ``fn`` propagate; a task
     overrunning ``config.task_timeout_s`` raises
-    :class:`ParallelTimeoutError`.
+    :class:`ParallelTimeoutError`.  An optional
+    :class:`repro.obs.profile.Profiler` times the whole fan-out.
     """
     config = config or ParallelConfig()
     items = list(items)
+    if profiler is not None:
+        with profiler.region(
+            "pool.map",
+            items=len(items),
+            workers=min(config.effective_workers, max(1, len(items))),
+            mode=config.mode,
+        ):
+            return _map(fn, items, config)
+    return _map(fn, items, config)
+
+
+def _map(
+    fn: Callable[[T], R],
+    items: list[T],
+    config: ParallelConfig,
+) -> list[R]:
     if not items:
         return []
     workers = min(config.effective_workers, len(items))

@@ -31,17 +31,31 @@ def _comparison_task(task: tuple) -> dict:
     return comparison_row(protocol, trace, timed)
 
 
+def _comparison_traced_task(task: tuple) -> dict:
+    from repro.analysis.compare import comparison_row_traced
+
+    protocol, trace, timed = task
+    return comparison_row_traced(protocol, trace, timed)
+
+
 def protocol_comparison_parallel(
     trace: Trace,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     timed: bool = True,
     workers: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
+    traced: bool = False,
+    profiler=None,
 ) -> list[dict]:
-    """E2 with one pooled task per protocol; rows in protocol order."""
+    """E2 with one pooled task per protocol; rows in protocol order.
+
+    With ``traced=True`` each task returns ``{"row", "events"}`` -- the
+    exported per-protocol trace stream, identical to what the serial
+    path produces, for order-preserving absorption by the caller."""
     config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
     tasks = [(protocol, trace, timed) for protocol in protocols]
-    return parallel_map(_comparison_task, tasks, config)
+    task_fn = _comparison_traced_task if traced else _comparison_task
+    return parallel_map(task_fn, tasks, config, profiler=profiler)
 
 
 def _update_vs_invalidate_task(task: tuple) -> dict:

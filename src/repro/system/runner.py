@@ -21,13 +21,14 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.deprecation import warn_deprecated
 from repro.system.des import Simulator
 from repro.system.processor import Processor, ProcessorTiming
 from repro.system.stats import SystemReport
 from repro.system.system import System
 from repro.workloads.trace import Op, Trace
 
-__all__ = ["TimedRun", "timed_run_from_trace"]
+__all__ = ["TimedRun", "Runner", "timed_run_from_trace"]
 
 
 class TimedRun:
@@ -54,10 +55,15 @@ class TimedRun:
     def run(self, until_ns: Optional[float] = None) -> SystemReport:
         """Run every stream to exhaustion (or the time limit); returns the
         system report with elapsed time filled in."""
+        tracer = self.system.tracer
         for index, processor in enumerate(self.processors):
             # Stagger initial issues so start order is deterministic but
             # not all at t=0.
             self.sim.at(float(index), self._make_step(processor))
+            if tracer is not None:
+                tracer.des(
+                    "schedule", float(index), processor.unit_id, initial=True
+                )
         self.sim.run(until=until_ns)
         elapsed = self.sim.now
         for processor in self.processors:
@@ -69,11 +75,18 @@ class TimedRun:
     # ------------------------------------------------------------------
     def _make_step(self, processor: Processor):
         def step() -> None:
+            tracer = self.system.tracer
             ref = processor.next_reference()
             if ref is None:
                 processor.stats.finished_at = self.sim.now
+                if tracer is not None:
+                    tracer.des("retire", self.sim.now, processor.unit_id,
+                               drained=True)
                 return
             op, address = ref
+            if tracer is not None:
+                tracer.des("fire", self.sim.now, processor.unit_id,
+                           op=op.value, address=address)
             busy_before = self.system.bus.busy_ns
             if op is Op.READ:
                 self.system.read(processor.unit_id, address)
@@ -92,9 +105,31 @@ class TimedRun:
                 finish = now + processor.timing.hit_ns
                 processor.stats.stall_ns += processor.timing.hit_ns
             processor.stats.completed += 1
-            self.sim.at(finish + processor.timing.think_ns, step)
+            next_at = finish + processor.timing.think_ns
+            self.sim.at(next_at, step)
+            if tracer is not None:
+                tracer.des("retire", finish, processor.unit_id,
+                           op=op.value, address=address,
+                           stall_ns=round(finish - now, 3))
+                tracer.des("schedule", finish, processor.unit_id,
+                           at_ns=round(next_at, 3))
 
         return step
+
+
+class Runner(TimedRun):
+    """Deprecated pre-``repro.api`` name for :class:`TimedRun`.
+
+    Kept so old scripts keep working; the first :meth:`run` per process
+    points at the replacement.
+    """
+
+    def run(self, until_ns: Optional[float] = None) -> SystemReport:
+        warn_deprecated(
+            "repro.system.runner.Runner.run",
+            "repro.api.Session.run_timed (or repro.api.run_experiment)",
+        )
+        return super().run(until_ns)
 
 
 def timed_run_from_trace(

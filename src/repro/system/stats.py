@@ -5,71 +5,192 @@ and its reference comparison [Arch85] report: bus transactions and cycles
 per memory reference, miss ratios, invalidation/update counts, how often
 an intervenient cache (rather than memory) supplied data, and abort/retry
 overhead for the BS-adapted protocols.
+
+Since the observability redesign this layer sits on
+:class:`repro.obs.metrics.MetricsRegistry`: :class:`BusStats` keeps its
+counters *in* a registry (one cached metric object per counter, so the
+hot path is still a single attribute update) and exposes the historical
+attribute API as properties.  That buys deterministic snapshots
+(:meth:`BusStats.to_dict`), merging of worker snapshots, and a stable
+JSON round-trip for :class:`SystemReport`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
+import json
+from collections import Counter as EventCounter
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.actions import BusOp
 from repro.core.events import BusEvent
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.bus.transaction import Transaction, TransactionResult
 
 __all__ = ["BusStats", "SystemReport"]
 
+_BY_EVENT_PREFIX = "bus.by_event."
 
-@dataclasses.dataclass
+
 class BusStats:
-    """Counters fed by :class:`repro.bus.futurebus.Futurebus`."""
+    """Counters fed by :class:`repro.bus.futurebus.Futurebus`.
 
-    transactions: int = 0
-    address_only: int = 0
-    reads: int = 0
-    writes: int = 0
-    retries: int = 0
-    interventions: int = 0
-    broadcast_transfers: int = 0
-    connector_updates: int = 0
-    busy_ns: float = 0.0
-    by_event: Counter = dataclasses.field(default_factory=Counter)
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry` (prefix
+    ``bus``); the pre-redesign attribute API (``stats.transactions``,
+    ``stats.busy_ns``, ...) is preserved as read/write properties over
+    the registry's metric objects.
+    """
 
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry or MetricsRegistry(prefix="bus")
+        reg = self.registry
+        self._transactions = reg.counter("transactions")
+        self._address_only = reg.counter("address_only")
+        self._reads = reg.counter("reads")
+        self._writes = reg.counter("writes")
+        self._retries = reg.counter("retries")
+        self._interventions = reg.counter("interventions")
+        self._broadcast_transfers = reg.counter("broadcast_transfers")
+        self._connector_updates = reg.counter("connector_updates")
+        self._busy_ns = reg.accumulator("busy_ns")
+        #: Transactions per :class:`~repro.core.events.BusEvent` column.
+        self.by_event: EventCounter = EventCounter()
+
+    # -- historical attribute API, now property-backed -----------------
+    @property
+    def transactions(self) -> int:
+        return self._transactions.value
+
+    @transactions.setter
+    def transactions(self, value: int) -> None:
+        self._transactions.value = value
+
+    @property
+    def address_only(self) -> int:
+        return self._address_only.value
+
+    @address_only.setter
+    def address_only(self, value: int) -> None:
+        self._address_only.value = value
+
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @reads.setter
+    def reads(self, value: int) -> None:
+        self._reads.value = value
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self._writes.value = value
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self._retries.value = value
+
+    @property
+    def interventions(self) -> int:
+        return self._interventions.value
+
+    @interventions.setter
+    def interventions(self, value: int) -> None:
+        self._interventions.value = value
+
+    @property
+    def broadcast_transfers(self) -> int:
+        return self._broadcast_transfers.value
+
+    @broadcast_transfers.setter
+    def broadcast_transfers(self, value: int) -> None:
+        self._broadcast_transfers.value = value
+
+    @property
+    def connector_updates(self) -> int:
+        return self._connector_updates.value
+
+    @connector_updates.setter
+    def connector_updates(self, value: int) -> None:
+        self._connector_updates.value = value
+
+    @property
+    def busy_ns(self) -> float:
+        return self._busy_ns.total
+
+    @busy_ns.setter
+    def busy_ns(self, value: float) -> None:
+        self._busy_ns.total = value
+
+    # ------------------------------------------------------------------
     def record_transaction(
         self, txn: "Transaction", result: "TransactionResult"
     ) -> None:
-        self.transactions += 1
+        self._transactions.inc()
         self.by_event[txn.event] += 1
         if txn.op is BusOp.NONE:
-            self.address_only += 1
+            self._address_only.inc()
         elif txn.op is BusOp.READ:
-            self.reads += 1
+            self._reads.inc()
         elif txn.op is BusOp.WRITE:
-            self.writes += 1
-        self.retries += result.retries
+            self._writes.inc()
+        self._retries.inc(result.retries)
         if result.intervened:
-            self.interventions += 1
+            self._interventions.inc()
         if txn.signals.bc or result.connectors:
-            self.broadcast_transfers += 1
-        self.connector_updates += len(result.connectors)
-        self.busy_ns += result.duration_ns
+            self._broadcast_transfers.inc()
+        self._connector_updates.inc(len(result.connectors))
+        self._busy_ns.add(result.duration_ns)
 
     def count(self, event: BusEvent) -> int:
         return self.by_event.get(event, 0)
 
     def reset(self) -> None:
-        self.transactions = 0
-        self.address_only = 0
-        self.reads = 0
-        self.writes = 0
-        self.retries = 0
-        self.interventions = 0
-        self.broadcast_transfers = 0
-        self.connector_updates = 0
-        self.busy_ns = 0.0
+        self.registry.reset()
         self.by_event.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshots (deterministic, JSON-able, mergeable).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic flat snapshot: dotted metric names -> values."""
+        snapshot = self.registry.to_dict()
+        for event in sorted(self.by_event, key=lambda e: e.name):
+            snapshot[f"{_BY_EVENT_PREFIX}{event.name}"] = self.by_event[event]
+        return dict(sorted(snapshot.items()))
+
+    @classmethod
+    def from_dict(cls, snapshot: dict) -> "BusStats":
+        stats = cls()
+        plain: dict[str, object] = {}
+        for key, value in snapshot.items():
+            if key.startswith(_BY_EVENT_PREFIX):
+                event = BusEvent[key[len(_BY_EVENT_PREFIX):]]
+                stats.by_event[event] = int(value)
+            else:
+                plain[key] = value
+        stats.registry.load_dict(plain)
+        return stats
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BusStats):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BusStats(transactions={self.transactions}, "
+            f"busy_ns={self.busy_ns:.1f})"
+        )
 
 
 @dataclasses.dataclass
@@ -77,7 +198,10 @@ class SystemReport:
     """Derived whole-run metrics, ready for table printing.
 
     ``accesses`` counts processor references; everything else is
-    normalized against it where sensible.
+    normalized against it where sensible.  ``metrics`` carries the
+    whole-system registry snapshot and ``trace`` the exported structured
+    trace (when one was attached), so a report is a self-contained
+    experiment record with a stable JSON round-trip.
     """
 
     label: str
@@ -89,6 +213,10 @@ class SystemReport:
     write_backs: int
     abort_pushes: int
     elapsed_ns: float = 0.0
+    #: Whole-system metrics snapshot (MetricsRegistry.to_dict), or None.
+    metrics: Optional[dict] = None
+    #: Exported structured trace (list of TraceEvent dicts), or None.
+    trace: Optional[list] = None
 
     @property
     def bus_transactions_per_access(self) -> float:
@@ -119,3 +247,48 @@ class SystemReport:
             "interventions": self.bus.interventions,
             "aborts": self.bus.retries,
         }
+
+    # ------------------------------------------------------------------
+    # Stable serialization.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "accesses": self.accesses,
+            "bus": self.bus.to_dict(),
+            "miss_ratio": self.miss_ratio,
+            "invalidations": self.invalidations,
+            "updates_received": self.updates_received,
+            "write_backs": self.write_backs,
+            "abort_pushes": self.abort_pushes,
+            "elapsed_ns": self.elapsed_ns,
+            "metrics": self.metrics,
+            "trace": self.trace,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, compact separators) -- two equal
+        reports serialize to identical bytes."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemReport":
+        return cls(
+            label=data["label"],
+            accesses=data["accesses"],
+            bus=BusStats.from_dict(data["bus"]),
+            miss_ratio=data["miss_ratio"],
+            invalidations=data["invalidations"],
+            updates_received=data["updates_received"],
+            write_backs=data["write_backs"],
+            abort_pushes=data["abort_pushes"],
+            elapsed_ns=data.get("elapsed_ns", 0.0),
+            metrics=data.get("metrics"),
+            trace=data.get("trace"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemReport":
+        return cls.from_dict(json.loads(text))

@@ -88,6 +88,8 @@ class System:
         self._last_version: dict[int, int] = {}
         self._version_counter = 0
         self.accesses = 0
+        #: The attached :class:`repro.obs.trace.Tracer`, or None.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def _add_board(self, spec: BoardSpec) -> None:
@@ -189,6 +191,23 @@ class System:
         for board in self.controllers.values():
             board.transition_observer = observer
 
+    def attach_tracer(self, tracer) -> None:
+        """Wire a :class:`repro.obs.trace.Tracer` into the bus and every
+        board's transition trace hook (``None`` detaches).  Orthogonal to
+        :meth:`install_transition_observer`, so a traced run can still
+        carry the fuzzer's oracle."""
+        from repro.obs.trace import attach_tracer as _attach
+
+        _attach(self, tracer)
+        self.tracer = tracer
+
+    def metrics(self):
+        """Snapshot this system's counters as a
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        from repro.obs.metrics import system_metrics
+
+        return system_metrics(self)
+
     def last_written_token(self, line_address: int) -> int:
         """The globally last written version token for ``line_address``
         (0 if the line was never written) -- the read-coherence oracle."""
@@ -249,6 +268,8 @@ class System:
         hits = sum(c.stats.hits for c in caching)
         miss_ratio = 1 - hits / total_accesses if total_accesses else 0.0
         return SystemReport(
+            metrics=self.metrics().to_dict(),
+            trace=self.tracer.export() if self.tracer is not None else None,
             label=self.label,
             accesses=total_accesses,
             bus=self.bus_stats,

@@ -351,7 +351,10 @@ class Explorer:
         max_states: int = 100_000,
         label: Optional[str] = None,
         lines: int = 1,
+        profiler=None,
     ) -> None:
+        #: Optional :class:`repro.obs.profile.Profiler` timing the search.
+        self.profiler = profiler
         self.chooser = ScriptedChooser()
         protocols = [
             _resolve_protocol(spec, self.chooser) for spec in protocol_specs
@@ -518,6 +521,17 @@ class Explorer:
     # ------------------------------------------------------------------
     def run(self) -> ExplorationResult:
         """Breadth-first search over canonical states."""
+        if self.profiler is None:
+            return self._run_search()
+        with self.profiler.region(
+            "explorer.frontier", label=self.label
+        ) as meta:
+            result = self._run_search()
+            meta["states"] = result.states_explored
+            meta["transitions"] = result.transitions_taken
+        return result
+
+    def _run_search(self) -> ExplorationResult:
         initial = self._snapshot()
         seen = {self._signature(initial)}
         frontier: deque[tuple] = deque([(initial, ())])

@@ -190,18 +190,44 @@ def run_matrix(
     cases: Sequence[MixCase],
     workers: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
+    tracer=None,
+    profiler=None,
     **kwargs,
 ) -> list[dict]:
     """Run each case; return report rows with pass/fail vs expectation.
 
     With ``workers`` > 1 the cases fan out across a process pool (rows
     come back in case order, identical to a serial run); otherwise they
-    run serially in-process.
+    run serially in-process.  A :class:`repro.obs.trace.Tracer` gets one
+    ``verify.case`` mark per row -- derived from the rows themselves, so
+    the marks are identical for serial and pooled runs; a
+    :class:`repro.obs.profile.Profiler` times the whole matrix.
     """
-    if workers is not None and workers > 1:
-        from repro.perf.matrix import run_matrix_parallel
+    def _execute() -> list[dict]:
+        if workers is not None and workers > 1:
+            from repro.perf.matrix import run_matrix_parallel
 
-        return run_matrix_parallel(
-            cases, workers=workers, task_timeout_s=task_timeout_s, **kwargs
-        )
-    return [matrix_row(case, case.run(**kwargs)) for case in cases]
+            return run_matrix_parallel(
+                cases, workers=workers, task_timeout_s=task_timeout_s,
+                **kwargs,
+            )
+        return [matrix_row(case, case.run(**kwargs)) for case in cases]
+
+    if profiler is not None:
+        with profiler.region(
+            "verify.matrix", cases=len(cases), workers=workers or 1
+        ):
+            rows = _execute()
+    else:
+        rows = _execute()
+    if tracer is not None:
+        for row in rows:
+            tracer.mark(
+                "verify.case",
+                mix=row["mix"],
+                ok=row["ok"],
+                observed=row["observed"],
+                states=row["states"],
+                transitions=row["transitions"],
+            )
+    return rows

@@ -22,6 +22,9 @@ class TestParser:
             ["bench", "--quick", "--workers", "2"],
             ["hierarchy", "--references", "50"],
             ["run", "moesi", "--references", "100"],
+            ["run", "--protocol", "illinois", "--trace", "out.trace.json"],
+            ["run", "moesi", "--json", "--metrics"],
+            ["verify", "--quick", "--trace", "v.jsonl", "--json"],
             ["fuzz", "--seeds", "10"],
             ["fuzz", "--seeds", "10", "--workers", "2", "--inject",
              "illinois-silent-im"],
@@ -100,15 +103,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "dragon" in out
 
-    def test_run_trace_file(self, tmp_path, capsys):
+    def test_run_workload_file(self, tmp_path, capsys):
         path = tmp_path / "t.trc"
         path.write_text(
             "# two cpus\ncpu0 W 0x0\ncpu1 R 0x0\ncpu1 W 0x20\ncpu0 R 0x20\n"
         )
-        assert main(["run", "moesi", "--trace", str(path), "--check",
+        assert main(["run", "moesi", "--workload", str(path), "--check",
                      "--atomic"]) == 0
         out = capsys.readouterr().out
         assert "4 references" in out
+
+    def test_run_protocol_option_writes_chrome_trace(self, tmp_path,
+                                                     capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "out.trace.json"
+        assert main(["run", "--protocol", "illinois", "--references",
+                     "300", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
 
     def test_unknown_protocol_errors(self):
         with pytest.raises(ValueError, match="unknown protocol"):
@@ -167,15 +184,17 @@ class TestFuzzCommand:
         replay_out = capsys.readouterr().out
         assert "reproduced:" in replay_out
 
-    def test_json_summary_written(self, tmp_path, capsys):
+    def test_json_envelope(self, tmp_path, capsys):
         import json
 
-        path = tmp_path / "summary.json"
         assert main(["fuzz", "--seeds", "10", "--out",
-                     str(tmp_path / "r"), "--json", str(path)]) == 0
-        data = json.loads(path.read_text())
-        assert data["seeds_run"] == 10
-        assert data["failures"] == []
+                     str(tmp_path / "r"), "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["command"] == "fuzz"
+        assert envelope["ok"] is True
+        assert envelope["data"]["seeds_run"] == 10
+        assert envelope["data"]["failures"] == []
+        assert envelope["metrics"]["fuzz.seeds_run"] == 10
 
     def test_unknown_bug_exits_two(self, capsys):
         assert main(["fuzz", "--seeds", "5", "--inject", "nope"]) == 2

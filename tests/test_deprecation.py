@@ -1,0 +1,86 @@
+"""Pre-``repro.api`` entry points keep working but warn exactly once."""
+
+import warnings
+
+import pytest
+
+from repro.deprecation import reset_deprecation_warnings
+from repro.system.system import BoardSpec, System
+from repro.workloads import ping_pong
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _deprecations(caught):
+    return [w for w in caught
+            if issubclass(w.category, DeprecationWarning)]
+
+
+def _timed_runner():
+    from repro.system.runner import Runner, timed_run_from_trace
+
+    system = System([BoardSpec("cpu0", "moesi"),
+                     BoardSpec("cpu1", "moesi")])
+    template = timed_run_from_trace(system,
+                                    ping_pong(rounds=5, processors=2))
+    return Runner(system, template.processors)
+
+
+class TestRunnerShim:
+    def test_run_works_and_warns_once(self):
+        runner = _timed_runner()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = runner.run()
+        assert report.accesses == 10
+        (warning,) = _deprecations(caught)
+        message = str(warning.message)
+        assert "Runner.run" in message and "repro.api" in message
+
+    def test_second_use_is_silent(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _timed_runner().run()
+            _timed_runner().run()
+        assert len(_deprecations(caught)) == 1
+
+    def test_timed_run_does_not_warn(self):
+        from repro.system.runner import timed_run_from_trace
+
+        system = System([BoardSpec("cpu0", "moesi"),
+                         BoardSpec("cpu1", "moesi")])
+        run = timed_run_from_trace(system,
+                                   ping_pong(rounds=5, processors=2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run.run()
+        assert _deprecations(caught) == []
+
+
+class TestCampaignShim:
+    def test_run_campaign_works_and_warns_once(self, tmp_path):
+        from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+        config = CampaignConfig(seeds=3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = run_campaign(config, out_dir=tmp_path)
+            run_campaign(config, out_dir=tmp_path)
+        assert report.ok and report.seeds_run == 3
+        (warning,) = _deprecations(caught)
+        assert "run_campaign" in str(warning.message)
+        assert "repro.api.fuzz_campaign" in str(warning.message)
+
+    def test_facade_path_is_silent(self, tmp_path):
+        from repro import Session
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = Session().fuzz_campaign(seeds=3, out_dir=tmp_path)
+        assert result.ok
+        assert _deprecations(caught) == []

@@ -1,9 +1,17 @@
-"""Campaigns: oracle behaviour, reproducibility, shrinking, repro files."""
+"""Campaigns: oracle behaviour, reproducibility, shrinking, repro files.
+
+Exercises the legacy ``run_campaign`` entry point on purpose (the facade
+path is covered by test_api), so its deprecation warning is expected.
+"""
 
 import dataclasses
 import json
 
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:repro.fuzz.campaign.run_campaign is deprecated"
+)
 
 from repro.fuzz import (
     CampaignConfig,
