@@ -4,24 +4,68 @@ matrix and the E2 sweep, and the explorer's single-worker throughput.
 Unlike the experiment benchmarks (which reproduce a paper artifact), this
 module tracks the *toolkit's* performance trajectory: the saved artifact
 is the same machine-readable report ``repro bench`` writes to
-``BENCH_perf.json``, so successive revisions can be diffed.
+``BENCH_perf.json``, so successive revisions can be diffed.  The CI
+bench-smoke job runs this in quick mode and fails on a >10%
+transitions/sec regression against the committed baseline or a traced
+observability overhead over budget.
 """
 
 import json
+import pathlib
 
-from repro.perf.bench import run_bench_suite
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    MAX_TRACED_OVERHEAD_PCT,
+    load_baseline,
+    run_bench_suite,
+)
 from repro.perf.pool import resolve_workers
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = str(REPO_ROOT / BENCH_FILENAME)
 
-def test_bench_suite(benchmark, save_artifact):
-    report = benchmark.pedantic(
-        lambda: run_bench_suite(workers=resolve_workers(None), quick=False),
-        rounds=1, iterations=1,
-    )
+
+def _assert_budgets(report: dict) -> None:
     assert report["matrix"]["all_ok"]
     assert report["matrix"]["rows_identical"]
     assert report["des"]["rows_identical"]
     # The disabled-path observability budget: guards only, <5% vs a
     # direct pre-facade run of the same workload.
     assert report["obs"]["overhead_disabled_pct"] < 5.0
+    # The traced-path budget: ring-buffered deferred encoding keeps the
+    # full structured stream within budget.
+    assert report["obs"]["overhead_traced_pct"] <= MAX_TRACED_OVERHEAD_PCT, (
+        f"traced overhead {report['obs']['overhead_traced_pct']}% over the "
+        f"{MAX_TRACED_OVERHEAD_PCT}% budget"
+    )
+    regression = report.get("regression")
+    if regression is not None:
+        assert regression["ok"], "; ".join(regression["failures"])
+
+
+def test_bench_suite(benchmark, save_artifact):
+    report = benchmark.pedantic(
+        lambda: run_bench_suite(
+            workers=resolve_workers(None),
+            quick=False,
+            baseline_path=BASELINE_PATH,
+        ),
+        rounds=1, iterations=1,
+    )
+    _assert_budgets(report)
     save_artifact("perf_bench", json.dumps(report, indent=2))
+
+
+def test_bench_smoke_quick(save_artifact):
+    """The CI bench-smoke entry point: the quick suite against the
+    committed ``BENCH_perf.json`` baseline."""
+    assert load_baseline(BASELINE_PATH) is not None, (
+        f"committed baseline missing at {BASELINE_PATH}"
+    )
+    report = run_bench_suite(
+        workers=resolve_workers(None), quick=True, baseline_path=BASELINE_PATH
+    )
+    _assert_budgets(report)
+    regression = report["regression"]
+    assert regression["explorer"], "baseline shares no explorer mixes"
+    save_artifact("perf_bench_smoke", json.dumps(report, indent=2))

@@ -50,6 +50,8 @@ __all__ = [
     "run_experiment",
     "explore",
     "fuzz_campaign",
+    "shutdown_pool",
+    "warm_pool",
 ]
 
 
@@ -83,6 +85,8 @@ class ExperimentResult:
     #: Whole-system metrics snapshot (``MetricsRegistry.to_dict``).
     metrics: dict
     #: Exported structured trace events, or None if tracing was off.
+    #: Accepts the report's lazy ``(tracer, count)`` handle; the
+    #: property installed below exports on first access.
     trace: Optional[list] = None
     profile: Optional[Profiler] = None
     #: The live system, for state inspection after the run.
@@ -107,6 +111,32 @@ class ExperimentResult:
 
     def to_json(self) -> str:
         return self.report.to_json()
+
+
+def _result_trace_get(self) -> Optional[list]:
+    value = self._trace_value
+    if value is None or isinstance(value, list):
+        return value
+    tracer, count = value
+    events = tracer.export()
+    if len(events) > count:
+        events = events[:count]
+    self._trace_value = events
+    return events
+
+
+def _result_trace_set(self, value) -> None:
+    self._trace_value = value
+
+
+#: Same lazy-trace contract as :class:`repro.system.stats.SystemReport`:
+#: a traced run hands the result a cheap handle, and the export encoding
+#: is paid when (and only when) ``result.trace`` is read.
+ExperimentResult.trace = property(  # type: ignore[assignment]
+    _result_trace_get,
+    _result_trace_set,
+    doc="Exported structured trace events, or None if tracing was off.",
+)
 
 
 @dataclasses.dataclass
@@ -231,7 +261,7 @@ class Session:
             report=report,
             violations=violations,
             metrics=report.metrics or {},
-            trace=report.trace,
+            trace=report.trace_handle(),
             profile=self.profiler,
             system=system,
         )
@@ -357,6 +387,29 @@ class Session:
 # ----------------------------------------------------------------------
 # Module-level conveniences (one-shot sessions).
 # ----------------------------------------------------------------------
+def warm_pool(workers: Optional[int] = None) -> int:
+    """Pre-start the persistent worker pool (see :mod:`repro.perf.engine`).
+
+    Optional: the pool starts lazily on the first ``parallel_map``
+    anyway; warming it moves the fork cost out of the first timed
+    region.  Returns the worker count started (or already running)."""
+    from repro.perf.engine import get_executor, resolve_workers
+
+    workers = resolve_workers(workers)
+    get_executor(workers)
+    return workers
+
+
+def shutdown_pool(wait: bool = False) -> None:
+    """Shut down the persistent worker pool (no-op when not running).
+
+    Normally unnecessary -- the pool is reclaimed at interpreter exit --
+    but long-lived embedders can release the worker processes early."""
+    from repro.perf.engine import shutdown_pool as _shutdown
+
+    _shutdown(wait=wait)
+
+
 def run_experiment(
     protocol: str = "moesi",
     trace: bool = False,

@@ -132,6 +132,10 @@ class Futurebus:
         #: :meth:`repro.obs.trace.Tracer.bus_transaction` subscribes here.
         self.observer = None
         self._agents: dict[str, BusAgent] = {}
+        #: master id -> every *other* agent, rebuilt on attach/detach.
+        #: ``execute`` runs once per memory reference; recomputing the
+        #: snooper list there was a measurable slice of the DES hot path.
+        self._snoopers: dict[str, tuple[BusAgent, ...]] = {}
         self._serial = 0
         self.busy_ns = 0.0
 
@@ -140,9 +144,20 @@ class Futurebus:
         if agent.unit_id in self._agents:
             raise ValueError(f"duplicate unit id {agent.unit_id!r}")
         self._agents[agent.unit_id] = agent
+        self._snoopers.clear()
 
     def detach(self, unit_id: str) -> None:
         self._agents.pop(unit_id, None)
+        self._snoopers.clear()
+
+    def _snoopers_for(self, master: str) -> tuple[BusAgent, ...]:
+        snoopers = self._snoopers.get(master)
+        if snoopers is None:
+            snoopers = tuple(
+                a for a in self._agents.values() if a.unit_id != master
+            )
+            self._snoopers[master] = snoopers
+        return snoopers
 
     @property
     def agents(self) -> tuple[BusAgent, ...]:
@@ -178,10 +193,10 @@ class Futurebus:
         )
         duration = 0.0
 
+        snoopers = self._snoopers_for(master)
         while True:
-            snoopers = [a for a in self._agents.values() if a.unit_id != master]
-            responses = {a.unit_id: a.snoop(txn) for a in snoopers}
-            aggregate = ResponseAggregate.of(responses.values())
+            responses = [a.snoop(txn) for a in snoopers]
+            aggregate = ResponseAggregate.of(responses)
 
             if aggregate.bs:
                 if txn.retries >= self.max_retries:
@@ -190,7 +205,9 @@ class Futurebus:
                     )
                 duration += self.timing.abort_ns()
                 pushers = [
-                    a for a in snoopers if responses[a.unit_id].bs
+                    a
+                    for a, response in zip(snoopers, responses)
+                    if response.bs
                 ]
                 for agent in snoopers:
                     if agent not in pushers:
@@ -201,20 +218,22 @@ class Futurebus:
                 continue
             break
 
-        result = self._data_phase(txn, snoopers, responses, aggregate)
+        value, supplier, connectors = self._data_phase(
+            txn, snoopers, responses, aggregate
+        )
         duration += self.timing.transaction_ns(
             txn.op,
             txn.signals,
             intervened=aggregate.di,
             words=words,
-            connectors=len(result.connectors),
+            connectors=len(connectors),
         )
         result = TransactionResult(
-            aggregate=result.aggregate,
-            value=result.value,
-            supplier=result.supplier,
+            aggregate=aggregate,
+            value=value,
+            supplier=supplier,
             retries=txn.retries,
-            connectors=result.connectors,
+            connectors=connectors,
             duration_ns=duration,
         )
         self.busy_ns += duration
@@ -230,16 +249,25 @@ class Futurebus:
     def _data_phase(
         self,
         txn: Transaction,
-        snoopers: list[BusAgent],
-        responses: dict[str, SnoopResponse],
+        snoopers: tuple[BusAgent, ...],
+        responses: list[SnoopResponse],
         aggregate: ResponseAggregate,
-    ) -> TransactionResult:
+    ) -> tuple[Optional[int], Optional[str], tuple[str, ...]]:
+        """Move the data; returns ``(value, supplier, connectors)``.
+
+        ``execute`` folds these into the single final
+        :class:`TransactionResult` once the duration is known."""
         supplier: Optional[str] = None
         value: Optional[int] = txn.value
         connectors: list[str] = []
 
-        di_agents = [a for a in snoopers if responses[a.unit_id].di]
-        sl_agents = [a for a in snoopers if responses[a.unit_id].sl]
+        di_agents: list[BusAgent] = []
+        sl_agents: list[BusAgent] = []
+        for agent, response in zip(snoopers, responses):
+            if response.di:
+                di_agents.append(agent)
+            if response.sl:
+                sl_agents.append(agent)
 
         if len(di_agents) > 1:
             names = ", ".join(a.unit_id for a in di_agents)
@@ -283,10 +311,8 @@ class Futurebus:
         for agent in snoopers:
             agent.finalize(txn, aggregate)
 
-        return TransactionResult(
-            aggregate=aggregate,
-            value=value if txn.op is BusOp.READ else None,
-            supplier=supplier,
-            retries=txn.retries,
-            connectors=tuple(connectors),
+        return (
+            value if txn.op is BusOp.READ else None,
+            supplier,
+            tuple(connectors),
         )

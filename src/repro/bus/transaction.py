@@ -12,7 +12,7 @@ from repro.core.signals import MasterSignals, ResponseAggregate
 __all__ = ["Transaction", "TransactionResult"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Transaction:
     """One bus transaction: a broadcast address cycle plus a data phase.
 
@@ -29,11 +29,14 @@ class Transaction:
     retries: int = 0
     #: Sequence number assigned by the bus, for tracing.
     serial: int = 0
+    #: How snooping third parties classify this transaction.  Computed
+    #: once at construction (``signals`` never changes after that):
+    #: every snooper on every retry reads it, so recomputing the signal
+    #: classification per access was pure hot-path waste.
+    event: BusEvent = dataclasses.field(init=False)
 
-    @property
-    def event(self) -> BusEvent:
-        """How snooping third parties classify this transaction."""
-        return BusEvent.from_signals(self.signals)
+    def __post_init__(self) -> None:
+        self.event = BusEvent.from_signals(self.signals)
 
     def describe(self) -> str:
         op = self.op.value or "addr-only"
@@ -46,7 +49,7 @@ class Transaction:
         return self.describe()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TransactionResult:
     """Outcome of a completed (possibly retried) transaction."""
 

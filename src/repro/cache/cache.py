@@ -17,6 +17,8 @@ from repro.core.states import LineState
 
 __all__ = ["SetAssociativeCache"]
 
+_INVALID = LineState.INVALID
+
 
 def _is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
@@ -79,11 +81,18 @@ class SetAssociativeCache:
     # Lookup and allocation.
     # ------------------------------------------------------------------
     def lookup(self, line_address: int) -> Optional[tuple[int, int, CacheLine]]:
-        """Find a valid line; returns (set_index, way, line) or None."""
-        set_index = self.set_index(line_address)
-        tag = self.tag(line_address)
+        """Find a valid line; returns (set_index, way, line) or None.
+
+        Every processor reference and every snooped transaction probes
+        here, so the loop stays free of property/method dispatch: the
+        tag compare comes first (a plain attribute), and validity is an
+        identity test against INVALID rather than the ``valid``
+        property chain.
+        """
+        tag, set_index = divmod(line_address, self.num_sets)
+        invalid = _INVALID
         for way, line in enumerate(self._sets[set_index]):
-            if line.valid and line.tag == tag:
+            if line.tag == tag and line.state is not invalid:
                 return set_index, way, line
         return None
 

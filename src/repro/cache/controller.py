@@ -382,7 +382,7 @@ class CacheController(BusAgent):
         ctx = SnoopContext(
             address=txn.address,
             sequence=self._seq,
-            recency=self.cache.recency(set_index, way),
+            recency_source=(self.cache, set_index, way),
         )
         try:
             action = self.protocol.snoop_action(line.state, txn.event, ctx)
@@ -466,6 +466,16 @@ class CacheController(BusAgent):
     def value_of(self, line_address: int) -> Optional[int]:
         found = self.cache.lookup(line_address)
         return found[2].value if found else None
+
+    def probe_copy(self, line_address: int) -> Optional[tuple[LineState, int]]:
+        """(state, value) of a valid copy, or None -- one directory probe
+        where ``state_of`` + ``value_of`` would take two (the per-access
+        invariant checker's loop)."""
+        found = self.cache.lookup(line_address)
+        if found is None:
+            return None
+        line = found[2]
+        return line.state, line.value
 
     def cached_lines(self):
         """Yield (line_address, state, value) for every valid line."""
@@ -551,6 +561,9 @@ class NonCachingMaster(BusAgent):
 
     def state_of(self, line_address: int) -> LineState:
         return LineState.INVALID
+
+    def probe_copy(self, line_address: int) -> None:
+        return None
 
     def cached_lines(self):
         return iter(())

@@ -299,6 +299,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nobservability tax ({obs['references']} refs, best of "
           f"{obs['repeats']}): disabled {obs['overhead_disabled_pct']:+.2f}%,"
           f" traced {obs['overhead_traced_pct']:+.2f}% vs direct")
+    regression = report.get("regression")
+    if regression is not None:
+        if regression["explorer"]:
+            print()
+            print(
+                format_rows(
+                    regression["explorer"],
+                    "Regression vs baseline "
+                    f"({regression['baseline_timestamp']})",
+                )
+            )
+        for failure in regression["failures"]:
+            print(f"REGRESSION: {failure}")
+        if regression["ok"]:
+            print("regression check: ok (budgets "
+                  f"tps>={regression['budgets']['min_tps_ratio']}x, "
+                  "traced<="
+                  f"{regression['budgets']['max_traced_overhead_pct']:.0f}%)")
     path = write_bench_json(report, args.out)
     print(f"\nwrote {path}")
     return 0 if ok else 1

@@ -176,7 +176,7 @@ class ResponseAggregate:
             di = di or response.di
             sl = sl or response.sl
             bs = bs or response.bs
-        return cls(ch=ch, di=di, sl=sl, bs=bs)
+        return _AGGREGATES[(ch, di, sl, bs)]
 
     @property
     def aborted(self) -> bool:
@@ -207,3 +207,15 @@ class ResponseAggregate:
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.notation() or "(none)"
+
+
+#: The wired-OR reduction has only 16 outcomes; :meth:`ResponseAggregate.of`
+#: runs once per bus transaction, so it hands out interned instances
+#: instead of constructing a frozen dataclass each time.
+_AGGREGATES = {
+    (ch, di, sl, bs): ResponseAggregate(ch=ch, di=di, sl=sl, bs=bs)
+    for ch in (False, True)
+    for di in (False, True)
+    for sl in (False, True)
+    for bs in (False, True)
+}

@@ -62,10 +62,12 @@ class LineState(enum.Enum):
     # ------------------------------------------------------------------
     # The three characteristics (paper section 3.1.1 - 3.1.3).
     # ------------------------------------------------------------------
-    @property
-    def valid(self) -> bool:
-        """Whether the cached data is usable (section 3.1.1)."""
-        return self is not LineState.INVALID
+    # ``valid`` (section 3.1.1: whether the cached data is usable) is a
+    # plain per-member attribute, assigned below -- the coherence checker
+    # and cache lookup read it on every access, and a property call there
+    # is measurable.  ``code`` is the member's interned integer id (table
+    # row order M,O,E,S,I -> 0..4), the row index of the compiled flat
+    # transition tables in :mod:`repro.core.transitions`.
 
     @property
     def exclusive(self) -> bool:
@@ -108,13 +110,17 @@ class LineState(enum.Enum):
         bus message (broadcast or invalidate) to the other caches."""
         return self.valid and not self.exclusive
 
-    @property
-    def letter(self) -> str:
-        """The single-letter abbreviation ('M', 'O', 'E', 'S' or 'I')."""
-        return self.value
-
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+for _code, _state in enumerate(LineState):
+    _state.code = _code
+    _state.valid = _state is not LineState.INVALID
+    #: The single-letter abbreviation ('M', 'O', 'E', 'S' or 'I') --
+    #: interned alongside ``code`` so hot paths skip a property call.
+    _state.letter = _state.value
+del _code, _state
 
 
 #: The paper gives three completely equivalent naming schemes for each state

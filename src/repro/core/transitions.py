@@ -58,7 +58,26 @@ __all__ = [
     "local_choices",
     "snoop_choices",
     "MoesiClassTable",
+    "N_STATES",
+    "N_LOCAL_EVENTS",
+    "N_BUS_EVENTS",
+    "CompiledCells",
+    "TableCompilationError",
+    "compile_cells",
+    "verify_compiled",
+    "compile_deterministic",
+    "shared_class_table",
+    "compiled_class_cells",
+    "fast_tables_enabled",
+    "set_fast_tables",
 ]
+
+#: Dimensions of the compiled flat tables.  Rows are indexed by
+#: ``LineState.code`` (M,O,E,S,I -> 0..4), columns by ``LocalEvent.code``
+#: (notes 1-4 -> 0..3) or ``BusEvent.code`` (notes 5-10 -> 0..5).
+N_STATES = 5
+N_LOCAL_EVENTS = 4
+N_BUS_EVENTS = 6
 
 M, O, E, S, I = (
     LineState.MODIFIED,
@@ -255,6 +274,12 @@ SNOOP_TABLE: dict[tuple[LineState, BusEvent], tuple[SnoopAction, ...]] = {
 }
 
 
+#: Kind-filtered Table-1 cells, memoized -- the tables are immutable and
+#: there are only ``20 * len(MasterKind)`` distinct queries, but protocols
+#: ask them on every local event.
+_LOCAL_CHOICES_MEMO: dict[tuple, tuple[LocalAction, ...]] = {}
+
+
 def local_choices(
     state: LineState,
     event: LocalEvent,
@@ -268,17 +293,24 @@ def local_choices(
     choices = LOCAL_TABLE[(state, event)]
     if kind is None:
         return choices
+    key = (state, event, kind)
+    cached = _LOCAL_CHOICES_MEMO.get(key)
+    if cached is not None:
+        return cached
     if kind is MasterKind.COPY_BACK:
-        return tuple(c for c in choices if c.kind is _CB)
-    if kind.includes_write_through and not kind.includes_non_caching:
-        return tuple(c for c in choices if c.kind.includes_write_through)
-    if kind.includes_non_caching and not kind.includes_write_through:
-        return tuple(c for c in choices if c.kind.includes_non_caching)
-    return tuple(
-        c
-        for c in choices
-        if c.kind.includes_write_through or c.kind.includes_non_caching
-    )
+        filtered = tuple(c for c in choices if c.kind is _CB)
+    elif kind.includes_write_through and not kind.includes_non_caching:
+        filtered = tuple(c for c in choices if c.kind.includes_write_through)
+    elif kind.includes_non_caching and not kind.includes_write_through:
+        filtered = tuple(c for c in choices if c.kind.includes_non_caching)
+    else:
+        filtered = tuple(
+            c
+            for c in choices
+            if c.kind.includes_write_through or c.kind.includes_non_caching
+        )
+    _LOCAL_CHOICES_MEMO[key] = filtered
+    return filtered
 
 
 def snoop_choices(state: LineState, event: BusEvent) -> tuple[SnoopAction, ...]:
@@ -302,6 +334,10 @@ class MoesiClassTable:
         # query the same few cells millions of times.
         self._local_memo: dict[tuple, frozenset[LocalAction]] = {}
         self._snoop_memo: dict[tuple, frozenset[SnoopAction]] = {}
+        # Membership verdicts are likewise immutable per (cell, action):
+        # the differential oracle re-asks the same few questions for every
+        # observed transition of a long fuzz campaign.
+        self._permit_memo: dict[tuple, bool] = {}
 
     # -- closure computation ------------------------------------------------
     @staticmethod
@@ -420,14 +456,26 @@ class MoesiClassTable:
         what matters is the observable behaviour (result state, signals,
         bus operation).
         """
+        key = ("local", state, event, action, kind)
+        cached = self._permit_memo.get(key)
+        if cached is not None:
+            return cached
         candidates = self.local_action_set(state, event, kind)
-        return any(_same_local_behaviour(action, c) for c in candidates)
+        verdict = any(_same_local_behaviour(action, c) for c in candidates)
+        self._permit_memo[key] = verdict
+        return verdict
 
     def permits_snoop(
         self, state: LineState, event: BusEvent, action: SnoopAction
     ) -> bool:
+        key = ("snoop", state, event, action)
+        cached = self._permit_memo.get(key)
+        if cached is not None:
+            return cached
         candidates = self.snoop_action_set(state, event)
-        return any(_same_snoop_behaviour(action, c) for c in candidates)
+        verdict = any(_same_snoop_behaviour(action, c) for c in candidates)
+        self._permit_memo[key] = verdict
+        return verdict
 
     def all_cells(self) -> Iterable[tuple]:
         """Iterate (side, state, event, permitted-tuple) over both tables."""
@@ -468,3 +516,210 @@ def _same_snoop_behaviour(a: SnoopAction, b: SnoopAction) -> bool:
     if ra.ch is None or rb.ch is None:
         return True
     return bool(ra.ch) == bool(rb.ch)
+
+
+# ---------------------------------------------------------------------------
+# The table compiler: dict-based cells lowered to integer-indexed flat
+# tuples.
+#
+# Every table in the reproduction -- Table 1/2, the relaxation closure,
+# and the per-protocol Tables 3-7 -- is a total function from a
+# ``(state, event)`` pair to a small tuple of actions.  The dict form is
+# the readable specification; the compiled form is one flat tuple of
+# ``N_STATES * N_EVENTS`` cells indexed by ``state.code * N_EVENTS +
+# event.code``, turning each hot-path lookup into integer arithmetic plus
+# one sequence index (no tuple allocation, no enum hashing).  Because the
+# compiled form is *derived*, every compilation ends with a cell-by-cell
+# equivalence check against the dict-based source -- compile-then-verify.
+# ---------------------------------------------------------------------------
+
+
+class TableCompilationError(AssertionError):
+    """A compiled table disagreed with its dict-based source cell."""
+
+
+class CompiledCells:
+    """Flat integer-indexed form of a protocol's (or the class closure's)
+    transition cells.
+
+    ``local`` has ``N_STATES * N_LOCAL_EVENTS`` entries, ``snoop``
+    ``N_STATES * N_BUS_EVENTS``; each entry is the cell's action tuple
+    (empty for the paper's "--" cells).
+    """
+
+    __slots__ = ("local", "snoop")
+
+    def __init__(
+        self,
+        local: tuple[tuple[LocalAction, ...], ...],
+        snoop: tuple[tuple[SnoopAction, ...], ...],
+    ) -> None:
+        if len(local) != N_STATES * N_LOCAL_EVENTS:
+            raise ValueError(f"expected {N_STATES * N_LOCAL_EVENTS} local cells")
+        if len(snoop) != N_STATES * N_BUS_EVENTS:
+            raise ValueError(f"expected {N_STATES * N_BUS_EVENTS} snoop cells")
+        self.local = local
+        self.snoop = snoop
+
+    def local_cell(
+        self, state: LineState, event: LocalEvent
+    ) -> tuple[LocalAction, ...]:
+        return self.local[state.code * N_LOCAL_EVENTS + event.code]
+
+    def snoop_cell(
+        self, state: LineState, event: BusEvent
+    ) -> tuple[SnoopAction, ...]:
+        return self.snoop[state.code * N_BUS_EVENTS + event.code]
+
+
+def compile_cells(local_fn, snoop_fn, verify: bool = True) -> CompiledCells:
+    """Lower cell accessors ``local_fn(state, event)`` / ``snoop_fn(state,
+    event)`` (each returning an action tuple) into a :class:`CompiledCells`.
+
+    With ``verify`` (the default) the compiled form is immediately checked
+    cell-by-cell against the source accessors through the *compiled* index
+    arithmetic, so an interning or ordering bug cannot survive compilation.
+    """
+    local = tuple(
+        tuple(local_fn(state, event))
+        for state in LineState
+        for event in ALL_LOCAL_EVENTS
+    )
+    snoop = tuple(
+        tuple(snoop_fn(state, event))
+        for state in LineState
+        for event in ALL_BUS_EVENTS
+    )
+    cells = CompiledCells(local, snoop)
+    if verify:
+        verify_compiled(cells, local_fn, snoop_fn)
+    return cells
+
+
+def verify_compiled(cells: CompiledCells, local_fn, snoop_fn) -> None:
+    """One-time equivalence check: every compiled cell, looked up through
+    the integer index, must equal the dict-based source cell."""
+    for state in LineState:
+        for event in ALL_LOCAL_EVENTS:
+            compiled = cells.local[state.code * N_LOCAL_EVENTS + event.code]
+            if compiled != tuple(local_fn(state, event)):
+                raise TableCompilationError(
+                    f"compiled local cell ({state}, {event}) diverges "
+                    "from its dict-based source"
+                )
+        for event in ALL_BUS_EVENTS:
+            compiled = cells.snoop[state.code * N_BUS_EVENTS + event.code]
+            if compiled != tuple(snoop_fn(state, event)):
+                raise TableCompilationError(
+                    f"compiled snoop cell ({state}, {event}) diverges "
+                    "from its dict-based source"
+                )
+
+
+def compile_deterministic(
+    local_transitions, snoop_transitions, snoop_fallback=None
+):
+    """Compile a deterministic protocol's transition mappings (the shape of
+    :class:`repro.core.protocol.TableProtocol`, the paper's Tables 3-7)
+    into two flat tuples of single actions (``None`` marks an illegal
+    "--" cell).
+
+    ``snoop_fallback(state, event)`` supplies the class-default response
+    for snoop cells absent from the protocol's own table (mixed-system
+    operation, paper section 4); the fallback is folded in at compile time
+    so the hot path never takes a KeyError.  The compiled form is verified
+    cell-by-cell against the mappings before being returned.
+    """
+    local = tuple(
+        local_transitions.get((state, event))
+        for state in LineState
+        for event in ALL_LOCAL_EVENTS
+    )
+    snoop = []
+    for state in LineState:
+        for event in ALL_BUS_EVENTS:
+            action = snoop_transitions.get((state, event))
+            if action is None and snoop_fallback is not None:
+                action = snoop_fallback(state, event)
+            snoop.append(action)
+    snoop = tuple(snoop)
+    for state in LineState:
+        for event in ALL_LOCAL_EVENTS:
+            expected = local_transitions.get((state, event))
+            if local[state.code * N_LOCAL_EVENTS + event.code] is not expected:
+                raise TableCompilationError(
+                    f"compiled local transition ({state}, {event}) diverges "
+                    "from the protocol's mapping"
+                )
+        for event in ALL_BUS_EVENTS:
+            expected = snoop_transitions.get((state, event))
+            if expected is None and snoop_fallback is not None:
+                expected = snoop_fallback(state, event)
+            if snoop[state.code * N_BUS_EVENTS + event.code] is not expected:
+                raise TableCompilationError(
+                    f"compiled snoop transition ({state}, {event}) diverges "
+                    "from the protocol's mapping"
+                )
+    return local, snoop
+
+
+_FAST_TABLES_ENABLED = True
+
+
+def fast_tables_enabled() -> bool:
+    """Whether protocols should serve the hot path from compiled tables."""
+    return _FAST_TABLES_ENABLED
+
+
+def set_fast_tables(enabled: bool) -> bool:
+    """Globally enable/disable the compiled-table fast path (tests compare
+    the two paths byte-for-byte).  Returns the previous setting.
+
+    Only affects protocols instantiated (or first exercised) afterwards:
+    already-compiled instances keep their tables.
+    """
+    global _FAST_TABLES_ENABLED
+    previous = _FAST_TABLES_ENABLED
+    _FAST_TABLES_ENABLED = bool(enabled)
+    return previous
+
+
+_SHARED_CLASS_TABLE: Optional[MoesiClassTable] = None
+_COMPILED_CLASS_CELLS: Optional[CompiledCells] = None
+
+
+def shared_class_table() -> MoesiClassTable:
+    """The process-wide relaxation-closure table (memoized cells and
+    membership verdicts shared by every explorer and oracle)."""
+    global _SHARED_CLASS_TABLE
+    if _SHARED_CLASS_TABLE is None:
+        _SHARED_CLASS_TABLE = MoesiClassTable()
+    return _SHARED_CLASS_TABLE
+
+
+def compiled_class_cells() -> CompiledCells:
+    """The full relaxation closure, compiled: every cell is its closed
+    action set sorted by notation (the deterministic order the full-class
+    explorer enumerates choices in)."""
+    global _COMPILED_CLASS_CELLS
+    if _COMPILED_CLASS_CELLS is None:
+        table = shared_class_table()
+
+        def local_fn(state, event):
+            return tuple(
+                sorted(
+                    table.local_action_set(state, event),
+                    key=lambda a: a.notation(),
+                )
+            )
+
+        def snoop_fn(state, event):
+            return tuple(
+                sorted(
+                    table.snoop_action_set(state, event),
+                    key=lambda a: a.notation(),
+                )
+            )
+
+        _COMPILED_CLASS_CELLS = compile_cells(local_fn, snoop_fn)
+    return _COMPILED_CLASS_CELLS

@@ -1,29 +1,47 @@
-"""Warn-once deprecation shims for pre-``repro.api`` entry points.
+"""Warn-once helpers (deprecation shims and degrade notices).
 
 Old call sites keep working; the first direct use of a deprecated entry
 point per process emits one :class:`DeprecationWarning` naming its
 ``repro.api`` replacement, and subsequent uses stay silent (a long fuzz
-campaign should not print the same warning two hundred times).
+campaign should not print the same warning two hundred times).  The same
+once-per-key machinery backs runtime degrade notices such as
+``parallel_map`` quietly falling back to serial execution.
 """
 
 from __future__ import annotations
 
 import warnings
 
-__all__ = ["warn_deprecated", "reset_deprecation_warnings"]
+__all__ = ["warn_once", "warn_deprecated", "reset_deprecation_warnings"]
 
 _warned: set[str] = set()
 
 
+def warn_once(
+    key: str,
+    message: str,
+    category: type[Warning] = DeprecationWarning,
+    stacklevel: int = 3,
+) -> bool:
+    """Emit ``message`` at most once per process for ``key``.
+
+    Returns whether the warning fired (callers sometimes log extra
+    context only the first time).
+    """
+    if key in _warned:
+        return False
+    _warned.add(key)
+    warnings.warn(message, category, stacklevel=stacklevel)
+    return True
+
+
 def warn_deprecated(old: str, new: str) -> None:
     """Emit one DeprecationWarning per process for ``old``."""
-    if old in _warned:
-        return
-    _warned.add(old)
-    warnings.warn(
+    warn_once(
+        old,
         f"{old} is deprecated; use {new} instead",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=4,
     )
 
 

@@ -32,6 +32,10 @@ from typing import Iterable, Optional
 
 __all__ = ["TraceEvent", "Tracer", "attach_tracer", "bus_event_args"]
 
+#: BusOp -> wire name, filled on first use (importing
+#: :mod:`repro.core.actions` at module scope would be circular).
+_OP_NAMES: dict = {}
+
 
 def bus_event_args(txn, result) -> dict:
     """The structured payload for one completed Futurebus transaction.
@@ -41,12 +45,15 @@ def bus_event_args(txn, result) -> dict:
     ``(Transaction, TransactionResult)`` capture and a traced run
     describe the same transaction with the same fields.
     """
-    from repro.core.actions import BusOp
+    if not _OP_NAMES:
+        from repro.core.actions import BusOp
 
+        _OP_NAMES.update(
+            {BusOp.READ: "read", BusOp.WRITE: "write", BusOp.NONE: "addr-only"}
+        )
     signals = txn.signals
     aggregate = result.aggregate
-    op = {BusOp.READ: "read", BusOp.WRITE: "write",
-          BusOp.NONE: "addr-only"}.get(txn.op, str(txn.op))
+    op = _OP_NAMES.get(txn.op) or str(txn.op)
     return {
         "serial": txn.serial,
         "address": txn.address,
@@ -121,83 +128,211 @@ class Tracer:
 
     def __init__(self, stream: str = "run") -> None:
         self.stream = stream
-        self.events: list[TraceEvent] = []
+        #: Materialized events; emission appends compact tuples to
+        #: ``_pending`` instead and defers :class:`TraceEvent`
+        #: construction (f-strings, notation rendering, arg dicts,
+        #: rounding) to the first read.  The hot path -- one
+        #: ``transition`` record per protocol decision, one ``bus``
+        #: record per transaction -- becomes a single tuple append.
+        self._events: list[TraceEvent] = []
+        self._pending: list[tuple] = []
         self.clock_ns = 0.0
         self._seq = 0
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._seq
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The materialized event stream (total order by ``seq``)."""
+        if self._pending:
+            self._materialize()
+        return self._events
 
     # ------------------------------------------------------------------
-    # Emission.
+    # Emission (compact records; see _materialize for the shapes).
     # ------------------------------------------------------------------
-    def _emit(
-        self,
-        kind: str,
-        name: str,
-        t_ns: float,
-        unit: Optional[str],
-        args: dict,
-    ) -> TraceEvent:
-        event = TraceEvent(
-            seq=self._seq,
-            kind=kind,
-            name=name,
-            t_ns=round(t_ns, 3),
-            unit=unit,
-            stream=self.stream,
-            args=args,
-        )
-        self._seq += 1
-        self.events.append(event)
-        return event
-
     def bus_transaction(self, txn, result) -> None:
         """Record one completed Futurebus transaction (the hook
-        :attr:`repro.bus.futurebus.Futurebus.observer` calls)."""
+        :attr:`repro.bus.futurebus.Futurebus.observer` calls).
+
+        Deferring the encode is safe: the bus never mutates ``txn``
+        after the observer call, and ``result`` is frozen."""
         start = self.clock_ns
         self.clock_ns += result.duration_ns
-        self._emit(
-            "bus",
-            txn.event.name,
-            start,
-            txn.master,
-            bus_event_args(txn, result),
-        )
+        self._pending.append(("bus", self._seq, start, txn, result))
+        self._seq += 1
 
     def transition(self, unit: str, side: str, state, event, action) -> None:
         """Record one protocol decision: the (state, event, action) cell
         that fired, as the controller trace hooks report it."""
-        self._emit(
-            "transition",
-            f"{state.letter}/{event.name}",
-            self.clock_ns,
-            unit,
-            {
-                "side": side,
-                "state": state.letter,
-                "event": event.name,
-                "action": action.notation(),
-            },
+        self._pending.append(
+            (
+                "transition",
+                self._seq,
+                self.clock_ns,
+                unit,
+                side,
+                state,
+                event,
+                action,
+            )
         )
+        self._seq += 1
 
     def des(self, name: str, t_ns: float, unit: str, **args) -> None:
         """Record DES activity (``schedule`` / ``fire`` / ``retire``) at
         simulated time ``t_ns``."""
         if t_ns > self.clock_ns:
             self.clock_ns = t_ns
-        self._emit("des", name, t_ns, unit, args)
+        self._pending.append(("des", self._seq, t_ns, unit, name, args))
+        self._seq += 1
 
     def mark(self, name: str, unit: Optional[str] = None, **args) -> None:
         """Record a named waypoint with structured arguments."""
-        self._emit("mark", name, self.clock_ns, unit, args)
+        self._pending.append(
+            ("mark", self._seq, self.clock_ns, unit, name, args)
+        )
+        self._seq += 1
+
+    def _materialize(self) -> None:
+        """Encode pending compact records into :class:`TraceEvent` objects.
+
+        Produces byte-identical events to the former eager encoding:
+        same field values, same rounding, same order (``seq`` was
+        assigned at emission, interleaving correctly with absorbed
+        streams)."""
+        events = self._events
+        for record in self._pending:
+            kind = record[0]
+            if kind == "bus":
+                _, seq, t_ns, txn, result = record
+                events.append(
+                    TraceEvent(
+                        seq=seq,
+                        kind="bus",
+                        name=txn.event.name,
+                        t_ns=round(t_ns, 3),
+                        unit=txn.master,
+                        stream=self.stream,
+                        args=bus_event_args(txn, result),
+                    )
+                )
+            elif kind == "transition":
+                _, seq, t_ns, unit, side, state, event, action = record
+                events.append(
+                    TraceEvent(
+                        seq=seq,
+                        kind="transition",
+                        name=f"{state.letter}/{event.name}",
+                        t_ns=round(t_ns, 3),
+                        unit=unit,
+                        stream=self.stream,
+                        args={
+                            "side": side,
+                            "state": state.letter,
+                            "event": event.name,
+                            "action": action.notation(),
+                        },
+                    )
+                )
+            elif kind == "absorbed":
+                events.append(record[1])
+            else:  # "des" | "mark"
+                _, seq, t_ns, unit, name, args = record
+                events.append(
+                    TraceEvent(
+                        seq=seq,
+                        kind=kind,
+                        name=name,
+                        t_ns=round(t_ns, 3),
+                        unit=unit,
+                        stream=self.stream,
+                        args=args,
+                    )
+                )
+        self._pending.clear()
 
     # ------------------------------------------------------------------
     # Merging (serial/parallel equivalence).
     # ------------------------------------------------------------------
     def export(self) -> list[dict]:
-        """The event stream as plain dicts (picklable, JSON-able)."""
-        return [event.to_dict() for event in self.events]
+        """The event stream as plain dicts (picklable, JSON-able).
+
+        Pending compact records are encoded straight to their dict form;
+        the :class:`TraceEvent` hop is only taken for events someone
+        already materialized by reading :attr:`events`.  Per-cell name
+        strings and per-action notations are cached across the loop --
+        a trace has thousands of transition records drawn from at most a
+        few dozen distinct table cells."""
+        out = [event.to_dict() for event in self._events]
+        if not self._pending:
+            return out
+        stream = self.stream
+        cell_names: dict = {}
+        notations: dict = {}
+        for record in self._pending:
+            kind = record[0]
+            if kind == "transition":
+                _, seq, t_ns, unit, side, state, event, action = record
+                cell = (state, event)
+                cached = cell_names.get(cell)
+                if cached is None:
+                    cached = (
+                        f"{state.letter}/{event.name}",
+                        state.letter,
+                        event.name,
+                    )
+                    cell_names[cell] = cached
+                notation = notations.get(id(action))
+                if notation is None:
+                    notation = action.notation()
+                    notations[id(action)] = notation
+                out.append(
+                    {
+                        "seq": seq,
+                        "kind": "transition",
+                        "name": cached[0],
+                        "t_ns": round(t_ns, 3),
+                        "unit": unit,
+                        "stream": stream,
+                        "args": {
+                            "side": side,
+                            "state": cached[1],
+                            "event": cached[2],
+                            "action": notation,
+                        },
+                    }
+                )
+            elif kind == "bus":
+                _, seq, t_ns, txn, result = record
+                out.append(
+                    {
+                        "seq": seq,
+                        "kind": "bus",
+                        "name": txn.event.name,
+                        "t_ns": round(t_ns, 3),
+                        "unit": txn.master,
+                        "stream": stream,
+                        "args": bus_event_args(txn, result),
+                    }
+                )
+            elif kind == "absorbed":
+                out.append(record[1].to_dict())
+            else:  # "des" | "mark"
+                _, seq, t_ns, unit, name, args = record
+                out.append(
+                    {
+                        "seq": seq,
+                        "kind": kind,
+                        "name": name,
+                        "t_ns": round(t_ns, 3),
+                        "unit": unit,
+                        "stream": stream,
+                        "args": args,
+                    }
+                )
+        return out
 
     def absorb(
         self, events: Iterable[dict], stream: Optional[str] = None
@@ -215,7 +350,7 @@ class Tracer:
                 event.stream = stream
             event.seq = self._seq
             self._seq += 1
-            self.events.append(event)
+            self._pending.append(("absorbed", event))
 
 
 def attach_tracer(system, tracer: Optional[Tracer]) -> None:

@@ -9,6 +9,8 @@ embarrassingly parallel across cases.  This package provides:
 
 * :mod:`repro.perf.pool` -- :func:`parallel_map`: a deterministic
   process-pool map with per-task timeouts and graceful serial fallback;
+* :mod:`repro.perf.engine` -- the warm persistent worker pool behind it,
+  with chunked batch scheduling (started lazily, reused across calls);
 * :mod:`repro.perf.matrix` -- the verification matrix across workers,
   byte-identical rows to the serial path;
 * :mod:`repro.perf.sweeps` -- the DES experiment sweeps across workers;
@@ -17,6 +19,7 @@ embarrassingly parallel across cases.  This package provides:
 """
 
 from repro.perf.bench import run_bench_suite, write_bench_json
+from repro.perf.engine import pool_stats, run_chunked, shutdown_pool
 from repro.perf.matrix import run_matrix_parallel
 from repro.perf.pool import (
     ParallelConfig,
@@ -39,4 +42,7 @@ __all__ = [
     "update_vs_invalidate_parallel",
     "run_bench_suite",
     "write_bench_json",
+    "pool_stats",
+    "run_chunked",
+    "shutdown_pool",
 ]

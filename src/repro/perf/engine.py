@@ -1,0 +1,224 @@
+"""Warm persistent worker pool with chunked batch scheduling.
+
+:mod:`repro.perf.pool` used to build a fresh :class:`ProcessPoolExecutor`
+per ``parallel_map`` call; for the bench matrix and the explorer frontier
+that start-up cost (fork + interpreter warm-up per call) dominated the
+useful work.  This module keeps **one process-wide pool** alive across
+calls:
+
+* the pool is started lazily on first use and reused by every subsequent
+  map (grown in place if a later call asks for more workers);
+* it is shut down via :mod:`atexit`, and a forked child silently drops
+  the inherited handle instead of tearing down its parent's workers;
+* items are submitted in **chunks** of roughly
+  ``len(items) / (4 * workers)`` so each future carries a batch and the
+  per-item pickle/dispatch overhead is amortized, while keeping enough
+  chunks in flight for load balancing;
+* on a per-task timeout the stuck workers are **terminated** (not
+  joined), so a hung task costs the caller ``timeout_s``, not the task's
+  full runtime, and the next map starts from a fresh pool.
+
+Everything here preserves the :func:`repro.perf.pool.parallel_map`
+contract: deterministic input-order results, worker exceptions
+propagating to the caller, and serial fallback handled by the caller on
+:class:`BrokenProcessPool`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence, TypeVar
+
+__all__ = [
+    "DEFAULT_MAX_WORKERS",
+    "ParallelTimeoutError",
+    "default_chunk_size",
+    "get_executor",
+    "pool_stats",
+    "resolve_workers",
+    "run_chunked",
+    "shutdown_pool",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Upper bound on the default worker count; beyond this the matrix's
+#: longest single case dominates and extra processes only add start-up
+#: cost.
+DEFAULT_MAX_WORKERS = 8
+
+#: Chunks submitted per worker: >1 for load balancing (a worker that
+#: draws a cheap chunk picks up another), small enough that per-chunk
+#: pickling stays negligible.
+CHUNKS_PER_WORKER = 4
+
+
+class ParallelTimeoutError(TimeoutError):
+    """A pooled task exceeded its per-task timeout."""
+
+    def __init__(self, index: int, timeout_s: float) -> None:
+        super().__init__(
+            f"parallel task #{index} exceeded {timeout_s:g}s timeout"
+        )
+        self.index = index
+        self.timeout_s = timeout_s
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit, else cpu-bounded default."""
+    if workers is not None:
+        return max(1, workers)
+    return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Items per chunk: ~``CHUNKS_PER_WORKER`` chunks per worker."""
+    return max(1, -(-n_items // (CHUNKS_PER_WORKER * max(1, workers))))
+
+
+# ---------------------------------------------------------------------------
+# The process-wide warm pool.
+# ---------------------------------------------------------------------------
+_executor: Optional[ProcessPoolExecutor] = None
+_executor_workers: int = 0
+_executor_pid: Optional[int] = None
+_atexit_registered = False
+_stats = {"pool_starts": 0, "pool_reuses": 0, "maps": 0, "chunks": 0}
+
+
+def pool_stats() -> dict[str, int]:
+    """Counters for tests and the bench report (copy; safe to mutate)."""
+    return dict(_stats)
+
+
+def get_executor(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, started lazily and reused across calls.
+
+    A pool smaller than ``workers`` is replaced by one sized to the
+    larger request (never shrunk: idle workers are cheap, forking is
+    not).  Raises ``OSError``/``ValueError`` when process pools cannot
+    run in this environment (restricted sandboxes) -- callers fall back
+    to serial execution.
+    """
+    global _executor, _executor_workers, _executor_pid, _atexit_registered
+    workers = max(1, workers)
+    if _executor is not None and _executor_pid != os.getpid():
+        # Forked child: the handle belongs to the parent.  Drop it
+        # without shutdown -- a shutdown would poison the parent's pool.
+        _executor = None
+        _executor_workers = 0
+    if _executor is not None:
+        if _executor_workers >= workers:
+            _stats["pool_reuses"] += 1
+            return _executor
+        workers = max(workers, _executor_workers)
+        shutdown_pool(wait=False)
+    executor = ProcessPoolExecutor(max_workers=workers)
+    _executor = executor
+    _executor_workers = workers
+    _executor_pid = os.getpid()
+    _stats["pool_starts"] += 1
+    if not _atexit_registered:
+        atexit.register(shutdown_pool)
+        _atexit_registered = True
+    return executor
+
+
+def shutdown_pool(wait: bool = False) -> None:
+    """Shut down the warm pool (no-op if none is running).
+
+    Called automatically at interpreter exit; callers invalidate the
+    pool explicitly after a :class:`BrokenProcessPool` or a timeout so
+    the next map starts fresh.
+    """
+    global _executor, _executor_workers, _executor_pid
+    executor, _executor = _executor, None
+    _executor_workers = 0
+    _executor_pid = None
+    if executor is not None:
+        executor.shutdown(wait=wait, cancel_futures=True)
+
+
+def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+    """Kill the pool's worker processes outright (timeout recovery).
+
+    ``shutdown(wait=False)`` alone leaves a stuck worker running to
+    completion in the background; terminating makes the cost of a hung
+    task the timeout, not the task."""
+    try:
+        processes = list((executor._processes or {}).values())
+    except Exception:  # pragma: no cover - implementation detail moved
+        processes = []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    """Worker-side body: map one chunk in-process (top-level: picklable)."""
+    return [fn(item) for item in chunk]
+
+
+def run_chunked(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int,
+    *,
+    executor: Optional[ProcessPoolExecutor] = None,
+    timeout_s: Optional[float] = None,
+    chunk_size: Optional[int] = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` on the warm pool in chunked batches.
+
+    Results come back in input order regardless of completion order, so
+    the output is byte-identical to ``[fn(x) for x in items]`` for pure
+    ``fn``.  Worker exceptions propagate; ``BrokenProcessPool``
+    propagates for the caller's serial fallback.  When no chunk
+    completes within ``timeout_s`` the earliest pending task index is
+    reported via :class:`ParallelTimeoutError`, the stuck workers are
+    terminated and the pool is invalidated.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if executor is None:
+        executor = get_executor(workers)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(items), workers)
+    chunks = [
+        items[start:start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+    _stats["maps"] += 1
+    _stats["chunks"] += len(chunks)
+    futures = {
+        executor.submit(_run_chunk, fn, chunk): index
+        for index, chunk in enumerate(chunks)
+    }
+    results: dict[int, list[R]] = {}
+    pending = set(futures)
+    while pending:
+        done, pending = wait(
+            pending, timeout=timeout_s, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            # Nothing finished within the window: the earliest
+            # still-pending chunk's first task is declared stuck.
+            stuck_chunk = min(futures[f] for f in pending)
+            for future in pending:
+                future.cancel()
+            _terminate_workers(executor)
+            shutdown_pool(wait=False)
+            raise ParallelTimeoutError(
+                stuck_chunk * chunk_size, timeout_s or 0.0
+            )
+        for future in done:
+            results[futures[future]] = future.result()
+    return [
+        result for index in range(len(chunks)) for result in results[index]
+    ]

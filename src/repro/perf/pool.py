@@ -12,52 +12,45 @@ builds on.  Guarantees:
   ``workers <= 1``, when the task function or an item cannot be pickled,
   or when the pool itself fails to start (restricted sandboxes), the map
   silently degrades to an in-process loop that produces the same results.
+  When the caller explicitly asked for parallelism the degrade is not
+  entirely silent: a once-per-reason :class:`RuntimeWarning` explains it.
 
 Worker exceptions propagate to the caller in both modes, so parallel and
 serial execution are observationally equivalent (modulo wall time).
+
+Since the warm-pool rework the actual scheduling lives in
+:mod:`repro.perf.engine`: one persistent process pool shared across
+calls, fed in chunked batches.  This module keeps the policy -- mode
+resolution, picklability probing, and the serial fallback ladder.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import os
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.deprecation import warn_once
+from repro.perf.engine import (
+    DEFAULT_MAX_WORKERS,
+    ParallelTimeoutError,
+    get_executor,
+    resolve_workers,
+    run_chunked,
+    shutdown_pool,
+)
 
 __all__ = [
     "ParallelConfig",
     "ParallelTimeoutError",
     "parallel_map",
     "resolve_workers",
+    "shutdown_pool",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-#: Upper bound on the default worker count; beyond this the matrix's
-#: longest single case dominates and extra processes only add start-up
-#: cost.
-DEFAULT_MAX_WORKERS = 8
-
-
-class ParallelTimeoutError(TimeoutError):
-    """A pooled task exceeded its per-task timeout."""
-
-    def __init__(self, index: int, timeout_s: float) -> None:
-        super().__init__(
-            f"parallel task #{index} exceeded {timeout_s:g}s timeout"
-        )
-        self.index = index
-        self.timeout_s = timeout_s
-
-
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """The effective worker count: explicit, else cpu-bounded default."""
-    if workers is not None:
-        return max(1, workers)
-    return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
 
 
 @dataclasses.dataclass
@@ -68,11 +61,15 @@ class ParallelConfig:
         ``"auto"`` (pool when it can help, serial otherwise),
         ``"serial"`` (never fork), or ``"process"`` (insist on the pool;
         still falls back if the pool cannot run the work at all).
+    chunk_size:
+        Items per submitted batch; default ``None`` lets the engine pick
+        ``~len(items) / (4 * workers)``.
     """
 
     workers: Optional[int] = None
     mode: str = "auto"
     task_timeout_s: Optional[float] = None
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "serial", "process"):
@@ -94,6 +91,15 @@ def _picklable(*objects: object) -> bool:
 
 def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
     return [fn(item) for item in items]
+
+
+def _warn_degrade(key: str, reason: str) -> None:
+    warn_once(
+        f"pool-degrade:{key}",
+        f"parallel_map: requested parallelism degraded to serial ({reason})",
+        category=RuntimeWarning,
+        stacklevel=5,
+    )
 
 
 def parallel_map(
@@ -134,38 +140,26 @@ def _map(
     if config.mode == "serial" or workers <= 1:
         return _serial_map(fn, items)
     if not _picklable(fn, *items):
+        _warn_degrade("pickle", "task or items not picklable")
         return _serial_map(fn, items)
     try:
-        executor = ProcessPoolExecutor(max_workers=workers)
+        executor = get_executor(workers)
     except (OSError, ValueError):  # restricted sandbox / no semaphores
+        _warn_degrade("pool-start", "process pool unavailable here")
         return _serial_map(fn, items)
     try:
-        with executor:
-            futures = {
-                executor.submit(fn, item): index
-                for index, item in enumerate(items)
-            }
-            results: dict[int, R] = {}
-            pending = set(futures)
-            while pending:
-                done, pending = wait(
-                    pending,
-                    timeout=config.task_timeout_s,
-                    return_when=FIRST_COMPLETED,
-                )
-                if not done:
-                    # Nothing finished within the window: the earliest
-                    # still-pending task is declared stuck.
-                    stuck = min(futures[f] for f in pending)
-                    for future in pending:
-                        future.cancel()
-                    raise ParallelTimeoutError(
-                        stuck, config.task_timeout_s or 0.0
-                    )
-                for future in done:
-                    results[futures[future]] = future.result()
-            return [results[index] for index in range(len(items))]
+        return run_chunked(
+            fn,
+            items,
+            workers,
+            executor=executor,
+            timeout_s=config.task_timeout_s,
+            chunk_size=config.chunk_size,
+        )
     except BrokenProcessPool:
-        # A worker died (OOM, signal): redo the whole map serially so the
-        # caller still gets deterministic, complete results.
+        # A worker died (OOM, signal): invalidate the warm pool and redo
+        # the whole map serially so the caller still gets deterministic,
+        # complete results.
+        shutdown_pool(wait=False)
+        _warn_degrade("broken-pool", "a worker process died mid-map")
         return _serial_map(fn, items)

@@ -74,44 +74,56 @@ class TimedRun:
 
     # ------------------------------------------------------------------
     def _make_step(self, processor: Processor):
+        # step() runs once per memory reference -- the DES hot path.
+        # Everything invariant across steps is hoisted into closure
+        # locals; only the tracer (attachable mid-run) and the shared
+        # bus-free horizon are re-read through ``self``.
+        system = self.system
+        sim = self.sim
+        bus = system.bus
+        unit_id = processor.unit_id
+        stats = processor.stats
+        hit_ns = processor.timing.hit_ns
+        think_ns = processor.timing.think_ns
+        next_reference = processor.next_reference
+
         def step() -> None:
-            tracer = self.system.tracer
-            ref = processor.next_reference()
+            tracer = system.tracer
+            ref = next_reference()
             if ref is None:
-                processor.stats.finished_at = self.sim.now
+                stats.finished_at = sim.now
                 if tracer is not None:
-                    tracer.des("retire", self.sim.now, processor.unit_id,
-                               drained=True)
+                    tracer.des("retire", sim.now, unit_id, drained=True)
                 return
             op, address = ref
             if tracer is not None:
-                tracer.des("fire", self.sim.now, processor.unit_id,
+                tracer.des("fire", sim.now, unit_id,
                            op=op.value, address=address)
-            busy_before = self.system.bus.busy_ns
+            busy_before = bus.busy_ns
             if op is Op.READ:
-                self.system.read(processor.unit_id, address)
+                system.read(unit_id, address)
             else:
-                self.system.write(processor.unit_id, address)
-            bus_time = self.system.bus.busy_ns - busy_before
+                system.write(unit_id, address)
+            bus_time = bus.busy_ns - busy_before
 
-            now = self.sim.now
+            now = sim.now
             if bus_time > 0:
                 start = max(now, self._bus_free_at)
                 finish = start + bus_time
                 self._bus_free_at = finish
-                processor.stats.bus_wait_ns += start - now
-                processor.stats.stall_ns += finish - now
+                stats.bus_wait_ns += start - now
+                stats.stall_ns += finish - now
             else:
-                finish = now + processor.timing.hit_ns
-                processor.stats.stall_ns += processor.timing.hit_ns
-            processor.stats.completed += 1
-            next_at = finish + processor.timing.think_ns
-            self.sim.at(next_at, step)
+                finish = now + hit_ns
+                stats.stall_ns += hit_ns
+            stats.completed += 1
+            next_at = finish + think_ns
+            sim.at(next_at, step)
             if tracer is not None:
-                tracer.des("retire", finish, processor.unit_id,
+                tracer.des("retire", finish, unit_id,
                            op=op.value, address=address,
                            stall_ns=round(finish - now, 3))
-                tracer.des("schedule", finish, processor.unit_id,
+                tracer.des("schedule", finish, unit_id,
                            at_ns=round(next_at, 3))
 
         return step

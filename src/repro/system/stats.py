@@ -135,21 +135,27 @@ class BusStats:
     def record_transaction(
         self, txn: "Transaction", result: "TransactionResult"
     ) -> None:
-        self._transactions.inc()
+        # Inlined counter updates (``.value += n`` instead of ``.inc()``):
+        # this runs once per bus transaction and the method dispatch was
+        # measurable in the explorer's hot loop.
+        self._transactions.value += 1
         self.by_event[txn.event] += 1
         if txn.op is BusOp.NONE:
-            self._address_only.inc()
+            self._address_only.value += 1
         elif txn.op is BusOp.READ:
-            self._reads.inc()
+            self._reads.value += 1
         elif txn.op is BusOp.WRITE:
-            self._writes.inc()
-        self._retries.inc(result.retries)
-        if result.intervened:
-            self._interventions.inc()
-        if txn.signals.bc or result.connectors:
-            self._broadcast_transfers.inc()
-        self._connector_updates.inc(len(result.connectors))
-        self._busy_ns.add(result.duration_ns)
+            self._writes.value += 1
+        if result.retries:
+            self._retries.value += result.retries
+        if result.aggregate.di:
+            self._interventions.value += 1
+        connectors = result.connectors
+        if txn.signals.bc or connectors:
+            self._broadcast_transfers.value += 1
+        if connectors:
+            self._connector_updates.value += len(connectors)
+        self._busy_ns.total += result.duration_ns
 
     def count(self, event: BusEvent) -> int:
         return self.by_event.get(event, 0)
@@ -216,6 +222,10 @@ class SystemReport:
     #: Whole-system metrics snapshot (MetricsRegistry.to_dict), or None.
     metrics: Optional[dict] = None
     #: Exported structured trace (list of TraceEvent dicts), or None.
+    #: May be passed as a lazy ``(tracer, event_count)`` handle; the
+    #: ``trace`` property (installed below) exports on first access, so
+    #: building a report costs nothing trace-wise until the trace is
+    #: actually read.
     trace: Optional[list] = None
 
     @property
@@ -292,3 +302,36 @@ class SystemReport:
     @classmethod
     def from_json(cls, text: str) -> "SystemReport":
         return cls.from_dict(json.loads(text))
+
+    def trace_handle(self):
+        """The raw stored trace value -- a list, None, or the lazy
+        ``(tracer, count)`` handle -- without forcing an export."""
+        return self._trace_value
+
+
+def _trace_get(self) -> Optional[list]:
+    value = self._trace_value
+    if value is None or isinstance(value, list):
+        return value
+    tracer, count = value
+    events = tracer.export()
+    if len(events) > count:
+        # The tracer kept recording after this report was taken (one
+        # session tracing several runs); this report covers the prefix.
+        events = events[:count]
+    self._trace_value = events
+    return events
+
+
+def _trace_set(self, value) -> None:
+    self._trace_value = value
+
+
+#: Install ``trace`` as a lazy property over the dataclass field: the
+#: report constructor accepts either the exported list or a cheap
+#: ``(tracer, count)`` handle, and the encode/export cost is paid on
+#: first read instead of at report time (the obs fast-path contract:
+#: a traced *run* costs only the compact emission appends).
+SystemReport.trace = property(  # type: ignore[assignment]
+    _trace_get, _trace_set, doc="Exported structured trace, or None."
+)

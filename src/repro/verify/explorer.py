@@ -46,6 +46,8 @@ from repro.core.transitions import (
     MoesiClassTable,
     _same_local_behaviour,
     _same_snoop_behaviour,
+    compiled_class_cells,
+    shared_class_table,
 )
 from repro.protocols.moesi import MoesiProtocol
 from repro.protocols.registry import make_protocol
@@ -118,29 +120,20 @@ class FullClassProtocol(MoesiProtocol):
 
     def __init__(self, policy: ActionPolicy, name: str = "FullClass") -> None:
         super().__init__(policy, name=name)
-        self._table = MoesiClassTable()
-        # The closure of a cell never changes, but computing it sorts the
-        # action set by notation every time -- the explorer's hottest call.
-        self._local_cells: dict = {}
-        self._snoop_cells: dict = {}
+        self._table = shared_class_table()
+        # Closure cells are immutable, so every full-class instance shares
+        # one compiled flat table: each cell is the closed action set
+        # sorted by notation, indexed by interned state/event codes -- the
+        # explorer's hottest lookup reduced to integer arithmetic.
+        cells = compiled_class_cells()
+        self._local_cells = cells.local
+        self._snoop_cells = cells.snoop
 
     def local_cell(self, state, event):
-        key = (state, event)
-        cell = self._local_cells.get(key)
-        if cell is None:
-            actions = self._table.local_action_set(state, event)
-            cell = tuple(sorted(actions, key=lambda a: a.notation()))
-            self._local_cells[key] = cell
-        return cell
+        return self._local_cells[state.code * 4 + event.code]
 
     def snoop_cell(self, state, event):
-        key = (state, event)
-        cell = self._snoop_cells.get(key)
-        if cell is None:
-            actions = self._table.snoop_action_set(state, event)
-            cell = tuple(sorted(actions, key=lambda a: a.notation()))
-            self._snoop_cells[key] = cell
-        return cell
+        return self._snoop_cells[state.code * 6 + event.code]
 
     def local_action(self, state, event, ctx=None):
         choices = self.local_cell(state, event)
@@ -185,12 +178,27 @@ class TransitionQuery:
 
     def permits(self, side: str, state, event, action) -> bool:
         """Dispatch on ``side`` (``"local"`` / ``"snoop"``) -- the shape
-        the transition observer reports."""
+        the transition observer reports.
+
+        Verdicts are memoized per query instance: tables are immutable,
+        and the differential oracle asks about the same few cells for
+        every transition of a long run.
+        """
+        memo = self.__dict__.get("_permits_memo")
+        if memo is None:
+            memo = self.__dict__["_permits_memo"] = {}
+        key = (side, state, event, action)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
         if side == "local":
-            return self.permits_local(state, event, action)
-        if side == "snoop":
-            return self.permits_snoop(state, event, action)
-        raise ValueError(f"unknown transition side {side!r}")
+            verdict = self.permits_local(state, event, action)
+        elif side == "snoop":
+            verdict = self.permits_snoop(state, event, action)
+        else:
+            raise ValueError(f"unknown transition side {side!r}")
+        memo[key] = verdict
+        return verdict
 
 
 class ClassTransitionQuery(TransitionQuery):
@@ -203,7 +211,7 @@ class ClassTransitionQuery(TransitionQuery):
 
     def __init__(self, kind: Optional[MasterKind] = None) -> None:
         self.kind = kind
-        self._table = MoesiClassTable()
+        self._table = shared_class_table()
 
     def permits_local(self, state, event, action) -> bool:
         if self._table.permits_local(state, event, action, self.kind):
@@ -407,12 +415,14 @@ class Explorer:
 
     def _snapshot(self):
         units = tuple(
-            None if line is None else (line.state, line.value, line.tag)
-            for line in self._unit_lines
+            [
+                None if line is None else (line.state, line.value, line.tag)
+                for line in self._unit_lines
+            ]
         )
-        memory = tuple(self.system.memory.peek(a) for a in self.lines)
+        memory = tuple([self.system.memory.peek(a) for a in self.lines])
         last_version = self.system._last_version
-        lasts = tuple(last_version.get(a, 0) for a in self.lines)
+        lasts = tuple([last_version.get(a, 0) for a in self.lines])
         return (units, memory, lasts, self.system._version_counter)
 
     def _restore(self, snapshot) -> None:
@@ -435,19 +445,21 @@ class Explorer:
                 values.add(saved[1])
         ranks = {v: i for i, v in enumerate(sorted(values))}
         sig_units = tuple(
-            "nc"
-            if saved is None
-            else (
-                (saved[0].letter, saved[2], ranks[saved[1]])
-                if saved[0].valid
-                else "I"
-            )
-            for saved in units
+            [
+                "nc"
+                if saved is None
+                else (
+                    (saved[0].letter, saved[2], ranks[saved[1]])
+                    if saved[0].valid
+                    else "I"
+                )
+                for saved in units
+            ]
         )
         return (
             sig_units,
-            tuple(ranks[v] for v in memory),
-            tuple(ranks[v] for v in lasts),
+            tuple([ranks[v] for v in memory]),
+            tuple([ranks[v] for v in lasts]),
         )
 
     # ------------------------------------------------------------------
