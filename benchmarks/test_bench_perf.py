@@ -14,6 +14,7 @@ import json
 import pathlib
 
 from repro.perf.bench import (
+    BATCH_MIN_EXPLORER_MULTIPLE,
     BENCH_FILENAME,
     MAX_TRACED_OVERHEAD_PCT,
     load_baseline,
@@ -38,9 +39,29 @@ def _assert_budgets(report: dict) -> None:
         f"traced overhead {report['obs']['overhead_traced_pct']}% over the "
         f"{MAX_TRACED_OVERHEAD_PCT}% budget"
     )
+    # The batch kernel must agree with the object engine on its sampled
+    # rows; the throughput floor/budget rides on the regression section.
+    assert report["batch"]["verified_ok"], (
+        "batch kernel diverged from the object engine"
+    )
+    assert report["batch"]["backends"], "no batch backend was timed"
     regression = report.get("regression")
     if regression is not None:
         assert regression["ok"], "; ".join(regression["failures"])
+        batch = regression.get("batch")
+        if batch is not None and batch["explorer_multiple"] is not None:
+            gated = max(
+                x
+                for x in (
+                    batch["explorer_multiple"],
+                    batch["explorer_multiple_normalized"],
+                )
+                if x is not None
+            )
+            assert gated >= BATCH_MIN_EXPLORER_MULTIPLE, (
+                f"batch kernel at {gated}x the baseline explorer, below "
+                f"the {BATCH_MIN_EXPLORER_MULTIPLE}x floor"
+            )
 
 
 def test_bench_suite(benchmark, save_artifact):

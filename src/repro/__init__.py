@@ -59,6 +59,7 @@ from repro.api import (
     FuzzResult,
     Session,
     VerifyResult,
+    batch_sweep,
     explore,
     fuzz_campaign,
     run_experiment,
@@ -88,5 +89,6 @@ __all__ = [
     "run_experiment",
     "explore",
     "fuzz_campaign",
+    "batch_sweep",
     "__version__",
 ]

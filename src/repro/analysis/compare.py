@@ -137,16 +137,23 @@ def protocol_comparison(
     under its own stream and the streams are absorbed in protocol order
     -- byte-identical whether the rows came from the pool or not.
     """
+    recipe = None
     if trace is None:
         config = SyntheticConfig(processors=4, p_shared=0.3, p_write=0.3)
         trace = SyntheticWorkload(config, seed=seed).trace(references)
+        if workers is not None and workers > 1:
+            # The pooled sweep regenerates the trace in the workers from
+            # this compact recipe instead of unpickling it per task.
+            from repro.perf.sweeps import synthetic_trace_recipe
+
+            recipe = synthetic_trace_recipe(config, seed, references)
     if tracer is not None:
         if workers is not None and workers > 1:
             from repro.perf.sweeps import protocol_comparison_parallel
 
             payloads = protocol_comparison_parallel(
                 trace, protocols=protocols, timed=timed, workers=workers,
-                traced=True, profiler=profiler,
+                traced=True, profiler=profiler, recipe=recipe,
             )
         else:
             payloads = [
@@ -163,7 +170,7 @@ def protocol_comparison(
 
         return protocol_comparison_parallel(
             trace, protocols=protocols, timed=timed, workers=workers,
-            profiler=profiler,
+            profiler=profiler, recipe=recipe,
         )
     return [comparison_row(protocol, trace, timed) for protocol in protocols]
 
@@ -300,9 +307,16 @@ def heterogeneous_mix_sweep(
     config = SyntheticConfig(processors=4, p_shared=0.25, p_write=0.3)
     trace = SyntheticWorkload(config, seed=seed).trace(references)
     if workers is not None and workers > 1:
-        from repro.perf.sweeps import heterogeneous_parallel
+        from repro.perf.sweeps import (
+            heterogeneous_parallel,
+            synthetic_trace_recipe,
+        )
 
-        return heterogeneous_parallel(trace, workers=workers)
+        return heterogeneous_parallel(
+            trace,
+            workers=workers,
+            recipe=synthetic_trace_recipe(config, seed, references),
+        )
     return [
         heterogeneous_row(label, protocols, trace)
         for label, protocols in HETEROGENEOUS_MIXES.items()

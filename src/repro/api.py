@@ -50,6 +50,7 @@ __all__ = [
     "run_experiment",
     "explore",
     "fuzz_campaign",
+    "batch_sweep",
     "shutdown_pool",
     "warm_pool",
 ]
@@ -442,4 +443,33 @@ def fuzz_campaign(
     session = Session(label="fuzz", trace=trace, profile=profile)
     return session.fuzz_campaign(
         config=config, seeds=seeds, workers=workers, out_dir=out_dir
+    )
+
+
+def batch_sweep(
+    protocols=None,
+    rows: int = 64,
+    events_per_row: int = 100,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    **kwargs,
+) -> list:
+    """Run the struct-of-arrays batch kernel over synthetic populations,
+    one per protocol spec; returns the per-protocol summary rows.
+
+    The facade over :func:`repro.perf.sweeps.batch_protocol_sweep`:
+    ``protocols`` defaults to every registry spec the table lowering
+    accepts, ``backend`` to the fastest available (numpy when importable,
+    the pure-Python ``array`` kernel otherwise)."""
+    from repro.perf.sweeps import batch_protocol_sweep
+
+    return batch_protocol_sweep(
+        protocols=protocols,
+        rows=rows,
+        events_per_row=events_per_row,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        **kwargs,
     )

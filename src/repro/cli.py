@@ -259,9 +259,39 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_section_rows(section: dict) -> list:
+    return [
+        {"backend": name, **leg}
+        for name, leg in section["backends"].items()
+    ]
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_rows
     from repro.perf.bench import run_bench_suite, write_bench_json
+
+    if getattr(args, "batch", False):
+        # Batch-kernel section only: no matrix/DES/obs legs, no JSON
+        # artifact -- the quick way to eyeball population throughput.
+        from repro.perf.bench import _bench_batch
+
+        section = _bench_batch(args.quick)
+        ok = section["verified_ok"]
+        if args.json:
+            return _emit(
+                args, "bench", ok, {"batch": section},
+                {"bench.batch_backend": section["default_backend"]},
+            )
+        print(
+            format_rows(
+                _batch_section_rows(section),
+                f"Batch kernel ({section['rows']} rows x "
+                f"{section['events_per_row']} events/row, oracle check on "
+                f"{section['verified_rows']} rows: "
+                f"{'ok' if ok else 'MISMATCH'})",
+            )
+        )
+        return 0 if ok else 1
 
     report = run_bench_suite(workers=args.workers, quick=args.quick)
     ok = (report["matrix"]["rows_identical"]
@@ -299,6 +329,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nobservability tax ({obs['references']} refs, best of "
           f"{obs['repeats']}): disabled {obs['overhead_disabled_pct']:+.2f}%,"
           f" traced {obs['overhead_traced_pct']:+.2f}% vs direct")
+    batch = report.get("batch")
+    if batch is not None:
+        print()
+        print(
+            format_rows(
+                _batch_section_rows(batch),
+                f"Batch kernel ({batch['rows']} rows x "
+                f"{batch['events_per_row']} events/row, oracle check on "
+                f"{batch['verified_rows']} rows: "
+                f"{'ok' if batch['verified_ok'] else 'MISMATCH'})",
+            )
+        )
     regression = report.get("regression")
     if regression is not None:
         if regression["explorer"]:
@@ -637,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the parallel legs")
     p.add_argument("--quick", action="store_true",
                    help="small bounds (smoke-test sized)")
+    p.add_argument("--batch", action="store_true",
+                   help="run only the struct-of-arrays batch-kernel "
+                        "section (skips matrix/DES/obs; writes no file)")
     p.add_argument("--out", default="BENCH_perf.json",
                    help="where to write the machine-readable report")
     _add_json_arg(p)

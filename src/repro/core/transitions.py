@@ -70,6 +70,13 @@ __all__ = [
     "compiled_class_cells",
     "fast_tables_enabled",
     "set_fast_tables",
+    "BatchTables",
+    "BATCH_LOCAL_WIDTH",
+    "BATCH_SNOOP_WIDTH",
+    "batchable",
+    "lower_batch_tables",
+    "verify_batch_tables",
+    "bus_event_code_table",
 ]
 
 #: Dimensions of the compiled flat tables.  Rows are indexed by
@@ -723,3 +730,264 @@ def compiled_class_cells() -> CompiledCells:
 
         _COMPILED_CLASS_CELLS = compile_cells(local_fn, snoop_fn)
     return _COMPILED_CLASS_CELLS
+
+
+# ---------------------------------------------------------------------------
+# Batch lowering: protocol tables as pure-integer records.
+#
+# The struct-of-arrays kernel (:mod:`repro.perf.batch`) steps thousands of
+# independent systems as parallel integer arrays, so it cannot afford enum
+# objects, dataclasses, or policy dispatch on its inner loop.  This section
+# lowers a *deterministic* protocol instance to two flat tuples of small
+# integer records -- one consult becomes one tuple index.  Protocols whose
+# choices depend on hidden state (seeded RNGs, round-robin counters) are
+# not lowerable; :func:`lower_batch_tables` returns ``None`` for them and
+# callers fall back to the object engine.
+#
+# Record formats (``None`` marks an illegal "--" cell):
+#
+# * local cell  -> ``(ns_ch, ns_nch, ca, im, bc, op)`` where ``ns_ch`` /
+#   ``ns_nch`` are the ``LineState.code`` values the conditional next
+#   state resolves to under CH asserted / not asserted, ``ca``/``im``/
+#   ``bc`` are the raw master signal bits, and ``op`` encodes the BusOp
+#   (0 NONE, 1 READ, 2 WRITE, 3 READ_THEN_WRITE).  A cell is silent
+#   exactly when ``op == 0 and ca == 0 and im == 0``.
+# * snoop cell  -> ``(ns_ch, ns_nch, ch, di, sl, bs, abort_push,
+#   push_ca, push_im, push_bc)``: the response bits (CH? don't-care
+#   lowered to 0, matching ``ResponseAggregate.of``), whether the cell
+#   abort-pushes, and the push transaction's master signals (the
+#   controller's ``ca=1`` default baked in when the action carries none).
+#
+# Compile-then-verify discipline: after probing, every record is checked
+# against a *fresh* probe of the protocol, so a non-deterministic protocol
+# that slipped past the probe consistency check still cannot produce a
+# silently wrong table.
+# ---------------------------------------------------------------------------
+
+_BUS_OP_CODES = {
+    BusOp.NONE: 0,
+    BusOp.READ: 1,
+    BusOp.WRITE: 2,
+    BusOp.READ_THEN_WRITE: 3,
+}
+
+#: Number of integers in one lowered local / snoop record.
+BATCH_LOCAL_WIDTH = 6
+BATCH_SNOOP_WIDTH = 10
+
+
+class BatchTables:
+    """A deterministic protocol lowered to flat integer records.
+
+    ``local`` has ``N_STATES * N_LOCAL_EVENTS`` entries, ``snoop``
+    ``N_STATES * N_BUS_EVENTS``, indexed exactly like
+    :class:`CompiledCells` (``state.code * N_EVENTS + event.code``).
+    """
+
+    __slots__ = ("name", "non_caching", "local", "snoop")
+
+    def __init__(self, name, non_caching, local, snoop):
+        if len(local) != N_STATES * N_LOCAL_EVENTS:
+            raise ValueError(f"expected {N_STATES * N_LOCAL_EVENTS} local cells")
+        if len(snoop) != N_STATES * N_BUS_EVENTS:
+            raise ValueError(f"expected {N_STATES * N_BUS_EVENTS} snoop cells")
+        self.name = name
+        self.non_caching = bool(non_caching)
+        self.local = local
+        self.snoop = snoop
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, BatchTables)
+            and self.name == other.name
+            and self.non_caching == other.non_caching
+            and self.local == other.local
+            and self.snoop == other.snoop
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<BatchTables {self.name!r} non_caching={self.non_caching}>"
+
+
+def _lower_local_action(action: LocalAction):
+    from repro.core.actions import resolve_next_state
+
+    return (
+        resolve_next_state(action.next_state, True).code,
+        resolve_next_state(action.next_state, False).code,
+        int(action.signals.ca),
+        int(action.signals.im),
+        int(action.signals.bc),
+        _BUS_OP_CODES[action.bus_op],
+    )
+
+
+def _lower_snoop_action(action: SnoopAction):
+    from repro.core.actions import resolve_next_state
+
+    response = action.response
+    push = action.push_signals or MasterSignals(ca=True)
+    return (
+        resolve_next_state(action.next_state, True).code,
+        resolve_next_state(action.next_state, False).code,
+        int(bool(response.ch)),
+        int(response.di),
+        int(response.sl),
+        int(response.bs),
+        int(action.abort_push),
+        int(push.ca) if action.abort_push else 0,
+        int(push.im) if action.abort_push else 0,
+        int(push.bc) if action.abort_push else 0,
+    )
+
+
+#: Probe contexts: a lowerable protocol must pick the same action whatever
+#: the address, sequence number, or replacement recency says.
+_PROBE_LOCAL_CTXS = None
+_PROBE_SNOOP_CTXS = None
+
+
+def _probe_contexts():
+    global _PROBE_LOCAL_CTXS, _PROBE_SNOOP_CTXS
+    if _PROBE_LOCAL_CTXS is None:
+        from repro.core.protocol import LocalContext, SnoopContext
+
+        _PROBE_LOCAL_CTXS = (
+            LocalContext(address=0, sequence=0),
+            LocalContext(address=3, sequence=1),
+            LocalContext(address=7, sequence=17),
+        )
+        _PROBE_SNOOP_CTXS = (
+            SnoopContext(address=0, sequence=0, recency=0.0),
+            SnoopContext(address=5, sequence=9, recency=1.0),
+            SnoopContext(address=2, sequence=3),
+        )
+    return _PROBE_LOCAL_CTXS, _PROBE_SNOOP_CTXS
+
+
+def _probe_cell(consult, state, event, ctxs):
+    """Consult a protocol method under every probe context; the action
+    (or the ``None`` illegal marker) must be identical across contexts,
+    else the protocol is context-sensitive and cannot be lowered."""
+    from repro.core.protocol import IllegalTransitionError
+
+    first = _MISSING = object()
+    for ctx in ctxs:
+        try:
+            action = consult(state, event, ctx)
+        except IllegalTransitionError:
+            action = None
+        if first is _MISSING:
+            first = action
+        elif action != first:
+            return False, None
+    return True, first
+
+
+def batchable(protocol) -> bool:
+    """Whether :func:`lower_batch_tables` can lower this instance."""
+    return lower_batch_tables(protocol) is not None
+
+
+def lower_batch_tables(protocol):
+    """Lower a protocol instance to :class:`BatchTables`, or ``None``.
+
+    Stateful selection (a seeded :class:`~repro.core.policy.RandomPolicy`,
+    a :class:`~repro.core.policy.RoundRobinPolicy`, or any protocol
+    carrying its own RNG) is rejected *before* any probing so the
+    rejection itself cannot advance the instance's hidden state -- the
+    caller's object-engine fallback then replays it bit-exact.
+    """
+    from repro.core.policy import (
+        InvalidatePolicy,
+        PreferredPolicy,
+        UpdatePolicy,
+    )
+
+    policy = getattr(protocol, "policy", None)
+    if policy is not None and not isinstance(
+        policy, (PreferredPolicy, InvalidatePolicy, UpdatePolicy)
+    ):
+        return None
+    if getattr(protocol, "_rng", None) is not None:
+        return None
+    if getattr(protocol, "rng", None) is not None:
+        return None
+
+    local_ctxs, snoop_ctxs = _probe_contexts()
+    local = []
+    for state in LineState:
+        for event in ALL_LOCAL_EVENTS:
+            ok, action = _probe_cell(
+                protocol.local_action, state, event, local_ctxs
+            )
+            if not ok:
+                return None
+            local.append(None if action is None else _lower_local_action(action))
+    snoop = []
+    for state in LineState:
+        for event in ALL_BUS_EVENTS:
+            ok, action = _probe_cell(
+                protocol.snoop_action, state, event, snoop_ctxs
+            )
+            if not ok:
+                return None
+            snoop.append(None if action is None else _lower_snoop_action(action))
+    tables = BatchTables(
+        name=protocol.name,
+        non_caching=protocol.kind is MasterKind.NON_CACHING,
+        local=tuple(local),
+        snoop=tuple(snoop),
+    )
+    verify_batch_tables(tables, protocol)
+    return tables
+
+
+def verify_batch_tables(tables: BatchTables, protocol) -> None:
+    """Fresh-probe equivalence check of lowered records against the live
+    protocol, through the same integer index arithmetic the kernel uses."""
+    local_ctxs, snoop_ctxs = _probe_contexts()
+    for state in LineState:
+        for event in ALL_LOCAL_EVENTS:
+            ok, action = _probe_cell(
+                protocol.local_action, state, event, local_ctxs
+            )
+            record = tables.local[state.code * N_LOCAL_EVENTS + event.code]
+            expected = None if action is None else _lower_local_action(action)
+            if not ok or record != expected:
+                raise TableCompilationError(
+                    f"{tables.name}: lowered local cell ({state}, {event}) "
+                    "diverges from the live protocol"
+                )
+        for event in ALL_BUS_EVENTS:
+            ok, action = _probe_cell(
+                protocol.snoop_action, state, event, snoop_ctxs
+            )
+            record = tables.snoop[state.code * N_BUS_EVENTS + event.code]
+            expected = None if action is None else _lower_snoop_action(action)
+            if not ok or record != expected:
+                raise TableCompilationError(
+                    f"{tables.name}: lowered snoop cell ({state}, {event}) "
+                    "diverges from the live protocol"
+                )
+
+
+_BUS_EVENT_CODE_TABLE = None
+
+
+def bus_event_code_table():
+    """Bus-event codes indexed by master signals: an 8-entry tuple indexed
+    ``ca*4 + im*2 + (bc and im)`` (the BC-without-IM normalization of
+    :meth:`BusEvent.from_signals` folded in; unreachable patterns are -1).
+    """
+    global _BUS_EVENT_CODE_TABLE
+    if _BUS_EVENT_CODE_TABLE is None:
+        table = [-1] * 8
+        for event in ALL_BUS_EVENTS:
+            signals = event.master_signals
+            bc = signals.bc and signals.im
+            table[int(signals.ca) * 4 + int(signals.im) * 2 + int(bc)] = (
+                event.code
+            )
+        _BUS_EVENT_CODE_TABLE = tuple(table)
+    return _BUS_EVENT_CODE_TABLE

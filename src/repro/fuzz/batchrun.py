@@ -1,0 +1,183 @@
+"""Fuzz-seed populations through the batch kernel, object engine as oracle.
+
+The campaign in :mod:`repro.fuzz.campaign` runs every seed on the
+per-object engine.  This driver takes the same deterministically
+generated scenarios and routes the batchable ones -- plain registry
+specs whose protocols lower to integer tables -- through the
+struct-of-arrays kernel of :mod:`repro.perf.batch`, grouped by
+``(units, geometry)`` so each group runs as one population.  Scenarios
+the lowering rejects (seeded ``full-class:``/``moesi-random:`` choice
+specs, injected bugs, round-robin selectors) fall back to the ordinary
+object-engine runner.
+
+The object engine stays the oracle: per population, the first
+``oracle_sample`` rows are replayed on a real :class:`System` and the
+snapshots diffed byte-for-byte (:func:`repro.perf.batch.verify_rows`).
+A non-empty ``mismatches`` list is a kernel bug, never ignorable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.fuzz.runner import run_scenario
+from repro.fuzz.scenario import Scenario, ScenarioConfig, generate_scenario
+from repro.perf.batch import (
+    EVENT_KIND_CODES,
+    BatchGeometry,
+    BatchPopulation,
+    NotBatchableError,
+    default_backend,
+    lower_units,
+    run_population,
+    verify_rows,
+)
+
+__all__ = ["BatchCampaignReport", "run_batch_campaign"]
+
+_SPEC_BATCHABLE: dict[str, bool] = {}
+
+
+def _spec_batchable(spec: str) -> bool:
+    """Can ``spec`` run on the kernel?  Seeded choice specs carry a
+    ``:`` and never can; registry names are probed via the lowering."""
+    if ":" in spec:
+        return False
+    if spec not in _SPEC_BATCHABLE:
+        try:
+            lower_units((spec,))
+        except NotBatchableError:
+            _SPEC_BATCHABLE[spec] = False
+        else:
+            _SPEC_BATCHABLE[spec] = True
+    return _SPEC_BATCHABLE[spec]
+
+
+def _population_key(scenario: Scenario) -> tuple:
+    geometry = scenario.geometry
+    return (
+        scenario.units,
+        (
+            geometry.num_sets,
+            geometry.associativity,
+            geometry.line_size,
+            geometry.lines,
+        ),
+    )
+
+
+def _schedule(scenario: Scenario) -> list:
+    return [
+        (event.unit, EVENT_KIND_CODES[event.kind], event.line)
+        for event in scenario.events
+    ]
+
+
+@dataclasses.dataclass
+class BatchCampaignReport:
+    """Deterministic outcome of one batch campaign (timings excluded)."""
+
+    seeds: int
+    seed_base: int
+    backend: str
+    populations: int
+    batched_rows: int
+    fallback_rows: int
+    events: int
+    transitions: int
+    #: ``(seed, step, failure_type)`` for kernel rows that crashed --
+    #: the kernel's analog of the fuzz runner's crash taxonomy.
+    crashes: list
+    verified_rows: int
+    #: ``(seed, key, kernel_value, oracle_value)`` diffs; non-empty means
+    #: the kernel diverged from the object engine.
+    mismatches: list
+    fallback_steps: int
+    fallback_failures: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def summary_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def run_batch_campaign(
+    seeds: int = 100,
+    seed_base: int = 0,
+    scenario: Optional[ScenarioConfig] = None,
+    backend: Optional[str] = None,
+    oracle_sample: int = 2,
+) -> BatchCampaignReport:
+    """Run fuzz seeds ``seed_base .. seed_base + seeds - 1`` through the
+    batch kernel where possible, the object engine otherwise.
+
+    Pure function of its arguments (same grouping, same schedules, same
+    verdicts on every backend), so reports diff cleanly across runs."""
+    config = scenario or ScenarioConfig()
+    groups: dict[tuple, list] = {}
+    fallback: list[Scenario] = []
+    for seed in range(seed_base, seed_base + seeds):
+        case = generate_scenario(seed, config)
+        if all(_spec_batchable(spec) for spec in case.units):
+            groups.setdefault(_population_key(case), []).append(case)
+        else:
+            fallback.append(case)
+
+    chosen = backend or default_backend()
+    batched_rows = 0
+    events = 0
+    transitions = 0
+    crashes: list = []
+    verified_rows = 0
+    mismatches: list = []
+    for (units, geometry), cases in sorted(groups.items()):
+        pop = BatchPopulation(
+            units=units,
+            geometry=BatchGeometry(*geometry),
+            events=[_schedule(case) for case in cases],
+            row_ids=tuple(case.seed for case in cases),
+        )
+        result = run_population(pop, backend=chosen)
+        batched_rows += result.rows
+        events += result.events
+        transitions += result.transitions
+        for row, snapshot in enumerate(result.snapshots):
+            if snapshot["crash"] is not None:
+                step, kind = snapshot["crash"]
+                crashes.append((pop.row_ids[row], step, kind))
+        sample = list(range(min(oracle_sample, pop.rows)))
+        verified_rows += len(sample)
+        for row, key, got, expected in verify_rows(pop, result, rows=sample):
+            mismatches.append((pop.row_ids[row], key, got, expected))
+
+    fallback_steps = 0
+    fallback_failures = 0
+    for case in fallback:
+        result = run_scenario(case)
+        fallback_steps += result.steps_run
+        if result.failure is not None:
+            fallback_failures += 1
+
+    crashes.sort()
+    return BatchCampaignReport(
+        seeds=seeds,
+        seed_base=seed_base,
+        backend=chosen,
+        populations=len(groups),
+        batched_rows=batched_rows,
+        fallback_rows=len(fallback),
+        events=events,
+        transitions=transitions,
+        crashes=crashes,
+        verified_rows=verified_rows,
+        mismatches=mismatches,
+        fallback_steps=fallback_steps,
+        fallback_failures=fallback_failures,
+    )

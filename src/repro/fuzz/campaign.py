@@ -16,6 +16,7 @@ report is deterministic) and written as replayable repro files named
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 from pathlib import Path
 from typing import Optional, Union
@@ -118,13 +119,14 @@ class CampaignReport:
         return "\n".join(lines) + "\n"
 
 
-def _run_one(task: tuple) -> dict:
+def _run_one(scenario_config: dict, seed: int) -> dict:
     """Pool worker: run one seed; returns a picklable digest.
 
-    The scenario itself is not shipped back -- the parent regenerates it
-    from the seed when (and only when) it needs to shrink a failure.
+    The scenario config travels bound via :func:`functools.partial` (one
+    pickle per chunk) so tasks are bare seed integers.  The scenario
+    itself is not shipped back -- the parent regenerates it from the
+    seed when (and only when) it needs to shrink a failure.
     """
-    seed, scenario_config = task
     scenario = generate_scenario(seed, ScenarioConfig.from_dict(scenario_config))
     result = run_scenario(scenario)
     return {
@@ -149,11 +151,8 @@ def _run_campaign(
     a :class:`repro.obs.trace.Tracer` gets stage and per-failure marks.
     """
     config = config or CampaignConfig()
-    scenario_dict = config.scenario.to_dict()
-    tasks = [
-        (config.seed_base + offset, scenario_dict)
-        for offset in range(config.seeds)
-    ]
+    task_fn = functools.partial(_run_one, config.scenario.to_dict())
+    tasks = range(config.seed_base, config.seed_base + config.seeds)
     pool = ParallelConfig(
         workers=workers if workers > 0 else 1,
         mode="serial" if workers <= 1 else "auto",
@@ -164,9 +163,9 @@ def _run_campaign(
         )
     if profiler is not None:
         with profiler.region("fuzz.execute", seeds=len(tasks)):
-            digests = parallel_map(_run_one, tasks, pool)
+            digests = parallel_map(task_fn, tasks, pool)
     else:
-        digests = parallel_map(_run_one, tasks, pool)
+        digests = parallel_map(task_fn, tasks, pool)
 
     failures: list[CampaignFailure] = []
     steps_run = 0

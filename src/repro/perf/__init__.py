@@ -14,13 +14,29 @@ embarrassingly parallel across cases.  This package provides:
 * :mod:`repro.perf.matrix` -- the verification matrix across workers,
   byte-identical rows to the serial path;
 * :mod:`repro.perf.sweeps` -- the DES experiment sweeps across workers;
+* :mod:`repro.perf.batch` -- the struct-of-arrays batch kernel: N
+  independent systems as parallel integer arrays over the compiled
+  transition tables (numpy or pure-Python ``array`` backend);
 * :mod:`repro.perf.bench` -- the ``repro bench`` suite: serial-vs-parallel
-  wall time, explorer states/sec, written to ``BENCH_perf.json``.
+  wall time, explorer states/sec, batch-kernel throughput, written to
+  ``BENCH_perf.json``.
 """
 
+from repro.perf.batch import (
+    BatchGeometry,
+    BatchPopulation,
+    BatchResult,
+    NotBatchableError,
+    available_backends,
+    batchable_specs,
+    default_backend,
+    make_synthetic_population,
+    run_population,
+    verify_rows,
+)
 from repro.perf.bench import run_bench_suite, write_bench_json
 from repro.perf.engine import pool_stats, run_chunked, shutdown_pool
-from repro.perf.matrix import run_matrix_parallel
+from repro.perf.matrix import run_batch_matrix, run_matrix_parallel
 from repro.perf.pool import (
     ParallelConfig,
     ParallelTimeoutError,
@@ -28,6 +44,7 @@ from repro.perf.pool import (
     resolve_workers,
 )
 from repro.perf.sweeps import (
+    batch_protocol_sweep,
     protocol_comparison_parallel,
     update_vs_invalidate_parallel,
 )
@@ -38,8 +55,20 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
     "run_matrix_parallel",
+    "run_batch_matrix",
     "protocol_comparison_parallel",
     "update_vs_invalidate_parallel",
+    "batch_protocol_sweep",
+    "BatchGeometry",
+    "BatchPopulation",
+    "BatchResult",
+    "NotBatchableError",
+    "available_backends",
+    "batchable_specs",
+    "default_backend",
+    "make_synthetic_population",
+    "run_population",
+    "verify_rows",
     "run_bench_suite",
     "write_bench_json",
     "pool_stats",

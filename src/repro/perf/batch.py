@@ -1,0 +1,890 @@
+"""Struct-of-arrays batch simulation kernel over the lowered tables.
+
+One object-graph :class:`repro.system.system.System` steps a few tens of
+thousands of transitions per second; population-scale studies (parameter
+sweeps, fuzz campaigns, the service-discipline comparisons the ROADMAP
+cites) need orders of magnitude more.  This module runs N *independent*
+systems as parallel integer arrays -- one row per system, flat columns
+for per-line state codes, tags, values, and replacement ranks -- and
+steps every row through the integer records of
+:func:`repro.core.transitions.lower_batch_tables`.
+
+Two backends, selected at import and identical in output:
+
+* ``"numpy"`` -- time-major stepping with a vectorized fast path for the
+  dominant event class (silent read/write hits resolve for every row in
+  a handful of array ops); rows whose current event needs the bus, an
+  allocation, or crash semantics fall through to the scalar interpreter
+  *on the same arrays*, so the fast path can never diverge.
+* ``"python"`` -- the scalar interpreter over ``array('q')`` columns,
+  dependency-free.
+
+The scalar interpreter replicates the object engine's semantics exactly
+-- pending snoop slots keyed by bus serial, abort-push nesting, the raw
+``BC`` broadcast rule of the data phase, version-counter ordering, LRU
+rank movement, and the fuzz runner's skip (``IllegalTransitionError``)
+versus crash (``AssertionError``/``RuntimeError``/``BusLivelockError``)
+taxonomy.  The object engine stays the oracle: :func:`replay_row` runs
+any row through a real :class:`System` and returns the same snapshot
+shape, and :func:`verify_rows` diffs the two byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from array import array
+from typing import Optional, Sequence
+
+from repro.core.transitions import (
+    BatchTables,
+    bus_event_code_table,
+    lower_batch_tables,
+)
+from repro.protocols.registry import make_protocol
+
+try:  # the [perf] optional extra; the kernel runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via backend="python"
+    _np = None
+
+__all__ = [
+    "BatchGeometry",
+    "BatchPopulation",
+    "BatchResult",
+    "NotBatchableError",
+    "EVENT_KIND_CODES",
+    "available_backends",
+    "batchable_specs",
+    "default_backend",
+    "lower_units",
+    "make_synthetic_population",
+    "run_population",
+    "replay_row",
+    "verify_rows",
+]
+
+#: Event kind codes used in population schedules (matches the fuzz
+#: scenario kinds; flush/pass double as replacement traffic).
+EVENT_KIND_CODES = {"read": 0, "write": 1, "flush": 2, "pass": 3}
+
+_K_READ, _K_WRITE, _K_FLUSH, _K_PASS = 0, 1, 2, 3
+_INVALID = 4  # LineState.INVALID.code
+_STATE_LETTERS = "MOESI"
+_MAX_RETRIES = 8  # Futurebus.max_retries
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this process, fastest first."""
+    return ("numpy", "python") if _np is not None else ("python",)
+
+
+def default_backend() -> str:
+    """The backend :func:`run_population` picks when none is given."""
+    return available_backends()[0]
+
+
+class NotBatchableError(ValueError):
+    """A population names a protocol the lowering cannot handle (seeded
+    random / round-robin selection); callers fall back to the object
+    engine for those rows."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchGeometry:
+    """Cache geometry shared by every row of a population."""
+
+    num_sets: int = 4
+    associativity: int = 2
+    line_size: int = 32
+    lines: int = 8  # distinct line addresses the schedules touch
+
+
+@dataclasses.dataclass
+class BatchPopulation:
+    """N independent systems sharing one board mix and geometry.
+
+    ``events`` holds one schedule per row: a sequence of
+    ``(unit_index, kind_code, line_address)`` triples (kind codes per
+    :data:`EVENT_KIND_CODES`; line addresses in line units, matching the
+    fuzz scenarios' ``line * line_size`` byte addressing).
+    """
+
+    units: tuple[str, ...]
+    geometry: BatchGeometry
+    events: list
+    row_ids: tuple = ()
+
+    @property
+    def rows(self) -> int:
+        return len(self.events)
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Outcome of one kernel run over a population."""
+
+    backend: str
+    rows: int
+    events: int  # scheduled events attempted (crashed rows stop early)
+    transitions: int  # successful table consults, local + snoop
+    snapshots: list  # one dict per row (see _Kernel.snapshot_row)
+
+
+_LOWERED: dict[str, Optional[BatchTables]] = {}
+
+
+def lower_units(units: Sequence[str]) -> list:
+    """Lower each registry spec to :class:`BatchTables`; raises
+    :class:`NotBatchableError` naming the first spec that cannot be."""
+    tables = []
+    for spec in units:
+        if spec not in _LOWERED:
+            _LOWERED[spec] = lower_batch_tables(make_protocol(spec))
+        lowered = _LOWERED[spec]
+        if lowered is None:
+            raise NotBatchableError(
+                f"protocol {spec!r} selects actions statefully and cannot "
+                "be lowered to batch tables; use the object engine"
+            )
+        tables.append(lowered)
+    return tables
+
+
+def batchable_specs() -> tuple[str, ...]:
+    """Registry names whose protocols lower to batch tables, in registry
+    order (the stateful selectors -- seeded random, round-robin -- are
+    excluded and stay on the object engine)."""
+    from repro.protocols.registry import protocol_names
+
+    names = []
+    for spec in protocol_names():
+        if spec not in _LOWERED:
+            _LOWERED[spec] = lower_batch_tables(make_protocol(spec))
+        if _LOWERED[spec] is not None:
+            names.append(spec)
+    return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Internal control flow: the fuzz runner's taxonomy as exceptions.
+# ---------------------------------------------------------------------------
+class _Illegal(Exception):
+    """IllegalTransitionError equivalent: the event is skipped (partial
+    effects persist, exactly like the object engine)."""
+
+
+class _RowCrash(Exception):
+    """AssertionError / RuntimeError / BusLivelockError equivalent: the
+    row records ``(step, type_name)`` and stops."""
+
+    def __init__(self, type_name: str) -> None:
+        super().__init__(type_name)
+        self.type_name = type_name
+
+
+class _Kernel:
+    """The struct-of-arrays interpreter (both backends).
+
+    Flat layout: line slot ``(r, u, set, way)`` lives at index
+    ``((r*U + u)*S + set)*W + way`` of ``st``/``tg``/``val``/``rk``;
+    memory word ``(r, la)`` at ``r*L + la``.
+    """
+
+    def __init__(self, pop: BatchPopulation, tables, backend: str) -> None:
+        g = pop.geometry
+        self.pop = pop
+        self.backend = backend
+        self.S = g.num_sets
+        self.W = g.associativity
+        self.L = g.lines
+        self.U = len(pop.units)
+        self.R = pop.rows
+        self.tables = tables
+        self.non_caching = [t.non_caching for t in tables]
+        self.cached_units = [
+            u for u in range(self.U) if not self.non_caching[u]
+        ]
+        self.bus_code = bus_event_code_table()
+        n_slots = self.R * self.U * self.S * self.W
+        n_words = self.R * self.L
+        rank_pattern = list(range(self.W)) * (n_slots // max(self.W, 1))
+        if backend == "numpy":
+            z = lambda n: _np.zeros(n, dtype=_np.int64)  # noqa: E731
+            self.st = _np.full(n_slots, _INVALID, dtype=_np.int64)
+            self.tg = z(n_slots)
+            self.val = z(n_slots)
+            self.rk = _np.array(rank_pattern, dtype=_np.int64)
+            self.mem = z(n_words)
+            self.lastv = z(n_words)
+            self.vctr = z(self.R)
+            self.serial = z(self.R)
+            self.bus_txns = z(self.R)
+            max_events = max((len(e) for e in pop.events), default=0)
+            self.tokens_buf = z((self.R, max(max_events, 1)))
+            self.tok_n = z(self.R)
+        else:
+            self.st = array("q", [_INVALID]) * n_slots
+            self.tg = array("q", [0]) * n_slots
+            self.val = array("q", [0]) * n_slots
+            self.rk = array("q", rank_pattern)
+            self.mem = array("q", [0]) * n_words
+            self.lastv = array("q", [0]) * n_words
+            self.vctr = array("q", [0]) * self.R
+            self.serial = array("q", [0]) * self.R
+            self.bus_txns = array("q", [0]) * self.R
+            self.tokens = [[] for _ in range(self.R)]
+        #: Per-row, per-unit pending snoop slot: ``(serial, idx, record)``.
+        self.pend = [[None] * self.U for _ in range(self.R)]
+        self.crash = [None] * self.R
+        self.transitions = 0
+        self.events_attempted = 0
+
+    # -- shared scalar helpers -----------------------------------------
+    def _base(self, r: int, u: int, set_index: int) -> int:
+        return ((r * self.U + u) * self.S + set_index) * self.W
+
+    def _lookup(self, r: int, u: int, la: int):
+        """First way holding a valid copy of ``la`` (the cache's scan
+        order), as ``(set_index, way, flat_index)``; None on miss."""
+        tag, set_index = divmod(la, self.S)
+        base = self._base(r, u, set_index)
+        st, tg = self.st, self.tg
+        for way in range(self.W):
+            i = base + way
+            if tg[i] == tag and st[i] != _INVALID:
+                return set_index, way, i
+        return None
+
+    def _touch(self, r: int, u: int, set_index: int, way: int) -> None:
+        """LRU move-to-front: ranks below the touched way's shift up."""
+        rk = self.rk
+        base = self._base(r, u, set_index)
+        old = rk[base + way]
+        for w in range(self.W):
+            i = base + w
+            if rk[i] < old:
+                rk[i] += 1
+        rk[base + way] = 0
+
+    def _emit_token(self, r: int, token) -> None:
+        if self.backend == "numpy":
+            self.tokens_buf[r, self.tok_n[r]] = token
+            self.tok_n[r] += 1
+        else:
+            self.tokens[r].append(int(token))
+
+    # -- the bus (Futurebus.execute + _data_phase) ---------------------
+    def _snoop(self, r: int, u: int, la: int, ev_code: int, txn_serial: int):
+        """One snooper's address-phase response; sets the pending slot on
+        a hit (without clearing it on a miss, like the object engine)."""
+        found = self._lookup(r, u, la)
+        if found is None:
+            return 0, 0, 0, 0
+        i = found[2]
+        rec = self.tables[u].snoop[self.st[i] * 6 + ev_code]
+        if rec is None:
+            raise _RowCrash("ProtocolGapError")
+        self.transitions += 1
+        self.pend[r][u] = (txn_serial, i, rec)
+        return rec[2], rec[3], rec[4], rec[5]
+
+    def _abort_push(self, r: int, u: int, la: int, txn_serial: int) -> None:
+        pend_row = self.pend[r]
+        p = pend_row[u]
+        if p is None or p[0] != txn_serial or not p[2][6]:
+            # abort_push's asserts: pending must match and carry a push.
+            raise _RowCrash("AssertionError")
+        pend_row[u] = None
+        rec = p[2]
+        self._execute(r, u, la, rec[7], rec[8], rec[9], 2, self.val[p[1]])
+        self.st[p[1]] = rec[1]  # next state resolved with CH unasserted
+
+    def _execute(self, r, master_u, la, ca, im, bc, op, wire):
+        """One bus transaction to completion; returns ``(value, agg_ch)``
+        (``value`` only meaningful for ``op == READ``)."""
+        self.serial[r] += 1
+        txn_serial = int(self.serial[r])
+        bc_eff = 1 if (bc and im) else 0
+        ev_code = self.bus_code[ca * 4 + im * 2 + bc_eff]
+        snoopers = [u for u in self.cached_units if u != master_u]
+        pend_row = self.pend[r]
+        retries = 0
+        while True:
+            resp = [
+                self._snoop(r, u, la, ev_code, txn_serial) for u in snoopers
+            ]
+            agg_ch = agg_bs = 0
+            for bits in resp:
+                agg_ch |= bits[0]
+                agg_bs |= bits[3]
+            if agg_bs:
+                if retries >= _MAX_RETRIES:
+                    raise _RowCrash("BusLivelockError")
+                pushers = [
+                    u for u, bits in zip(snoopers, resp) if bits[3]
+                ]
+                for u in snoopers:
+                    if u not in pushers:
+                        p = pend_row[u]
+                        if p is not None and p[0] == txn_serial:
+                            pend_row[u] = None
+                for u in pushers:
+                    self._abort_push(r, u, la, txn_serial)
+                retries += 1
+                continue
+            break
+
+        # Data phase (raw BC decides the broadcast branch, as on the bus).
+        di_units = [u for u, bits in zip(snoopers, resp) if bits[1]]
+        sl_units = [u for u, bits in zip(snoopers, resp) if bits[2]]
+        if len(di_units) > 1:
+            raise _RowCrash("RuntimeError")
+        value = None
+        word = r * self.L + la
+        if op == 1:  # READ
+            if di_units:
+                p = pend_row[di_units[0]]
+                if p is None or p[0] != txn_serial:
+                    raise _RowCrash("AssertionError")  # supply_data assert
+                value = self.val[p[1]]
+            else:
+                value = self.mem[word]
+        elif op == 2:  # WRITE
+            if bc or sl_units:
+                self.mem[word] = wire
+                for u in sl_units:
+                    p = pend_row[u]
+                    if p is None or p[0] != txn_serial:
+                        raise _RowCrash("AssertionError")  # connect assert
+                    self.val[p[1]] = wire
+                if di_units:
+                    raise _RowCrash("RuntimeError")  # DI on broadcast
+            elif di_units:
+                p = pend_row[di_units[0]]
+                if p is None or p[0] != txn_serial:
+                    raise _RowCrash("AssertionError")  # capture assert
+                self.val[p[1]] = wire  # owner captures; memory stays stale
+            else:
+                self.mem[word] = wire
+        # op == 0: address-only, no data moves.
+
+        st = self.st
+        for u in snoopers:  # finalize, attach order
+            p = pend_row[u]
+            if p is not None and p[0] == txn_serial:
+                pend_row[u] = None
+                st[p[1]] = p[2][0] if agg_ch else p[2][1]
+        self.bus_txns[r] += 1
+        return value, agg_ch
+
+    # -- local actions (CacheController) -------------------------------
+    def _run_local_action(self, r, u, la, ev, rec, new_value):
+        found = self._lookup(r, u, la)
+        idx = found[2] if found else None
+        ns_ch, ns_nch, ca, im, bc, op = rec
+        if op == 3:
+            return self._read_then_write(r, u, la, rec, new_value)
+        if op == 0 and not ca and not im:  # silent
+            if idx is None:
+                if ns_nch < _INVALID:
+                    raise _RowCrash("AssertionError")
+                return new_value if new_value is not None else 0
+            if ns_nch < _INVALID:
+                self.st[idx] = ns_nch
+                if ev == 1:
+                    self.val[idx] = new_value
+            else:
+                self.st[idx] = _INVALID
+            return self.val[idx]
+        wire = None
+        if op == 2:
+            if ev == 1:
+                wire = new_value
+            else:
+                if idx is None:  # PASS/FLUSH push needs a cached line
+                    raise _RowCrash("AssertionError")
+                wire = self.val[idx]
+        value, agg_ch = self._execute(r, u, la, ca, im, bc, op, wire)
+        resolved = ns_ch if agg_ch else ns_nch
+        if ev == 1:
+            token = new_value
+        elif op == 1:
+            if value is None:
+                raise _RowCrash("AssertionError")
+            token = value
+        else:
+            token = self.val[idx] if idx is not None else 0
+        if resolved < _INVALID:
+            if idx is None:
+                self._install(r, u, la, resolved, token)
+            else:
+                self.st[idx] = resolved
+                self.val[idx] = token
+        elif idx is not None:
+            self.st[idx] = _INVALID
+        return token
+
+    def _read_then_write(self, r, u, la, rec, new_value):
+        ns_ch, ns_nch, ca, im, bc, _op = rec
+        value, agg_ch = self._execute(r, u, la, ca, im, bc, 1, None)
+        landed = ns_ch if agg_ch else ns_nch
+        if value is None:
+            raise _RowCrash("AssertionError")
+        if landed < _INVALID:
+            self._install(r, u, la, landed, value)
+        wrec = self.tables[u].local[landed * 4 + 1]
+        if wrec is None:
+            raise _Illegal()  # propagates: the read's effects persist
+        self.transitions += 1
+        if wrec[5] == 3:
+            raise _RowCrash("AssertionError")  # Read>Write may not chain
+        return self._run_local_action(r, u, la, 1, wrec, new_value)
+
+    def _install(self, r, u, la, state_code, value):
+        tag, set_index = divmod(la, self.S)
+        base = self._base(r, u, set_index)
+        st, rk = self.st, self.rk
+        way = -1
+        for w in range(self.W):  # first invalid way wins
+            if st[base + w] == _INVALID:
+                way = w
+                break
+        if way < 0:
+            best = -1
+            for w in range(self.W):  # else the LRU victim (max rank)
+                if rk[base + w] > best:
+                    best = rk[base + w]
+                    way = w
+            victim_la = int(self.tg[base + way]) * self.S + set_index
+            self._evict(r, u, base + way, victim_la)
+        i = base + way
+        self.tg[i] = tag
+        self.st[i] = state_code
+        self.val[i] = value
+        self._touch(r, u, set_index, way)
+
+    def _evict(self, r, u, idx, victim_la):
+        rec = self.tables[u].local[self.st[idx] * 4 + 3]  # FLUSH
+        if rec is None:
+            raise _Illegal()  # propagates out of the whole event
+        self.transitions += 1
+        self._run_local_action(r, u, victim_la, 3, rec, None)
+
+    # -- processor port -------------------------------------------------
+    def _proc_read(self, r, u, la):
+        found = self._lookup(r, u, la)
+        if found is not None:
+            set_index, way, i = found
+            rec = self.tables[u].local[self.st[i] * 4]
+            if rec is None:
+                raise _Illegal()
+            self.transitions += 1
+            if rec[5] != 0 or rec[2] or rec[3]:  # hit must be silent
+                raise _RowCrash("AssertionError")
+            self.st[i] = rec[1]
+            self._touch(r, u, set_index, way)
+            return self.val[i]
+        rec = self.tables[u].local[_INVALID * 4]
+        if rec is None:
+            raise _Illegal()
+        self.transitions += 1
+        return self._run_local_action(r, u, la, 0, rec, None)
+
+    def _proc_write(self, r, u, la, token):
+        found = self._lookup(r, u, la)
+        if found is not None:
+            set_index, way, i = found
+            rec = self.tables[u].local[self.st[i] * 4 + 1]
+            if rec is None:
+                raise _Illegal()
+            self.transitions += 1
+            self._run_local_action(r, u, la, 1, rec, token)
+            # The object engine touches the lookup-time coordinates even
+            # if the action moved the line; replicated as-is.
+            self._touch(r, u, set_index, way)
+            return
+        rec = self.tables[u].local[_INVALID * 4 + 1]
+        if rec is None:
+            raise _Illegal()
+        self.transitions += 1
+        self._run_local_action(r, u, la, 1, rec, token)
+
+    def _nc_read(self, r, u, la):
+        rec = self.tables[u].local[_INVALID * 4]
+        if rec is None:
+            raise _Illegal()
+        self.transitions += 1
+        # A non-caching master always issues a bus READ with the cell's
+        # signals, whatever the cell's op says.
+        value, _ = self._execute(r, u, la, rec[2], rec[3], rec[4], 1, None)
+        if value is None:
+            raise _RowCrash("AssertionError")
+        return value
+
+    def _nc_write(self, r, u, la, token):
+        rec = self.tables[u].local[_INVALID * 4 + 1]
+        if rec is None:
+            raise _Illegal()
+        self.transitions += 1
+        self._execute(r, u, la, rec[2], rec[3], rec[4], 2, token)
+
+    def _flush_line(self, r, u, la):
+        found = self._lookup(r, u, la)
+        if found is None:
+            return
+        self._evict(r, u, found[2], la)
+
+    def _clean_line(self, r, u, la):
+        found = self._lookup(r, u, la)
+        if found is None:
+            return
+        rec = self.tables[u].local[self.st[found[2]] * 4 + 2]  # PASS
+        if rec is None:
+            return  # clean states have no PASS entry: caught internally
+        self.transitions += 1
+        self._run_local_action(r, u, la, 2, rec, None)
+
+    # -- one scheduled event --------------------------------------------
+    def step_event(self, r, unit, kind, la):
+        try:
+            if kind == _K_READ:
+                if self.non_caching[unit]:
+                    token = self._nc_read(r, unit, la)
+                else:
+                    token = self._proc_read(r, unit, la)
+                self._emit_token(r, token)
+            elif kind == _K_WRITE:
+                # System.write allocates the version token *before* the
+                # controller runs; a skipped event still burns a token.
+                self.vctr[r] += 1
+                token = int(self.vctr[r])
+                if self.non_caching[unit]:
+                    self._nc_write(r, unit, la, token)
+                else:
+                    self._proc_write(r, unit, la, token)
+                self.lastv[r * self.L + la] = token
+            elif self.non_caching[unit]:
+                return  # replacement traffic skips cacheless boards
+            elif kind == _K_FLUSH:
+                self._flush_line(r, unit, la)
+            else:
+                self._clean_line(r, unit, la)
+        except _Illegal:
+            return  # inapplicable event: skip, partial effects persist
+
+    # -- drivers ---------------------------------------------------------
+    def run(self) -> None:
+        if self.backend == "numpy":
+            self._run_numpy()
+        else:
+            self._run_python()
+
+    def _run_python(self) -> None:
+        for r in range(self.R):
+            for step, (unit, kind, la) in enumerate(self.pop.events[r]):
+                self.events_attempted += 1
+                try:
+                    self.step_event(r, unit, kind, la)
+                except _RowCrash as exc:
+                    self.crash[r] = (step, exc.type_name)
+                    break
+
+    def _run_numpy(self) -> None:
+        np = _np
+        R, U, S, W, L = self.R, self.U, self.S, self.W, self.L
+        max_events = max((len(e) for e in self.pop.events), default=0)
+        n_ev = np.array(
+            [len(e) for e in self.pop.events], dtype=np.int64
+        )
+        ev = np.zeros((R, max(max_events, 1), 3), dtype=np.int64)
+        for r, schedule in enumerate(self.pop.events):
+            for t, (unit, kind, la) in enumerate(schedule):
+                ev[r, t] = (unit, kind, la)
+        # Per-unit silent-hit tables: is (state, read/write) a legal
+        # silent cell, and which state does it land in (CH unasserted)?
+        sil_ok = np.zeros((U, 5, 2), dtype=bool)
+        sil_ns = np.zeros((U, 5, 2), dtype=np.int64)
+        for u in range(U):
+            if self.non_caching[u]:
+                continue
+            for state in range(5):
+                for kind in (0, 1):
+                    rec = self.tables[u].local[state * 4 + kind]
+                    if rec is not None and rec[5] == 0 and not rec[2] \
+                            and not rec[3]:
+                        sil_ok[u, state, kind] = True
+                        sil_ns[u, state, kind] = rec[1]
+        unit_cached = np.array(
+            [not nc for nc in self.non_caching], dtype=bool
+        )
+        w_range = np.arange(W)
+        alive = np.ones(R, dtype=bool)
+        row_index = np.arange(R)
+
+        for t in range(max_events):
+            act = alive & (t < n_ev)
+            if not act.any():
+                break
+            rows = row_index[act]
+            self.events_attempted += int(rows.size)
+            unit = ev[rows, t, 0]
+            kind = ev[rows, t, 1]
+            la = ev[rows, t, 2]
+            cand = (kind <= 1) & unit_cached[unit]
+            fast = np.zeros(rows.size, dtype=bool)
+            if cand.any():
+                crows = rows[cand]
+                cu, ck, cla = unit[cand], kind[cand], la[cand]
+                tag = cla // S
+                set_index = cla % S
+                base = ((crows * U + cu) * S + set_index) * W
+                gather = base[:, None] + w_range
+                match = (self.tg[gather] == tag[:, None]) & (
+                    self.st[gather] != _INVALID
+                )
+                hit = match.any(axis=1)
+                way = np.argmax(match, axis=1)
+                hidx = base + way
+                ok = hit & sil_ok[cu, self.st[hidx], ck]
+                fast[np.nonzero(cand)[0]] = ok
+                if ok.any():
+                    fr = crows[ok]
+                    fk = ck[ok]
+                    fidx = hidx[ok]
+                    fns = sil_ns[cu[ok], self.st[fidx], fk]
+                    self.transitions += int(fr.size)
+                    self.st[fidx] = fns
+                    # LRU move-to-front across each hit set.
+                    fgather = base[ok][:, None] + w_range
+                    ranks = self.rk[fgather]
+                    old = np.take_along_axis(ranks, way[ok][:, None], 1)
+                    ranks += ranks < old
+                    np.put_along_axis(ranks, way[ok][:, None], 0, 1)
+                    self.rk[fgather] = ranks
+                    rmask = fk == 0
+                    if rmask.any():
+                        rr = fr[rmask]
+                        self.tokens_buf[rr, self.tok_n[rr]] = self.val[
+                            fidx[rmask]
+                        ]
+                        self.tok_n[rr] += 1
+                    wmask = fk == 1
+                    if wmask.any():
+                        wr = fr[wmask]
+                        wla = cla[ok][wmask]
+                        self.vctr[wr] += 1
+                        token = self.vctr[wr]
+                        self.val[fidx[wmask]] = token
+                        self.lastv[wr * L + wla] = token
+            # Everything else -- misses, bus traffic, flush/pass,
+            # non-caching boards, illegal cells -- runs scalar.
+            for i in np.nonzero(~fast)[0]:
+                r = int(rows[i])
+                try:
+                    self.step_event(r, int(unit[i]), int(kind[i]), int(la[i]))
+                except _RowCrash as exc:
+                    self.crash[r] = (t, exc.type_name)
+                    alive[r] = False
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot_row(self, r: int) -> dict:
+        caches = []
+        for u in range(self.U):
+            if self.non_caching[u]:
+                caches.append(())
+                continue
+            lines = []
+            for set_index in range(self.S):
+                base = self._base(r, u, set_index)
+                for w in range(self.W):
+                    i = base + w
+                    if self.st[i] != _INVALID:
+                        la = int(self.tg[i]) * self.S + set_index
+                        lines.append(
+                            (
+                                la,
+                                _STATE_LETTERS[int(self.st[i])],
+                                int(self.val[i]),
+                            )
+                        )
+            lines.sort()
+            caches.append(tuple(lines))
+        if self.backend == "numpy":
+            tokens = [
+                int(x) for x in self.tokens_buf[r, : int(self.tok_n[r])]
+            ]
+        else:
+            tokens = list(self.tokens[r])
+        word = r * self.L
+        return {
+            "tokens": tokens,
+            "caches": tuple(caches),
+            "memory": tuple(
+                int(self.mem[word + a]) for a in range(self.L)
+            ),
+            "version_counter": int(self.vctr[r]),
+            "last_version": tuple(
+                int(self.lastv[word + a]) for a in range(self.L)
+            ),
+            "bus_transactions": int(self.bus_txns[r]),
+            "crash": self.crash[r],
+        }
+
+
+def run_population(
+    pop: BatchPopulation, backend: Optional[str] = None
+) -> BatchResult:
+    """Run every row of a population through the kernel."""
+    chosen = backend or default_backend()
+    if chosen not in available_backends():
+        raise ValueError(
+            f"backend {chosen!r} unavailable; have {available_backends()}"
+        )
+    tables = lower_units(pop.units)
+    kernel = _Kernel(pop, tables, chosen)
+    kernel.run()
+    return BatchResult(
+        backend=chosen,
+        rows=pop.rows,
+        events=kernel.events_attempted,
+        transitions=kernel.transitions,
+        snapshots=[kernel.snapshot_row(r) for r in range(pop.rows)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The oracle: one row on the real object engine, same snapshot shape.
+# ---------------------------------------------------------------------------
+def replay_row(pop: BatchPopulation, row: int) -> dict:
+    """Replay one row on a real :class:`System` (the per-object engine)
+    and snapshot it identically to the kernel -- the differential oracle
+    for every batch run."""
+    from repro.bus.futurebus import BusLivelockError
+    from repro.cache.controller import NonCachingMaster
+    from repro.core.protocol import IllegalTransitionError
+    from repro.system.system import BoardSpec, System
+
+    g = pop.geometry
+    boards = [
+        BoardSpec(
+            unit_id=f"u{index}",
+            protocol=make_protocol(spec),
+            num_sets=g.num_sets,
+            associativity=g.associativity,
+            line_size=g.line_size,
+        )
+        for index, spec in enumerate(pop.units)
+    ]
+    system = System(boards, check=False, label=f"batch-row{row}")
+    tokens: list = []
+    crash = None
+    for step, (unit_index, kind, la) in enumerate(pop.events[row]):
+        unit = f"u{unit_index}"
+        board = system.controllers[unit]
+        if kind >= _K_FLUSH and isinstance(board, NonCachingMaster):
+            continue
+        try:
+            if kind == _K_READ:
+                tokens.append(system.read(unit, la * g.line_size))
+            elif kind == _K_WRITE:
+                system.write(unit, la * g.line_size)
+            elif kind == _K_FLUSH:
+                board.flush_line(la)
+            else:
+                board.clean_line(la)
+        except IllegalTransitionError:
+            continue
+        except (AssertionError, RuntimeError, BusLivelockError) as exc:
+            crash = (step, type(exc).__name__)
+            break
+    caches = []
+    for board in system.controllers.values():
+        if isinstance(board, NonCachingMaster):
+            caches.append(())
+            continue
+        caches.append(
+            tuple(
+                sorted(
+                    (la, state.letter, value)
+                    for la, state, value in board.cached_lines()
+                )
+            )
+        )
+    return {
+        "tokens": tokens,
+        "caches": tuple(caches),
+        "memory": tuple(system.memory.peek(a) for a in range(g.lines)),
+        "version_counter": system._version_counter,
+        "last_version": tuple(
+            system.last_written_token(a) for a in range(g.lines)
+        ),
+        "bus_transactions": system.bus_stats.transactions,
+        "crash": crash,
+    }
+
+
+def verify_rows(
+    pop: BatchPopulation,
+    result: BatchResult,
+    rows: Optional[Sequence[int]] = None,
+) -> list:
+    """Diff kernel snapshots against object-engine replays; returns
+    ``(row, key, kernel_value, oracle_value)`` mismatch tuples (empty
+    means byte-equivalent)."""
+    mismatches = []
+    for row in rows if rows is not None else range(pop.rows):
+        expected = replay_row(pop, row)
+        got = result.snapshots[row]
+        for key in expected:
+            if got.get(key) != expected[key]:
+                mismatches.append((row, key, got.get(key), expected[key]))
+    return mismatches
+
+
+# ---------------------------------------------------------------------------
+# Synthetic populations (benchmarks, sweeps).
+# ---------------------------------------------------------------------------
+def make_synthetic_population(
+    rows: int = 256,
+    units: Sequence[str] = ("moesi", "moesi"),
+    geometry: Optional[BatchGeometry] = None,
+    events_per_row: int = 200,
+    seed: int = 0,
+    p_write: float = 0.35,
+    p_flush: float = 0.02,
+    p_pass: float = 0.02,
+) -> BatchPopulation:
+    """Seeded hit-heavy workload: each row gets its own deterministic
+    schedule (pure function of ``(seed, row)``), all rows sharing one
+    board mix and geometry so the kernel can run them as one block."""
+    geometry = geometry or BatchGeometry()
+    n_units = len(units)
+    events = []
+    for r in range(rows):
+        rng = random.Random(seed * 1_000_003 + r)
+        schedule = []
+        for _ in range(events_per_row):
+            roll = rng.random()
+            if roll < p_write:
+                kind = _K_WRITE
+            elif roll < p_write + p_flush:
+                kind = _K_FLUSH
+            elif roll < p_write + p_flush + p_pass:
+                kind = _K_PASS
+            else:
+                kind = _K_READ
+            schedule.append(
+                (
+                    rng.randrange(n_units),
+                    kind,
+                    rng.randrange(geometry.lines),
+                )
+            )
+        events.append(schedule)
+    return BatchPopulation(
+        units=tuple(units),
+        geometry=geometry,
+        events=events,
+        row_ids=tuple(range(rows)),
+    )

@@ -11,7 +11,11 @@ The suite is fixed so successive PRs can track the trajectory:
 * **obs** -- observability overhead: the same heterogeneous run driven
   directly (pre-facade style), through :class:`repro.api.Session` with
   tracing disabled (the guard-only path, budgeted at <5%), and with
-  tracing enabled.
+  tracing enabled;
+* **batch** -- the struct-of-arrays population kernel: one hit-heavy
+  population timed on every available backend and spot-verified against
+  the object engine, gated at >=10x the baseline explorer's
+  transitions/sec (calibration-normalized).
 
 Wall-clock speedups depend on the host (a single-core container cannot
 beat serial); the JSON records ``cpu_count`` next to every ratio so the
@@ -34,6 +38,7 @@ __all__ = [
     "BENCH_FILENAME",
     "MIN_TPS_RATIO",
     "MAX_TRACED_OVERHEAD_PCT",
+    "BATCH_MIN_EXPLORER_MULTIPLE",
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
@@ -43,6 +48,11 @@ BENCH_FILENAME = "BENCH_perf.json"
 #: and the traced-run observability tax must stay within budget.
 MIN_TPS_RATIO = 0.9
 MAX_TRACED_OVERHEAD_PCT = 25.0
+
+#: The batch kernel's floor: aggregate transitions/sec must stay at
+#: least this multiple of the committed explorer baseline
+#: (calibration-normalized, like the explorer gate).
+BATCH_MIN_EXPLORER_MULTIPLE = 10.0
 
 #: Explorer mixes timed by the hot-path section: (label, specs, lines).
 EXPLORER_MIXES = (
@@ -236,6 +246,63 @@ def _bench_obs(quick: bool) -> dict:
     }
 
 
+def _bench_batch(quick: bool) -> dict:
+    """Batch-kernel throughput: one hit-heavy single-unit population
+    timed (best-of-N) on every available backend, with the first rows
+    spot-verified against the object engine.
+
+    The population is single-unit and replacement-free so nearly every
+    event is a silent hit -- the regime the vectorized fast path exists
+    for; transitions are identical across backends by construction."""
+    from repro.perf.batch import (
+        BatchGeometry,
+        available_backends,
+        default_backend,
+        make_synthetic_population,
+        run_population,
+        verify_rows,
+    )
+
+    rows = 256 if quick else 1024
+    events_per_row = 200
+    pop = make_synthetic_population(
+        rows=rows,
+        units=("moesi",),
+        geometry=BatchGeometry(4, 2, 32, 8),
+        events_per_row=events_per_row,
+        seed=0,
+        p_write=0.35,
+        p_flush=0.0,
+        p_pass=0.0,
+    )
+    repeats = 2 if quick else 3
+    sample = list(range(min(3, rows)))
+    verified_ok = True
+    backends = {}
+    for backend in available_backends():
+        seconds = float("inf")
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_population(pop, backend=backend)
+            seconds = min(seconds, time.perf_counter() - start)
+        verified_ok = verified_ok and not verify_rows(pop, result, rows=sample)
+        backends[backend] = {
+            "seconds": round(seconds, 4),
+            "transitions": result.transitions,
+            "transitions_per_sec": round(result.transitions / seconds, 1),
+        }
+    return {
+        "rows": rows,
+        "events_per_row": events_per_row,
+        "units": ["moesi"],
+        "default_backend": default_backend(),
+        "backends": backends,
+        "verified_rows": len(sample),
+        "verified_ok": verified_ok,
+    }
+
+
 def load_baseline(path: str = BENCH_FILENAME) -> Optional[dict]:
     """The committed baseline report, or None when absent/unreadable."""
     try:
@@ -322,6 +389,89 @@ def regression_report(report: dict, baseline: dict) -> dict:
             f"obs: traced overhead {traced:.2f}% exceeds budget "
             f"{MAX_TRACED_OVERHEAD_PCT:.0f}%"
         )
+    batch = report.get("batch")
+    batch_section = None
+    if batch is not None:
+        if not batch.get("verified_ok", True):
+            failures.append(
+                "batch: kernel diverged from the object engine on "
+                "sampled rows"
+            )
+        best_tps = max(
+            leg["transitions_per_sec"] for leg in batch["backends"].values()
+        )
+
+        def _gated(raw: Optional[float]) -> Optional[float]:
+            if raw is None:
+                return None
+            if host_factor is None:
+                return raw
+            return max(raw, raw * host_factor)
+
+        # Floor: the kernel's aggregate throughput against the committed
+        # explorer baseline (the "10x the per-object engine" claim).
+        explorer_base = baseline_mixes.get("full-class+full-class")
+        multiple = (
+            best_tps / explorer_base["transitions_per_sec"]
+            if explorer_base and explorer_base["transitions_per_sec"]
+            else None
+        )
+        gated_multiple = _gated(multiple)
+        if (
+            gated_multiple is not None
+            and gated_multiple < BATCH_MIN_EXPLORER_MULTIPLE
+        ):
+            failures.append(
+                f"batch: {gated_multiple:.1f}x the baseline explorer "
+                f"transitions/sec, below the "
+                f"{BATCH_MIN_EXPLORER_MULTIPLE:.0f}x floor"
+            )
+        # Budget: batch-vs-batch regression once a baseline carries a
+        # batch section (same gate shape as the explorer rows). The gate
+        # only fires like-for-like: quick runs use a smaller population
+        # whose fixed setup costs amortize worse, so their tps is not
+        # comparable to a full-suite baseline — the ratio is still
+        # reported, and the explorer-multiple floor above applies in
+        # both modes.
+        base_batch = baseline.get("batch")
+        ratio = None
+        if base_batch:
+            base_tps = max(
+                leg["transitions_per_sec"]
+                for leg in base_batch["backends"].values()
+            )
+            ratio = best_tps / base_tps if base_tps else None
+            gated_ratio = _gated(ratio)
+            if (
+                base_batch.get("rows") == batch.get("rows")
+                and gated_ratio is not None
+                and gated_ratio < MIN_TPS_RATIO
+            ):
+                failures.append(
+                    f"batch: transitions/sec regressed to "
+                    f"{gated_ratio:.2f}x baseline (budget "
+                    f"{MIN_TPS_RATIO}x)"
+                )
+        batch_section = {
+            "current_tps": best_tps,
+            "baseline_tps": (
+                max(
+                    leg["transitions_per_sec"]
+                    for leg in base_batch["backends"].values()
+                )
+                if base_batch
+                else None
+            ),
+            "ratio": round(ratio, 3) if ratio is not None else None,
+            "explorer_multiple": (
+                round(multiple, 1) if multiple is not None else None
+            ),
+            "explorer_multiple_normalized": (
+                round(multiple * host_factor, 1)
+                if multiple is not None and host_factor is not None
+                else None
+            ),
+        }
     return {
         "baseline_timestamp": baseline.get("timestamp"),
         "explorer": explorer_rows,
@@ -332,9 +482,11 @@ def regression_report(report: dict, baseline: dict) -> dict:
             ),
             "current_traced_pct": traced,
         },
+        "batch": batch_section,
         "budgets": {
             "min_tps_ratio": MIN_TPS_RATIO,
             "max_traced_overhead_pct": MAX_TRACED_OVERHEAD_PCT,
+            "min_batch_explorer_multiple": BATCH_MIN_EXPLORER_MULTIPLE,
         },
         "failures": failures,
         "ok": not failures,
@@ -370,6 +522,7 @@ def run_bench_suite(
         "matrix": _bench_matrix(effective, quick),
         "des": _bench_des(effective, quick),
         "obs": _bench_obs(quick),
+        "batch": _bench_batch(quick),
     }
     if baseline is not None:
         report["regression"] = regression_report(report, baseline)

@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Optional, Sequence, TypeVar
 
 __all__ = [
+    "ADAPTIVE_CUTOVER_S",
     "DEFAULT_MAX_WORKERS",
     "ParallelTimeoutError",
     "default_chunk_size",
@@ -54,6 +55,13 @@ DEFAULT_MAX_WORKERS = 8
 #: draws a cheap chunk picks up another), small enough that per-chunk
 #: pickling stays negligible.
 CHUNKS_PER_WORKER = 4
+
+#: Projected whole-map cost (items x measured per-item seconds) below
+#: which an ``"auto"`` map stays serial: dispatching to the pool costs
+#: on the order of a hundred milliseconds of pickling and scheduling,
+#: so fanning out cheaper maps than this *loses* wall time (the 0.91x /
+#: 0.65x matrix/DES "speedups" the bench used to record).
+ADAPTIVE_CUTOVER_S = 0.2
 
 
 class ParallelTimeoutError(TimeoutError):

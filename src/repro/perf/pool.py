@@ -27,12 +27,15 @@ resolution, picklability probing, and the serial fallback ladder.
 from __future__ import annotations
 
 import dataclasses
+import os
 import pickle
+import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence, TypeVar
 
 from repro.deprecation import warn_once
 from repro.perf.engine import (
+    ADAPTIVE_CUTOVER_S,
     DEFAULT_MAX_WORKERS,
     ParallelTimeoutError,
     get_executor,
@@ -142,13 +145,31 @@ def _map(
     if not _picklable(fn, *items):
         _warn_degrade("pickle", "task or items not picklable")
         return _serial_map(fn, items)
+    head: list[R] = []
+    if config.mode == "auto" and config.task_timeout_s is None:
+        # Adaptive cutover: an "auto" map only goes to the pool when the
+        # work can plausibly pay the dispatch overhead back.  Without a
+        # second core the pool can never win; otherwise run the first
+        # item in-process as a cost probe and stay serial when the whole
+        # map projects below the cutover.  Explicit ``mode="process"``
+        # and per-task timeouts (which need the pool's termination
+        # machinery) bypass the probe.
+        if (os.cpu_count() or 1) < 2:
+            return _serial_map(fn, items)
+        start = time.perf_counter()
+        head = [fn(items[0])]
+        per_item_s = time.perf_counter() - start
+        if per_item_s * len(items) < ADAPTIVE_CUTOVER_S:
+            return head + _serial_map(fn, items[1:])
+        items = items[1:]
+        workers = min(workers, len(items))
     try:
         executor = get_executor(workers)
     except (OSError, ValueError):  # restricted sandbox / no semaphores
         _warn_degrade("pool-start", "process pool unavailable here")
-        return _serial_map(fn, items)
+        return head + _serial_map(fn, items)
     try:
-        return run_chunked(
+        return head + run_chunked(
             fn,
             items,
             workers,
@@ -162,4 +183,4 @@ def _map(
         # complete results.
         shutdown_pool(wait=False)
         _warn_degrade("broken-pool", "a worker process died mid-map")
-        return _serial_map(fn, items)
+        return head + _serial_map(fn, items)

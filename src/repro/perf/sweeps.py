@@ -3,10 +3,19 @@
 Each task regenerates or receives its workload deterministically and runs
 one timed simulation, so pooled rows are identical to the serial sweeps
 in :mod:`repro.analysis.compare` -- only the wall clock changes.
+
+Tasks travel compactly: the shared workload (a trace, or better, a
+:func:`synthetic_trace_recipe` tuple the worker regenerates from) is
+bound to the task function once via :func:`functools.partial`, so the
+chunk protocol pickles it per chunk instead of per item, and the items
+themselves are bare spec strings, labels, or floats.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import time
 from typing import Optional, Sequence
 
 from repro.analysis.compare import (
@@ -17,49 +26,90 @@ from repro.analysis.compare import (
     update_vs_invalidate_row,
 )
 from repro.perf.pool import ParallelConfig, parallel_map
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
 from repro.workloads.trace import Trace
 
 __all__ = [
     "protocol_comparison_parallel",
     "update_vs_invalidate_parallel",
     "heterogeneous_parallel",
+    "batch_protocol_sweep",
+    "synthetic_trace_recipe",
 ]
 
 
-def _comparison_task(task: tuple) -> dict:
-    protocol, trace, timed = task
-    return comparison_row(protocol, trace, timed)
+def synthetic_trace_recipe(
+    config: SyntheticConfig, seed: int, references: int
+) -> tuple:
+    """A compact, picklable recipe for a synthetic trace.
+
+    Workers rebuild (and memoize) the trace from this tuple instead of
+    unpickling the full reference stream per task."""
+    return (
+        tuple(sorted(dataclasses.asdict(config).items())),
+        seed,
+        references,
+    )
 
 
-def _comparison_traced_task(task: tuple) -> dict:
+_TRACE_CACHE: dict[tuple, Trace] = {}
+
+
+def _resolve_trace(trace_ref) -> Trace:
+    """A trace from either a real :class:`Trace` or a recipe tuple."""
+    if isinstance(trace_ref, Trace):
+        return trace_ref
+    trace = _TRACE_CACHE.get(trace_ref)
+    if trace is None:
+        config_items, seed, references = trace_ref
+        config = SyntheticConfig(**dict(config_items))
+        trace = SyntheticWorkload(config, seed=seed).trace(references)
+        _TRACE_CACHE[trace_ref] = trace
+    return trace
+
+
+def _comparison_task(trace_ref, timed: bool, protocol: str) -> dict:
+    return comparison_row(protocol, _resolve_trace(trace_ref), timed)
+
+
+def _comparison_traced_task(trace_ref, timed: bool, protocol: str) -> dict:
     from repro.analysis.compare import comparison_row_traced
 
-    protocol, trace, timed = task
-    return comparison_row_traced(protocol, trace, timed)
+    return comparison_row_traced(protocol, _resolve_trace(trace_ref), timed)
 
 
 def protocol_comparison_parallel(
-    trace: Trace,
+    trace: Optional[Trace],
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     timed: bool = True,
     workers: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
     traced: bool = False,
     profiler=None,
+    recipe: Optional[tuple] = None,
 ) -> list[dict]:
     """E2 with one pooled task per protocol; rows in protocol order.
 
     With ``traced=True`` each task returns ``{"row", "events"}`` -- the
     exported per-protocol trace stream, identical to what the serial
-    path produces, for order-preserving absorption by the caller."""
+    path produces, for order-preserving absorption by the caller.  A
+    ``recipe`` (see :func:`synthetic_trace_recipe`) replaces the pickled
+    trace on the wire; tasks are then bare protocol spec strings."""
     config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
-    tasks = [(protocol, trace, timed) for protocol in protocols]
-    task_fn = _comparison_traced_task if traced else _comparison_task
-    return parallel_map(task_fn, tasks, config, profiler=profiler)
+    trace_ref = recipe if recipe is not None else trace
+    if trace_ref is None:
+        raise ValueError("need a trace or a recipe")
+    task_fn = functools.partial(
+        _comparison_traced_task if traced else _comparison_task,
+        trace_ref,
+        timed,
+    )
+    return parallel_map(task_fn, list(protocols), config, profiler=profiler)
 
 
-def _update_vs_invalidate_task(task: tuple) -> dict:
-    p_shared, references, seed, processors = task
+def _update_vs_invalidate_task(
+    references: int, seed: int, processors: int, p_shared: float
+) -> dict:
     return update_vs_invalidate_row(p_shared, references, seed, processors)
 
 
@@ -71,29 +121,106 @@ def update_vs_invalidate_parallel(
     workers: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
 ) -> list[dict]:
-    """E3 with one pooled task per sharing level."""
+    """E3 with one pooled task per sharing level (tasks are bare floats;
+    the fixed sweep parameters ride on the task function)."""
     config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
-    tasks = [
-        (p_shared, references, seed, processors)
-        for p_shared in sharing_levels
-    ]
-    return parallel_map(_update_vs_invalidate_task, tasks, config)
+    task_fn = functools.partial(
+        _update_vs_invalidate_task, references, seed, processors
+    )
+    return parallel_map(task_fn, list(sharing_levels), config)
 
 
-def _heterogeneous_task(task: tuple) -> dict:
-    label, protocols, trace = task
-    return heterogeneous_row(label, protocols, trace)
+def _heterogeneous_task(trace_ref, label: str) -> dict:
+    return heterogeneous_row(
+        label, HETEROGENEOUS_MIXES[label], _resolve_trace(trace_ref)
+    )
 
 
 def heterogeneous_parallel(
-    trace: Trace,
+    trace: Optional[Trace],
+    workers: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    recipe: Optional[tuple] = None,
+) -> list[dict]:
+    """E8 with one pooled task per board mix (tasks are mix labels; the
+    worker rebuilds the mix from :data:`HETEROGENEOUS_MIXES`)."""
+    config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
+    trace_ref = recipe if recipe is not None else trace
+    if trace_ref is None:
+        raise ValueError("need a trace or a recipe")
+    task_fn = functools.partial(_heterogeneous_task, trace_ref)
+    return parallel_map(task_fn, list(HETEROGENEOUS_MIXES), config)
+
+
+# ---------------------------------------------------------------------------
+# Batch-kernel population sweep (PR 6).
+# ---------------------------------------------------------------------------
+def _batch_task(
+    rows: int,
+    events_per_row: int,
+    n_units: int,
+    backend: Optional[str],
+    task: tuple,
+) -> dict:
+    """One pooled batch run; the task is ``(spec, seed, geometry)`` --
+    a spec string plus integers, nothing object-shaped on the wire."""
+    from repro.perf.batch import (
+        BatchGeometry,
+        make_synthetic_population,
+        run_population,
+    )
+
+    spec, seed, geometry = task
+    pop = make_synthetic_population(
+        rows=rows,
+        units=(spec,) * n_units,
+        geometry=BatchGeometry(*geometry),
+        events_per_row=events_per_row,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    result = run_population(pop, backend=backend)
+    seconds = time.perf_counter() - start
+    crashes = sum(
+        1 for snapshot in result.snapshots if snapshot["crash"] is not None
+    )
+    return {
+        "protocol": spec,
+        "backend": result.backend,
+        "rows": result.rows,
+        "events": result.events,
+        "transitions": result.transitions,
+        "transitions_per_sec": round(result.transitions / seconds, 1)
+        if seconds > 0
+        else 0.0,
+        "crashes": crashes,
+    }
+
+
+def batch_protocol_sweep(
+    protocols: Optional[Sequence[str]] = None,
+    rows: int = 64,
+    events_per_row: int = 100,
+    seed: int = 0,
+    n_units: int = 2,
+    geometry: tuple = (4, 2, 32, 8),
+    backend: Optional[str] = None,
     workers: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
 ) -> list[dict]:
-    """E8 with one pooled task per board mix."""
+    """One batch-kernel population per protocol, fanned over the pool.
+
+    ``protocols`` defaults to every registry spec the lowering accepts
+    (:func:`repro.perf.batch.batchable_specs`).  Each task ships as a
+    ``(spec, seed, geometry)`` tuple; the worker synthesizes the
+    population and runs the struct-of-arrays kernel over it."""
+    if protocols is None:
+        from repro.perf.batch import batchable_specs
+
+        protocols = batchable_specs()
     config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
-    tasks = [
-        (label, protocols, trace)
-        for label, protocols in HETEROGENEOUS_MIXES.items()
-    ]
-    return parallel_map(_heterogeneous_task, tasks, config)
+    task_fn = functools.partial(
+        _batch_task, rows, events_per_row, n_units, backend
+    )
+    tasks = [(spec, seed, tuple(geometry)) for spec in protocols]
+    return parallel_map(task_fn, tasks, config)

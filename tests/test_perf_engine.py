@@ -141,9 +141,59 @@ class TestDegradeWarnings:
             assert parallel_map(lambda x: x + 1, [1, 2], config) == [2, 3]
 
 
+class TestAdaptiveCutover:
+    """Cheap ``"auto"`` maps stay off the pool entirely (no warning:
+    staying serial below the cutover is the optimization working)."""
+
+    def test_cheap_auto_map_skips_the_pool(self, monkeypatch):
+        import repro.perf.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 4)
+        before = pool_stats()["maps"]
+        result = parallel_map(
+            _square, list(range(20)), ParallelConfig(workers=4)
+        )
+        assert result == [x * x for x in range(20)]
+        assert pool_stats()["maps"] == before
+
+    def test_single_core_auto_map_skips_even_the_probe(self, monkeypatch):
+        import repro.perf.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+        before = pool_stats()["maps"]
+        assert parallel_map(
+            _square, [1, 2, 3], ParallelConfig(workers=4)
+        ) == [1, 4, 9]
+        assert pool_stats()["maps"] == before
+
+    def test_expensive_auto_map_still_pools(self, monkeypatch):
+        import repro.perf.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 4)
+        # A zero threshold makes every projected cost "expensive", so the
+        # probe's head result must splice back in front of pooled tails.
+        monkeypatch.setattr(pool_mod, "ADAPTIVE_CUTOVER_S", 0.0)
+        before = pool_stats()["maps"]
+        result = parallel_map(
+            _square, list(range(10)), ParallelConfig(workers=2)
+        )
+        assert result == [x * x for x in range(10)]
+        assert pool_stats()["maps"] == before + 1
+
+    def test_process_mode_bypasses_the_probe(self):
+        before = pool_stats()["maps"]
+        result = parallel_map(
+            _square,
+            list(range(6)),
+            ParallelConfig(workers=2, mode="process"),
+        )
+        assert result == [x * x for x in range(6)]
+        assert pool_stats()["maps"] == before + 1
+
+
 @pytest.mark.perf
 @pytest.mark.skipif(
-    (os.cpu_count() or 1) < 2, reason="speedup needs >= 2 cores"
+    (os.cpu_count() or 1) <= 2, reason="speedup needs > 2 cores"
 )
 def test_parallel_at_least_as_fast_as_serial_on_multicore():
     """With the pool warm, fanning CPU-bound work across >= 2 cores must
