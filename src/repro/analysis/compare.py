@@ -13,7 +13,10 @@ comparison on our simulator and produce the rows the benchmarks print:
 * :func:`heterogeneous_mix_sweep` -- board-mix effects (E8);
 * :func:`broadcast_penalty_sweep` -- sensitivity of the preferred choice
   to the bus's broadcast surcharge (E5; "the preferred protocol is
-  sensitive to the implementation of the bus").
+  sensitive to the implementation of the bus");
+* :func:`arbitration_discipline_sweep` -- the Nikolov & Lerato
+  (arXiv:1004.3560) comparative study of bus-arbiter service
+  disciplines (FCFS vs fixed-priority vs round-robin), on our DES.
 """
 
 from __future__ import annotations
@@ -30,7 +33,10 @@ from repro.workloads.trace import Trace
 
 __all__ = [
     "DEFAULT_PROTOCOLS",
+    "DEFAULT_DISCIPLINES",
     "HETEROGENEOUS_MIXES",
+    "arbitration_discipline_row",
+    "arbitration_discipline_sweep",
     "run_protocol_on_trace",
     "comparison_row",
     "comparison_row_traced",
@@ -55,6 +61,9 @@ DEFAULT_PROTOCOLS = (
     "write-once",
     "illinois",
     "firefly",
+    # Out-of-class negative fixture: rejected by the membership
+    # validator, but a perfectly usable comparison baseline.
+    "mesif",
     "write-through",
 )
 
@@ -355,6 +364,73 @@ def broadcast_penalty_sweep(
             }
         )
     return rows
+
+
+#: The service disciplines the Nikolov & Lerato sweep compares.  The
+#: priority entry pins an explicit table (cpu0 is the favored "I/O slot"
+#: board of the backplane tradition; everyone else shares the default).
+DEFAULT_DISCIPLINES = ("fcfs", "priority:cpu0=1", "round-robin")
+
+
+def arbitration_discipline_row(
+    discipline: str, trace: Trace, protocol: str = "moesi"
+) -> dict:
+    """One discipline row: run ``trace`` under an arbitrated bus and
+    report per-master waiting behaviour.
+
+    The row carries the study's comparison quantities: total elapsed
+    time, mean and worst per-master bus-wait, and the fairness spread
+    (worst wait / best wait among masters that waited at all) -- FCFS
+    and round-robin keep the spread small, fixed priority trades it for
+    a short wait on the favored master.
+    """
+    from repro.system.arbitrated import arbitrated_run_from_trace
+
+    units = trace.units()
+    boards = [BoardSpec(unit_id=unit, protocol=protocol) for unit in units]
+    system = System(boards, check=False, label=f"arb:{discipline}")
+    run = arbitrated_run_from_trace(system, trace, arbiter=discipline)
+    report = run.run()
+    waits = {
+        unit: run.processors[unit].stats.bus_wait_ns for unit in units
+    }
+    positive = [w for w in waits.values() if w > 0] or [0.0]
+    mean_wait = sum(waits.values()) / len(waits)
+    row = {
+        "discipline": discipline,
+        "elapsed_us": round(report.elapsed_ns / 1000.0, 1),
+        "mean_wait_us": round(mean_wait / 1000.0, 1),
+        "max_wait_us": round(max(waits.values()) / 1000.0, 1),
+        "wait_spread": round(max(positive) / max(min(positive), 1e-9), 2),
+        "per_unit_wait_us": {
+            unit: round(wait / 1000.0, 1) for unit, wait in waits.items()
+        },
+    }
+    return row
+
+
+def arbitration_discipline_sweep(
+    disciplines: Sequence[str] = DEFAULT_DISCIPLINES,
+    protocol: str = "moesi",
+    references: int = 2000,
+    seed: int = 23,
+    processors: int = 4,
+    p_shared: float = 0.4,
+) -> list[dict]:
+    """The Nikolov & Lerato comparative study on our simulator: the same
+    workload under each bus service discipline, one row per discipline.
+
+    All disciplines replay the identical trace, so differences are pure
+    arbitration effects: who waits, for how long, and how evenly.
+    """
+    config = SyntheticConfig(
+        processors=processors, p_shared=p_shared, p_write=0.4
+    )
+    trace = SyntheticWorkload(config, seed=seed).trace(references)
+    return [
+        arbitration_discipline_row(discipline, trace, protocol=protocol)
+        for discipline in disciplines
+    ]
 
 
 def memory_latency_sweep(

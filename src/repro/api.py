@@ -210,6 +210,7 @@ class Session:
         timing=None,
         check: bool = True,
         label: Optional[str] = None,
+        discipline: Optional[str] = None,
         **board_kwargs,
     ) -> ExperimentResult:
         """Run one system over one workload and return a typed result.
@@ -218,6 +219,9 @@ class Session:
         mixed-backplane capability); otherwise every board runs
         ``protocol``.  Without an explicit ``workload`` a synthetic
         shared-memory trace is generated from ``(processors, seed)``.
+        ``discipline`` selects a bus arbitration service discipline
+        (``"fcfs"``, ``"priority[:m=p,...]"``, ``"round-robin"``) and
+        implies a timed, arbitrated run.
         """
         if workload is None:
             workload = _default_workload(processors, references, seed)
@@ -242,6 +246,12 @@ class Session:
             system.attach_tracer(self.tracer)
 
         def _run() -> SystemReport:
+            if discipline is not None:
+                from repro.system.arbitrated import arbitrated_run_from_trace
+
+                return arbitrated_run_from_trace(
+                    system, workload, arbiter=discipline
+                ).run()
             if timed:
                 from repro.system.runner import timed_run_from_trace
 

@@ -5,11 +5,18 @@ an arbiter picks who goes next.  The untimed transaction engine does not
 need one (callers are already serialized); the discrete-event simulator
 uses an arbiter to order queued requests and to model fairness effects.
 
-Two disciplines are provided:
+Three service disciplines are provided, mirroring the comparative study
+of Nikolov & Lerato (arXiv:1004.3560) on bus-arbiter service disciplines:
 
 * :class:`FcfsArbiter` -- first come, first served (the default);
 * :class:`PriorityArbiter` -- fixed per-master priority with FCFS among
-  equals, modeling a priority-slot backplane.
+  equals, modeling a priority-slot backplane;
+* :class:`RoundRobinArbiter` -- cyclic service over the masters,
+  starvation-free regardless of request rates.
+
+:func:`arbiter_by_name` turns the spec strings used by experiment specs
+and the fuzzer's scenario generator (``"fcfs"``, ``"priority"``,
+``"priority:io=1,cpu=10"``, ``"round-robin"``) into instances.
 """
 
 from __future__ import annotations
@@ -17,9 +24,18 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
-from typing import Optional
+from collections import deque
+from typing import Optional, Union
 
-__all__ = ["ArbitrationRequest", "FcfsArbiter", "PriorityArbiter"]
+__all__ = [
+    "ArbitrationRequest",
+    "FcfsArbiter",
+    "PriorityArbiter",
+    "RoundRobinArbiter",
+    "Arbiter",
+    "ARBITER_DISCIPLINES",
+    "arbiter_by_name",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -32,6 +48,8 @@ class ArbitrationRequest:
 
 class FcfsArbiter:
     """Grant the bus in request order (ties broken by arrival sequence)."""
+
+    discipline = "fcfs"
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, ArbitrationRequest]] = []
@@ -59,6 +77,8 @@ class PriorityArbiter(FcfsArbiter):
     priority arbiter with an empty table degenerates to FCFS.
     """
 
+    discipline = "priority"
+
     def __init__(self, priorities: Optional[dict[str, int]] = None) -> None:
         super().__init__()
         self.priorities = dict(priorities or {})
@@ -69,3 +89,88 @@ class PriorityArbiter(FcfsArbiter):
         heapq.heappush(
             self._heap, ((priority, time), next(self._counter), req)  # type: ignore[arg-type]
         )
+
+
+class RoundRobinArbiter:
+    """Cyclic service: after granting a master, every *other* pending
+    master is served before that master is granted again.
+
+    Masters join the rotation in first-request order.  Each master keeps
+    a FIFO of its own requests, so a master issuing several requests
+    still takes exactly one bus tenure per rotation -- the
+    starvation-free discipline of the Nikolov & Lerato study.
+    """
+
+    discipline = "round-robin"
+
+    def __init__(self) -> None:
+        #: Rotation order (masters in first-request order).
+        self._rotation: list[str] = []
+        #: Per-master FIFO of outstanding requests.
+        self._queues: dict[str, deque[ArbitrationRequest]] = {}
+        #: Index into the rotation of the next master to consider.
+        self._cursor = 0
+
+    def request(self, master: str, time: float) -> None:
+        if master not in self._queues:
+            self._queues[master] = deque()
+            self._rotation.append(master)
+        self._queues[master].append(ArbitrationRequest(master, time))
+
+    def grant(self) -> Optional[ArbitrationRequest]:
+        if not self._rotation:
+            return None
+        n = len(self._rotation)
+        for offset in range(n):
+            index = (self._cursor + offset) % n
+            queue = self._queues[self._rotation[index]]
+            if queue:
+                self._cursor = (index + 1) % n
+                return queue.popleft()
+        return None
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+Arbiter = Union[FcfsArbiter, PriorityArbiter, RoundRobinArbiter]
+
+#: The selectable service disciplines, by spec-string name.
+ARBITER_DISCIPLINES = ("fcfs", "priority", "round-robin")
+
+
+def arbiter_by_name(spec: Union[str, Arbiter]) -> Arbiter:
+    """Instantiate an arbiter from a discipline spec string.
+
+    Accepts ``"fcfs"``, ``"round-robin"`` (alias ``"rr"``),
+    ``"priority"``, and ``"priority:io=1,cpu=10"`` (explicit per-master
+    priorities; lower wins).  An arbiter instance passes through
+    unchanged, so callers can accept either form.
+
+    >>> arbiter_by_name("round-robin").discipline
+    'round-robin'
+    >>> arbiter_by_name("priority:io=1").priorities
+    {'io': 1}
+    """
+    if not isinstance(spec, str):
+        return spec
+    name, _, args = spec.partition(":")
+    if name == "fcfs":
+        return FcfsArbiter()
+    if name in ("round-robin", "rr"):
+        return RoundRobinArbiter()
+    if name == "priority":
+        priorities: dict[str, int] = {}
+        if args:
+            for item in args.split(","):
+                master, _, value = item.partition("=")
+                if not master or not value:
+                    raise ValueError(
+                        f"bad priority entry {item!r} in {spec!r} "
+                        "(expected master=level)"
+                    )
+                priorities[master.strip()] = int(value)
+        return PriorityArbiter(priorities)
+    known = ", ".join(ARBITER_DISCIPLINES)
+    raise ValueError(f"unknown arbitration discipline {spec!r}; known: {known}")

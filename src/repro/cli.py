@@ -489,6 +489,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workload=workload,
         timed=not args.atomic,
         check=args.check,
+        discipline=args.discipline,
     )
     trace_path = _maybe_write_trace(args, session)
     if args.json:
@@ -665,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--atomic", action="store_true",
                    help="atomic trace-order run instead of timed")
+    p.add_argument("--discipline", default=None, metavar="NAME",
+                   help="bus arbitration service discipline: fcfs, "
+                        "round-robin, or priority[:master=level,...] "
+                        "(implies an arbitrated timed run)")
     p.add_argument("--check", action="store_true",
                    help="runtime coherence checking on")
     _add_obs_args(p)

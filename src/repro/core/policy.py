@@ -13,7 +13,16 @@ robin."  Policies make that statement executable:
   lines on broadcast writes);
 * :class:`UpdatePolicy` -- bias toward broadcast/update (Dragon-style);
 * :class:`RandomPolicy` -- seeded uniform choice (the paper's extreme case);
-* :class:`RoundRobinPolicy` -- cycle deterministically through the set.
+* :class:`RoundRobinPolicy` -- cycle deterministically through the set;
+* :class:`ThresholdAdaptivePolicy` / :class:`CompetitiveAdaptivePolicy` --
+  per-line adaptive update/invalidate hybrids in the style of Dovgopol &
+  Rosonke (arXiv:1502.00101): broadcast updates while sharing pays off,
+  switch to invalidation when it stops.
+
+Because every adaptive policy still picks from the *permitted* choice
+set, section 3.4's guarantee applies unchanged: the hybrids are full
+members of the MOESI class, and :func:`repro.core.validation.check_membership`
+proves it mechanically.
 
 The Puzak-style recency-aware refinement of section 5.2 lives in
 :mod:`repro.ext.puzak` and plugs into the same interface.
@@ -37,8 +46,23 @@ __all__ = [
     "UpdatePolicy",
     "RandomPolicy",
     "RoundRobinPolicy",
+    "ThresholdAdaptivePolicy",
+    "CompetitiveAdaptivePolicy",
     "policy_by_name",
 ]
+
+#: Bus events that carry a broadcast update to snooping sharers.
+_BROADCAST_EVENTS = (
+    BusEvent.CACHE_BROADCAST_WRITE,
+    BusEvent.UNCACHED_BROADCAST_WRITE,
+)
+
+#: Bus events that signal another cache is actively reading the line.
+_REMOTE_READ_EVENTS = (
+    BusEvent.CACHE_READ,
+    BusEvent.CACHE_READ_FOR_MODIFY,
+    BusEvent.UNCACHED_READ,
+)
 
 
 class ActionPolicy(abc.ABC):
@@ -166,12 +190,145 @@ class RoundRobinPolicy(ActionPolicy):
         return self._pick(("snoop", state, event), choices)
 
 
+class _AdaptiveHybridPolicy(ActionPolicy):
+    """Shared machinery of the per-line update/invalidate hybrids.
+
+    Both hybrids delegate the actual pick to :class:`UpdatePolicy` or
+    :class:`InvalidatePolicy` behaviour, so every choice is drawn from
+    the permitted set and class membership is untouched; the adaptive
+    part is only *which* bias applies to a given line at a given moment.
+    Counters key on the line address from the choice context; calls
+    without a context fall back to a single shared key.
+    """
+
+    def __init__(self) -> None:
+        self._update = UpdatePolicy()
+        self._invalidate = InvalidatePolicy()
+
+    @staticmethod
+    def _key(ctx) -> object:
+        return ctx.address if ctx is not None else None
+
+    def _bias_local(self, key) -> ActionPolicy:
+        raise NotImplementedError
+
+    def _bias_snoop(self, key) -> ActionPolicy:
+        raise NotImplementedError
+
+    def choose_local(self, state, event, choices, ctx=None) -> LocalAction:
+        key = self._key(ctx)
+        self._note_local(key, event)
+        return self._bias_local(key).choose_local(state, event, choices, ctx)
+
+    def choose_snoop(self, state, event, choices, ctx=None) -> SnoopAction:
+        key = self._key(ctx)
+        self._note_snoop(key, event)
+        return self._bias_snoop(key).choose_snoop(state, event, choices, ctx)
+
+    def _note_local(self, key, event: LocalEvent) -> None:
+        raise NotImplementedError
+
+    def _note_snoop(self, key, event: BusEvent) -> None:
+        raise NotImplementedError
+
+
+class ThresholdAdaptivePolicy(_AdaptiveHybridPolicy):
+    """Per-line threshold hybrid (Dovgopol & Rosonke's threshold scheme).
+
+    Writer side: broadcast updates until ``threshold`` consecutive local
+    writes pass without any other cache reading the line, then switch
+    that line to invalidation (the sharers evidently stopped caring);
+    an observed remote read resets the line to update mode.
+
+    Snooper side: keep connecting to broadcast updates until
+    ``threshold`` consecutive updates arrive without a local access to
+    the line, then drop the copy instead -- the receiver half of the
+    same bet.
+    """
+
+    name = "adaptive-threshold"
+
+    def __init__(self, threshold: int = 3) -> None:
+        super().__init__()
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        #: Consecutive local writes since a remote read, per line.
+        self._local_writes: dict[object, int] = {}
+        #: Consecutive snooped updates since a local access, per line.
+        self._snooped_updates: dict[object, int] = {}
+
+    def _bias_local(self, key) -> ActionPolicy:
+        if self._local_writes.get(key, 0) > self.threshold:
+            return self._invalidate
+        return self._update
+
+    def _bias_snoop(self, key) -> ActionPolicy:
+        if self._snooped_updates.get(key, 0) > self.threshold:
+            return self._invalidate
+        return self._update
+
+    def _note_local(self, key, event: LocalEvent) -> None:
+        self._snooped_updates[key] = 0
+        if event is LocalEvent.WRITE:
+            self._local_writes[key] = self._local_writes.get(key, 0) + 1
+
+    def _note_snoop(self, key, event: BusEvent) -> None:
+        if event in _REMOTE_READ_EVENTS:
+            self._local_writes[key] = 0
+        elif event in _BROADCAST_EVENTS:
+            self._snooped_updates[key] = (
+                self._snooped_updates.get(key, 0) + 1
+            )
+
+
+class CompetitiveAdaptivePolicy(_AdaptiveHybridPolicy):
+    """Per-line competitive hybrid (competitive-update snooping).
+
+    Each snooper gives every line a budget of update credits.  A snooped
+    broadcast update costs one credit; a local access refills the line.
+    While credits remain the snooper connects to updates; at zero it
+    invalidates itself.  The writer always prefers broadcasting -- once
+    every sharer has dropped out, the ``CH:O/M`` conditional resolves to
+    M and subsequent writes go silent, so the scheme self-limits without
+    any writer-side bookkeeping (the 2-competitive argument of the
+    competitive-snooping literature).
+    """
+
+    name = "adaptive-competitive"
+
+    def __init__(self, budget: int = 4) -> None:
+        super().__init__()
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+        #: Remaining update credits, per line.
+        self._credits: dict[object, int] = {}
+
+    def _bias_local(self, key) -> ActionPolicy:
+        return self._update
+
+    def _bias_snoop(self, key) -> ActionPolicy:
+        if self._credits.get(key, self.budget) <= 0:
+            return self._invalidate
+        return self._update
+
+    def _note_local(self, key, event: LocalEvent) -> None:
+        self._credits[key] = self.budget
+
+    def _note_snoop(self, key, event: BusEvent) -> None:
+        if event in _BROADCAST_EVENTS:
+            self._credits[key] = self._credits.get(key, self.budget) - 1
+
+
 _POLICIES = {
     "preferred": PreferredPolicy,
     "invalidate": InvalidatePolicy,
     "update": UpdatePolicy,
     "random": RandomPolicy,
     "round-robin": RoundRobinPolicy,
+    "adaptive-threshold": ThresholdAdaptivePolicy,
+    "adaptive-competitive": CompetitiveAdaptivePolicy,
 }
 
 

@@ -41,9 +41,25 @@ from repro.core.transitions import MoesiClassTable, snoop_choices
 
 __all__ = [
     "ComplianceIssue",
+    "MembershipError",
     "MembershipReport",
+    "assert_member",
     "check_membership",
 ]
+
+
+class MembershipError(ValueError):
+    """A protocol claimed class membership the validator refutes.
+
+    Raised by :func:`assert_member`; the message is the report's full
+    :meth:`~MembershipReport.diagnostic` -- verdict first, then one line
+    per offending table cell, so a failing conformance gate names the
+    exact state/event/action that broke membership.
+    """
+
+    def __init__(self, report: "MembershipReport") -> None:
+        super().__init__(report.diagnostic())
+        self.report = report
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,6 +106,27 @@ class MembershipReport:
         """Implementable on the Futurebus only via the BS adaptation."""
         return self.uses_busy
 
+    def diagnostic(self) -> str:
+        """The full verdict: summary plus one line per out-of-class cell.
+
+        This is the text the conformance harness reports (and
+        :class:`MembershipError` carries) when a protocol is rejected --
+        precise enough to point at the table cell to fix.
+        """
+        lines = [self.summary()]
+        lines.extend(f"  - {issue}" for issue in self.issues)
+        if self.uses_busy:
+            lines.append(
+                "  - relies on the BS (busy) abort adaptation "
+                "(sections 4.3-4.5): consistent only homogeneously"
+            )
+        for state, event in self.uncovered_bus_events:
+            lines.append(
+                f"  - undefined snoop response: state {state}, "
+                f"event {event} (extendable via the class default)"
+            )
+        return "\n".join(lines)
+
     def summary(self) -> str:
         if self.is_full_member:
             verdict = "full member of the MOESI class"
@@ -108,6 +145,30 @@ class MembershipReport:
         else:
             verdict = f"NOT a member ({len(self.issues)} out-of-class actions)"
         return f"{self.protocol_name}: {verdict}"
+
+
+def assert_member(
+    protocol: Protocol,
+    table: Optional[MoesiClassTable] = None,
+    full: bool = False,
+) -> MembershipReport:
+    """Check membership and *raise* :class:`MembershipError` on failure.
+
+    The conformance gate: registering a protocol as in-class runs it
+    through this; a non-member (out-of-class cells and/or a BS
+    dependency) raises with the precise per-cell diagnostic.  With
+    ``full=True`` the protocol must also cover every bus event in every
+    state (no extension holes).
+
+    >>> from repro.protocols.registry import make_protocol
+    >>> assert_member(make_protocol("moesi")).is_full_member
+    True
+    """
+    report = check_membership(protocol, table)
+    ok = report.is_full_member if full else report.is_member
+    if not ok:
+        raise MembershipError(report)
+    return report
 
 
 def check_membership(

@@ -29,7 +29,13 @@ differential testing:
 from repro.fuzz.batchrun import BatchCampaignReport, run_batch_campaign
 from repro.fuzz.campaign import CampaignConfig, CampaignReport, run_campaign
 from repro.fuzz.replay import load_repro, replay_file, write_repro
-from repro.fuzz.runner import ScenarioResult, StepFailure, run_scenario
+from repro.fuzz.runner import (
+    ArbitratedScenarioResult,
+    ScenarioResult,
+    StepFailure,
+    run_scenario,
+    run_scenario_arbitrated,
+)
 from repro.fuzz.scenario import (
     INJECTABLE_BUGS,
     FuzzEvent,
@@ -50,9 +56,11 @@ __all__ = [
     "load_repro",
     "replay_file",
     "write_repro",
+    "ArbitratedScenarioResult",
     "ScenarioResult",
     "StepFailure",
     "run_scenario",
+    "run_scenario_arbitrated",
     "INJECTABLE_BUGS",
     "FuzzEvent",
     "Geometry",

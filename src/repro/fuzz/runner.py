@@ -18,7 +18,14 @@ from repro.fuzz.oracles import DifferentialOracle, InvariantOracle, OracleViolat
 from repro.fuzz.scenario import FuzzEvent, Scenario, reference_query, resolve_spec
 from repro.system.system import BoardSpec, System
 
-__all__ = ["StepFailure", "ScenarioResult", "build_system", "run_scenario"]
+__all__ = [
+    "StepFailure",
+    "ScenarioResult",
+    "ArbitratedScenarioResult",
+    "build_system",
+    "run_scenario",
+    "run_scenario_arbitrated",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -145,5 +152,83 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         scenario=scenario,
         steps_run=steps_run,
         transitions_checked=differential.transitions_checked,
+        failure=failure,
+    )
+
+
+@dataclasses.dataclass
+class ArbitratedScenarioResult:
+    """Outcome of replaying a scenario through the arbitrated timed bus."""
+
+    scenario: Scenario
+    discipline: str
+    elapsed_ns: float
+    references: int
+    failure: Optional[StepFailure]
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def run_scenario_arbitrated(scenario: Scenario) -> ArbitratedScenarioResult:
+    """Replay the scenario's read/write schedule under its arbitration
+    discipline.
+
+    The synchronous :func:`run_scenario` is the table oracle; this replay
+    proves the *timed* system -- bus requests ordered by the scenario's
+    ``discipline`` rather than program order -- still converges to a
+    coherent quiescent state.  Flush/pass events have no processor-side
+    equivalent and are skipped; per-unit program order is preserved, but
+    the interleaving across units is the arbiter's.
+    """
+    from repro.system.arbitrated import ArbitratedRun
+    from repro.system.processor import Processor
+    from repro.workloads.trace import Op
+
+    system = build_system(scenario)
+    line_size = scenario.geometry.line_size
+    per_unit: dict[str, list] = {}
+    for event in scenario.events:
+        if event.kind not in ("read", "write"):
+            continue
+        op = Op.READ if event.kind == "read" else Op.WRITE
+        per_unit.setdefault(f"u{event.unit}", []).append(
+            (op, event.line * line_size)
+        )
+    processors = [
+        Processor(unit, iter(refs)) for unit, refs in sorted(per_unit.items())
+    ]
+    run = ArbitratedRun(system, processors, arbiter=scenario.discipline)
+    references = sum(len(refs) for refs in per_unit.values())
+
+    failure: Optional[StepFailure] = None
+    elapsed_ns = 0.0
+    try:
+        report = run.run()
+        elapsed_ns = report.elapsed_ns
+    except (AssertionError, RuntimeError, BusLivelockError) as exc:
+        failure = StepFailure(
+            step=-1,
+            event="arbitrated-replay",
+            oracle="crash",
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    if failure is None:
+        violation = InvariantOracle(
+            system, range(scenario.geometry.lines)
+        ).check_step()
+        if violation is not None:
+            failure = StepFailure(
+                step=-1,
+                event="arbitrated-replay",
+                oracle=violation.oracle,
+                detail=violation.detail,
+            )
+    return ArbitratedScenarioResult(
+        scenario=scenario,
+        discipline=scenario.discipline,
+        elapsed_ns=elapsed_ns,
+        references=references,
         failure=failure,
     )

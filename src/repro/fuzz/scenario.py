@@ -21,10 +21,16 @@ Spec strings
   :data:`INJECTABLE_BUGS`, used to prove the fuzzer has teeth.
 
 Mix discipline: class members mix freely; the BS-adapted foreign
-protocols (Write-Once, Illinois, Firefly) are only generated in
-homogeneous scenarios, mirroring the paper's warning that naive mixes
-need further definition (and the E4 matrix, which demonstrates exactly
-those holes).
+protocols (Write-Once, Illinois, Firefly, and the out-of-class MESIF
+fixture) are only generated in homogeneous scenarios, mirroring the
+paper's warning that naive mixes need further definition (and the E4
+matrix, which demonstrates exactly those holes).
+
+Every scenario also carries a bus arbitration ``discipline`` (drawn
+from :data:`repro.bus.arbiter.ARBITER_DISCIPLINES`): the synchronous
+oracle replay ignores it, while the arbitrated replay in
+:func:`repro.fuzz.runner.run_scenario_arbitrated` uses it to drive the
+same schedule through the timed, arbitrated bus.
 """
 
 from __future__ import annotations
@@ -60,8 +66,10 @@ __all__ = [
     "generate_scenario",
 ]
 
-#: Foreign (BS-adapted) protocols: homogeneous scenarios only.
-FOREIGN_SPECS = ("write-once", "illinois", "firefly")
+#: Foreign (BS-adapted) protocols: homogeneous scenarios only.  MESIF is
+#: the out-of-class negative fixture -- it runs (and is fuzzed) like the
+#: other adapted protocols, against its *own* table as reference.
+FOREIGN_SPECS = ("write-once", "illinois", "firefly", "mesif")
 
 #: Event kinds a schedule may contain (the paper's local events 1-4; PASS
 #: and FLUSH double as the replacement traffic of a real system).
@@ -98,7 +106,7 @@ class InjectableBug:
     note: str = ""
 
 
-def _moesi_mutant(cls_name: str) -> Callable[[], Protocol]:
+def _mutant_factory(cls_name: str) -> Callable[[], Protocol]:
     def factory() -> Protocol:
         from repro.verify import mutations
 
@@ -119,14 +127,28 @@ INJECTABLE_BUGS: dict[str, InjectableBug] = {
         InjectableBug(
             "moesi-silent-shared-write",
             base="moesi",
-            factory=_moesi_mutant("SilentSharedWriteMutant"),
+            factory=_mutant_factory("SilentSharedWriteMutant"),
             note="writes to S take M without any bus transaction",
         ),
         InjectableBug(
             "moesi-drop-ownership",
             base="moesi",
-            factory=_moesi_mutant("DropOwnershipMutant"),
+            factory=_mutant_factory("DropOwnershipMutant"),
             note="M lines evicted silently, no write-back",
+        ),
+        InjectableBug(
+            "adaptive-retain-no-connect",
+            base="moesi-adaptive-threshold",
+            factory=_mutant_factory("AdaptiveRetainWithoutConnectMutant"),
+            note="adaptive hybrid claims CH on a broadcast write but "
+            "never connects (no SL): its copy goes stale",
+        ),
+        InjectableBug(
+            "mesif-stale-forward",
+            base="mesif",
+            factory=_mutant_factory("MesifStaleForwardMutant"),
+            note="MESIF forwards dirty data cache-to-cache without the "
+            "memory push",
         ),
     )
 }
@@ -182,6 +204,9 @@ class Scenario:
     units: tuple[str, ...]
     geometry: Geometry
     events: tuple[FuzzEvent, ...]
+    #: Bus arbitration discipline for the timed, arbitrated replay
+    #: (ignored by the synchronous differential oracle).
+    discipline: str = "fcfs"
 
     @property
     def label(self) -> str:
@@ -193,6 +218,7 @@ class Scenario:
             "units": list(self.units),
             "geometry": self.geometry.to_dict(),
             "events": [e.to_list() for e in self.events],
+            "discipline": self.discipline,
         }
 
     @classmethod
@@ -202,6 +228,7 @@ class Scenario:
             units=tuple(data["units"]),
             geometry=Geometry.from_dict(data["geometry"]),
             events=tuple(FuzzEvent.from_list(e) for e in data["events"]),
+            discipline=str(data.get("discipline", "fcfs")),
         )
 
 
@@ -233,8 +260,13 @@ class ScenarioConfig:
         "non-caching",
         "full-class",
         "moesi-random",
+        "moesi-adaptive-threshold",
+        "moesi-adaptive-competitive",
     )
     foreign_pool: tuple[str, ...] = FOREIGN_SPECS
+    #: Arbitration disciplines a scenario may draw (spec strings for
+    #: :func:`repro.bus.arbiter.arbiter_by_name`).
+    disciplines: tuple[str, ...] = ("fcfs", "priority", "round-robin")
     #: Name from :data:`INJECTABLE_BUGS`: every generated scenario then
     #: carries the buggy board among correct partners (fuzzer self-test).
     inject: Optional[str] = None
@@ -243,6 +275,7 @@ class ScenarioConfig:
         data = dataclasses.asdict(self)
         data["class_pool"] = list(self.class_pool)
         data["foreign_pool"] = list(self.foreign_pool)
+        data["disciplines"] = list(self.disciplines)
         return data
 
     @classmethod
@@ -250,6 +283,7 @@ class ScenarioConfig:
         data = dict(data)
         data["class_pool"] = tuple(data.get("class_pool", cls.class_pool))
         data["foreign_pool"] = tuple(data.get("foreign_pool", cls.foreign_pool))
+        data["disciplines"] = tuple(data.get("disciplines", cls.disciplines))
         return cls(**data)
 
 
@@ -367,5 +401,7 @@ def generate_scenario(
         )
         for _ in range(count)
     )
+    # Drawn LAST so pre-existing seeds keep their units/geometry/events.
+    discipline = rng.choice(config.disciplines)
     return Scenario(seed=seed, units=tuple(units), geometry=geometry,
-                    events=events)
+                    events=events, discipline=discipline)

@@ -1,0 +1,126 @@
+"""MESIF (Intel QuickPath) -- the deliberate *non*-member of the class.
+
+MESIF adds a Forward state to MESI: exactly one sharer of a clean line
+is the designated responder, so cache-to-cache supply works without an
+owner and without the O state's write-back obligation.  We model F on
+the vocabulary's O slot (both mean "the unique respondent for a shared
+line"), which makes the semantic clash precise and machine-checkable:
+
+* **F is clean.**  The class's O is dirty-with-respect-to-memory and
+  must be written back; MESIF's F may be dropped silently and never
+  intervenes on a read-for-modify.  Both behaviours fall outside the
+  Table 1/2 relaxation closure.
+* **Read misses land in F.**  The class only permits a read fill to
+  reach S or E (``CH:S/E`` and its relaxations); landing in O(F) on a
+  clean fill is out of class.
+* **F hands itself off.**  On a snooped read the forwarder supplies the
+  data and demotes to S (the requester becomes the new F); the class
+  requires an owner to *stay* owner (``O,CH,DI``).
+
+Like Illinois, dirty data always reaches memory through the BS
+abort-push, so homogeneous MESIF systems are value-coherent and run
+end-to-end (shootout baseline, fuzzing, batch kernel).  The membership
+validator must *reject* this protocol -- it is the conformance
+harness's negative fixture, proving the checker distinguishes
+"runs fine" from "belongs to the class".
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import (
+    BusOp,
+    ConditionalState,
+    LocalAction,
+    MasterKind,
+    SnoopAction,
+)
+from repro.core.events import BusEvent, LocalEvent
+from repro.core.protocol import TableProtocol
+from repro.core.signals import MasterSignals, SnoopResponse
+from repro.core.states import LineState
+
+__all__ = ["MesifProtocol", "CH_F_OR_E"]
+
+M, F, E, S, I = (
+    LineState.MODIFIED,
+    LineState.OWNED,  # the F (Forward) state rides the O slot
+    LineState.EXCLUSIVE,
+    LineState.SHAREABLE,
+    LineState.INVALID,
+)
+
+#: MESIF's read-miss result: F if another cache holds the line, else E.
+CH_F_OR_E = ConditionalState(F, E)
+
+
+def _local(next_state, *, ca=False, im=False, op=BusOp.NONE) -> LocalAction:
+    return LocalAction(next_state, MasterSignals(ca=ca, im=im), op)
+
+
+def _abort_push(next_state) -> SnoopAction:
+    return SnoopAction(
+        next_state,
+        SnoopResponse(bs=True),
+        abort_push=True,
+        push_signals=MasterSignals(ca=True),
+    )
+
+
+def _snoop(next_state, *, ch=False, di=False) -> SnoopAction:
+    return SnoopAction(next_state, SnoopResponse(ch=ch, di=di))
+
+
+class MesifProtocol(TableProtocol):
+    """MESIF with F mapped onto the O slot -- out-of-class by design."""
+
+    name = "MESIF"
+    kind = MasterKind.COPY_BACK
+    states = frozenset({M, F, E, S, I})
+    requires_busy = True
+    snoop_default_to_class = False
+
+    local_transitions = {
+        (M, LocalEvent.READ): _local(M),
+        (F, LocalEvent.READ): _local(F),
+        (E, LocalEvent.READ): _local(E),
+        (S, LocalEvent.READ): _local(S),
+        # Read miss: land in F when another cache asserts CH, else E.
+        # OUT OF CLASS: a clean fill may not take the owner slot.
+        (I, LocalEvent.READ): _local(CH_F_OR_E, ca=True, op=BusOp.READ),
+        (M, LocalEvent.WRITE): _local(M),
+        (E, LocalEvent.WRITE): _local(M),
+        # Writes to shared lines invalidate (MESIF never broadcasts).
+        (S, LocalEvent.WRITE): _local(M, ca=True, im=True),
+        (F, LocalEvent.WRITE): _local(M, ca=True, im=True),
+        (I, LocalEvent.WRITE): _local(M, ca=True, im=True, op=BusOp.READ),
+        # Replacement.
+        (M, LocalEvent.PASS): _local(E, ca=True, op=BusOp.WRITE),
+        (M, LocalEvent.FLUSH): _local(I, op=BusOp.WRITE),
+        (E, LocalEvent.FLUSH): _local(I),
+        (S, LocalEvent.FLUSH): _local(I),
+        # OUT OF CLASS: F is clean, so MESIF drops it silently; the
+        # class's O must write back on eviction.
+        (F, LocalEvent.FLUSH): _local(I),
+    }
+
+    snoop_transitions = {
+        # Dirty data reaches memory via the BS abort-push (Illinois
+        # idiom); the restarted read then finds memory current and the
+        # requester becomes the forwarder.
+        (M, BusEvent.CACHE_READ): _abort_push(S),
+        (M, BusEvent.CACHE_READ_FOR_MODIFY): _abort_push(I),
+        (E, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (E, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (S, BusEvent.CACHE_READ): _snoop(S, ch=True),
+        (S, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        # OUT OF CLASS: the forwarder supplies the line and demotes to
+        # S (the requester becomes the new F); a class owner must stay
+        # owner ("O,CH,DI").
+        (F, BusEvent.CACHE_READ): _snoop(S, ch=True, di=True),
+        # OUT OF CLASS: F declines to intervene on a read-for-modify
+        # (memory is current, the copy is clean); a class owner must
+        # supply the data ("I,DI").
+        (F, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+        (I, BusEvent.CACHE_READ): _snoop(I),
+        (I, BusEvent.CACHE_READ_FOR_MODIFY): _snoop(I),
+    }

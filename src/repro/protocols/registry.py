@@ -9,10 +9,12 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.policy import (
+    CompetitiveAdaptivePolicy,
     InvalidatePolicy,
     PreferredPolicy,
     RandomPolicy,
     RoundRobinPolicy,
+    ThresholdAdaptivePolicy,
     UpdatePolicy,
 )
 from repro.core.protocol import Protocol
@@ -20,6 +22,7 @@ from repro.protocols.berkeley import BerkeleyProtocol
 from repro.protocols.dragon import DragonProtocol
 from repro.protocols.firefly import FireflyProtocol
 from repro.protocols.illinois import IllinoisProtocol
+from repro.protocols.mesif import MesifProtocol
 from repro.protocols.moesi import MoesiProtocol
 from repro.protocols.noncaching import NonCachingProtocol
 from repro.protocols.write_once import WriteOnceProtocol
@@ -40,12 +43,24 @@ PROTOCOL_FACTORIES: dict[str, Callable[[], Protocol]] = {
     "moesi-round-robin": lambda: MoesiProtocol(
         RoundRobinPolicy(), name="MOESI(round-robin)"
     ),
+    # Adaptive update/invalidate hybrids (Dovgopol & Rosonke style):
+    # per-line counters steer between the update and invalidate biases,
+    # always inside the permitted choice sets -- full class members.
+    "moesi-adaptive-threshold": lambda: MoesiProtocol(
+        ThresholdAdaptivePolicy(), name="MOESI(adaptive-threshold)"
+    ),
+    "moesi-adaptive-competitive": lambda: MoesiProtocol(
+        CompetitiveAdaptivePolicy(), name="MOESI(adaptive-competitive)"
+    ),
     # Prior protocols mapped onto the Futurebus (paper section 4).
     "berkeley": BerkeleyProtocol,
     "dragon": DragonProtocol,
     "write-once": WriteOnceProtocol,
     "illinois": IllinoisProtocol,
     "firefly": FireflyProtocol,
+    # Out-of-class negative fixture: runs end-to-end, must be REJECTED
+    # by the membership validator (conformance-harness teeth).
+    "mesif": MesifProtocol,
     # Simpler boards.
     "write-through": lambda: WriteThroughProtocol(),
     "write-through-noalloc-nobc": lambda: WriteThroughProtocol(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Union
 
-from repro.bus.arbiter import FcfsArbiter, PriorityArbiter
+from repro.bus.arbiter import Arbiter, FcfsArbiter, arbiter_by_name
 from repro.cache.controller import CacheController, NonCachingMaster
 from repro.core.events import LocalEvent
 from repro.core.states import LineState
@@ -40,7 +40,7 @@ class ArbitratedRun:
         self,
         system: System,
         processors: Iterable[Processor],
-        arbiter: Optional[Union[FcfsArbiter, PriorityArbiter]] = None,
+        arbiter: Optional[Union[str, Arbiter]] = None,
     ) -> None:
         self.system = system
         self.processors = {p.unit_id: p for p in processors}
@@ -50,7 +50,9 @@ class ArbitratedRun:
         ]
         if unknown:
             raise ValueError(f"processors without boards: {unknown}")
-        self.arbiter = arbiter or FcfsArbiter()
+        self.arbiter = (
+            arbiter_by_name(arbiter) if arbiter is not None else FcfsArbiter()
+        )
         self.sim = Simulator()
         self._bus_busy = False
         #: The reference each stalled processor is waiting to issue.
@@ -146,10 +148,14 @@ class ArbitratedRun:
 def arbitrated_run_from_trace(
     system: System,
     trace: Trace,
-    arbiter: Optional[Union[FcfsArbiter, PriorityArbiter]] = None,
+    arbiter: Optional[Union[str, Arbiter]] = None,
     timing=None,
 ) -> ArbitratedRun:
-    """Partition a trace per unit and build an arbitrated run."""
+    """Partition a trace per unit and build an arbitrated run.
+
+    ``arbiter`` may be an instance or a discipline spec string
+    (``"fcfs"``, ``"priority[:m=p,...]"``, ``"round-robin"``).
+    """
     per_unit: dict[str, list[tuple[Op, int]]] = {}
     for record in trace:
         per_unit.setdefault(record.unit, []).append(

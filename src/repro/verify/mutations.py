@@ -17,7 +17,17 @@ Mutants:
 * :class:`NoInterventionMutant` -- an M-state owner refuses to intervene
   on a bus read, letting memory supply stale data;
 * :class:`DoubleOwnerMutant` -- lands in O (instead of S) when snooping
-  another owner's broadcast write, manufacturing two owners.
+  another owner's broadcast write, manufacturing two owners;
+* :class:`AdaptiveRetainWithoutConnectMutant` -- a threshold-adaptive
+  hybrid that claims retention (CH) on a snooped broadcast write but
+  never connects (no SL), so its retained copy goes stale;
+* :class:`MesifStaleForwardMutant` -- MESIF whose M state forwards dirty
+  data cache-to-cache without the memory push, leaving memory stale with
+  no owner once the forwarder drops out.
+
+Each mutant names the correct partner to pair it with during
+exploration via ``partner_spec`` (the BS-adapted MESIF mutant must stay
+homogeneous, like its base).
 """
 
 from __future__ import annotations
@@ -38,6 +48,8 @@ __all__ = [
     "DropOwnershipMutant",
     "NoInterventionMutant",
     "DoubleOwnerMutant",
+    "AdaptiveRetainWithoutConnectMutant",
+    "MesifStaleForwardMutant",
     "ALL_MUTANTS",
 ]
 
@@ -58,6 +70,9 @@ class ProtocolMutant(Protocol):
 
     local_overrides: dict[tuple[LineState, LocalEvent], LocalAction] = {}
     snoop_overrides: dict[tuple[LineState, BusEvent], SnoopAction] = {}
+    #: Registry spec of the correct partner the explorer pairs the mutant
+    #: with (BS-adapted bases need a homogeneous partner).
+    partner_spec: str = "moesi"
 
     def __init__(self, base: Optional[Protocol] = None) -> None:
         self.base = base or MoesiProtocol()
@@ -140,10 +155,53 @@ class DoubleOwnerMutant(ProtocolMutant):
     }
 
 
+class AdaptiveRetainWithoutConnectMutant(ProtocolMutant):
+    """A threshold-adaptive hybrid that answers a snooped broadcast write
+    with CH (it keeps the copy) but no SL (it never connects to the
+    transfer): the retained copy silently misses the update."""
+
+    snoop_overrides = {
+        (S, BusEvent.CACHE_BROADCAST_WRITE): SnoopAction(
+            S, SnoopResponse(ch=True)
+        ),
+    }
+
+    def __init__(self, base: Optional[Protocol] = None) -> None:
+        from repro.core.policy import ThresholdAdaptivePolicy
+
+        super().__init__(
+            base
+            or MoesiProtocol(
+                ThresholdAdaptivePolicy(), name="MOESI(adaptive-threshold)"
+            )
+        )
+
+
+class MesifStaleForwardMutant(ProtocolMutant):
+    """MESIF whose M state forwards its dirty line cache-to-cache (no BS
+    abort-push): memory is never updated, and once the new forwarder
+    drops its clean-believed copy no owner remains to supply the current
+    data."""
+
+    partner_spec = "mesif"
+    snoop_overrides = {
+        (M, BusEvent.CACHE_READ): SnoopAction(
+            S, SnoopResponse(ch=True, di=True)
+        ),
+    }
+
+    def __init__(self, base: Optional[Protocol] = None) -> None:
+        from repro.protocols.mesif import MesifProtocol
+
+        super().__init__(base or MesifProtocol())
+
+
 ALL_MUTANTS = (
     SilentSharedWriteMutant,
     NoInvalidateOnReadForModifyMutant,
     DropOwnershipMutant,
     NoInterventionMutant,
     DoubleOwnerMutant,
+    AdaptiveRetainWithoutConnectMutant,
+    MesifStaleForwardMutant,
 )

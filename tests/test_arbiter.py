@@ -1,6 +1,22 @@
-"""Bus arbitration disciplines."""
+"""Bus arbitration disciplines: unit tests plus Hypothesis properties.
 
-from repro.bus.arbiter import FcfsArbiter, PriorityArbiter
+The property tests pin the discipline guarantees the conformance
+harness relies on: FCFS grants in (time, arrival) order and drains
+completely; round-robin is starvation-free (one tenure per rotation);
+priority never inverts (a higher-priority pending request is never
+passed over)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus.arbiter import (
+    ARBITER_DISCIPLINES,
+    FcfsArbiter,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    arbiter_by_name,
+)
 
 
 class TestFcfs:
@@ -47,3 +63,167 @@ class TestPriority:
         arbiter.request("pleb", 0.0)
         arbiter.request("vip", 9.0)
         assert arbiter.grant().master == "vip"
+
+
+class TestRoundRobin:
+    def test_cycles_through_masters(self):
+        arbiter = RoundRobinArbiter()
+        for master in ("a", "b", "c"):
+            arbiter.request(master, 0.0)
+            arbiter.request(master, 1.0)
+        order = [arbiter.grant().master for _ in range(6)]
+        assert order == ["a", "b", "c", "a", "b", "c"]
+
+    def test_greedy_master_takes_one_tenure_per_rotation(self):
+        arbiter = RoundRobinArbiter()
+        for t in range(5):
+            arbiter.request("greedy", float(t))
+        arbiter.request("meek", 10.0)
+        assert arbiter.grant().master == "greedy"
+        # The meek master is served before greedy's backlog continues.
+        assert arbiter.grant().master == "meek"
+        assert arbiter.grant().master == "greedy"
+
+    def test_empty_queues_are_skipped(self):
+        arbiter = RoundRobinArbiter()
+        arbiter.request("a", 0.0)
+        arbiter.request("b", 0.0)
+        assert arbiter.grant().master == "a"
+        assert arbiter.grant().master == "b"
+        arbiter.request("b", 1.0)
+        assert arbiter.grant().master == "b"
+        assert arbiter.grant() is None
+
+    def test_pending_count(self):
+        arbiter = RoundRobinArbiter()
+        arbiter.request("a", 0.0)
+        arbiter.request("a", 1.0)
+        arbiter.request("b", 0.0)
+        assert arbiter.pending == 3
+        arbiter.grant()
+        assert arbiter.pending == 2
+
+
+class TestArbiterByName:
+    @pytest.mark.parametrize("name", ARBITER_DISCIPLINES)
+    def test_every_discipline_resolves(self, name):
+        assert arbiter_by_name(name).discipline == name
+
+    def test_rr_alias(self):
+        assert isinstance(arbiter_by_name("rr"), RoundRobinArbiter)
+
+    def test_priority_with_table(self):
+        arbiter = arbiter_by_name("priority:io=1,cpu=10")
+        assert arbiter.priorities == {"io": 1, "cpu": 10}
+
+    def test_instance_passes_through(self):
+        instance = RoundRobinArbiter()
+        assert arbiter_by_name(instance) is instance
+
+    def test_unknown_discipline_raises(self):
+        with pytest.raises(ValueError, match="unknown arbitration"):
+            arbiter_by_name("lottery")
+
+    def test_bad_priority_entry_raises(self):
+        with pytest.raises(ValueError, match="bad priority entry"):
+            arbiter_by_name("priority:io")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties.
+# ---------------------------------------------------------------------------
+#: (master index, request time) schedules; small alphabets force contention.
+_SCHEDULES = st.lists(
+    st.tuples(st.integers(0, 4), st.floats(0.0, 100.0)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _drain(arbiter):
+    grants = []
+    while True:
+        req = arbiter.grant()
+        if req is None:
+            return grants
+        grants.append(req)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_SCHEDULES)
+def test_fcfs_drains_in_time_order(schedule):
+    """FCFS grants every request, sorted by (time, arrival sequence)."""
+    arbiter = FcfsArbiter()
+    for index, (master, time) in enumerate(schedule):
+        arbiter.request(f"m{master}", time)
+    grants = _drain(arbiter)
+    assert len(grants) == len(schedule)
+    times = [g.time for g in grants]
+    assert times == sorted(times)
+    # Ties broken by arrival: the grant sequence is a stable sort of the
+    # request sequence by time.
+    expected = [
+        f"m{master}"
+        for _, master in sorted(
+            ((time, index), master)
+            for index, (master, time) in enumerate(schedule)
+        )
+    ]
+    assert [g.master for g in grants] == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(_SCHEDULES)
+def test_round_robin_is_starvation_free(schedule):
+    """Between two consecutive grants to one master, every other master
+    with a pending request is granted at least once -- no master can be
+    starved by a higher-rate requester."""
+    arbiter = RoundRobinArbiter()
+    for master, time in schedule:
+        arbiter.request(f"m{master}", time)
+    grants = _drain(arbiter)
+    assert len(grants) == len(schedule)
+
+    pending = {f"m{m}" for m, _ in schedule}
+    last_seen: dict[str, int] = {}
+    remaining = {m: sum(1 for mm, _ in schedule if f"m{mm}" == m)
+                 for m in pending}
+    for position, grant in enumerate(grants):
+        master = grant.master
+        if master in last_seen:
+            served_between = {g.master
+                              for g in grants[last_seen[master] + 1:position]}
+            # Every master that still had work must appear in between.
+            starved = {
+                m for m, count in remaining.items()
+                if count > 0 and m != master and m not in served_between
+            }
+            assert not starved, (
+                f"{master} granted twice while {starved} waited"
+            )
+        last_seen[master] = position
+        remaining[master] -= 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    _SCHEDULES,
+    st.dictionaries(
+        st.sampled_from([f"m{i}" for i in range(5)]),
+        st.integers(0, 3),
+        max_size=5,
+    ),
+)
+def test_priority_never_inverts(schedule, priorities):
+    """The priority arbiter drains every request sorted by
+    (priority, time, arrival) -- a pending higher-priority request is
+    never passed over (no priority inversion)."""
+    arbiter = PriorityArbiter(priorities)
+    for master, time in schedule:
+        arbiter.request(f"m{master}", time)
+    grants = _drain(arbiter)
+    assert len(grants) == len(schedule)
+    keys = [
+        (priorities.get(g.master, 100), g.time) for g in grants
+    ]
+    assert keys == sorted(keys)

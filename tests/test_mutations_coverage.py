@@ -35,11 +35,16 @@ def _xfail_if_survivor(name: str, survivors: dict[str, str]) -> None:
 
 @pytest.mark.parametrize("mutant_cls", ALL_MUTANTS, ids=_MUTANT_IDS)
 def test_explorer_catches_mutant(mutant_cls):
-    """Exhaustive exploration of mutant+moesi finds a violation."""
+    """Exhaustive exploration of mutant+partner finds a violation.
+
+    The partner is the mutant's own ``partner_spec`` (BS-adapted bases
+    like MESIF must stay homogeneous, exactly as in real scenarios).
+    """
     _xfail_if_survivor(mutant_cls.__name__, EXPLORER_SURVIVORS)
+    partner = mutant_cls.partner_spec
     result = explore(
-        [lambda chooser: mutant_cls(), "moesi"],
-        label=f"coverage:{mutant_cls.__name__}+moesi",
+        [lambda chooser: mutant_cls(), partner],
+        label=f"coverage:{mutant_cls.__name__}+{partner}",
     )
     assert result.violations, (
         f"{mutant_cls.__name__} survived exhaustive exploration: "
@@ -52,9 +57,17 @@ def test_explorer_catches_mutant(mutant_cls):
 def test_validator_rejects_mutant(mutant_cls):
     """Static membership checking flags the mutated cell."""
     _xfail_if_survivor(mutant_cls.__name__, VALIDATOR_SURVIVORS)
-    report = check_membership(mutant_cls())
+    mutant = mutant_cls()
+    report = check_membership(mutant)
     assert not report.is_member, (
         f"{mutant_cls.__name__} passed membership checking"
+    )
+    # The mutated cell itself must be flagged -- a base that is already
+    # non-member (MESIF) is not allowed to mask the mutation.
+    base_report = check_membership(mutant.base)
+    assert len(report.issues) > len(base_report.issues), (
+        f"{mutant_cls.__name__} added no issue beyond its base "
+        f"{mutant.base.name}"
     )
 
 
@@ -74,9 +87,9 @@ def test_injectable_bug_mutants_caught_by_fuzzer():
 
     mutant_bugs = [
         name for name, bug in INJECTABLE_BUGS.items()
-        if bug.base == "moesi"
+        if bug.base in ("moesi", "moesi-adaptive-threshold", "mesif")
     ]
-    assert mutant_bugs, "no mutants are exposed as injectable bugs"
+    assert len(mutant_bugs) >= 4, "no mutants are exposed as injectable bugs"
     for name in mutant_bugs:
         config = CampaignConfig(
             seeds=40,

@@ -36,7 +36,14 @@ except ImportError:
     HAVE_NUMPY = False
 
 FUZZ_SEEDS = 50
-NON_BATCHABLE = {"moesi-random", "moesi-round-robin"}
+NON_BATCHABLE = {
+    "moesi-random",
+    "moesi-round-robin",
+    # Adaptive hybrids carry per-line counters (stateful selection); the
+    # lowering rejects them and the object engine runs them instead.
+    "moesi-adaptive-threshold",
+    "moesi-adaptive-competitive",
+}
 
 
 def _fuzz_population(spec: str, seeds: int = FUZZ_SEEDS) -> BatchPopulation:

@@ -19,6 +19,8 @@ class TestClassMembers:
             "moesi-update",
             "moesi-random",
             "moesi-round-robin",
+            "moesi-adaptive-threshold",
+            "moesi-adaptive-competitive",
         ],
     )
     def test_moesi_variants_are_full_members(self, name):
