@@ -50,8 +50,11 @@ Packages:
   open problem, built; they compose to arbitrary depth);
 * :mod:`repro.obs` -- observability: structured tracing, the metrics
   registry, Chrome-trace/JSONL exporters, profiling;
-* :mod:`repro.api` -- the unified facade (:class:`Session`,
-  :func:`run_experiment`, :func:`fuzz_campaign`) with typed results.
+* :mod:`repro.api` -- the unified facade: the :func:`plan` /
+  :func:`execute` verbs over frozen :mod:`repro.specs` values, plus
+  :class:`Session` and the legacy wrappers with typed results;
+* :mod:`repro.serve` -- the long-lived asyncio service tier multiplexing
+  spec executions onto the warm pool with content-hash memoization.
 """
 
 from repro.api import (
@@ -60,9 +63,20 @@ from repro.api import (
     Session,
     VerifyResult,
     batch_sweep,
+    execute,
     explore,
     fuzz_campaign,
+    plan,
     run_experiment,
+)
+from repro.specs import (
+    BatchSpec,
+    ExperimentSpec,
+    FuzzSpec,
+    GeometrySpec,
+    ShootoutSpec,
+    VerifySpec,
+    WorkloadSpec,
 )
 from repro.core.states import LineState
 from repro.hierarchy.system import ClusterSpec, HierarchicalSystem
@@ -86,9 +100,18 @@ __all__ = [
     "ExperimentResult",
     "VerifyResult",
     "FuzzResult",
+    "plan",
+    "execute",
     "run_experiment",
     "explore",
     "fuzz_campaign",
     "batch_sweep",
+    "ExperimentSpec",
+    "VerifySpec",
+    "FuzzSpec",
+    "BatchSpec",
+    "ShootoutSpec",
+    "GeometrySpec",
+    "WorkloadSpec",
     "__version__",
 ]

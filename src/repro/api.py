@@ -1,26 +1,38 @@
-"""The unified front door: sessions, experiments, typed results.
+"""The unified front door: plan/execute, sessions, typed results.
 
 Everything the toolkit can do -- run a (possibly heterogeneous) system
 over a workload, exhaustively verify a protocol mix, fuzz with the
-differential oracles, race the protocols against each other -- is
-reachable from here with observability built in: a :class:`Session`
-owns one :class:`~repro.obs.trace.Tracer` and one
-:class:`~repro.obs.profile.Profiler`, threads them through every layer,
-and hands back typed results that carry their trace, metrics snapshot
-and profile alongside the domain payload.
+differential oracles, race the protocols against each other, sweep the
+batch kernel -- is now expressed in two verbs over frozen spec values
+(:mod:`repro.specs`):
+
+* :func:`plan` builds a frozen, picklable, canonically-hashable spec
+  (``ExperimentSpec``, ``VerifySpec``, ``FuzzSpec``, ``BatchSpec``,
+  ``ShootoutSpec``) describing *what* to compute;
+* :func:`execute` runs one and returns the typed result.  Execution
+  details that cannot change the answer -- worker counts, backends,
+  output directories -- ride on ``execute``, never on the spec, so one
+  ``spec.content_hash()`` covers every way of computing the same result
+  (the memoization key :mod:`repro.serve` caches under).
 
 Quickstart::
 
-    from repro import Session
+    from repro import plan, execute
 
-    session = Session(trace=True)
-    result = session.run_experiment(protocol="illinois", references=500)
+    spec = plan("experiment", protocol="illinois", references=500)
+    result = execute(spec)
     assert result.ok
-    result.write_trace("out.trace.json")      # open in Perfetto
+    assert execute(spec).report.to_json() == result.report.to_json()
 
-The pre-facade entry points (``System`` + ``run_trace``,
-``fuzz.campaign.run_campaign``, ``system.runner.Runner``) keep working;
-the deprecated ones warn once and point here.
+A :class:`Session` still owns one :class:`~repro.obs.trace.Tracer` and
+one :class:`~repro.obs.profile.Profiler` and threads them through every
+layer; its ``run_experiment``/``verify``/``fuzz_campaign``/``shootout``
+methods are thin plan-then-execute wrappers (supported, not deprecated)
+so ``execute(plan(...))`` is byte-identical to the legacy calls.  The
+old keyword sprawl -- board geometry kwargs passed straight through
+``run_experiment(**board_kwargs)`` -- still works but warns once per
+process via :mod:`repro.deprecation`; pass
+``geometry=GeometrySpec(...)`` instead.
 """
 
 from __future__ import annotations
@@ -37,9 +49,19 @@ from repro.obs.export import (
 )
 from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer
+from repro.specs import (
+    BatchSpec,
+    ExperimentSpec,
+    FuzzSpec,
+    GeometrySpec,
+    ShootoutSpec,
+    VerifySpec,
+    WorkloadSpec,
+    spec_from_canonical,
+    spec_from_dict,
+)
 from repro.system.stats import SystemReport
 from repro.system.system import BoardSpec, System
-from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
 from repro.workloads.trace import Trace
 
 __all__ = [
@@ -47,6 +69,8 @@ __all__ = [
     "ExperimentResult",
     "VerifyResult",
     "FuzzResult",
+    "plan",
+    "execute",
     "run_experiment",
     "explore",
     "fuzz_campaign",
@@ -55,14 +79,11 @@ __all__ = [
     "warm_pool",
 ]
 
-
-def _default_workload(
-    processors: int, references: int, seed: int
-) -> Trace:
-    config = SyntheticConfig(
-        processors=processors, p_shared=0.3, p_write=0.3
-    )
-    return SyntheticWorkload(config, seed=seed).trace(references)
+#: The BoardSpec keywords the legacy ``run_experiment(**board_kwargs)``
+#: path accepted; anything else was (and is) a TypeError.
+_BOARD_KEYWORDS = frozenset(
+    ("num_sets", "associativity", "line_size", "replacement")
+)
 
 
 def _write_events(
@@ -161,7 +182,7 @@ class VerifyResult:
 class FuzzResult:
     """One fuzz campaign: the deterministic report + observability."""
 
-    report: object  # repro.fuzz.campaign.CampaignReport
+    report: object  # CampaignReport, or runner.ScenarioReplayReport
     trace: Optional[list] = None
     profile: Optional[Profiler] = None
 
@@ -174,6 +195,217 @@ class FuzzResult:
         return self.report.failures
 
 
+# ----------------------------------------------------------------------
+# plan(...): kwargs -> frozen spec.
+# ----------------------------------------------------------------------
+def _geometry_from_board_kwargs(
+    geometry: Optional[GeometrySpec], board_kwargs: dict
+) -> GeometrySpec:
+    """The legacy keyword path: loose BoardSpec kwargs -> GeometrySpec.
+
+    Warns once per process per keyword set; ``geometry=GeometrySpec(...)``
+    is the supported spelling."""
+    unknown = sorted(set(board_kwargs) - _BOARD_KEYWORDS)
+    if unknown:
+        raise TypeError(
+            f"unknown board keyword(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(_BOARD_KEYWORDS))}"
+        )
+    from repro.deprecation import warn_legacy_keywords
+
+    warn_legacy_keywords(
+        "run_experiment", board_kwargs, "geometry=GeometrySpec(...)"
+    )
+    return dataclasses.replace(geometry or GeometrySpec(), **board_kwargs)
+
+
+#: Stand-in workload for the legacy facade path: when a caller hands
+#: ``Session.run_experiment`` an already-built Trace, the trace goes to
+#: execution directly and the ephemeral spec carries this empty literal
+#: instead of paying the O(references) record embed.
+_ELIDED_WORKLOAD = WorkloadSpec(source="literal", records=())
+
+
+def plan_experiment(
+    protocol: str = "moesi",
+    protocols: Optional[Sequence[str]] = None,
+    workload: Optional[Union[Trace, WorkloadSpec]] = None,
+    processors: int = 4,
+    references: int = 2000,
+    seed: int = 7,
+    p_shared: float = 0.3,
+    p_write: float = 0.3,
+    timed: bool = False,
+    check: bool = True,
+    label: Optional[str] = None,
+    discipline: Optional[str] = None,
+    geometry: Optional[GeometrySpec] = None,
+    trace: bool = False,
+    metrics: bool = True,
+    **board_kwargs,
+) -> ExperimentSpec:
+    """Plan one system run.  ``workload`` may be a literal
+    :class:`~repro.workloads.trace.Trace` (embedded record-for-record), a
+    :class:`~repro.specs.WorkloadSpec`, or ``None`` for the synthetic
+    recipe ``(processors, references, seed, p_shared, p_write)``."""
+    if board_kwargs:
+        geometry = _geometry_from_board_kwargs(geometry, board_kwargs)
+    if workload is None:
+        workload_spec = WorkloadSpec(
+            processors=processors,
+            references=references,
+            seed=seed,
+            p_shared=p_shared,
+            p_write=p_write,
+        )
+    elif isinstance(workload, WorkloadSpec):
+        workload_spec = workload
+    else:
+        workload_spec = WorkloadSpec.literal(workload)
+    return ExperimentSpec(
+        protocol=protocol,
+        protocols=tuple(protocols) if protocols else None,
+        workload=workload_spec,
+        geometry=geometry or GeometrySpec(),
+        timed=timed,
+        check=check,
+        discipline=discipline,
+        label=label,
+        trace=trace,
+        metrics=metrics,
+    )
+
+
+def plan_verify(
+    suites: Optional[Sequence[str]] = None,
+    trace: bool = False,
+    metrics: bool = True,
+) -> VerifySpec:
+    """Plan the verification matrix (all suites by default; names from
+    :data:`repro.verify.mixes.SUITES`)."""
+    kwargs = {} if suites is None else {"suites": tuple(suites)}
+    return VerifySpec(trace=trace, metrics=metrics, **kwargs)
+
+
+def plan_fuzz(
+    config=None,
+    seeds: Optional[int] = None,
+    seed_base: int = 0,
+    scenario=None,
+    shrink: bool = True,
+    scenario_json: Optional[str] = None,
+    trace: bool = False,
+    metrics: bool = True,
+) -> FuzzSpec:
+    """Plan a fuzz campaign.  ``config`` (a
+    :class:`~repro.fuzz.campaign.CampaignConfig`) is the legacy bundle
+    and excludes every other campaign knob; ``scenario_json`` (a
+    canonical :meth:`Scenario.canonical` string) plans a single-scenario
+    replay instead of a seeded campaign."""
+    if config is not None:
+        if seeds is not None:
+            raise ValueError("pass either config or seeds, not both")
+        return FuzzSpec(
+            seeds=config.seeds,
+            seed_base=config.seed_base,
+            scenario=config.scenario,
+            shrink=config.shrink,
+            scenario_json=scenario_json,
+            trace=trace,
+            metrics=metrics,
+        )
+    return FuzzSpec(
+        seeds=200 if seeds is None else seeds,
+        seed_base=seed_base,
+        scenario=scenario,
+        shrink=shrink,
+        scenario_json=scenario_json,
+        trace=trace,
+        metrics=metrics,
+    )
+
+
+def plan_shootout(
+    workload: Optional[Union[Trace, WorkloadSpec]] = None,
+    protocols: Optional[Sequence[str]] = None,
+    references: int = 4000,
+    seed: int = 7,
+    timed: bool = True,
+    trace: bool = False,
+    metrics: bool = True,
+) -> ShootoutSpec:
+    """Plan the protocol shootout.  ``protocols`` resolves to the
+    comparison defaults *now* (at plan time), so the hash pins the
+    protocol list rather than "whatever the registry holds later"."""
+    from repro.analysis.compare import DEFAULT_PROTOCOLS
+
+    if workload is not None and not isinstance(workload, WorkloadSpec):
+        workload = WorkloadSpec.literal(workload)
+    return ShootoutSpec(
+        protocols=tuple(protocols) if protocols else tuple(DEFAULT_PROTOCOLS),
+        references=references,
+        seed=seed,
+        timed=timed,
+        workload=workload,
+        trace=trace,
+        metrics=metrics,
+    )
+
+
+def plan_batch(
+    protocols: Optional[Sequence[str]] = None,
+    rows: int = 64,
+    events_per_row: int = 100,
+    seed: int = 0,
+    n_units: int = 2,
+    geometry: Sequence[int] = (4, 2, 32, 8),
+    metrics: bool = True,
+) -> BatchSpec:
+    """Plan a batch-kernel population sweep; ``protocols`` resolves to
+    every batchable registry spec at plan time."""
+    if protocols is None:
+        from repro.perf.batch import batchable_specs
+
+        protocols = batchable_specs()
+    return BatchSpec(
+        protocols=tuple(protocols),
+        rows=rows,
+        events_per_row=events_per_row,
+        seed=seed,
+        n_units=n_units,
+        geometry=tuple(geometry),
+        metrics=metrics,
+    )
+
+
+_PLANNERS = {
+    "experiment": plan_experiment,
+    "verify": plan_verify,
+    "fuzz": plan_fuzz,
+    "shootout": plan_shootout,
+    "batch": plan_batch,
+}
+
+
+def plan(kind: str = "experiment", **kwargs):
+    """Build a frozen spec for ``kind`` (``experiment``, ``verify``,
+    ``fuzz``, ``shootout``, ``batch``); the first of the two verbs."""
+    planner = _PLANNERS.get(kind)
+    if planner is None:
+        known = ", ".join(sorted(_PLANNERS))
+        raise ValueError(f"unknown plan kind {kind!r}; known: {known}")
+    return planner(**kwargs)
+
+
+def _coerce_spec(spec):
+    """Accept a spec object, its dict payload, or its canonical string."""
+    if isinstance(spec, str):
+        return spec_from_canonical(spec)
+    if isinstance(spec, dict):
+        return spec_from_dict(spec)
+    return spec
+
+
 class Session:
     """One observability context threaded through every entry point.
 
@@ -182,6 +414,11 @@ class Session:
     Both default off, preserving the zero-overhead discipline.  Results
     returned by a session share the session's tracer stream, so one
     session tracing several runs yields one merged timeline.
+
+    :meth:`execute` is the session-level second verb; the named methods
+    below (``run_experiment``, ``verify``, ...) plan a spec from their
+    keyword arguments and execute it, so both spellings take exactly the
+    same code path and produce byte-identical results.
     """
 
     def __init__(
@@ -198,61 +435,92 @@ class Session:
     def _snapshot_trace(self) -> Optional[list]:
         return None if self.tracer is None else self.tracer.export()
 
-    def run_experiment(
+    # ------------------------------------------------------------------
+    # The second verb.
+    # ------------------------------------------------------------------
+    def execute(
         self,
-        protocol: str = "moesi",
-        protocols: Optional[Sequence[str]] = None,
-        workload: Optional[Trace] = None,
-        processors: int = 4,
-        references: int = 2000,
-        seed: int = 7,
-        timed: bool = False,
+        spec,
+        *,
+        workers: Optional[int] = None,
+        out_dir: Optional[Union[str, Path]] = None,
+        backend: Optional[str] = None,
         timing=None,
-        check: bool = True,
-        label: Optional[str] = None,
-        discipline: Optional[str] = None,
-        **board_kwargs,
-    ) -> ExperimentResult:
-        """Run one system over one workload and return a typed result.
+        **kwargs,
+    ):
+        """Execute a spec under this session's observability.
 
-        ``protocols`` gives each board its own protocol (the paper's
-        mixed-backplane capability); otherwise every board runs
-        ``protocol``.  Without an explicit ``workload`` a synthetic
-        shared-memory trace is generated from ``(processors, seed)``.
-        ``discipline`` selects a bus arbitration service discipline
-        (``"fcfs"``, ``"priority[:m=p,...]"``, ``"round-robin"``) and
-        implies a timed, arbitrated run.
+        ``spec`` may be a spec object, its ``to_dict()`` payload, or its
+        canonical string.  ``workers``/``out_dir``/``backend``/``timing``
+        are execution details: they select *how* the answer is computed
+        (and where artifacts land) without entering the spec's content
+        hash.  Tracing follows the session, not ``spec.trace`` -- the
+        module-level :func:`execute` honours the flag by building the
+        session from it.
         """
+        spec = _coerce_spec(spec)
+        if isinstance(spec, ExperimentSpec):
+            return self._execute_experiment(spec, timing=timing)
+        if isinstance(spec, VerifySpec):
+            return self._execute_verify(spec, workers=workers, **kwargs)
+        if isinstance(spec, FuzzSpec):
+            return self._execute_fuzz(
+                spec, workers=workers or 0, out_dir=out_dir
+            )
+        if isinstance(spec, ShootoutSpec):
+            return self._execute_shootout(spec, workers=workers, **kwargs)
+        if isinstance(spec, BatchSpec):
+            return self._execute_batch(
+                spec, backend=backend, workers=workers, **kwargs
+            )
+        raise TypeError(
+            f"cannot execute {type(spec).__name__}; expected a repro.specs "
+            "spec, its dict payload, or its canonical string"
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_experiment(
+        self, spec: ExperimentSpec, timing=None, workload: Optional[Trace] = None
+    ) -> ExperimentResult:
+        # The legacy wrapper passes its already-built Trace so the facade
+        # does not pay a rebuild; spec.workload.build() yields the same
+        # records, so both paths drive the System identically.
         if workload is None:
-            workload = _default_workload(processors, references, seed)
+            workload = spec.workload.build()
         units = workload.units()
-        names = list(protocols) if protocols else [protocol] * len(units)
+        names = (
+            list(spec.protocols)
+            if spec.protocols
+            else [spec.protocol] * len(units)
+        )
         if len(names) < len(units):
             raise ValueError(
                 f"{len(units)} workload units but only "
                 f"{len(names)} protocols"
             )
-        run_label = label or (
-            protocol if not protocols else "+".join(names)
+        run_label = spec.label or (
+            spec.protocol if not spec.protocols else "+".join(names)
         )
         boards = [
-            BoardSpec(unit_id=unit, protocol=name, **board_kwargs)
+            BoardSpec(
+                unit_id=unit, protocol=name, **spec.geometry.board_kwargs()
+            )
             for unit, name in zip(units, names)
         ]
         system = System(
-            boards, timing=timing, check=check, label=run_label
+            boards, timing=timing, check=spec.check, label=run_label
         )
         if self.tracer is not None:
             system.attach_tracer(self.tracer)
 
         def _run() -> SystemReport:
-            if discipline is not None:
+            if spec.discipline is not None:
                 from repro.system.arbitrated import arbitrated_run_from_trace
 
                 return arbitrated_run_from_trace(
-                    system, workload, arbiter=discipline
+                    system, workload, arbiter=spec.discipline
                 ).run()
-            if timed:
+            if spec.timed:
                 from repro.system.runner import timed_run_from_trace
 
                 return timed_run_from_trace(system, workload).run()
@@ -275,6 +543,179 @@ class Session:
             trace=report.trace_handle(),
             profile=self.profiler,
             system=system,
+        )
+
+    def _execute_verify(
+        self, spec: VerifySpec, workers: Optional[int] = None, **kwargs
+    ) -> VerifyResult:
+        from repro.verify.mixes import SUITES, run_matrix
+
+        cases = []
+        for name in spec.suites:
+            factory = SUITES.get(name)
+            if factory is None:
+                known = ", ".join(SUITES)
+                raise ValueError(
+                    f"unknown verify suite {name!r}; known: {known}"
+                )
+            cases.extend(factory())
+        rows = run_matrix(
+            cases,
+            workers=workers,
+            tracer=self.tracer,
+            profiler=self.profiler,
+            **kwargs,
+        )
+        return VerifyResult(
+            rows=rows,
+            trace=self._snapshot_trace(),
+            profile=self.profiler,
+        )
+
+    def _execute_fuzz(
+        self,
+        spec: FuzzSpec,
+        workers: int = 0,
+        out_dir: Optional[Union[str, Path]] = None,
+    ) -> FuzzResult:
+        if spec.scenario_json is not None:
+            from repro.fuzz.runner import run_fuzz_spec
+
+            report = run_fuzz_spec(spec)
+            if self.tracer is not None:
+                self.tracer.mark(
+                    "fuzz.replay",
+                    seed=report.scenario.seed,
+                    ok=report.ok,
+                    steps=report.steps_run,
+                )
+            return FuzzResult(
+                report=report,
+                trace=self._snapshot_trace(),
+                profile=self.profiler,
+            )
+        from repro.fuzz.campaign import CampaignConfig, _run_campaign
+
+        config = CampaignConfig(
+            seeds=spec.seeds,
+            seed_base=spec.seed_base,
+            scenario=spec.scenario_config(),
+            shrink=spec.shrink,
+        )
+        report = _run_campaign(
+            config,
+            workers=workers,
+            out_dir=out_dir,
+            profiler=self.profiler,
+            tracer=self.tracer,
+        )
+        return FuzzResult(
+            report=report,
+            trace=self._snapshot_trace(),
+            profile=self.profiler,
+        )
+
+    def _execute_shootout(
+        self,
+        spec: ShootoutSpec,
+        workers: Optional[int] = None,
+        workload: Optional[Trace] = None,
+        **kwargs,
+    ) -> list:
+        from repro.analysis.compare import protocol_comparison
+
+        if workload is None and spec.workload is not None:
+            workload = spec.workload.build()
+        return protocol_comparison(
+            trace=workload,
+            protocols=spec.protocols,
+            references=spec.references,
+            seed=spec.seed,
+            timed=spec.timed,
+            workers=workers,
+            tracer=self.tracer,
+            profiler=self.profiler,
+            **kwargs,
+        )
+
+    def _execute_batch(
+        self,
+        spec: BatchSpec,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> list:
+        from repro.perf.sweeps import batch_protocol_sweep
+
+        return batch_protocol_sweep(
+            protocols=spec.protocols,
+            rows=spec.rows,
+            events_per_row=spec.events_per_row,
+            seed=spec.seed,
+            n_units=spec.n_units,
+            geometry=spec.geometry,
+            backend=backend,
+            workers=workers,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Thin plan-then-execute wrappers (the pre-split entry points).
+    # ------------------------------------------------------------------
+    def run_experiment(
+        self,
+        protocol: str = "moesi",
+        protocols: Optional[Sequence[str]] = None,
+        workload: Optional[Trace] = None,
+        processors: int = 4,
+        references: int = 2000,
+        seed: int = 7,
+        timed: bool = False,
+        timing=None,
+        check: bool = True,
+        label: Optional[str] = None,
+        discipline: Optional[str] = None,
+        geometry: Optional[GeometrySpec] = None,
+        **board_kwargs,
+    ) -> ExperimentResult:
+        """Run one system over one workload and return a typed result.
+
+        ``protocols`` gives each board its own protocol (the paper's
+        mixed-backplane capability); otherwise every board runs
+        ``protocol``.  Without an explicit ``workload`` a synthetic
+        shared-memory trace is generated from ``(processors, seed)``.
+        ``discipline`` selects a bus arbitration service discipline
+        (``"fcfs"``, ``"priority[:m=p,...]"``, ``"round-robin"``) and
+        implies a timed, arbitrated run.
+
+        Plans an :class:`~repro.specs.ExperimentSpec` and executes it;
+        loose board-geometry kwargs (``num_sets=...``) still work but
+        warn once -- pass ``geometry=GeometrySpec(...)``.
+        """
+        # An explicit Trace is threaded straight to execution instead of
+        # being embedded in the (ephemeral, never hashed) spec: record
+        # embedding is O(references) and would tax every facade call.
+        # plan_experiment() embeds for real when a hashable spec matters.
+        direct = workload is not None and not isinstance(
+            workload, WorkloadSpec
+        )
+        spec = plan_experiment(
+            protocol=protocol,
+            protocols=protocols,
+            workload=_ELIDED_WORKLOAD if direct else workload,
+            processors=processors,
+            references=references,
+            seed=seed,
+            timed=timed,
+            check=check,
+            label=label,
+            discipline=discipline,
+            geometry=geometry,
+            trace=self.tracer is not None,
+            **board_kwargs,
+        )
+        return self._execute_experiment(
+            spec, timing=timing, workload=workload if direct else None
         )
 
     def explore(self, protocol_specs, label=None, **kwargs):
@@ -300,27 +741,34 @@ class Session:
         self,
         cases=None,
         workers: Optional[int] = None,
+        suites: Optional[Sequence[str]] = None,
         **kwargs,
     ) -> VerifyResult:
-        """Run the verification matrix (all suites by default)."""
-        from repro.verify.mixes import SUITES, run_matrix
+        """Run the verification matrix (all suites by default).
 
-        if cases is None:
-            cases = [
-                case for suite in SUITES.values() for case in suite()
-            ]
-        rows = run_matrix(
-            cases,
-            workers=workers,
-            tracer=self.tracer,
-            profiler=self.profiler,
-            **kwargs,
-        )
-        return VerifyResult(
-            rows=rows,
-            trace=self._snapshot_trace(),
-            profile=self.profiler,
-        )
+        ``suites`` names :data:`~repro.verify.mixes.SUITES` subsets and
+        plans a :class:`~repro.specs.VerifySpec`; an explicit ``cases``
+        list (arbitrary, possibly unpicklable case objects) bypasses the
+        spec layer and runs directly."""
+        if cases is not None:
+            if suites is not None:
+                raise ValueError("pass either cases or suites, not both")
+            from repro.verify.mixes import run_matrix
+
+            rows = run_matrix(
+                cases,
+                workers=workers,
+                tracer=self.tracer,
+                profiler=self.profiler,
+                **kwargs,
+            )
+            return VerifyResult(
+                rows=rows,
+                trace=self._snapshot_trace(),
+                profile=self.profiler,
+            )
+        spec = plan_verify(suites=suites, trace=self.tracer is not None)
+        return self._execute_verify(spec, workers=workers, **kwargs)
 
     def fuzz_campaign(
         self,
@@ -330,26 +778,10 @@ class Session:
         out_dir: Optional[Union[str, Path]] = None,
     ) -> FuzzResult:
         """Run a differential fuzz campaign (see :mod:`repro.fuzz`)."""
-        from repro.fuzz.campaign import CampaignConfig, _run_campaign
-
-        if config is None:
-            config = CampaignConfig(
-                **({"seeds": seeds} if seeds is not None else {})
-            )
-        elif seeds is not None:
-            raise ValueError("pass either config or seeds, not both")
-        report = _run_campaign(
-            config,
-            workers=workers,
-            out_dir=out_dir,
-            profiler=self.profiler,
-            tracer=self.tracer,
+        spec = plan_fuzz(
+            config=config, seeds=seeds, trace=self.tracer is not None
         )
-        return FuzzResult(
-            report=report,
-            trace=self._snapshot_trace(),
-            profile=self.profiler,
-        )
+        return self._execute_fuzz(spec, workers=workers, out_dir=out_dir)
 
     def shootout(
         self,
@@ -363,20 +795,43 @@ class Session:
         """The [Arch85]-style protocol comparison, one row per protocol.
         Traced runs absorb per-protocol streams in protocol order --
         byte-identical serial vs pooled."""
-        from repro.analysis.compare import (
-            DEFAULT_PROTOCOLS,
-            protocol_comparison,
-        )
-
-        return protocol_comparison(
-            trace=trace,
-            protocols=tuple(protocols) if protocols else DEFAULT_PROTOCOLS,
+        direct = trace is not None and not isinstance(trace, WorkloadSpec)
+        spec = plan_shootout(
+            workload=_ELIDED_WORKLOAD if direct else trace,
+            protocols=protocols,
             references=references,
             seed=seed,
             timed=timed,
-            workers=workers,
-            tracer=self.tracer,
-            profiler=self.profiler,
+            trace=self.tracer is not None,
+        )
+        return self._execute_shootout(
+            spec, workers=workers, workload=trace if direct else None
+        )
+
+    def batch_sweep(
+        self,
+        protocols=None,
+        rows: int = 64,
+        events_per_row: int = 100,
+        seed: int = 0,
+        n_units: int = 2,
+        geometry: Sequence[int] = (4, 2, 32, 8),
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> list:
+        """Plan-then-execute over the batch kernel; see
+        :func:`repro.perf.sweeps.batch_protocol_sweep`."""
+        spec = plan_batch(
+            protocols=protocols,
+            rows=rows,
+            events_per_row=events_per_row,
+            seed=seed,
+            n_units=n_units,
+            geometry=geometry,
+        )
+        return self._execute_batch(
+            spec, backend=backend, workers=workers, **kwargs
         )
 
     # ------------------------------------------------------------------
@@ -396,8 +851,37 @@ class Session:
 
 
 # ----------------------------------------------------------------------
-# Module-level conveniences (one-shot sessions).
+# Module-level verbs and conveniences (one-shot sessions).
 # ----------------------------------------------------------------------
+def execute(
+    spec,
+    *,
+    profile: bool = False,
+    workers: Optional[int] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    backend: Optional[str] = None,
+    timing=None,
+    **kwargs,
+):
+    """Execute a spec in a fresh one-shot session; the second verb.
+
+    The spec's ``trace`` flag decides whether the session traces, so
+    ``execute(spec)`` of a ``trace=True`` spec is byte-identical to a
+    ``Session(trace=True)`` legacy call with the same parameters --
+    including the exported event stream."""
+    spec = _coerce_spec(spec)
+    session = Session(trace=bool(getattr(spec, "trace", False)),
+                      profile=profile)
+    return session.execute(
+        spec,
+        workers=workers,
+        out_dir=out_dir,
+        backend=backend,
+        timing=timing,
+        **kwargs,
+    )
+
+
 def warm_pool(workers: Optional[int] = None) -> int:
     """Pre-start the persistent worker pool (see :mod:`repro.perf.engine`).
 
@@ -472,9 +956,7 @@ def batch_sweep(
     ``protocols`` defaults to every registry spec the table lowering
     accepts, ``backend`` to the fastest available (numpy when importable,
     the pure-Python ``array`` kernel otherwise)."""
-    from repro.perf.sweeps import batch_protocol_sweep
-
-    return batch_protocol_sweep(
+    return Session(label="batch").batch_sweep(
         protocols=protocols,
         rows=rows,
         events_per_row=events_per_row,

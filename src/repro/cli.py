@@ -13,6 +13,8 @@ Commands
 ``run``         run one protocol over a synthetic workload or a trace file
 ``bench``       serial-vs-parallel performance suite -> BENCH_perf.json
 ``fuzz``        differential fuzzing campaign / replay a repro file
+``serve``       run the memoizing NDJSON daemon over the warm pool
+``submit``      submit a spec to a running daemon (or query its status)
 
 Observability
 -------------
@@ -341,6 +343,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"{'ok' if batch['verified_ok'] else 'MISMATCH'})",
             )
         )
+    serve = report.get("serve")
+    if serve is not None:
+        cache = serve["cache"]
+        print(f"\nserve tier ({serve['references']} refs): miss "
+              f"{serve['miss_s']:.4f}s, hit {serve['hit_s']:.6f}s "
+              f"({serve['hit_speedup']}x); cache hits {cache['hits']}, "
+              f"misses {cache['misses']}")
     regression = report.get("regression")
     if regression is not None:
         if regression["explorer"]:
@@ -586,6 +595,82 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.server import run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=None if args.unix and args.port is None else (args.port or 0),
+        unix_socket=args.unix,
+        concurrency=args.concurrency,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+        workers=args.workers,
+        retry_after_s=args.retry_after,
+    )
+
+    def ready(endpoints: dict) -> None:
+        # One machine-readable ready line, flushed, so a launcher can
+        # parse the OS-assigned port before the daemon blocks.
+        print(json.dumps({
+            "command": "serve",
+            "ok": True,
+            "data": {"ready": True, "endpoints": endpoints},
+            "metrics": {},
+        }, sort_keys=True), flush=True)
+
+    try:
+        asyncio.run(run_server(config, ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    if args.port is None and not args.unix:
+        print("submit: need --port or --unix", file=sys.stderr)
+        return 2
+    client = ServeClient(
+        host=args.host, port=args.port, unix_socket=args.unix,
+        timeout_s=args.timeout,
+    )
+    if args.status:
+        envelope = client.status()
+    elif args.shutdown:
+        envelope = client.shutdown()
+    else:
+        if args.spec_json:
+            text = (sys.stdin.read() if args.spec_json == "-"
+                    else args.spec_json)
+            spec = json.loads(text)
+        else:
+            from repro.api import plan
+
+            kwargs = {}
+            if args.kind == "experiment":
+                kwargs = {
+                    "protocol": args.protocol,
+                    "references": args.references,
+                    "processors": args.processors,
+                    "seed": args.seed,
+                    "timed": args.timed,
+                    "check": args.check,
+                    "discipline": args.discipline,
+                    "trace": args.with_trace,
+                }
+            spec = plan(args.kind, **kwargs)
+        envelope = client.execute(
+            spec, deadline=args.deadline, stream=args.stream
+        )
+    print(json.dumps(envelope, sort_keys=True))
+    return 0 if envelope.get("ok") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -715,6 +800,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p)
     _add_json_arg(p)
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the memoizing NDJSON daemon over the warm worker pool",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default 0 = OS-assigned; read it back "
+                        "from the ready line)")
+    p.add_argument("--unix", metavar="PATH", default=None,
+                   help="also (or instead) listen on a unix socket")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="jobs executing at once")
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="jobs allowed to queue beyond --concurrency before "
+                        "requests are refused with retry_after")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="memoized results kept (LRU)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="warm-pool worker processes per job")
+    p.add_argument("--retry-after", type=float, default=0.5,
+                   help="seconds suggested in busy rejections")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a spec to a running serve daemon",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--unix", metavar="PATH", default=None)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="client socket timeout (seconds)")
+    p.add_argument("--spec-json", metavar="JSON",
+                   help="spec as a kind-tagged JSON object "
+                        "('-' reads stdin); overrides --kind and its args")
+    p.add_argument("--kind", default="experiment",
+                   choices=["experiment", "verify", "shootout", "fuzz",
+                            "batch"],
+                   help="plan this kind of spec from the args below")
+    p.add_argument("--protocol", default="moesi")
+    p.add_argument("--references", type=int, default=2000)
+    p.add_argument("--processors", type=int, default=4)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--timed", action="store_true",
+                   help="timed Futurebus run instead of atomic")
+    p.add_argument("--check", action="store_true",
+                   help="runtime coherence checking on")
+    p.add_argument("--discipline", default=None, metavar="NAME",
+                   help="bus arbitration service discipline")
+    p.add_argument("--with-trace", action="store_true",
+                   help="ask for the structured trace in the response")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline (seconds)")
+    p.add_argument("--stream", action="store_true",
+                   help="stream metrics/trace as incremental frames")
+    p.add_argument("--status", action="store_true",
+                   help="query daemon status instead of executing")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to stop")
+    p.set_defaults(func=_cmd_submit)
 
     return parser
 

@@ -6,13 +6,32 @@ point per process emits one :class:`DeprecationWarning` naming its
 campaign should not print the same warning two hundred times).  The same
 once-per-key machinery backs runtime degrade notices such as
 ``parallel_map`` quietly falling back to serial execution.
+
+Migration (the plan/execute split)
+----------------------------------
+Since the ``repro.serve`` redesign the canonical way to run anything is
+two verbs: ``spec = repro.plan(kind, ...)`` then ``repro.execute(spec)``.
+The ``Session`` methods (``run_experiment``, ``verify``,
+``fuzz_campaign``, ``shootout``, ``batch_sweep``) remain supported thin
+wrappers that plan a spec and execute it -- they do not warn.  What
+*does* warn (once per process, via :func:`warn_legacy_keywords`) is the
+pre-split keyword sprawl: loose board-geometry kwargs such as
+``run_experiment(num_sets=4, associativity=1)``.  Spell those as
+``run_experiment(geometry=GeometrySpec(num_sets=4, associativity=1))``
+-- the frozen :class:`repro.specs.GeometrySpec` is what the canonical
+spec string and the serve tier's memoization hash are built from.
 """
 
 from __future__ import annotations
 
 import warnings
 
-__all__ = ["warn_once", "warn_deprecated", "reset_deprecation_warnings"]
+__all__ = [
+    "warn_once",
+    "warn_deprecated",
+    "warn_legacy_keywords",
+    "reset_deprecation_warnings",
+]
 
 _warned: set[str] = set()
 
@@ -42,6 +61,22 @@ def warn_deprecated(old: str, new: str) -> None:
         f"{old} is deprecated; use {new} instead",
         DeprecationWarning,
         stacklevel=4,
+    )
+
+
+def warn_legacy_keywords(entry: str, keywords, replacement: str) -> None:
+    """Warn once per process for a pre-plan/execute keyword path.
+
+    ``entry`` names the call site (e.g. ``run_experiment``), ``keywords``
+    the legacy keyword names actually passed, ``replacement`` the spec
+    spelling to migrate to (e.g. ``geometry=GeometrySpec(...)``)."""
+    names = ", ".join(sorted(keywords))
+    warn_once(
+        f"legacy-kwargs:{entry}",
+        f"{entry}({names}=...) is a deprecated keyword path; "
+        f"pass {replacement} instead (see repro.deprecation)",
+        DeprecationWarning,
+        stacklevel=5,
     )
 
 

@@ -22,9 +22,13 @@ __all__ = [
     "StepFailure",
     "ScenarioResult",
     "ArbitratedScenarioResult",
+    "ScenarioReplayReport",
     "build_system",
     "run_scenario",
     "run_scenario_arbitrated",
+    "fuzz_spec_for_scenario",
+    "scenario_from_fuzz_spec",
+    "run_fuzz_spec",
 ]
 
 
@@ -153,6 +157,77 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         steps_run=steps_run,
         transitions_checked=differential.transitions_checked,
         failure=failure,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario <-> FuzzSpec (the plan/execute bridge).
+# ---------------------------------------------------------------------------
+def fuzz_spec_for_scenario(scenario: Scenario, *, trace: bool = False):
+    """Lift one concrete scenario into a plannable, hashable
+    :class:`repro.specs.FuzzSpec`.
+
+    The scenario travels as its canonical JSON string
+    (:meth:`Scenario.canonical`), so the spec stays frozen/picklable and
+    two specs embedding equal scenarios share one content hash.
+    ``execute()`` of the result replays exactly this scenario under both
+    oracles (no generation, no shrinking)."""
+    from repro.specs import FuzzSpec
+
+    return FuzzSpec(
+        seeds=1,
+        seed_base=scenario.seed,
+        shrink=False,
+        scenario_json=scenario.canonical(),
+        trace=trace,
+    )
+
+
+def scenario_from_fuzz_spec(spec) -> Scenario:
+    """The inverse of :func:`fuzz_spec_for_scenario`."""
+    if spec.scenario_json is None:
+        raise ValueError(
+            "FuzzSpec embeds no scenario (scenario_json is None); "
+            "it plans a seeded campaign, not a replay"
+        )
+    return Scenario.from_canonical(spec.scenario_json)
+
+
+@dataclasses.dataclass
+class ScenarioReplayReport:
+    """Campaign-shaped outcome of one embedded-scenario replay, so
+    :class:`repro.api.FuzzResult` wraps replays and campaigns alike."""
+
+    scenario: Scenario
+    seeds_run: int
+    steps_run: int
+    transitions_checked: int
+    failures: list
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "seeds_run": self.seeds_run,
+            "steps_run": self.steps_run,
+            "transitions_checked": self.transitions_checked,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+def run_fuzz_spec(spec) -> ScenarioReplayReport:
+    """Execute a single-scenario :class:`~repro.specs.FuzzSpec`."""
+    scenario = scenario_from_fuzz_spec(spec)
+    result = run_scenario(scenario)
+    return ScenarioReplayReport(
+        scenario=scenario,
+        seeds_run=1,
+        steps_run=result.steps_run,
+        transitions_checked=result.transitions_checked,
+        failures=[result.failure] if result.failure is not None else [],
     )
 
 

@@ -231,6 +231,28 @@ class Scenario:
             discipline=str(data.get("discipline", "fcfs")),
         )
 
+    # -- canonical round trip (the spec-string contract) ---------------
+    def canonical(self) -> str:
+        """Canonical JSON (sorted keys, compact separators): two equal
+        scenarios canonicalize to identical bytes in any process, so the
+        string can ride inside a :class:`repro.specs.FuzzSpec` and key
+        the serve tier's memoization cache."""
+        from repro.specs import canonical_json
+
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_canonical(cls, text: str) -> "Scenario":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    def content_hash(self) -> str:
+        """sha256 hex digest of :meth:`canonical`."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical().encode("ascii")).hexdigest()
+
 
 @dataclasses.dataclass(frozen=True)
 class ScenarioConfig:

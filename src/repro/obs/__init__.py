@@ -15,7 +15,9 @@ visible:
   exporters, the analyzer table and the signal-line waveform renderer;
 * :mod:`repro.obs.profile` -- wall-clock profiling of the toolkit's own
   machinery (explorer frontier, fuzz stages, pool fan-outs), kept out of
-  the deterministic trace stream.
+  the deterministic trace stream;
+* :mod:`repro.obs.stream` -- incremental metrics/trace frames for the
+  ``repro serve`` wire protocol (chunking + order-checked reassembly).
 
 Everything is zero-overhead when off: producers guard each emission with
 a single ``tracer is None`` test.
@@ -39,6 +41,7 @@ from repro.obs.metrics import (
     system_metrics,
 )
 from repro.obs.profile import Profiler, ProfileRecord
+from repro.obs.stream import metrics_frame, reassemble_trace, trace_frames
 from repro.obs.trace import TraceEvent, Tracer, attach_tracer
 
 __all__ = [
@@ -60,4 +63,7 @@ __all__ = [
     "bus_rows",
     "format_trace",
     "render_waveforms",
+    "metrics_frame",
+    "trace_frames",
+    "reassemble_trace",
 ]

@@ -1,0 +1,83 @@
+"""Incremental observability frames for the serve tier.
+
+A served result can carry a large exported trace (tens of thousands of
+events for a long run).  Rather than one giant response line, the
+daemon streams the observability payload as *frames* -- small, typed,
+newline-delimited JSON objects a client consumes incrementally:
+
+* one ``metrics`` frame (the whole snapshot; metrics are small), then
+* ``trace`` frames of at most ``chunk`` events each, sequence-numbered
+  and totalled so the client can verify completeness, then
+* the final response envelope (which omits the streamed trace).
+
+Framing is pure value transformation -- chunking here, reassembly in
+:func:`reassemble_trace` -- so ``reassemble_trace(trace_frames(events))``
+round-trips byte-identically and both ends of the wire share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "DEFAULT_FRAME_EVENTS",
+    "metrics_frame",
+    "trace_frames",
+    "reassemble_trace",
+]
+
+#: Events per trace frame: small enough that a frame is a cheap line,
+#: large enough that framing overhead stays negligible.
+DEFAULT_FRAME_EVENTS = 256
+
+
+def metrics_frame(metrics: Optional[dict]) -> dict:
+    """The (single) metrics frame for a result's metrics snapshot."""
+    return {"frame": "metrics", "metrics": metrics}
+
+
+def trace_frames(
+    events: Iterable[dict], chunk: int = DEFAULT_FRAME_EVENTS
+) -> Iterator[dict]:
+    """Chunk an exported trace into sequence-numbered frames."""
+    events = list(events)
+    chunk = max(1, chunk)
+    total = -(-len(events) // chunk) if events else 0
+    for seq, start in enumerate(range(0, len(events), chunk)):
+        yield {
+            "frame": "trace",
+            "seq": seq,
+            "total": total,
+            "events": events[start:start + chunk],
+        }
+
+
+def reassemble_trace(frames: Iterable[dict]) -> list:
+    """Rebuild the exported trace from its frames (order-checked).
+
+    Raises ``ValueError`` on a gap, duplicate, or short delivery, so a
+    truncated stream can never silently pass for a complete trace."""
+    events: list = []
+    expected: Optional[int] = None
+    seen = -1
+    for frame in frames:
+        if frame.get("frame") != "trace":
+            continue
+        seq = int(frame["seq"])
+        if seq != seen + 1:
+            raise ValueError(f"trace frame gap: got seq {seq} after {seen}")
+        seen = seq
+        total = int(frame["total"])
+        if expected is None:
+            expected = total
+        elif total != expected:
+            raise ValueError(
+                f"trace frame total changed: {expected} -> {total}"
+            )
+        events.extend(frame["events"])
+    if expected is not None and seen + 1 != expected:
+        raise ValueError(
+            f"trace incomplete: {seen + 1} of {expected} frames"
+        )
+    return events

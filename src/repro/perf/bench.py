@@ -15,7 +15,11 @@ The suite is fixed so successive PRs can track the trajectory:
 * **batch** -- the struct-of-arrays population kernel: one hit-heavy
   population timed on every available backend and spot-verified against
   the object engine, gated at >=10x the baseline explorer's
-  transitions/sec (calibration-normalized).
+  transitions/sec (calibration-normalized);
+* **serve** -- the memoizing service tier: one spec executed cold
+  (cache miss, full job body) then answered warm (cache hit), with the
+  cache hit/miss counters and the warm-pool dispatch stats recorded.
+  Informational only -- no regression gate.
 
 Wall-clock speedups depend on the host (a single-core container cannot
 beat serial); the JSON records ``cpu_count`` next to every ratio so the
@@ -303,6 +307,52 @@ def _bench_batch(quick: bool) -> dict:
     }
 
 
+def _bench_serve(quick: bool) -> dict:
+    """Service-tier latency: the same spec answered by a cold execute
+    (cache miss) and by the memo cache (hit), plus the counters the
+    serve ``status`` command exposes.  The miss runs the real job body
+    (:func:`repro.serve.jobs.execute_payload`) in-process; the section
+    is informational -- hit latency is microseconds against a miss of
+    tens of milliseconds, so a ratio gate would only measure noise."""
+    from repro.perf.engine import pool_stats
+    from repro.serve.cache import MemoCache
+    from repro.serve.jobs import execute_payload
+    from repro.specs import ExperimentSpec, WorkloadSpec
+
+    references = 300 if quick else 1500
+    spec = ExperimentSpec(
+        workload=WorkloadSpec(references=references, seed=7), timed=True
+    )
+    canonical = spec.canonical()
+    key = spec.content_hash()
+    cache = MemoCache(capacity=8)
+
+    miss_s = float("inf")
+    payload = None
+    for _ in range(2):
+        lookup = cache.get(key)  # always a miss: counted, never stored
+        assert lookup is None
+        start = time.perf_counter()
+        payload = execute_payload(canonical)
+        miss_s = min(miss_s, time.perf_counter() - start)
+    cache.put(key, payload)
+    hit_s = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        hit = cache.get(key)
+        hit_s = min(hit_s, time.perf_counter() - start)
+    assert hit is payload
+    return {
+        "references": references,
+        "spec_hash": key,
+        "miss_s": round(miss_s, 4),
+        "hit_s": round(hit_s, 6),
+        "hit_speedup": round(miss_s / hit_s, 1) if hit_s else None,
+        "cache": cache.stats(),
+        "pool": pool_stats(),
+    }
+
+
 def load_baseline(path: str = BENCH_FILENAME) -> Optional[dict]:
     """The committed baseline report, or None when absent/unreadable."""
     try:
@@ -523,6 +573,7 @@ def run_bench_suite(
         "des": _bench_des(effective, quick),
         "obs": _bench_obs(quick),
         "batch": _bench_batch(quick),
+        "serve": _bench_serve(quick),
     }
     if baseline is not None:
         report["regression"] = regression_report(report, baseline)

@@ -36,6 +36,7 @@ __all__ = [
     "DEFAULT_MAX_WORKERS",
     "ParallelTimeoutError",
     "default_chunk_size",
+    "dispatch_one",
     "get_executor",
     "pool_stats",
     "resolve_workers",
@@ -94,7 +95,14 @@ _executor: Optional[ProcessPoolExecutor] = None
 _executor_workers: int = 0
 _executor_pid: Optional[int] = None
 _atexit_registered = False
-_stats = {"pool_starts": 0, "pool_reuses": 0, "maps": 0, "chunks": 0}
+_stats = {
+    "pool_starts": 0,
+    "pool_reuses": 0,
+    "maps": 0,
+    "chunks": 0,
+    "dispatches": 0,
+    "dispatch_degraded": 0,
+}
 
 
 def pool_stats() -> dict[str, int]:
@@ -230,3 +238,46 @@ def run_chunked(
     return [
         result for index in range(len(chunks)) for result in results[index]
     ]
+
+
+def dispatch_one(
+    fn: Callable[[T], R],
+    item: T,
+    *,
+    timeout_s: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> R:
+    """Run one task on the warm pool with the per-task timeout machinery.
+
+    The single-job entry point the serve tier multiplexes requests
+    through: each job is one chunk of one item, so a stuck job is
+    terminated after ``timeout_s`` exactly like a stuck map chunk
+    (:class:`ParallelTimeoutError`, workers killed, pool invalidated).
+    Environments whose sandbox forbids process pools degrade to an
+    in-process call -- the result is identical, but the deadline is then
+    best-effort only (nothing can terminate the caller's own process).
+    Worker exceptions propagate.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    _stats["dispatches"] += 1
+    try:
+        executor = get_executor(resolve_workers(workers))
+    except (OSError, ValueError):
+        executor = None
+    if executor is not None:
+        try:
+            return run_chunked(
+                fn,
+                [item],
+                1,
+                executor=executor,
+                timeout_s=timeout_s,
+                chunk_size=1,
+            )[0]
+        except ParallelTimeoutError:
+            raise
+        except BrokenProcessPool:
+            shutdown_pool(wait=False)
+    _stats["dispatch_degraded"] += 1
+    return fn(item)

@@ -1,0 +1,107 @@
+"""A small blocking client for the serve daemon (and ``repro submit``).
+
+One connection per request keeps the client stateless and trivially
+thread-safe: N threads submitting the same spec exercise the daemon's
+single-flight coalescing, not client-side locking.  Streamed responses
+are reassembled transparently -- :meth:`ServeClient.execute` returns the
+same envelope shape whether the daemon streamed or not, with ``trace``
+and ``metrics`` reinstated from the frames
+(:func:`repro.obs.stream.reassemble_trace` checks for gaps and short
+deliveries).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from repro.obs.stream import reassemble_trace
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking NDJSON client over TCP or a unix socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_socket: Optional[str] = None,
+        timeout_s: float = 120.0,
+    ) -> None:
+        if port is None and unix_socket is None:
+            raise ValueError("need a port or a unix_socket")
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self.unix_socket is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            sock.connect(self.unix_socket)
+            return sock
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        return sock
+
+    def _roundtrip(self, request: dict) -> dict:
+        """Send one request; collect frames until the final envelope."""
+        frames: list[dict] = []
+        with self._connect() as sock:
+            sock.sendall(json.dumps(request).encode("ascii") + b"\n")
+            with sock.makefile("r", encoding="ascii") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    message = json.loads(line)
+                    if message.get("frame"):
+                        frames.append(message)
+                        continue
+                    return self._finalize(message, frames)
+        raise ConnectionError("server closed before a final response")
+
+    @staticmethod
+    def _finalize(envelope: dict, frames: list) -> dict:
+        if envelope.get("streamed"):
+            envelope = dict(envelope)
+            envelope["trace"] = reassemble_trace(frames) or None
+            for frame in frames:
+                if frame.get("frame") == "metrics":
+                    envelope["metrics"] = frame.get("metrics")
+                    break
+        return envelope
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        spec,
+        deadline: Optional[float] = None,
+        stream: bool = False,
+    ) -> dict:
+        """Submit a spec (object, dict payload, or canonical string).
+
+        Returns the response envelope; on ``ok`` it carries ``data``,
+        ``metrics``, ``trace``, ``hash``, and ``cached``."""
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        request: dict = {"command": "execute", "spec": spec}
+        if deadline is not None:
+            request["deadline"] = deadline
+        if stream:
+            request["stream"] = True
+        return self._roundtrip(request)
+
+    def status(self) -> dict:
+        """The daemon's pool/cache/admission counters."""
+        return self._roundtrip({"command": "status"})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop (it answers with final counters)."""
+        return self._roundtrip({"command": "shutdown"})

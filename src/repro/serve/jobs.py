@@ -1,0 +1,46 @@
+"""Worker-side job bodies for the serve tier (top-level: picklable).
+
+A job crosses the process boundary as a canonical spec string -- the
+smallest complete description of the work -- and comes back as the
+canonical result payload.  Inside a pool worker everything runs with
+``workers=1``: nested maps (the verify matrix, fuzz campaigns) stay
+serial rather than forking pools inside pool workers, and the output is
+identical either way by the :mod:`repro.perf` determinism contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["execute_payload", "dispatch_job"]
+
+
+def execute_payload(canonical: str) -> dict:
+    """Execute one canonical spec string; returns its canonical payload.
+
+    Pure function of its argument (module-level, picklable), usable both
+    as the pool-worker body and as a direct in-process fallback."""
+    from repro.api import execute
+    from repro.serve.protocol import payload_for
+    from repro.specs import spec_from_canonical
+
+    spec = spec_from_canonical(canonical)
+    result = execute(spec, workers=1)
+    return payload_for(spec, result)
+
+
+def dispatch_job(
+    canonical: str,
+    deadline_s: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> dict:
+    """Run one job on the warm pool with a per-request deadline.
+
+    Raises :class:`repro.perf.engine.ParallelTimeoutError` when the job
+    overruns ``deadline_s`` (the stuck worker is terminated and the pool
+    invalidated, so one runaway request cannot wedge the daemon)."""
+    from repro.perf.engine import dispatch_one
+
+    return dispatch_one(
+        execute_payload, canonical, timeout_s=deadline_s, workers=workers
+    )

@@ -1,0 +1,406 @@
+"""The asyncio daemon: NDJSON over TCP/unix socket onto the warm pool.
+
+One :class:`ReproServer` owns one event loop's worth of state: the
+memoization cache, the in-flight single-flight table, the admission
+counter, and the listening sockets.  Each client connection is a
+newline-delimited JSON conversation; each ``execute`` request flows
+
+    parse spec -> content hash -> cache? -> coalesce? -> admit? ->
+    semaphore -> dispatch to the warm pool -> memoize -> respond
+
+with every early exit answering immediately: a cache hit returns the
+memoized payload without dispatching any worker task, a duplicate of an
+in-flight request awaits that computation instead of starting another,
+and a request beyond ``concurrency + max_pending`` is refused with
+``{"ok": false, "error": "busy", "retry_after": ...}`` -- bounded queue,
+never unbounded growth.
+
+Dispatch runs the blocking pool call on the loop's default thread-pool
+executor, so the event loop keeps serving status requests and cache
+hits while jobs compute.  Deadlines ride the pool's per-task timeout
+machinery (:func:`repro.perf.engine.dispatch_one`): an overrun job's
+workers are terminated, the daemon answers
+``{"ok": false, "error": "deadline"}``, and the next job gets a fresh
+pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+from typing import Callable, Optional
+
+from repro.obs.stream import DEFAULT_FRAME_EVENTS, metrics_frame, trace_frames
+from repro.serve.cache import MemoCache
+from repro.serve.jobs import dispatch_job
+from repro.serve.protocol import response_envelope
+from repro.specs import canonical_json, spec_from_canonical, spec_from_dict
+
+__all__ = ["ServeConfig", "ReproServer", "run_server"]
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Daemon knobs.
+
+    ``concurrency`` jobs execute at once; up to ``max_pending`` more may
+    wait; anything beyond is refused with ``retry_after_s``.  ``port=0``
+    asks the OS for a free port (read it back from ``endpoints``).
+    ``dispatcher`` injects the job runner -- ``(canonical, deadline_s)
+    -> payload`` -- for tests and benches; the default is the warm-pool
+    :func:`repro.serve.jobs.dispatch_job`.
+    """
+
+    host: str = "127.0.0.1"
+    port: Optional[int] = 0
+    unix_socket: Optional[str] = None
+    concurrency: int = 2
+    max_pending: int = 8
+    cache_size: int = 128
+    workers: Optional[int] = None
+    retry_after_s: float = 0.5
+    stream_chunk: int = DEFAULT_FRAME_EVENTS
+    dispatcher: Optional[Callable[[str, Optional[float]], dict]] = None
+
+
+class ReproServer:
+    """One serve daemon: sockets, cache, single-flight, admission."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.cache = MemoCache(self.config.cache_size)
+        self.counters = {
+            "requests": 0,
+            "executed": 0,
+            "coalesced": 0,
+            "busy_rejections": 0,
+            "deadline_failures": 0,
+            "errors": 0,
+        }
+        self.endpoints: dict = {}
+        #: hash -> Future resolving to ("ok", payload) | ("error", kind,
+        #: detail).  Outcome tuples (not set_exception) so a computation
+        #: nobody ends up awaiting never logs "exception never retrieved".
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._admitted = 0
+        self._servers: list = []
+        self._client_tasks: set = set()
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._stopping: Optional[asyncio.Event] = None
+        if self.config.dispatcher is not None:
+            self._dispatcher = self.config.dispatcher
+        else:
+            workers = self.config.workers
+
+            def _default_dispatcher(canonical, deadline_s):
+                return dispatch_job(canonical, deadline_s, workers=workers)
+
+            self._dispatcher = _default_dispatcher
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> dict:
+        """Bind the configured sockets; returns ``endpoints`` (with the
+        OS-assigned port resolved when ``port=0``)."""
+        self._semaphore = asyncio.Semaphore(max(1, self.config.concurrency))
+        self._stopping = asyncio.Event()
+        if self.config.port is not None:
+            server = await asyncio.start_server(
+                self._on_client, self.config.host, self.config.port
+            )
+            self._servers.append(server)
+            sockname = server.sockets[0].getsockname()
+            self.endpoints["host"] = sockname[0]
+            self.endpoints["port"] = sockname[1]
+        if self.config.unix_socket is not None:
+            server = await asyncio.start_unix_server(
+                self._on_client, path=self.config.unix_socket
+            )
+            self._servers.append(server)
+            self.endpoints["unix_socket"] = self.config.unix_socket
+        if not self._servers:
+            raise ValueError("ServeConfig binds neither a port nor a socket")
+        return dict(self.endpoints)
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_stop` (or a ``shutdown`` command)."""
+        assert self._stopping is not None, "start() first"
+        await self._stopping.wait()
+        await self.close()
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def close(self) -> None:
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(
+                *self._client_tasks, return_exceptions=True
+            )
+        self._client_tasks.clear()
+        path = self.endpoints.get("unix_socket")
+        if path:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+    async def _on_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    self.counters["errors"] += 1
+                    await self._write(
+                        writer,
+                        response_envelope(
+                            "?", False, error="bad-request",
+                            detail=f"unparseable request: {error}",
+                        ),
+                    )
+                    continue
+                await self._handle(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._client_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _write(self, writer, obj: dict) -> None:
+        writer.write(canonical_json(obj).encode("ascii") + b"\n")
+        await writer.drain()
+
+    def _status_data(self) -> dict:
+        from repro.perf.engine import pool_stats
+
+        return {
+            "endpoints": dict(self.endpoints),
+            "pool": pool_stats(),
+            "cache": self.cache.stats(),
+            "counters": dict(self.counters),
+            "inflight": len(self._inflight),
+            "admitted": self._admitted,
+            "concurrency": self.config.concurrency,
+            "max_pending": self.config.max_pending,
+        }
+
+    async def _handle(self, request: dict, writer) -> None:
+        command = request.get("command")
+        self.counters["requests"] += 1
+        if command == "status":
+            await self._write(
+                writer,
+                response_envelope("status", True, data=self._status_data()),
+            )
+            return
+        if command == "shutdown":
+            await self._write(
+                writer,
+                response_envelope("shutdown", True,
+                                  data=self._status_data()),
+            )
+            self.request_stop()
+            return
+        if command == "execute":
+            await self._handle_execute(request, writer)
+            return
+        self.counters["errors"] += 1
+        await self._write(
+            writer,
+            response_envelope(
+                str(command), False, error="unknown-command",
+                detail="known: execute, status, shutdown",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # The execute flow.
+    # ------------------------------------------------------------------
+    async def _handle_execute(self, request: dict, writer) -> None:
+        try:
+            raw = request["spec"]
+            spec = (
+                spec_from_canonical(raw)
+                if isinstance(raw, str)
+                else spec_from_dict(raw)
+            )
+            canonical = spec.canonical()
+            key = spec.content_hash()
+        except (KeyError, ValueError, TypeError) as error:
+            self.counters["errors"] += 1
+            await self._write(
+                writer,
+                response_envelope(
+                    "execute", False, error="bad-request",
+                    detail=f"bad spec: {error}",
+                ),
+            )
+            return
+        deadline = request.get("deadline")
+        stream = bool(request.get("stream"))
+
+        payload = self.cache.get(key)
+        if payload is not None:
+            await self._respond(
+                writer, key, payload, cached=True, coalesced=False,
+                stream=stream,
+            )
+            return
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Single-flight: identical request already computing -- wait
+            # for that computation instead of dispatching a second one.
+            self.counters["coalesced"] += 1
+            outcome = await asyncio.shield(inflight)
+            await self._respond_outcome(
+                writer, key, outcome, cached=False, coalesced=True,
+                stream=stream,
+            )
+            return
+
+        if self._admitted >= self.config.concurrency + self.config.max_pending:
+            self.counters["busy_rejections"] += 1
+            await self._write(
+                writer,
+                response_envelope(
+                    "execute", False, error="busy",
+                    retry_after=self.config.retry_after_s, hash=key,
+                ),
+            )
+            return
+
+        self._admitted += 1
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            outcome = await self._compute(canonical, deadline, key)
+        finally:
+            self._admitted -= 1
+            self._inflight.pop(key, None)
+        future.set_result(outcome)
+        await self._respond_outcome(
+            writer, key, outcome, cached=False, coalesced=False,
+            stream=stream,
+        )
+
+    async def _compute(self, canonical: str, deadline, key: str) -> tuple:
+        """Dispatch one admitted job; returns an outcome tuple."""
+        from repro.perf.engine import ParallelTimeoutError
+
+        assert self._semaphore is not None, "start() first"
+        async with self._semaphore:
+            loop = asyncio.get_running_loop()
+            try:
+                payload = await loop.run_in_executor(
+                    None, self._dispatcher, canonical, deadline
+                )
+            except ParallelTimeoutError as error:
+                self.counters["deadline_failures"] += 1
+                return ("error", "deadline", str(error))
+            except Exception as error:  # worker exceptions propagate here
+                self.counters["errors"] += 1
+                return (
+                    "error", "execution",
+                    f"{type(error).__name__}: {error}",
+                )
+        self.counters["executed"] += 1
+        self.cache.put(key, payload)
+        return ("ok", payload)
+
+    async def _respond_outcome(
+        self, writer, key: str, outcome: tuple, *, cached: bool,
+        coalesced: bool, stream: bool,
+    ) -> None:
+        if outcome[0] == "ok":
+            await self._respond(
+                writer, key, outcome[1], cached=cached,
+                coalesced=coalesced, stream=stream,
+            )
+            return
+        _, kind, detail = outcome
+        await self._write(
+            writer,
+            response_envelope(
+                "execute", False, error=kind, detail=detail, hash=key,
+            ),
+        )
+
+    async def _respond(
+        self, writer, key: str, payload: dict, *, cached: bool,
+        coalesced: bool, stream: bool,
+    ) -> None:
+        trace = payload.get("trace")
+        metrics = payload.get("metrics")
+        if stream and (trace is not None or metrics is not None):
+            frame = dict(metrics_frame(metrics))
+            frame.update(command="execute.frame", hash=key)
+            await self._write(writer, frame)
+            for chunk in trace_frames(
+                trace or [], chunk=self.config.stream_chunk
+            ):
+                chunk.update(command="execute.frame", hash=key)
+                await self._write(writer, chunk)
+            await self._write(
+                writer,
+                response_envelope(
+                    "execute", True, data=payload["data"], metrics=None,
+                    hash=key, cached=cached, coalesced=coalesced,
+                    streamed=True, trace=None,
+                ),
+            )
+            return
+        await self._write(
+            writer,
+            response_envelope(
+                "execute", True, data=payload["data"], metrics=metrics,
+                hash=key, cached=cached, coalesced=coalesced,
+                streamed=False, trace=trace,
+            ),
+        )
+
+
+async def run_server(
+    config: Optional[ServeConfig] = None,
+    ready: Optional[Callable[[dict], None]] = None,
+) -> None:
+    """Start a daemon and serve until shutdown; ``ready(endpoints)`` is
+    called once the sockets are bound (the CLI prints its ready line
+    from it)."""
+    server = ReproServer(config)
+    endpoints = await server.start()
+    if ready is not None:
+        ready(endpoints)
+    await server.serve_forever()

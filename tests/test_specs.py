@@ -1,0 +1,313 @@
+"""The plan/execute split: canonical spec strings, content hashes, and
+byte-identity between ``execute(plan(...))`` and the legacy Session
+entry points.
+
+The properties under test are the ones the serve tier's memoization
+correctness rests on: equal specs hash identically in every process,
+different work hashes differently, and the two API spellings produce
+byte-for-byte the same results (so a cached payload is indistinguishable
+from a recomputed one).
+"""
+
+import json
+import pickle
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.api import (
+    Session,
+    execute,
+    plan,
+    plan_experiment,
+    plan_fuzz,
+    plan_shootout,
+    plan_verify,
+)
+from repro.specs import (
+    SPEC_VERSION,
+    BatchSpec,
+    ExperimentSpec,
+    FuzzSpec,
+    GeometrySpec,
+    ShootoutSpec,
+    VerifySpec,
+    WorkloadSpec,
+    spec_from_canonical,
+    spec_from_dict,
+)
+
+SMALL = dict(references=200, seed=3)
+
+
+def all_spec_examples():
+    return [
+        plan_experiment(protocol="dragon", **SMALL, timed=True),
+        plan_experiment(protocols=("moesi", "berkeley"), processors=2,
+                        **SMALL, discipline="round-robin"),
+        plan_verify(suites=("class-members",)),
+        plan_fuzz(seeds=3, trace=True),
+        plan_shootout(references=300),
+        plan("batch", rows=8, events_per_row=20),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Canonicalization and hashing.
+# ----------------------------------------------------------------------
+class TestCanonical:
+    def test_round_trip_every_kind(self):
+        for spec in all_spec_examples():
+            rebuilt = spec_from_canonical(spec.canonical())
+            assert rebuilt == spec
+            assert rebuilt.canonical() == spec.canonical()
+            assert rebuilt.content_hash() == spec.content_hash()
+
+    def test_dict_round_trip(self):
+        for spec in all_spec_examples():
+            assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_canonical_carries_version_and_kind(self):
+        for spec in all_spec_examples():
+            data = json.loads(spec.canonical())
+            assert data["v"] == SPEC_VERSION
+            assert data["kind"] == spec.kind
+
+    def test_pickle_round_trip(self):
+        for spec in all_spec_examples():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert clone.content_hash() == spec.content_hash()
+
+    def test_specs_are_hashable_dict_keys(self):
+        table = {spec: i for i, spec in enumerate(all_spec_examples())}
+        assert len(table) == len(all_spec_examples())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec kind"):
+            spec_from_dict({"kind": "nonesuch"})
+        with pytest.raises(ValueError, match="must be a dict"):
+            spec_from_dict([1, 2, 3])
+
+    def test_hash_stable_across_processes(self):
+        spec = plan_experiment(protocol="moesi", **SMALL, timed=True)
+        program = (
+            "from repro.api import plan_experiment;"
+            "print(plan_experiment(protocol='moesi', references=200,"
+            " seed=3, timed=True).content_hash())"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "99"},
+        )
+        assert child.stdout.strip() == spec.content_hash()
+
+    def test_hash_differs_by_seed_geometry_discipline(self):
+        base = plan_experiment(protocol="moesi", **SMALL)
+        variants = [
+            plan_experiment(protocol="moesi", references=200, seed=4),
+            plan_experiment(protocol="moesi", **SMALL,
+                            geometry=GeometrySpec(num_sets=16)),
+            plan_experiment(protocol="moesi", **SMALL,
+                            discipline="priority"),
+            plan_experiment(protocol="berkeley", **SMALL),
+            plan_experiment(protocol="moesi", **SMALL, timed=True),
+        ]
+        hashes = {base.content_hash()}
+        for variant in variants:
+            assert variant.content_hash() not in hashes
+            hashes.add(variant.content_hash())
+
+    def test_execution_details_stay_out_of_the_hash(self):
+        # workers/backend/out_dir ride on execute(); nothing in any spec
+        # mentions them, so one hash covers every way of computing it.
+        spec = plan_verify(suites=("class-members",))
+        assert "workers" not in spec.canonical()
+        assert "backend" not in spec.canonical()
+
+
+# ----------------------------------------------------------------------
+# The workload spec.
+# ----------------------------------------------------------------------
+class TestWorkloadSpec:
+    def test_synthetic_build_is_deterministic(self):
+        spec = WorkloadSpec(references=50, seed=9)
+        first = [(r.unit, r.op.value, r.address) for r in spec.build()]
+        second = [(r.unit, r.op.value, r.address) for r in spec.build()]
+        assert first == second
+
+    def test_literal_embeds_and_rebuilds_exactly(self):
+        trace = WorkloadSpec(references=40, seed=5).build()
+        lit = WorkloadSpec.literal(trace)
+        rebuilt = lit.build()
+        assert (
+            [(r.unit, r.op.value, r.address) for r in rebuilt]
+            == [(r.unit, r.op.value, r.address) for r in trace]
+        )
+        # ... and the canonical string survives the round trip.
+        assert WorkloadSpec.from_dict(json.loads(lit.canonical())) == lit
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload source"):
+            WorkloadSpec(source="oracle")
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: execute(plan(...)) vs the legacy entry points.
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    def test_experiment_report_identical(self):
+        spec = plan_experiment(protocol="moesi", **SMALL, timed=True)
+        planned = execute(spec)
+        legacy = Session().run_experiment(
+            protocol="moesi", references=200, seed=3, timed=True
+        )
+        assert planned.report.to_json() == legacy.report.to_json()
+        assert planned.metrics == legacy.metrics
+
+    def test_traced_experiment_identical(self):
+        spec = plan_experiment(
+            protocols=("moesi", "dragon"), processors=2, **SMALL,
+            trace=True,
+        )
+        planned = execute(spec)
+        legacy = Session(trace=True).run_experiment(
+            protocols=("moesi", "dragon"), processors=2,
+            references=200, seed=3,
+        )
+        assert planned.report.to_json() == legacy.report.to_json()
+        assert (
+            json.dumps(planned.trace, sort_keys=True, default=str)
+            == json.dumps(legacy.trace, sort_keys=True, default=str)
+        )
+
+    def test_explicit_workload_identical(self):
+        trace = WorkloadSpec(references=120, seed=11).build()
+        spec = plan_experiment(protocol="illinois", workload=trace)
+        planned = execute(spec)
+        legacy = Session().run_experiment(
+            protocol="illinois", workload=trace
+        )
+        assert planned.report.to_json() == legacy.report.to_json()
+
+    def test_verify_rows_identical(self):
+        spec = plan_verify(suites=("class-members",))
+        planned = execute(spec)
+        legacy = Session().verify(suites=("class-members",))
+        assert planned.rows == legacy.rows
+
+    def test_shootout_rows_identical(self):
+        spec = plan_shootout(references=300)
+        assert execute(spec) == Session().shootout(references=300)
+
+    def test_fuzz_report_identical(self):
+        spec = plan_fuzz(seeds=2)
+        planned = execute(spec)
+        legacy = Session().fuzz_campaign(seeds=2)
+        assert planned.report.to_dict() == legacy.report.to_dict()
+
+    def test_execute_accepts_dict_and_canonical_string(self):
+        spec = plan_experiment(protocol="moesi", **SMALL)
+        via_obj = execute(spec).report.to_json()
+        assert execute(spec.to_dict()).report.to_json() == via_obj
+        assert execute(spec.canonical()).report.to_json() == via_obj
+
+    def test_execute_rejects_non_specs(self):
+        with pytest.raises(TypeError, match="cannot execute"):
+            Session().execute(42)
+
+
+# ----------------------------------------------------------------------
+# The legacy keyword paths: still working, warning once.
+# ----------------------------------------------------------------------
+class TestLegacyKeywords:
+    def test_board_kwargs_warn_once_and_match_geometry(self):
+        from repro.deprecation import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loose = Session().run_experiment(
+                protocol="moesi", references=150, seed=2, num_sets=16,
+                associativity=1,
+            )
+            again = Session().run_experiment(
+                protocol="moesi", references=150, seed=2, num_sets=16,
+                associativity=1,
+            )
+        legacy = [w for w in caught
+                  if issubclass(w.category, DeprecationWarning)]
+        assert len(legacy) == 1
+        assert "GeometrySpec" in str(legacy[0].message)
+        explicit = Session().run_experiment(
+            protocol="moesi", references=150, seed=2,
+            geometry=GeometrySpec(num_sets=16, associativity=1),
+        )
+        assert loose.report.to_json() == explicit.report.to_json()
+        assert again.report.to_json() == explicit.report.to_json()
+
+    def test_unknown_board_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unknown"):
+            Session().run_experiment(protocol="moesi", lines=4)
+
+    def test_planned_spec_matches_loose_kwargs(self):
+        from repro.deprecation import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            loose = plan_experiment(protocol="moesi", num_sets=8)
+        explicit = plan_experiment(
+            protocol="moesi", geometry=GeometrySpec(num_sets=8)
+        )
+        assert loose.content_hash() == explicit.content_hash()
+
+    def test_cases_and_suites_are_exclusive(self):
+        with pytest.raises(ValueError, match="either cases or suites"):
+            Session().verify(cases=[object()], suites=("class-members",))
+
+
+# ----------------------------------------------------------------------
+# Scenario <-> FuzzSpec round trip.
+# ----------------------------------------------------------------------
+class TestScenarioBridge:
+    def test_scenario_round_trips_through_fuzz_spec(self):
+        from repro.fuzz.runner import (
+            fuzz_spec_for_scenario,
+            scenario_from_fuzz_spec,
+        )
+        from repro.fuzz.scenario import generate_scenario
+
+        scenario = generate_scenario(6)
+        spec = fuzz_spec_for_scenario(scenario)
+        assert isinstance(spec, FuzzSpec)
+        rebuilt = scenario_from_fuzz_spec(spec)
+        assert rebuilt.canonical() == scenario.canonical()
+        assert rebuilt.content_hash() == scenario.content_hash()
+
+    def test_replay_spec_executes(self):
+        from repro.fuzz.runner import fuzz_spec_for_scenario
+        from repro.fuzz.scenario import generate_scenario
+
+        scenario = generate_scenario(6)
+        result = execute(fuzz_spec_for_scenario(scenario))
+        assert result.ok
+        assert result.report.seeds_run == 1
+        assert result.report.steps_run > 0
+
+    def test_campaign_spec_requires_no_scenario_json(self):
+        from repro.fuzz.runner import scenario_from_fuzz_spec
+
+        with pytest.raises(ValueError, match="scenario_json"):
+            scenario_from_fuzz_spec(FuzzSpec(seeds=2))
+
+    def test_default_scenario_hashes_like_explicit_default(self):
+        from repro.fuzz.scenario import ScenarioConfig
+
+        assert (
+            FuzzSpec(seeds=5).content_hash()
+            == FuzzSpec(seeds=5, scenario=ScenarioConfig()).content_hash()
+        )
