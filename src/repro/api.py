@@ -577,6 +577,7 @@ class Session:
         spec: FuzzSpec,
         workers: int = 0,
         out_dir: Optional[Union[str, Path]] = None,
+        shards: Optional[int] = None,
     ) -> FuzzResult:
         if spec.scenario_json is not None:
             from repro.fuzz.runner import run_fuzz_spec
@@ -594,7 +595,11 @@ class Session:
                 trace=self._snapshot_trace(),
                 profile=self.profiler,
             )
-        from repro.fuzz.campaign import CampaignConfig, _run_campaign
+        from repro.fuzz.campaign import (
+            CampaignConfig,
+            _run_campaign,
+            run_sharded_campaign,
+        )
 
         config = CampaignConfig(
             seeds=spec.seeds,
@@ -602,13 +607,23 @@ class Session:
             scenario=spec.scenario_config(),
             shrink=spec.shrink,
         )
-        report = _run_campaign(
-            config,
-            workers=workers,
-            out_dir=out_dir,
-            profiler=self.profiler,
-            tracer=self.tracer,
-        )
+        if shards is not None:
+            report = run_sharded_campaign(
+                config,
+                shards=shards,
+                workers=workers,
+                out_dir=out_dir,
+                profiler=self.profiler,
+                tracer=self.tracer,
+            )
+        else:
+            report = _run_campaign(
+                config,
+                workers=workers,
+                out_dir=out_dir,
+                profiler=self.profiler,
+                tracer=self.tracer,
+            )
         return FuzzResult(
             report=report,
             trace=self._snapshot_trace(),
@@ -776,12 +791,19 @@ class Session:
         seeds: Optional[int] = None,
         workers: int = 0,
         out_dir: Optional[Union[str, Path]] = None,
+        shards: Optional[int] = None,
     ) -> FuzzResult:
-        """Run a differential fuzz campaign (see :mod:`repro.fuzz`)."""
+        """Run a differential fuzz campaign (see :mod:`repro.fuzz`).
+
+        ``shards`` switches to the range-partitioned driver
+        (:func:`repro.fuzz.campaign.run_sharded_campaign`); the report
+        is byte-identical to the per-seed driver's at any count."""
         spec = plan_fuzz(
             config=config, seeds=seeds, trace=self.tracer is not None
         )
-        return self._execute_fuzz(spec, workers=workers, out_dir=out_dir)
+        return self._execute_fuzz(
+            spec, workers=workers, out_dir=out_dir, shards=shards
+        )
 
     def shootout(
         self,
@@ -932,11 +954,16 @@ def fuzz_campaign(
     out_dir: Optional[Union[str, Path]] = None,
     trace: bool = False,
     profile: bool = False,
+    shards: Optional[int] = None,
 ) -> FuzzResult:
     """One-shot :meth:`Session.fuzz_campaign`."""
     session = Session(label="fuzz", trace=trace, profile=profile)
     return session.fuzz_campaign(
-        config=config, seeds=seeds, workers=workers, out_dir=out_dir
+        config=config,
+        seeds=seeds,
+        workers=workers,
+        out_dir=out_dir,
+        shards=shards,
     )
 
 

@@ -574,7 +574,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
     session = Session(label="fuzz", trace=bool(args.trace))
     result = session.fuzz_campaign(
-        config=config, workers=args.workers, out_dir=args.out
+        config=config,
+        workers=args.workers,
+        out_dir=args.out,
+        shards=args.shards,
     )
     report = result.report
     metrics = {
@@ -787,6 +790,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="first seed (campaigns are pure functions of seeds)")
     p.add_argument("--workers", type=int, default=0,
                    help="worker processes; 0 = serial (identical output)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="partition the seed range into N pool tasks "
+                        "(byte-identical report at any count; default: "
+                        "one task per seed)")
     p.add_argument("--out", default="fuzz_repros",
                    help="directory for shrunk repro_seed<N>.json files")
     p.add_argument("--inject", metavar="BUG",

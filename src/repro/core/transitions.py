@@ -70,6 +70,7 @@ __all__ = [
     "compiled_class_cells",
     "fast_tables_enabled",
     "set_fast_tables",
+    "tables_epoch",
     "BatchTables",
     "BATCH_LOCAL_WIDTH",
     "BATCH_SNOOP_WIDTH",
@@ -671,6 +672,7 @@ def compile_deterministic(
 
 
 _FAST_TABLES_ENABLED = True
+_TABLES_EPOCH = 0
 
 
 def fast_tables_enabled() -> bool:
@@ -678,15 +680,25 @@ def fast_tables_enabled() -> bool:
     return _FAST_TABLES_ENABLED
 
 
+def tables_epoch() -> int:
+    """Monotonic counter bumped whenever :func:`set_fast_tables` changes
+    the setting.  Forked workers freeze the setting they inherited, so
+    pool owners (:mod:`repro.perf.engine`) compare the epoch they started
+    under against the current one and restart stale workers."""
+    return _TABLES_EPOCH
+
+
 def set_fast_tables(enabled: bool) -> bool:
     """Globally enable/disable the compiled-table fast path (tests compare
     the two paths byte-for-byte).  Returns the previous setting.
 
     Only affects protocols instantiated (or first exercised) afterwards:
-    already-compiled instances keep their tables.
-    """
-    global _FAST_TABLES_ENABLED
+    already-compiled instances keep their tables.  Each effective change
+    bumps :func:`tables_epoch` so warm worker pools notice."""
+    global _FAST_TABLES_ENABLED, _TABLES_EPOCH
     previous = _FAST_TABLES_ENABLED
+    if bool(enabled) != previous:
+        _TABLES_EPOCH += 1
     _FAST_TABLES_ENABLED = bool(enabled)
     return previous
 

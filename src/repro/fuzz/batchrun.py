@@ -14,11 +14,22 @@ The object engine stays the oracle: per population, the first
 ``oracle_sample`` rows are replayed on a real :class:`System` and the
 snapshots diffed byte-for-byte (:func:`repro.perf.batch.verify_rows`).
 A non-empty ``mismatches`` list is a kernel bug, never ignorable.
+
+Populations group by **unit mix only**: mixed-geometry scenarios merge
+into one padded heterogeneous population (per-row geometries, envelope
+strides), so a campaign makes one kernel invocation per protocol mix
+instead of one per ``(mix, geometry)`` cell.  Campaigns also shard:
+``shards``/``workers`` partition the seed range into contiguous pool
+tasks whose digests merge deterministically -- same report at any shard
+count, oracle verdicts included (the global per-group sample is always
+a subset of the shards' local samples, so the merge keeps exactly the
+rows the single-shard run would have verified).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 from typing import Optional
 
@@ -30,10 +41,12 @@ from repro.perf.batch import (
     BatchPopulation,
     NotBatchableError,
     default_backend,
+    envelope_geometry,
     lower_units,
     run_population,
     verify_rows,
 )
+from repro.perf.pool import ParallelConfig, parallel_map
 
 __all__ = ["BatchCampaignReport", "run_batch_campaign"]
 
@@ -56,15 +69,27 @@ def _spec_batchable(spec: str) -> bool:
 
 
 def _population_key(scenario: Scenario) -> tuple:
-    geometry = scenario.geometry
-    return (
-        scenario.units,
-        (
-            geometry.num_sets,
-            geometry.associativity,
-            geometry.line_size,
-            geometry.lines,
-        ),
+    """Unit mix only: geometry became a per-row attribute when the
+    kernel grew padded heterogeneous populations."""
+    return scenario.units
+
+
+def _case_geometry(scenario: Scenario) -> BatchGeometry:
+    g = scenario.geometry
+    return BatchGeometry(
+        g.num_sets, g.associativity, g.line_size, g.lines
+    )
+
+
+def _build_population(units: tuple, cases: list) -> BatchPopulation:
+    """One padded heterogeneous population from same-mix scenarios."""
+    per_row = tuple(_case_geometry(case) for case in cases)
+    return BatchPopulation(
+        units=units,
+        geometry=envelope_geometry(per_row),
+        events=[_schedule(case) for case in cases],
+        row_ids=tuple(case.seed for case in cases),
+        geometries=per_row,
     )
 
 
@@ -108,54 +133,64 @@ class BatchCampaignReport:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
 
-def run_batch_campaign(
-    seeds: int = 100,
-    seed_base: int = 0,
-    scenario: Optional[ScenarioConfig] = None,
-    backend: Optional[str] = None,
-    oracle_sample: int = 2,
-) -> BatchCampaignReport:
-    """Run fuzz seeds ``seed_base .. seed_base + seeds - 1`` through the
-    batch kernel where possible, the object engine otherwise.
+def _run_batch_shard(
+    scenario_config: dict,
+    backend: str,
+    oracle_sample: int,
+    tables_shm: Optional[str],
+    shard: tuple,
+) -> dict:
+    """Pool worker: one contiguous seed range through the kernel.
 
-    Pure function of its arguments (same grouping, same schedules, same
-    verdicts on every backend), so reports diff cleanly across runs."""
-    config = scenario or ScenarioConfig()
+    Returns a picklable digest keyed by unit mix.  Each group carries
+    its row seeds (ascending: seeds are scanned in order), the kernel
+    totals, and oracle verdicts for the shard's **local** first
+    ``oracle_sample`` rows.  The merged report samples the *global*
+    first rows per group -- always a prefix of some shards' local rows,
+    so every globally sampled verdict is present in exactly one digest
+    and the merge discards the rest."""
+    start, count = shard
+    config = ScenarioConfig.from_dict(scenario_config)
+    if tables_shm is not None:
+        from repro.perf.shared import attach_tables
+
+        try:
+            attach_tables(tables_shm)
+        except Exception:
+            pass  # segment gone or unsupported: lower directly
     groups: dict[tuple, list] = {}
     fallback: list[Scenario] = []
-    for seed in range(seed_base, seed_base + seeds):
+    for seed in range(start, start + count):
         case = generate_scenario(seed, config)
         if all(_spec_batchable(spec) for spec in case.units):
             groups.setdefault(_population_key(case), []).append(case)
         else:
             fallback.append(case)
 
-    chosen = backend or default_backend()
-    batched_rows = 0
-    events = 0
-    transitions = 0
-    crashes: list = []
-    verified_rows = 0
-    mismatches: list = []
-    for (units, geometry), cases in sorted(groups.items()):
-        pop = BatchPopulation(
-            units=units,
-            geometry=BatchGeometry(*geometry),
-            events=[_schedule(case) for case in cases],
-            row_ids=tuple(case.seed for case in cases),
-        )
-        result = run_population(pop, backend=chosen)
-        batched_rows += result.rows
-        events += result.events
-        transitions += result.transitions
+    group_digests: dict[tuple, dict] = {}
+    for units, cases in groups.items():
+        pop = _build_population(units, cases)
+        result = run_population(pop, backend=backend)
+        crashes = []
         for row, snapshot in enumerate(result.snapshots):
             if snapshot["crash"] is not None:
                 step, kind = snapshot["crash"]
                 crashes.append((pop.row_ids[row], step, kind))
         sample = list(range(min(oracle_sample, pop.rows)))
-        verified_rows += len(sample)
-        for row, key, got, expected in verify_rows(pop, result, rows=sample):
-            mismatches.append((pop.row_ids[row], key, got, expected))
+        mismatches = [
+            (pop.row_ids[row], key, got, expected)
+            for row, key, got, expected in verify_rows(
+                pop, result, rows=sample
+            )
+        ]
+        group_digests[units] = {
+            "row_seeds": list(pop.row_ids),
+            "events": result.events,
+            "transitions": result.transitions,
+            "crashes": crashes,
+            "verified_seeds": [pop.row_ids[row] for row in sample],
+            "mismatches": mismatches,
+        }
 
     fallback_steps = 0
     fallback_failures = 0
@@ -164,15 +199,122 @@ def run_batch_campaign(
         fallback_steps += result.steps_run
         if result.failure is not None:
             fallback_failures += 1
+    return {
+        "groups": group_digests,
+        "fallback_rows": len(fallback),
+        "fallback_steps": fallback_steps,
+        "fallback_failures": fallback_failures,
+    }
+
+
+def run_batch_campaign(
+    seeds: int = 100,
+    seed_base: int = 0,
+    scenario: Optional[ScenarioConfig] = None,
+    backend: Optional[str] = None,
+    oracle_sample: int = 2,
+    shards: int = 1,
+    workers: int = 0,
+) -> BatchCampaignReport:
+    """Run fuzz seeds ``seed_base .. seed_base + seeds - 1`` through the
+    batch kernel where possible, the object engine otherwise.
+
+    Pure function of its arguments: ``shards`` and ``workers`` change
+    only the partitioning and the wall clock, never the report -- the
+    serial run *is* the one-shard run through the same merge path, so
+    any shard count diffs byte-identical against it."""
+    from repro.fuzz.campaign import shard_ranges
+
+    config = scenario or ScenarioConfig()
+    chosen = backend or default_backend()
+    ranges = shard_ranges(seed_base, seeds, shards)
+    tables_shm = None
+    if workers > 1:
+        from repro.perf.shared import publish_tables
+
+        try:
+            tables_shm = publish_tables()
+        except Exception:
+            tables_shm = None  # no shared memory: workers lower directly
+    task_fn = functools.partial(
+        _run_batch_shard,
+        config.to_dict(),
+        chosen,
+        oracle_sample,
+        tables_shm,
+    )
+    pool = ParallelConfig(
+        workers=workers if workers > 0 else 1,
+        mode="serial" if workers <= 1 else "auto",
+    )
+    try:
+        digests = parallel_map(task_fn, ranges, pool)
+    finally:
+        if tables_shm is not None:
+            from repro.perf.shared import unlink_tables
+
+            unlink_tables(tables_shm)
+
+    # Deterministic re-splice: digests arrive in range order (= seed
+    # order), so per-group row lists concatenate back to exactly the
+    # single-shard scan order.
+    merged: dict[tuple, dict] = {}
+    fallback_rows = 0
+    fallback_steps = 0
+    fallback_failures = 0
+    for digest in digests:
+        fallback_rows += digest["fallback_rows"]
+        fallback_steps += digest["fallback_steps"]
+        fallback_failures += digest["fallback_failures"]
+        for units, group in digest["groups"].items():
+            into = merged.setdefault(
+                units,
+                {
+                    "row_seeds": [],
+                    "events": 0,
+                    "transitions": 0,
+                    "crashes": [],
+                    "verified": set(),
+                    "by_seed": {},
+                },
+            )
+            into["row_seeds"].extend(group["row_seeds"])
+            into["events"] += group["events"]
+            into["transitions"] += group["transitions"]
+            into["crashes"].extend(group["crashes"])
+            into["verified"].update(group["verified_seeds"])
+            for item in group["mismatches"]:
+                into["by_seed"].setdefault(item[0], []).append(item)
+
+    batched_rows = 0
+    events = 0
+    transitions = 0
+    crashes: list = []
+    verified_rows = 0
+    mismatches: list = []
+    for units in sorted(merged):
+        group = merged[units]
+        batched_rows += len(group["row_seeds"])
+        events += group["events"]
+        transitions += group["transitions"]
+        crashes.extend(group["crashes"])
+        sample_seeds = group["row_seeds"][:oracle_sample]
+        verified_rows += len(sample_seeds)
+        for seed in sample_seeds:
+            if seed not in group["verified"]:  # pragma: no cover
+                raise AssertionError(
+                    f"shard merge lost oracle coverage for seed {seed}"
+                )
+            mismatches.extend(group["by_seed"].get(seed, []))
 
     crashes.sort()
     return BatchCampaignReport(
         seeds=seeds,
         seed_base=seed_base,
         backend=chosen,
-        populations=len(groups),
+        populations=len(merged),
         batched_rows=batched_rows,
-        fallback_rows=len(fallback),
+        fallback_rows=fallback_rows,
         events=events,
         transitions=transitions,
         crashes=crashes,

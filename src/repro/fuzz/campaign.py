@@ -11,6 +11,12 @@ excluded from the report.
 Failing seeds are shrunk in the parent process (in seed order, so the
 report is deterministic) and written as replayable repro files named
 ``repro_seed<N>.json``.
+
+:func:`run_sharded_campaign` scales the same engine to millions of
+seeds: contiguous seed ranges become the pool tasks, each shard returns
+one aggregate digest, and the parent re-splices them in range order and
+shrinks through the shared :func:`_collect_failures` stage -- the
+report stays byte-identical at any shard count.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ __all__ = [
     "CampaignFailure",
     "CampaignReport",
     "run_campaign",
+    "run_sharded_campaign",
+    "shard_ranges",
 ]
 
 
@@ -167,16 +175,49 @@ def _run_campaign(
     else:
         digests = parallel_map(task_fn, tasks, pool)
 
-    failures: list[CampaignFailure] = []
     steps_run = 0
     transitions_checked = 0
+    failing: list[tuple[int, dict]] = []
     for digest in digests:
         steps_run += digest["steps_run"]
         transitions_checked += digest["transitions_checked"]
-        if digest["failure"] is None:
-            continue
-        seed = digest["seed"]
-        failure = StepFailure.from_dict(digest["failure"])
+        if digest["failure"] is not None:
+            failing.append((digest["seed"], digest["failure"]))
+    failures = _collect_failures(
+        config, failing, out_dir=out_dir, profiler=profiler, tracer=tracer
+    )
+
+    if tracer is not None:
+        tracer.mark(
+            "fuzz.done",
+            seeds_run=len(digests),
+            steps_run=steps_run,
+            failures=len(failures),
+        )
+    return CampaignReport(
+        config=config,
+        seeds_run=len(digests),
+        steps_run=steps_run,
+        transitions_checked=transitions_checked,
+        failures=failures,
+    )
+
+
+def _collect_failures(
+    config: CampaignConfig,
+    failing: list,
+    out_dir: Optional[Union[str, Path]] = None,
+    profiler=None,
+    tracer=None,
+) -> list[CampaignFailure]:
+    """Shrink ``(seed, failure_dict)`` pairs -- already in seed order --
+    into :class:`CampaignFailure` items and write their repro files.
+
+    Shared by the per-seed and sharded drivers: both feed the same pairs
+    in the same order, so the resulting reports are byte-identical."""
+    failures: list[CampaignFailure] = []
+    for seed, failure_dict in failing:
+        failure = StepFailure.from_dict(failure_dict)
         scenario = generate_scenario(seed, config.scenario)
         if profiler is not None:
             with profiler.region("fuzz.shrink", seed=seed):
@@ -207,27 +248,132 @@ def _run_campaign(
             )
             item.repro_path = str(path)
         failures.append(item)
-
-    if tracer is not None:
-        tracer.mark(
-            "fuzz.done",
-            seeds_run=len(digests),
-            steps_run=steps_run,
-            failures=len(failures),
-        )
-    return CampaignReport(
-        config=config,
-        seeds_run=len(digests),
-        steps_run=steps_run,
-        transitions_checked=transitions_checked,
-        failures=failures,
-    )
+    return failures
 
 
 def _shrink_stage(config: CampaignConfig, scenario: Scenario):
     if config.shrink:
         return shrink_scenario(scenario)
     return scenario, run_scenario(scenario)
+
+
+# ---------------------------------------------------------------------------
+# Sharded campaigns: seed ranges as pool tasks (PR 9).
+# ---------------------------------------------------------------------------
+def shard_ranges(seed_base: int, seeds: int, shards: int) -> list[tuple]:
+    """Partition ``seed_base .. seed_base + seeds - 1`` into at most
+    ``shards`` contiguous ``(start, count)`` ranges, earlier ranges one
+    seed longer when the split is uneven.  Ascending and gap-free, so
+    splicing shard results in range order *is* seed order."""
+    shards = max(1, min(shards, seeds)) if seeds > 0 else 1
+    base, extra = divmod(max(0, seeds), shards)
+    ranges = []
+    start = seed_base
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        if count > 0:
+            ranges.append((start, count))
+        start += count
+    return ranges
+
+
+def _run_shard(scenario_config: dict, shard: tuple) -> dict:
+    """Pool worker: run one contiguous seed range serially.
+
+    Returns one aggregate digest per *range*, not per seed -- totals
+    plus the failing seeds' verdicts -- so a million-seed campaign ships
+    back kilobytes, not a million dicts.  Scenarios still regenerate in
+    the parent for shrinking, exactly as in the per-seed driver."""
+    start, count = shard
+    config = ScenarioConfig.from_dict(scenario_config)
+    steps_run = 0
+    transitions_checked = 0
+    failing = []
+    for seed in range(start, start + count):
+        result = run_scenario(generate_scenario(seed, config))
+        steps_run += result.steps_run
+        transitions_checked += result.transitions_checked
+        if result.failure is not None:
+            failing.append((seed, result.failure.to_dict()))
+    return {
+        "count": count,
+        "steps_run": steps_run,
+        "transitions_checked": transitions_checked,
+        "failing": failing,
+    }
+
+
+def run_sharded_campaign(
+    config: Optional[CampaignConfig] = None,
+    shards: Optional[int] = None,
+    workers: int = 0,
+    out_dir: Optional[Union[str, Path]] = None,
+    profiler=None,
+    tracer=None,
+) -> CampaignReport:
+    """The campaign engine at population scale: seed ranges as tasks.
+
+    The per-seed driver (:func:`repro.api.fuzz_campaign` with no shard
+    count) pickles one task and one digest per seed; at millions of
+    seeds that wire traffic dominates.  Here each pool task is a whole
+    contiguous seed range and returns one aggregate digest, re-spliced
+    in range order (= seed order) and shrunk through the same
+    :func:`_collect_failures` stage -- so the report is byte-identical
+    to the per-seed driver's at **any** shard count, including 1.
+
+    ``shards`` defaults to ``4x`` the worker count (load balancing
+    without per-seed dispatch); ``workers=0`` runs the shards serially.
+    """
+    config = config or CampaignConfig()
+    if shards is None:
+        shards = 4 * max(1, workers)
+    ranges = shard_ranges(config.seed_base, config.seeds, shards)
+    task_fn = functools.partial(_run_shard, config.scenario.to_dict())
+    pool = ParallelConfig(
+        workers=workers if workers > 0 else 1,
+        mode="serial" if workers <= 1 else "auto",
+    )
+    if tracer is not None:
+        tracer.mark(
+            "fuzz.start",
+            seeds=config.seeds,
+            seed_base=config.seed_base,
+            shards=len(ranges),
+        )
+    if profiler is not None:
+        with profiler.region(
+            "fuzz.execute", seeds=config.seeds, shards=len(ranges)
+        ):
+            digests = parallel_map(task_fn, ranges, pool)
+    else:
+        digests = parallel_map(task_fn, ranges, pool)
+
+    seeds_run = 0
+    steps_run = 0
+    transitions_checked = 0
+    failing: list[tuple[int, dict]] = []
+    for digest in digests:
+        seeds_run += digest["count"]
+        steps_run += digest["steps_run"]
+        transitions_checked += digest["transitions_checked"]
+        failing.extend(digest["failing"])
+    failures = _collect_failures(
+        config, failing, out_dir=out_dir, profiler=profiler, tracer=tracer
+    )
+    if tracer is not None:
+        tracer.mark(
+            "fuzz.done",
+            seeds_run=seeds_run,
+            steps_run=steps_run,
+            failures=len(failures),
+        )
+    return CampaignReport(
+        config=config,
+        seeds_run=seeds_run,
+        steps_run=steps_run,
+        transitions_checked=transitions_checked,
+        failures=failures,
+    )
 
 
 def run_campaign(

@@ -11,13 +11,25 @@ steps every row through the integer records of
 
 Two backends, selected at import and identical in output:
 
-* ``"numpy"`` -- time-major stepping with a vectorized fast path for the
-  dominant event class (silent read/write hits resolve for every row in
-  a handful of array ops); rows whose current event needs the bus, an
-  allocation, or crash semantics fall through to the scalar interpreter
-  *on the same arrays*, so the fast path can never diverge.
+* ``"numpy"`` -- time-major stepping where each step **plans** every
+  row's event in temporaries (lookup, local record, snoop aggregation
+  as OR/sum reductions, data phase, allocation and LRU-rank movement)
+  and then **commits** the plan column-wise for every row it fully
+  covers: silent hits, misses with line fills, evictions (silent and
+  write-back), flush/pass pushes, and non-caching bus traffic.  Rows
+  whose event needs semantics the planner does not model -- busy-abort
+  retries, read-then-write chaining, crash taxonomy -- are *diverted*
+  untouched to the scalar interpreter *on the same arrays*, so the
+  vector path can never diverge.  The per-step diverted fraction is
+  reported as ``BatchResult.scalar_events``.
 * ``"python"`` -- the scalar interpreter over ``array('q')`` columns,
   dependency-free.
+
+Populations may be geometry-heterogeneous: ``BatchPopulation.geometries``
+gives each row its own set/way/linesize shape, padded to the population
+envelope so one kernel invocation covers a mixed-geometry sweep (padded
+ways hold a rank sentinel and stay invalid, so they can never match or
+win a replacement choice).
 
 The scalar interpreter replicates the object engine's semantics exactly
 -- pending snoop slots keyed by bus serial, abort-push nesting, the raw
@@ -57,6 +69,7 @@ __all__ = [
     "available_backends",
     "batchable_specs",
     "default_backend",
+    "envelope_geometry",
     "lower_units",
     "make_synthetic_population",
     "run_population",
@@ -102,22 +115,46 @@ class BatchGeometry:
 
 @dataclasses.dataclass
 class BatchPopulation:
-    """N independent systems sharing one board mix and geometry.
+    """N independent systems sharing one board mix.
 
     ``events`` holds one schedule per row: a sequence of
     ``(unit_index, kind_code, line_address)`` triples (kind codes per
     :data:`EVENT_KIND_CODES`; line addresses in line units, matching the
     fuzz scenarios' ``line * line_size`` byte addressing).
+
+    ``geometry`` is the population envelope (the kernel's array strides).
+    A homogeneous population leaves ``geometries`` as ``None``; a padded
+    heterogeneous one supplies one :class:`BatchGeometry` per row, each
+    dimension no larger than the envelope's.
     """
 
     units: tuple[str, ...]
     geometry: BatchGeometry
     events: list
     row_ids: tuple = ()
+    geometries: Optional[tuple] = None
 
     @property
     def rows(self) -> int:
         return len(self.events)
+
+    def geometry_for(self, row: int) -> BatchGeometry:
+        """The geometry row ``row`` actually simulates (its envelope
+        slice; equal to ``geometry`` for homogeneous populations)."""
+        if self.geometries is None:
+            return self.geometry
+        return self.geometries[row]
+
+
+def envelope_geometry(geometries: Sequence[BatchGeometry]) -> BatchGeometry:
+    """Smallest :class:`BatchGeometry` covering every given one -- the
+    padded strides for a heterogeneous population."""
+    return BatchGeometry(
+        num_sets=max(g.num_sets for g in geometries),
+        associativity=max(g.associativity for g in geometries),
+        line_size=max(g.line_size for g in geometries),
+        lines=max(g.lines for g in geometries),
+    )
 
 
 @dataclasses.dataclass
@@ -129,9 +166,38 @@ class BatchResult:
     events: int  # scheduled events attempted (crashed rows stop early)
     transitions: int  # successful table consults, local + snoop
     snapshots: list  # one dict per row (see _Kernel.snapshot_row)
+    #: Events the numpy backend diverted to the scalar interpreter
+    #: (busy-abort retries, read-then-write chains, crash paths); the
+    #: python backend counts every event here.
+    scalar_events: int = 0
+    #: Events the numpy backend committed column-wise.
+    vector_events: int = 0
+
+    @property
+    def scalar_residual(self) -> float:
+        """Fraction of attempted events that fell through to the scalar
+        interpreter -- the vectorization-coverage metric."""
+        return self.scalar_events / self.events if self.events else 0.0
 
 
 _LOWERED: dict[str, Optional[BatchTables]] = {}
+
+
+def _lower_spec(spec: str) -> Optional[BatchTables]:
+    """Cache-miss path for one registry spec.  With
+    ``REPRO_SHARED_TABLES`` set, lowering is served from the
+    process-wide shared-memory segment (:mod:`repro.perf.shared`) so the
+    packed round trip covers every table the kernel ever uses; otherwise
+    the protocol is probed directly."""
+    import os
+
+    if os.environ.get("REPRO_SHARED_TABLES"):
+        from repro.perf.shared import process_tables
+
+        shared = process_tables()
+        if spec in shared:
+            return shared[spec]
+    return lower_batch_tables(make_protocol(spec))
 
 
 def lower_units(units: Sequence[str]) -> list:
@@ -140,7 +206,7 @@ def lower_units(units: Sequence[str]) -> list:
     tables = []
     for spec in units:
         if spec not in _LOWERED:
-            _LOWERED[spec] = lower_batch_tables(make_protocol(spec))
+            _LOWERED[spec] = _lower_spec(spec)
         lowered = _LOWERED[spec]
         if lowered is None:
             raise NotBatchableError(
@@ -160,7 +226,7 @@ def batchable_specs() -> tuple[str, ...]:
     names = []
     for spec in protocol_names():
         if spec not in _LOWERED:
-            _LOWERED[spec] = lower_batch_tables(make_protocol(spec))
+            _LOWERED[spec] = _lower_spec(spec)
         if _LOWERED[spec] is not None:
             names.append(spec)
     return tuple(names)
@@ -195,7 +261,7 @@ class _Kernel:
         g = pop.geometry
         self.pop = pop
         self.backend = backend
-        self.S = g.num_sets
+        self.S = g.num_sets  # array strides: the population envelope
         self.W = g.associativity
         self.L = g.lines
         self.U = len(pop.units)
@@ -206,9 +272,52 @@ class _Kernel:
             u for u in range(self.U) if not self.non_caching[u]
         ]
         self.bus_code = bus_event_code_table()
+        # Per-row simulated geometry (== the envelope when homogeneous).
+        if pop.geometries is None:
+            self.hetero = False
+            self.S_r = [self.S] * self.R
+            self.W_r = [self.W] * self.R
+            self.L_r = [self.L] * self.R
+        else:
+            if len(pop.geometries) != self.R:
+                raise ValueError(
+                    f"geometries has {len(pop.geometries)} entries for "
+                    f"{self.R} rows"
+                )
+            for row_g in pop.geometries:
+                if (
+                    row_g.num_sets > self.S
+                    or row_g.associativity > self.W
+                    or row_g.lines > self.L
+                ):
+                    raise ValueError(
+                        f"row geometry {row_g} exceeds envelope {g}"
+                    )
+            self.S_r = [rg.num_sets for rg in pop.geometries]
+            self.W_r = [rg.associativity for rg in pop.geometries]
+            self.L_r = [rg.lines for rg in pop.geometries]
+            self.hetero = (
+                any(s != self.S for s in self.S_r)
+                or any(w != self.W for w in self.W_r)
+                or any(n != self.L for n in self.L_r)
+            )
         n_slots = self.R * self.U * self.S * self.W
         n_words = self.R * self.L
-        rank_pattern = list(range(self.W)) * (n_slots // max(self.W, 1))
+        if self.hetero:
+            # Padded ways carry the sentinel rank W (the envelope width):
+            # strictly above any live rank, so a pad never looks recently
+            # used and _touch's shift-up never moves it.
+            rank_pattern = []
+            for r in range(self.R):
+                row_w = self.W_r[r]
+                row_pat = [
+                    w if w < row_w else self.W for w in range(self.W)
+                ]
+                rank_pattern.extend(row_pat * (self.U * self.S))
+        else:
+            rank_pattern = list(range(self.W)) * (
+                n_slots // max(self.W, 1)
+            )
         if backend == "numpy":
             z = lambda n: _np.zeros(n, dtype=_np.int64)  # noqa: E731
             self.st = _np.full(n_slots, _INVALID, dtype=_np.int64)
@@ -239,6 +348,8 @@ class _Kernel:
         self.crash = [None] * self.R
         self.transitions = 0
         self.events_attempted = 0
+        self.scalar_events = 0
+        self.vector_events = 0
 
     # -- shared scalar helpers -----------------------------------------
     def _base(self, r: int, u: int, set_index: int) -> int:
@@ -246,8 +357,10 @@ class _Kernel:
 
     def _lookup(self, r: int, u: int, la: int):
         """First way holding a valid copy of ``la`` (the cache's scan
-        order), as ``(set_index, way, flat_index)``; None on miss."""
-        tag, set_index = divmod(la, self.S)
+        order), as ``(set_index, way, flat_index)``; None on miss.
+        Padded ways stay INVALID forever, so scanning the envelope width
+        is safe for heterogeneous rows."""
+        tag, set_index = divmod(la, self.S_r[r])
         base = self._base(r, u, set_index)
         st, tg = self.st, self.tg
         for way in range(self.W):
@@ -442,21 +555,22 @@ class _Kernel:
         return self._run_local_action(r, u, la, 1, wrec, new_value)
 
     def _install(self, r, u, la, state_code, value):
-        tag, set_index = divmod(la, self.S)
+        row_s, row_w = self.S_r[r], self.W_r[r]
+        tag, set_index = divmod(la, row_s)
         base = self._base(r, u, set_index)
         st, rk = self.st, self.rk
         way = -1
-        for w in range(self.W):  # first invalid way wins
+        for w in range(row_w):  # first invalid way wins (pads excluded)
             if st[base + w] == _INVALID:
                 way = w
                 break
         if way < 0:
             best = -1
-            for w in range(self.W):  # else the LRU victim (max rank)
+            for w in range(row_w):  # else the LRU victim (max rank)
                 if rk[base + w] > best:
                     best = rk[base + w]
                     way = w
-            victim_la = int(self.tg[base + way]) * self.S + set_index
+            victim_la = int(self.tg[base + way]) * row_s + set_index
             self._evict(r, u, base + way, victim_la)
         i = base + way
         self.tg[i] = tag
@@ -589,118 +703,516 @@ class _Kernel:
                 except _RowCrash as exc:
                     self.crash[r] = (step, exc.type_name)
                     break
+        self.scalar_events = self.events_attempted
+
+    def _np_local_columns(self):
+        """Flatten the local tables into per-(unit, state, event) columns
+        plus a 4-way classification: 0 illegal, 1 silent, 2 bus, 3
+        read-then-write.  Non-caching cells always classify as bus (the
+        master ignores the cell's op and issues the event's kind)."""
+        np = _np
+        n = self.U * 20
+        cols = {
+            name: np.zeros(n, dtype=np.int64)
+            for name in ("cls", "ns_ch", "ns_nch", "ca", "im", "bc", "op")
+        }
+        for u in range(self.U):
+            table = self.tables[u]
+            for cell in range(20):
+                rec = table.local[cell]
+                if rec is None:
+                    continue
+                i = u * 20 + cell
+                ns_ch, ns_nch, ca, im, bc, op = rec
+                cols["ns_ch"][i] = ns_ch
+                cols["ns_nch"][i] = ns_nch
+                cols["ca"][i] = ca
+                cols["im"][i] = im
+                cols["bc"][i] = bc
+                cols["op"][i] = op
+                if op == 3:
+                    cols["cls"][i] = 3
+                elif op == 0 and not ca and not im:
+                    cols["cls"][i] = 2 if table.non_caching else 1
+                else:
+                    cols["cls"][i] = 2
+        return cols
+
+    def _np_snoop_columns(self):
+        """Flatten the snoop tables into per-(unit, state, bus-event)
+        signal columns (non-caching units never snoop; left illegal)."""
+        np = _np
+        n = self.U * 30
+        leg = np.zeros(n, dtype=bool)
+        ns_ch = np.zeros(n, dtype=np.int64)
+        ns_nch = np.zeros(n, dtype=np.int64)
+        flags = {
+            name: np.zeros(n, dtype=bool) for name in ("ch", "di", "sl", "bs")
+        }
+        for u in self.cached_units:
+            table = self.tables[u]
+            for cell in range(30):
+                rec = table.snoop[cell]
+                if rec is None:
+                    continue
+                i = u * 30 + cell
+                leg[i] = True
+                ns_ch[i] = rec[0]
+                ns_nch[i] = rec[1]
+                flags["ch"][i] = bool(rec[2])
+                flags["di"][i] = bool(rec[3])
+                flags["sl"][i] = bool(rec[4])
+                flags["bs"][i] = bool(rec[5])
+        return leg, ns_ch, ns_nch, flags
 
     def _run_numpy(self) -> None:
         np = _np
-        R, U, S, W, L = self.R, self.U, self.S, self.W, self.L
+        R, U = self.R, self.U
+        Sm, Wm, Lm = self.S, self.W, self.L
         max_events = max((len(e) for e in self.pop.events), default=0)
+        if max_events == 0:
+            return
         n_ev = np.array(
             [len(e) for e in self.pop.events], dtype=np.int64
         )
-        ev = np.zeros((R, max(max_events, 1), 3), dtype=np.int64)
+        evs = np.zeros((R, max_events, 3), dtype=np.int64)
         for r, schedule in enumerate(self.pop.events):
-            for t, (unit, kind, la) in enumerate(schedule):
-                ev[r, t] = (unit, kind, la)
-        # Per-unit silent-hit tables: is (state, read/write) a legal
-        # silent cell, and which state does it land in (CH unasserted)?
-        sil_ok = np.zeros((U, 5, 2), dtype=bool)
-        sil_ns = np.zeros((U, 5, 2), dtype=np.int64)
-        for u in range(U):
-            if self.non_caching[u]:
-                continue
-            for state in range(5):
-                for kind in (0, 1):
-                    rec = self.tables[u].local[state * 4 + kind]
-                    if rec is not None and rec[5] == 0 and not rec[2] \
-                            and not rec[3]:
-                        sil_ok[u, state, kind] = True
-                        sil_ns[u, state, kind] = rec[1]
+            if schedule:
+                evs[r, : len(schedule)] = schedule
+        # Time-major event columns: one contiguous slice per step.
+        evu = np.ascontiguousarray(evs[:, :, 0].T)
+        evk = np.ascontiguousarray(evs[:, :, 1].T)
+        evl = np.ascontiguousarray(evs[:, :, 2].T)
+        del evs
+
+        local = self._np_local_columns()
+        l_cls, l_op = local["cls"], local["op"]
+        l_ns_ch, l_ns_nch = local["ns_ch"], local["ns_nch"]
+        l_ca, l_im, l_bc = local["ca"], local["im"], local["bc"]
+        s_leg, s_ns_ch, s_ns_nch, s_flags = self._np_snoop_columns()
+        s_ch, s_di = s_flags["ch"], s_flags["di"]
+        s_sl, s_bs = s_flags["sl"], s_flags["bs"]
+
+        # Local-event codes per schedule kind: read/write map through,
+        # flush consults the FLUSH column (3), pass the PASS column (2).
+        ev2local = np.array([0, 1, 3, 2], dtype=np.int64)
         unit_cached = np.array(
             [not nc for nc in self.non_caching], dtype=bool
         )
-        w_range = np.arange(W)
+        buscode = np.array(self.bus_code, dtype=np.int64)
+        hetero = self.hetero
+        S_arr = np.array(self.S_r, dtype=np.int64)
+        W_arr = np.array(self.W_r, dtype=np.int64)
+        w_range = np.arange(Wm, dtype=np.int64)
+        st, tg, val, rk = self.st, self.tg, self.val, self.rk
+        mem, lastv, vctr = self.mem, self.lastv, self.vctr
+        # One cache set per matrix row: flat index // Wm.
+        st_mat = st.reshape(-1, Wm)
+        tg_mat = tg.reshape(-1, Wm)
+        rk_mat = rk.reshape(-1, Wm)
+        tokens_flat = self.tokens_buf.reshape(-1)
+        max_tok = self.tokens_buf.shape[1]
+        tok_n = self.tok_n
+        crash = self.crash
+        snoop_units = self.cached_units
         alive = np.ones(R, dtype=bool)
-        row_index = np.arange(R)
+        row_index = np.arange(R, dtype=np.int64)
+        rowoff = row_index * (U * Sm)
+
+        def snoop_plan(base_s, s_stride, master_u, la_s, evb_s):
+            """Address-phase plan for one transaction across a row
+            subset.  Returns the rows that must divert (illegal snoop
+            cell, busy-abort, >1 DI), the OR/sum aggregates, and the
+            per-snooper pending slots for the commit phase."""
+            size = la_s.shape[0]
+            divert = np.zeros(size, dtype=bool)
+            agg_ch = np.zeros(size, dtype=bool)
+            di_cnt = np.zeros(size, dtype=np.int64)
+            di_idx = np.zeros(size, dtype=np.int64)
+            sl_any = np.zeros(size, dtype=bool)
+            hits = np.zeros(size, dtype=np.int64)
+            pend = []
+            tag_s = la_s // s_stride
+            set_s = la_s - tag_s * s_stride
+            for v in snoop_units:
+                vmask = master_u != v
+                if not vmask.any():
+                    continue
+                srow_v = base_s + v * Sm + set_s
+                match_v = (tg_mat[srow_v] == tag_s[:, None]) & (
+                    st_mat[srow_v] != _INVALID
+                )
+                hit_v = match_v.any(axis=1) & vmask
+                sidx_v = srow_v * Wm + np.argmax(match_v, axis=1)
+                cell = (v * 5 + st[sidx_v]) * 6 + evb_s
+                live = hit_v & s_leg[cell]
+                divert |= hit_v & ~s_leg[cell]
+                divert |= live & s_bs[cell]
+                agg_ch |= live & s_ch[cell]
+                di_v = live & s_di[cell]
+                di_cnt += di_v
+                di_idx = np.where(di_v, sidx_v, di_idx)
+                sl_any |= live & s_sl[cell]
+                hits += hit_v
+                pend.append(
+                    (hit_v, sidx_v, s_ns_ch[cell], s_ns_nch[cell],
+                     live & s_sl[cell])
+                )
+            divert |= di_cnt > 1
+            return divert, agg_ch, di_cnt > 0, di_idx, sl_any, hits, pend
+
+        # Step-invariant address arithmetic, hoisted out of the loop.
+        s_stride_all = S_arr[None, :] if hetero else Sm
+        tag_all = evl // s_stride_all
+        set_all = evl - tag_all * s_stride_all
+        srow_all = rowoff[None, :] + evu * Sm + set_all
+        ev2_all = ev2local[evk]
+        kla_all = evk <= 1
 
         for t in range(max_events):
             act = alive & (t < n_ev)
-            if not act.any():
+            nact = int(np.count_nonzero(act))
+            if nact == 0:
                 break
-            rows = row_index[act]
-            self.events_attempted += int(rows.size)
-            unit = ev[rows, t, 0]
-            kind = ev[rows, t, 1]
-            la = ev[rows, t, 2]
-            cand = (kind <= 1) & unit_cached[unit]
-            fast = np.zeros(rows.size, dtype=bool)
-            if cand.any():
-                crows = rows[cand]
-                cu, ck, cla = unit[cand], kind[cand], la[cand]
-                tag = cla // S
-                set_index = cla % S
-                base = ((crows * U + cu) * S + set_index) * W
-                gather = base[:, None] + w_range
-                match = (self.tg[gather] == tag[:, None]) & (
-                    self.st[gather] != _INVALID
+            self.events_attempted += nact
+            if nact == R:
+                rows = row_index
+                u, k, la = evu[t], evk[t], evl[t]
+                rbase = rowoff
+                tag, set_index = tag_all[t], set_all[t]
+                srow = srow_all[t]
+                ev2, kla = ev2_all[t], kla_all[t]
+            else:
+                rows = row_index[act]
+                u, k, la = evu[t][act], evk[t][act], evl[t][act]
+                rbase = rowoff[act]
+                tag, set_index = tag_all[t][act], set_all[t][act]
+                srow = srow_all[t][act]
+                ev2, kla = ev2_all[t][act], kla_all[t][act]
+            stv = st_mat[srow]
+            match = (tg_mat[srow] == tag[:, None]) & (stv != _INVALID)
+            hit = match.any(axis=1)
+            way = np.argmax(match, axis=1)
+            hidx = srow * Wm + way
+            cstate = np.where(hit, st[hidx], _INVALID)
+            idx3 = (u * 5 + cstate) * 4 + ev2
+            # A valid slot implies a caching unit, so ``hit`` alone
+            # stands in for ``cached & hit`` in the consult rule.
+            consult = kla | hit
+            cls = np.where(consult, l_cls[idx3], 0)
+            fastm = (cls == 1) & hit & kla
+            all_fast = bool(fastm.all())
+
+            # -- silent read/write hits ---------------------------------
+            if all_fast:
+                fr, fk, fidx = rows, k, hidx
+                fsrow, fi3, fla = srow, idx3, la
+                n_fast = nact
+            else:
+                fsel = np.nonzero(fastm)[0]
+                n_fast = fsel.size
+                fr, fk, fidx = rows[fsel], k[fsel], hidx[fsel]
+                fsrow, fi3 = srow[fsel], idx3[fsel]
+                fla = la[fsel]
+            if n_fast:
+                ns = l_ns_nch[fi3]
+                self.transitions += n_fast
+                st[fidx] = ns
+                ranks = rk_mat[fsrow]
+                old = rk[fidx]
+                ranks += ranks < old[:, None]
+                rk_mat[fsrow] = ranks
+                rk[fidx] = 0
+                rm = fk == 0
+                if rm.any():
+                    rr = fr[rm]
+                    tokens_flat[rr * max_tok + tok_n[rr]] = val[fidx[rm]]
+                    tok_n[rr] += 1
+                wm = ~rm
+                if wm.any():
+                    wr = fr[wm]
+                    widx = fidx[wm]
+                    vctr[wr] += 1
+                    token = vctr[wr]
+                    keep = ns[wm] != _INVALID
+                    if keep.all():
+                        val[widx] = token
+                    else:
+                        val[widx[keep]] = token[keep]
+                    lastv[wr * Lm + fla[wm]] = token
+            if all_fast:
+                self.vector_events += nact
+                continue
+
+            silent = cls == 1
+            flushm = silent & ~kla  # consult w/o kla implies a hit
+            busm = (cls == 2) & ~((k == 0) & hit)
+            # Pre-commit diverts: read-then-write chains, silent cells
+            # on a miss (assert), and non-silent cells on a read hit
+            # (the controller crashes; the planner commits nothing).
+            scalar_mask = (
+                (cls == 3)
+                | (silent & kla & ~hit)
+                | ((k == 0) & hit & (cls == 2))
+            )
+            # Skipped (illegal-cell) writes still burn a version token:
+            # the port allocates it before the controller runs.
+            burn = np.nonzero((cls == 0) & (k == 1))[0]
+            if burn.size:
+                vctr[rows[burn]] += 1
+
+            # -- silent flush/pass hits (state move only, no touch) -----
+            csel = np.nonzero(flushm)[0]
+            if csel.size:
+                self.transitions += csel.size
+                st[hidx[csel]] = l_ns_nch[idx3[csel]]
+
+            # -- bus transactions: plan, then commit or divert ----------
+            bsel = np.nonzero(busm)[0]
+            if bsel.size:
+                m = bsel.size
+                bu, bk, bla = u[bsel], k[bsel], la[bsel]
+                brows = rows[bsel]
+                bhit, bhidx = hit[bsel], hidx[bsel]
+                bcached = unit_cached[bu]
+                btag, bset = tag[bsel], set_index[bsel]
+                bsrow = srow[bsel]
+                bev2 = ev2[bsel]
+                b_stride = S_arr[brows] if hetero else Sm
+                b_width = W_arr[brows] if hetero else Wm
+                bi3 = idx3[bsel]
+                ca, im, bc = l_ca[bi3], l_im[bi3], l_bc[bi3]
+                opx = np.where(bcached, l_op[bi3], bk + 1)
+                ns_ch, ns_nch = l_ns_ch[bi3], l_ns_nch[bi3]
+                bdiv = np.zeros(m, dtype=bool)
+                # System.write burns the version token before the
+                # controller runs; plan it here, commit it at the end.
+                new_value = np.where(bk == 1, vctr[brows] + 1, 0)
+                is_w = opx == 2
+                is_r = opx == 1
+                wire = np.where(is_w & (bev2 == 1), new_value, 0)
+                push = is_w & (bev2 != 1)
+                if push.any():
+                    wire = np.where(push & bhit, val[bhidx], wire)
+                    bdiv |= push & ~bhit  # push needs a cached line
+                raw_evb = buscode[ca * 4 + im * 2 + (bc & im)]
+                bdiv |= raw_evb < 0
+                evb = np.maximum(raw_evb, 0)
+                sdiv, agg_ch, di_any, di_idx, sl_any, s_hits, pend1 = \
+                    snoop_plan(rbase[bsel], b_stride, bu, bla, evb)
+                bdiv |= sdiv
+                word = brows * Lm + bla
+                value = (
+                    np.where(di_any, val[di_idx], mem[word])
+                    if is_r.any()
+                    else np.zeros(m, dtype=np.int64)
                 )
-                hit = match.any(axis=1)
-                way = np.argmax(match, axis=1)
-                hidx = base + way
-                ok = hit & sil_ok[cu, self.st[hidx], ck]
-                fast[np.nonzero(cand)[0]] = ok
-                if ok.any():
-                    fr = crows[ok]
-                    fk = ck[ok]
-                    fidx = hidx[ok]
-                    fns = sil_ns[cu[ok], self.st[fidx], fk]
-                    self.transitions += int(fr.size)
-                    self.st[fidx] = fns
-                    # LRU move-to-front across each hit set.
-                    fgather = base[ok][:, None] + w_range
-                    ranks = self.rk[fgather]
-                    old = np.take_along_axis(ranks, way[ok][:, None], 1)
-                    ranks += ranks < old
-                    np.put_along_axis(ranks, way[ok][:, None], 0, 1)
-                    self.rk[fgather] = ranks
-                    rmask = fk == 0
-                    if rmask.any():
-                        rr = fr[rmask]
-                        self.tokens_buf[rr, self.tok_n[rr]] = self.val[
-                            fidx[rmask]
-                        ]
-                        self.tok_n[rr] += 1
-                    wmask = fk == 1
-                    if wmask.any():
-                        wr = fr[wmask]
-                        wla = cla[ok][wmask]
-                        self.vctr[wr] += 1
-                        token = self.vctr[wr]
-                        self.val[fidx[wmask]] = token
-                        self.lastv[wr * L + wla] = token
-            # Everything else -- misses, bus traffic, flush/pass,
-            # non-caching boards, illegal cells -- runs scalar.
-            for i in np.nonzero(~fast)[0]:
+                bcast = is_w & ((bc == 1) | sl_any)
+                bdiv |= bcast & di_any  # DI on broadcast: RuntimeError
+                resolved = np.where(agg_ch, ns_ch, ns_nch)
+                token = np.where(
+                    bev2 == 1,
+                    new_value,
+                    np.where(
+                        is_r, value, np.where(bhit, val[bhidx], 0)
+                    ),
+                )
+
+                # Allocation plan: first invalid way, else the LRU
+                # victim -- whose line is provably a *different* line
+                # than ``bla`` (it missed), so the eviction transaction
+                # can be planned from pre-commit state.
+                need_install = bcached & ~bhit & (resolved < _INVALID)
+                way_fin = np.zeros(m, dtype=np.int64)
+                esel = None
+                if need_install.any():
+                    inv = stv[bsel] == _INVALID
+                    if hetero:
+                        inv &= w_range[None, :] < b_width[:, None]
+                    has_inv = inv.any(axis=1)
+                    way_fin = np.argmax(inv, axis=1)
+                    ev_rows = need_install & ~has_inv
+                    if ev_rows.any():
+                        esel = np.nonzero(ev_rows)[0]
+                        rkv = rk_mat[bsrow[esel]]
+                        if hetero:
+                            rkv = np.where(
+                                w_range[None, :] < b_width[esel][:, None],
+                                rkv,
+                                -1,
+                            )
+                        way_v = np.argmax(rkv, axis=1)
+                        way_fin[esel] = way_v
+                        vidx = bsrow[esel] * Wm + way_v
+                        v_st = st[vidx]
+                        e_stride = b_stride[esel] if hetero else Sm
+                        v_la = tg[vidx] * e_stride + bset[esel]
+                        fi3 = (bu[esel] * 5 + v_st) * 4 + 3  # FLUSH cell
+                        fcls = l_cls[fi3]
+                        fop = l_op[fi3]
+                        # Illegal flush cells raise _Illegal *after* the
+                        # main transaction committed; read-then-write and
+                        # read-lowered flushes stay scalar territory.
+                        ediv = (
+                            (fcls == 0)
+                            | (fcls == 3)
+                            | ((fcls == 2) & (fop != 2) & (fop != 0))
+                        )
+                        e_sil = fcls == 1
+                        e_bus = (fcls == 2) & ~ediv
+                        f_ca, f_im, f_bc = l_ca[fi3], l_im[fi3], l_bc[fi3]
+                        raw2 = buscode[f_ca * 4 + f_im * 2 + (f_bc & f_im)]
+                        ediv |= e_bus & (raw2 < 0)
+                        evb2 = np.maximum(raw2, 0)
+                        div2, agg2, di_any2, di_idx2, sl_any2, hits2, \
+                            pend2 = snoop_plan(
+                                rbase[bsel][esel], e_stride, bu[esel],
+                                v_la, evb2,
+                            )
+                        ediv |= e_bus & div2
+                        e_bus &= ~ediv
+                        is_w2 = fop == 2
+                        wire2 = val[vidx]
+                        bcast2 = is_w2 & ((f_bc == 1) | sl_any2)
+                        ediv |= e_bus & bcast2 & di_any2
+                        e_bus &= ~ediv
+                        word2 = brows[esel] * Lm + v_la
+                        bdiv[esel] |= ediv
+
+                ok = ~bdiv
+                oksel = np.nonzero(ok)[0]
+                if oksel.size:
+                    new_tr = oksel.size + int(s_hits[oksel].sum())
+                    okr = brows[oksel]
+                    self.serial[okr] += 1
+                    self.bus_txns[okr] += 1
+                    # Data phase (raw BC decides the broadcast branch).
+                    mw = ok & is_w & (bcast | ~di_any)
+                    sel = np.nonzero(mw)[0]
+                    if sel.size:
+                        mem[word[sel]] = wire[sel]
+                    dcap = ok & is_w & ~bcast & di_any
+                    sel = np.nonzero(dcap)[0]
+                    if sel.size:
+                        val[di_idx[sel]] = wire[sel]
+                    slw = ok & is_w & bcast
+                    if slw.any():
+                        for _hit_v, sidx_v, _nsc, _nsn, sl_v in pend1:
+                            sel = np.nonzero(slw & sl_v)[0]
+                            if sel.size:
+                                val[sidx_v[sel]] = wire[sel]
+                    # Snooper finalize (CH-resolved next states).
+                    for hit_v, sidx_v, nsc_v, nsn_v, _sl_v in pend1:
+                        sel = np.nonzero(ok & hit_v)[0]
+                        if sel.size:
+                            st[sidx_v[sel]] = np.where(
+                                agg_ch[sel], nsc_v[sel], nsn_v[sel]
+                            )
+                    # Eviction transaction (the victim write-back).
+                    if esel is not None:
+                        eok = ok[esel]
+                        new_tr += int(eok.sum())  # the FLUSH consults
+                        b2 = eok & e_bus
+                        if b2.any():
+                            new_tr += int(hits2[b2].sum())
+                            r2 = brows[esel[b2]]
+                            self.serial[r2] += 1
+                            self.bus_txns[r2] += 1
+                            mw2 = b2 & is_w2 & (bcast2 | ~di_any2)
+                            sel = np.nonzero(mw2)[0]
+                            if sel.size:
+                                mem[word2[sel]] = wire2[sel]
+                            dcap2 = b2 & is_w2 & ~bcast2 & di_any2
+                            sel = np.nonzero(dcap2)[0]
+                            if sel.size:
+                                val[di_idx2[sel]] = wire2[sel]
+                            slw2 = b2 & is_w2 & bcast2
+                            if slw2.any():
+                                for _h, sidx_v, _nsc, _nsn, sl_v in pend2:
+                                    sel = np.nonzero(slw2 & sl_v)[0]
+                                    if sel.size:
+                                        val[sidx_v[sel]] = wire2[sel]
+                            for hit_v, sidx_v, nsc_v, nsn_v, _s in pend2:
+                                sel = np.nonzero(b2 & hit_v)[0]
+                                if sel.size:
+                                    st[sidx_v[sel]] = np.where(
+                                        agg2[sel], nsc_v[sel], nsn_v[sel]
+                                    )
+                    self.transitions += new_tr
+                    # Master finalize: hits move in place...
+                    stay = resolved < _INVALID
+                    sel = np.nonzero(ok & bhit & stay)[0]
+                    if sel.size:
+                        st[bhidx[sel]] = resolved[sel]
+                        val[bhidx[sel]] = token[sel]
+                    sel = np.nonzero(ok & bhit & ~stay)[0]
+                    if sel.size:
+                        st[bhidx[sel]] = _INVALID
+                    # ...misses fill the planned way.
+                    inst = ok & need_install
+                    isel = np.nonzero(inst)[0]
+                    if isel.size:
+                        iidx = bsrow[isel] * Wm + way_fin[isel]
+                        tg[iidx] = btag[isel]
+                        st[iidx] = resolved[isel]
+                        val[iidx] = token[isel]
+                    # LRU touches: installs at the filled way, write
+                    # hits at the lookup-time way (the object engine
+                    # touches those coordinates even if the line moved).
+                    tmask = inst | (ok & (bk == 1) & bhit)
+                    tsel = np.nonzero(tmask)[0]
+                    if tsel.size:
+                        tway = np.where(
+                            need_install[tsel], way_fin[tsel], way[bsel][tsel]
+                        )
+                        tsrow = bsrow[tsel]
+                        tidx = tsrow * Wm + tway
+                        ranks = rk_mat[tsrow]
+                        old = rk[tidx]
+                        ranks += ranks < old[:, None]
+                        rk_mat[tsrow] = ranks
+                        rk[tidx] = 0
+                    # Port-side effects: read tokens, write versions.
+                    sel = np.nonzero(ok & (bk == 0))[0]
+                    if sel.size:
+                        rr = brows[sel]
+                        tokens_flat[rr * max_tok + tok_n[rr]] = token[sel]
+                        tok_n[rr] += 1
+                    sel = np.nonzero(ok & (bk == 1))[0]
+                    if sel.size:
+                        wr = brows[sel]
+                        vctr[wr] += 1
+                        lastv[wr * Lm + bla[sel]] = new_value[sel]
+                if bdiv.any():
+                    scalar_mask[bsel[np.nonzero(bdiv)[0]]] = True
+
+            # -- diverted rows: unmodified, replayed exactly scalar -----
+            ssel = np.nonzero(scalar_mask)[0]
+            self.scalar_events += ssel.size
+            self.vector_events += nact - ssel.size
+            for i in ssel:
                 r = int(rows[i])
                 try:
-                    self.step_event(r, int(unit[i]), int(kind[i]), int(la[i]))
+                    self.step_event(r, int(u[i]), int(k[i]), int(la[i]))
                 except _RowCrash as exc:
-                    self.crash[r] = (t, exc.type_name)
+                    crash[r] = (t, exc.type_name)
                     alive[r] = False
 
     # -- snapshots -------------------------------------------------------
     def snapshot_row(self, r: int) -> dict:
+        row_s, row_w, row_l = self.S_r[r], self.W_r[r], self.L_r[r]
         caches = []
         for u in range(self.U):
             if self.non_caching[u]:
                 caches.append(())
                 continue
             lines = []
-            for set_index in range(self.S):
+            for set_index in range(row_s):
                 base = self._base(r, u, set_index)
-                for w in range(self.W):
+                for w in range(row_w):
                     i = base + w
                     if self.st[i] != _INVALID:
-                        la = int(self.tg[i]) * self.S + set_index
+                        la = int(self.tg[i]) * row_s + set_index
                         lines.append(
                             (
                                 la,
@@ -721,11 +1233,11 @@ class _Kernel:
             "tokens": tokens,
             "caches": tuple(caches),
             "memory": tuple(
-                int(self.mem[word + a]) for a in range(self.L)
+                int(self.mem[word + a]) for a in range(row_l)
             ),
             "version_counter": int(self.vctr[r]),
             "last_version": tuple(
-                int(self.lastv[word + a]) for a in range(self.L)
+                int(self.lastv[word + a]) for a in range(row_l)
             ),
             "bus_transactions": int(self.bus_txns[r]),
             "crash": self.crash[r],
@@ -750,6 +1262,8 @@ def run_population(
         events=kernel.events_attempted,
         transitions=kernel.transitions,
         snapshots=[kernel.snapshot_row(r) for r in range(pop.rows)],
+        scalar_events=kernel.scalar_events,
+        vector_events=kernel.vector_events,
     )
 
 
@@ -765,7 +1279,7 @@ def replay_row(pop: BatchPopulation, row: int) -> dict:
     from repro.core.protocol import IllegalTransitionError
     from repro.system.system import BoardSpec, System
 
-    g = pop.geometry
+    g = pop.geometry_for(row)
     boards = [
         BoardSpec(
             unit_id=f"u{index}",
@@ -854,15 +1368,28 @@ def make_synthetic_population(
     p_write: float = 0.35,
     p_flush: float = 0.02,
     p_pass: float = 0.02,
+    geometries: Optional[Sequence[BatchGeometry]] = None,
 ) -> BatchPopulation:
     """Seeded hit-heavy workload: each row gets its own deterministic
     schedule (pure function of ``(seed, row)``), all rows sharing one
-    board mix and geometry so the kernel can run them as one block."""
-    geometry = geometry or BatchGeometry()
+    board mix so the kernel can run them as one block.
+
+    Pass ``geometries`` (cycled across rows) for a padded heterogeneous
+    population; each row's line addresses stay inside its own geometry.
+    """
+    if geometries:
+        per_row = tuple(
+            geometries[r % len(geometries)] for r in range(rows)
+        )
+        geometry = envelope_geometry(per_row)
+    else:
+        per_row = None
+        geometry = geometry or BatchGeometry()
     n_units = len(units)
     events = []
     for r in range(rows):
         rng = random.Random(seed * 1_000_003 + r)
+        lines = per_row[r].lines if per_row else geometry.lines
         schedule = []
         for _ in range(events_per_row):
             roll = rng.random()
@@ -878,7 +1405,7 @@ def make_synthetic_population(
                 (
                     rng.randrange(n_units),
                     kind,
-                    rng.randrange(geometry.lines),
+                    rng.randrange(lines),
                 )
             )
         events.append(schedule)
@@ -887,4 +1414,5 @@ def make_synthetic_population(
         geometry=geometry,
         events=events,
         row_ids=tuple(range(rows)),
+        geometries=per_row,
     )

@@ -19,7 +19,8 @@ The suite is fixed so successive PRs can track the trajectory:
 * **serve** -- the memoizing service tier: one spec executed cold
   (cache miss, full job body) then answered warm (cache hit), with the
   cache hit/miss counters and the warm-pool dispatch stats recorded.
-  Informational only -- no regression gate.
+  The memo-hit latency is gated against an absolute budget
+  (:data:`MAX_SERVE_HIT_S`); the miss side stays informational.
 
 Wall-clock speedups depend on the host (a single-core container cannot
 beat serial); the JSON records ``cpu_count`` next to every ratio so the
@@ -43,6 +44,7 @@ __all__ = [
     "MIN_TPS_RATIO",
     "MAX_TRACED_OVERHEAD_PCT",
     "BATCH_MIN_EXPLORER_MULTIPLE",
+    "MAX_SERVE_HIT_S",
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
@@ -57,6 +59,13 @@ MAX_TRACED_OVERHEAD_PCT = 25.0
 #: least this multiple of the committed explorer baseline
 #: (calibration-normalized, like the explorer gate).
 BATCH_MIN_EXPLORER_MULTIPLE = 10.0
+
+#: Absolute budget on the serve tier's memo-hit latency.  A healthy hit
+#: is a dict lookup (~1 microsecond); the budget sits far above timer
+#: jitter but ~50x below the cold miss, so it fires only when "hit"
+#: starts doing real work (hashing the payload, re-canonicalizing,
+#: touching the pool) rather than on a noisy run.
+MAX_SERVE_HIT_S = 500e-6
 
 #: Explorer mixes timed by the hot-path section: (label, specs, lines).
 EXPLORER_MIXES = (
@@ -295,6 +304,9 @@ def _bench_batch(quick: bool) -> dict:
             "seconds": round(seconds, 4),
             "transitions": result.transitions,
             "transitions_per_sec": round(result.transitions / seconds, 1),
+            # Vectorization coverage: fraction of events the backend fed
+            # to the scalar interpreter (1.0 by definition for python).
+            "scalar_residual": round(result.scalar_residual, 4),
         }
     return {
         "rows": rows,
@@ -311,9 +323,11 @@ def _bench_serve(quick: bool) -> dict:
     """Service-tier latency: the same spec answered by a cold execute
     (cache miss) and by the memo cache (hit), plus the counters the
     serve ``status`` command exposes.  The miss runs the real job body
-    (:func:`repro.serve.jobs.execute_payload`) in-process; the section
-    is informational -- hit latency is microseconds against a miss of
-    tens of milliseconds, so a ratio gate would only measure noise."""
+    (:func:`repro.serve.jobs.execute_payload`) in-process and stays
+    informational (its cost is the experiment, not the tier); the hit
+    side is gated by :func:`regression_report` against the absolute
+    :data:`MAX_SERVE_HIT_S` budget -- a hit/miss *ratio* would only
+    measure noise, microseconds against tens of milliseconds."""
     from repro.perf.engine import pool_stats
     from repro.serve.cache import MemoCache
     from repro.serve.jobs import execute_payload
@@ -375,7 +389,9 @@ def regression_report(report: dict, baseline: dict) -> dict:
     and the observability overheads are reported side by side; the
     traced overhead is additionally checked against
     :data:`MAX_TRACED_OVERHEAD_PCT` (an absolute budget, so it holds
-    even when the baseline itself was over).
+    even when the baseline itself was over), and the serve tier's
+    memo-hit latency against :data:`MAX_SERVE_HIT_S` (absolute,
+    host-discounted the same way as the throughput gates).
     """
     failures: list[str] = []
     explorer_rows = []
@@ -522,6 +538,35 @@ def regression_report(report: dict, baseline: dict) -> dict:
                 else None
             ),
         }
+    serve = report.get("serve")
+    serve_section = None
+    if serve is not None and serve.get("hit_s") is not None:
+        hit_s = serve["hit_s"]
+        # Lower-is-better normalization, mirroring the tps gates: a
+        # slower host (host_factor > 1) inflates the raw latency, so the
+        # host-discounted value is hit_s / host_factor and the gate
+        # takes whichever of the two clears the budget -- a real memo
+        # regression inflates both.
+        normalized_hit = (
+            hit_s / host_factor if host_factor else None
+        )
+        gated_hit = (
+            min(hit_s, normalized_hit) if normalized_hit is not None else hit_s
+        )
+        if gated_hit > MAX_SERVE_HIT_S:
+            failures.append(
+                f"serve: memo-hit latency {gated_hit * 1e6:.0f}us exceeds "
+                f"the {MAX_SERVE_HIT_S * 1e6:.0f}us budget"
+            )
+        serve_section = {
+            "baseline_hit_s": baseline.get("serve", {}).get("hit_s"),
+            "current_hit_s": hit_s,
+            "current_hit_s_normalized": (
+                round(normalized_hit, 6)
+                if normalized_hit is not None
+                else None
+            ),
+        }
     return {
         "baseline_timestamp": baseline.get("timestamp"),
         "explorer": explorer_rows,
@@ -533,10 +578,12 @@ def regression_report(report: dict, baseline: dict) -> dict:
             "current_traced_pct": traced,
         },
         "batch": batch_section,
+        "serve": serve_section,
         "budgets": {
             "min_tps_ratio": MIN_TPS_RATIO,
             "max_traced_overhead_pct": MAX_TRACED_OVERHEAD_PCT,
             "min_batch_explorer_multiple": BATCH_MIN_EXPLORER_MULTIPLE,
+            "max_serve_hit_s": MAX_SERVE_HIT_S,
         },
         "failures": failures,
         "ok": not failures,

@@ -31,6 +31,8 @@ import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Optional, Sequence, TypeVar
 
+from repro.core.transitions import tables_epoch
+
 __all__ = [
     "ADAPTIVE_CUTOVER_S",
     "DEFAULT_MAX_WORKERS",
@@ -94,10 +96,12 @@ def default_chunk_size(n_items: int, workers: int) -> int:
 _executor: Optional[ProcessPoolExecutor] = None
 _executor_workers: int = 0
 _executor_pid: Optional[int] = None
+_executor_epoch: int = -1
 _atexit_registered = False
 _stats = {
     "pool_starts": 0,
     "pool_reuses": 0,
+    "pool_refreshes": 0,
     "maps": 0,
     "chunks": 0,
     "dispatches": 0,
@@ -119,13 +123,19 @@ def get_executor(workers: int) -> ProcessPoolExecutor:
     run in this environment (restricted sandboxes) -- callers fall back
     to serial execution.
     """
-    global _executor, _executor_workers, _executor_pid, _atexit_registered
+    global _executor, _executor_workers, _executor_pid, _executor_epoch
+    global _atexit_registered
     workers = max(1, workers)
     if _executor is not None and _executor_pid != os.getpid():
         # Forked child: the handle belongs to the parent.  Drop it
         # without shutdown -- a shutdown would poison the parent's pool.
         _executor = None
         _executor_workers = 0
+    if _executor is not None and _executor_epoch != tables_epoch():
+        # set_fast_tables was toggled after the workers forked: they
+        # froze the old compiled-table setting.  Restart, don't reuse.
+        _stats["pool_refreshes"] += 1
+        shutdown_pool(wait=False)
     if _executor is not None:
         if _executor_workers >= workers:
             _stats["pool_reuses"] += 1
@@ -136,6 +146,7 @@ def get_executor(workers: int) -> ProcessPoolExecutor:
     _executor = executor
     _executor_workers = workers
     _executor_pid = os.getpid()
+    _executor_epoch = tables_epoch()
     _stats["pool_starts"] += 1
     if not _atexit_registered:
         atexit.register(shutdown_pool)

@@ -160,15 +160,29 @@ def _batch_task(
     events_per_row: int,
     n_units: int,
     backend: Optional[str],
+    tables_shm: Optional[str],
     task: tuple,
 ) -> dict:
     """One pooled batch run; the task is ``(spec, seed, geometry)`` --
-    a spec string plus integers, nothing object-shaped on the wire."""
+    a spec string plus integers, nothing object-shaped on the wire.
+
+    ``tables_shm`` names the parent's shared-memory tables segment; the
+    worker attaches once (memoized per process) and seeds the lowering
+    cache from the mapping, so no worker ever re-derives -- or receives
+    a pickled copy of -- the compiled transition tables."""
     from repro.perf.batch import (
         BatchGeometry,
         make_synthetic_population,
         run_population,
     )
+
+    if tables_shm is not None:
+        from repro.perf.shared import attach_tables
+
+        try:
+            attach_tables(tables_shm)
+        except Exception:
+            pass  # segment gone or unsupported: lower directly below
 
     spec, seed, geometry = task
     pop = make_synthetic_population(
@@ -219,8 +233,18 @@ def batch_protocol_sweep(
 
         protocols = batchable_specs()
     config = ParallelConfig(workers=workers, task_timeout_s=task_timeout_s)
+    from repro.perf.shared import publish_tables, unlink_tables
+
+    try:
+        tables_shm = publish_tables(list(protocols))
+    except Exception:
+        tables_shm = None  # no shared memory here: workers lower directly
     task_fn = functools.partial(
-        _batch_task, rows, events_per_row, n_units, backend
+        _batch_task, rows, events_per_row, n_units, backend, tables_shm
     )
     tasks = [(spec, seed, tuple(geometry)) for spec in protocols]
-    return parallel_map(task_fn, tasks, config)
+    try:
+        return parallel_map(task_fn, tasks, config)
+    finally:
+        if tables_shm is not None:
+            unlink_tables(tables_shm)

@@ -138,3 +138,62 @@ class TestReplayErrors:
         path.write_text(json.dumps({"format": "other/9", "scenario": {}}))
         with pytest.raises(ValueError, match="not a repro.fuzz/1"):
             load_repro(path)
+
+
+class TestShardedCampaign:
+    """Range-partitioned campaigns: byte-identical to per-seed at any
+    shard count, failures and repro files included."""
+
+    def test_shard_ranges_partition_contiguously(self):
+        from repro.fuzz.campaign import shard_ranges
+
+        ranges = shard_ranges(100, 10, 3)
+        assert ranges == [(100, 4), (104, 3), (107, 3)]
+        covered = [
+            seed for start, count in ranges
+            for seed in range(start, start + count)
+        ]
+        assert covered == list(range(100, 110))
+        assert shard_ranges(0, 3, 8) == [(0, 1), (1, 1), (2, 1)]
+        assert shard_ranges(0, 0, 4) == []
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_clean_campaign_shard_invariant(self, shards):
+        from repro.fuzz.campaign import _run_campaign, run_sharded_campaign
+
+        config = CampaignConfig(seeds=24)
+        base = _run_campaign(config, workers=0)
+        got = run_sharded_campaign(config, shards=shards, workers=0)
+        assert got.summary_json() == base.summary_json()
+        assert got.summary_text() == base.summary_text()
+
+    def test_failing_campaign_shard_invariant(self, tmp_path):
+        from repro.fuzz.campaign import _run_campaign, run_sharded_campaign
+
+        config = _bug_config("moesi-drop-ownership", seeds=16)
+        base = _run_campaign(config, workers=0, out_dir=tmp_path / "seed")
+        assert base.failures, "expected the injected bug to fire"
+        got = run_sharded_campaign(
+            config, shards=3, workers=0, out_dir=tmp_path / "shard"
+        )
+        assert got.summary_json() == base.summary_json()
+        names = sorted(p.name for p in (tmp_path / "shard").iterdir())
+        assert names == sorted(p.name for p in (tmp_path / "seed").iterdir())
+        for name in names:
+            assert (tmp_path / "shard" / name).read_bytes() == (
+                tmp_path / "seed" / name
+            ).read_bytes()
+
+    def test_pooled_shards_match_serial(self):
+        from repro.fuzz.campaign import run_sharded_campaign
+
+        config = CampaignConfig(seeds=20)
+        serial = run_sharded_campaign(config, shards=4, workers=0)
+        pooled = run_sharded_campaign(config, shards=4, workers=2)
+        assert pooled.summary_json() == serial.summary_json()
+
+    def test_facade_passthrough(self):
+        from repro.api import fuzz_campaign
+
+        result = fuzz_campaign(seeds=8, shards=2)
+        assert result.report.seeds_run == 8

@@ -20,6 +20,7 @@ from repro.perf.batch import (
     available_backends,
     batchable_specs,
     default_backend,
+    envelope_geometry,
     lower_units,
     make_synthetic_population,
     replay_row,
@@ -130,6 +131,122 @@ class TestBackends:
             assert result.snapshots == results[0].snapshots
             assert result.transitions == results[0].transitions
             assert result.events == results[0].events
+
+
+#: Deliberately spread in every dimension: sets, ways, line size, and
+#: address-space lines all differ between rows, so padded slots, rank
+#: sentinels, and per-row strides are all exercised at once.
+MIXED_GEOMETRIES = (
+    BatchGeometry(num_sets=2, associativity=1, line_size=16, lines=4),
+    BatchGeometry(num_sets=4, associativity=2, line_size=32, lines=8),
+    BatchGeometry(num_sets=1, associativity=4, line_size=64, lines=6),
+    BatchGeometry(num_sets=2, associativity=2, line_size=32, lines=3),
+)
+
+
+class TestHeterogeneousPopulations:
+    """Padded mixed-geometry rows: one kernel invocation, per-row
+    set/way/linesize, byte-identical to the object engine."""
+
+    def test_envelope_covers_every_dimension(self):
+        envelope = envelope_geometry(MIXED_GEOMETRIES)
+        assert envelope == BatchGeometry(4, 4, 64, 8)
+        for g in MIXED_GEOMETRIES:
+            assert envelope.num_sets >= g.num_sets
+            assert envelope.associativity >= g.associativity
+
+    def test_geometry_for_falls_back_to_envelope(self):
+        pop = make_synthetic_population(rows=2, events_per_row=5)
+        assert pop.geometries is None
+        assert pop.geometry_for(0) == pop.geometry
+        hetero = make_synthetic_population(
+            rows=3, events_per_row=5, geometries=MIXED_GEOMETRIES[:2]
+        )
+        assert hetero.geometry_for(0) == MIXED_GEOMETRIES[0]
+        assert hetero.geometry_for(1) == MIXED_GEOMETRIES[1]
+        assert hetero.geometry_for(2) == MIXED_GEOMETRIES[0]  # cycles
+
+    def test_row_geometry_exceeding_envelope_rejected(self):
+        pop = make_synthetic_population(rows=2, events_per_row=5)
+        bad = BatchPopulation(
+            units=pop.units,
+            geometry=BatchGeometry(2, 1, 32, 4),
+            events=[[], []],
+            geometries=(
+                BatchGeometry(2, 1, 32, 4),
+                BatchGeometry(4, 1, 32, 4),  # more sets than the envelope
+            ),
+        )
+        with pytest.raises(ValueError):
+            run_population(bad)
+
+    @pytest.mark.parametrize(
+        "units",
+        [
+            ("moesi",),
+            ("moesi", "dragon", "non-caching"),
+            ("write-once", "firefly"),
+        ],
+    )
+    def test_mixed_geometry_byte_equivalent_on_every_backend(self, units):
+        pop = make_synthetic_population(
+            rows=20,
+            units=units,
+            events_per_row=60,
+            seed=7,
+            p_flush=0.05,
+            p_pass=0.05,
+            geometries=MIXED_GEOMETRIES,
+        )
+        assert pop.geometry == envelope_geometry(MIXED_GEOMETRIES)
+        results = {
+            backend: run_population(pop, backend=backend)
+            for backend in available_backends()
+        }
+        for backend, result in results.items():
+            assert verify_rows(pop, result) == [], (
+                f"{units} diverged from the object engine on {backend}"
+            )
+        snapshots = [r.snapshots for r in results.values()]
+        for other in snapshots[1:]:
+            assert other == snapshots[0]
+
+    def test_scalar_residual_accounting(self):
+        pop = make_synthetic_population(
+            rows=16, events_per_row=40, seed=1, geometries=MIXED_GEOMETRIES
+        )
+        for backend in available_backends():
+            result = run_population(pop, backend=backend)
+            assert result.scalar_events + result.vector_events \
+                == result.events
+            assert 0.0 <= result.scalar_residual <= 1.0
+            if backend == "python":
+                # The portable interpreter is all-scalar by definition.
+                assert result.scalar_residual == 1.0
+
+
+class TestShardedBatchCampaign:
+    """Seed-range sharding must never leak into the report."""
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_shard_count_invariant(self, shards):
+        base = run_batch_campaign(seeds=40, oracle_sample=1, shards=1)
+        got = run_batch_campaign(seeds=40, oracle_sample=1, shards=shards)
+        assert got.summary_json() == base.summary_json()
+
+    def test_pooled_shards_match_serial(self):
+        base = run_batch_campaign(seeds=24, oracle_sample=1, shards=1)
+        got = run_batch_campaign(
+            seeds=24, oracle_sample=1, shards=4, workers=2
+        )
+        assert got.summary_json() == base.summary_json()
+
+    def test_mixed_geometry_seeds_merge_into_one_population(self):
+        # Fuzz scenarios draw varied geometries; with units-only grouping
+        # a mix must appear at most once per campaign.
+        report = run_batch_campaign(seeds=60, oracle_sample=1)
+        assert report.populations <= report.batched_rows
+        assert report.ok
 
 
 class TestBatchCampaign:

@@ -1,0 +1,122 @@
+"""Zero-copy shared transition tables and the pool's epoch refresh.
+
+The contract: a :class:`repro.core.transitions.BatchTables` rebuilt from
+the packed shared-memory image compares equal to one lowered directly
+from the protocol, for every batchable registry spec; attaching a
+segment seeds the kernel's lowering cache so workers never probe a
+protocol; and toggling ``set_fast_tables`` after the warm pool forked
+restarts the pool instead of reusing workers that froze the old setting.
+"""
+
+import pytest
+
+from repro.core.transitions import (
+    BatchTables,
+    lower_batch_tables,
+    set_fast_tables,
+    tables_epoch,
+)
+from repro.perf import shared
+from repro.perf.batch import batchable_specs
+from repro.protocols.registry import make_protocol
+
+
+@pytest.fixture
+def segment():
+    name = shared.publish_tables()
+    yield name
+    shared.unlink_tables(name)
+
+
+class TestPacking:
+    def test_round_trip_every_batchable_spec(self):
+        specs = batchable_specs()
+        tables = {
+            spec: lower_batch_tables(make_protocol(spec)) for spec in specs
+        }
+        rebuilt = shared.unpack_tables(shared.pack_tables(tables))
+        assert set(rebuilt) == set(specs)
+        for spec in specs:
+            assert rebuilt[spec] == tables[spec], spec
+            assert isinstance(rebuilt[spec], BatchTables)
+
+    def test_non_caching_flag_survives(self):
+        tables = {"non-caching": lower_batch_tables(make_protocol("non-caching"))}
+        rebuilt = shared.unpack_tables(shared.pack_tables(tables))
+        assert rebuilt["non-caching"].non_caching is True
+
+    def test_garbage_buffer_rejected(self):
+        with pytest.raises(shared.SharedTablesError):
+            shared.unpack_tables(b"\0" * 64)
+
+    def test_truncated_segment_rejected(self):
+        image = shared.pack_tables(
+            {"moesi": lower_batch_tables(make_protocol("moesi"))}
+        )
+        with pytest.raises(shared.SharedTablesError, match="truncated"):
+            shared.unpack_tables(image[: len(image) // 2])
+
+
+class TestSegmentLifecycle:
+    def test_publish_attach_unlink(self, segment):
+        got = shared.attach_tables(segment, seed_kernel_cache=False)
+        for spec in batchable_specs():
+            assert got[spec] == lower_batch_tables(make_protocol(spec))
+
+    def test_attach_seeds_kernel_cache(self, segment):
+        from repro.perf import batch
+
+        saved = dict(batch._LOWERED)
+        batch._LOWERED.clear()
+        try:
+            shared.attach_tables(segment)
+            assert set(batchable_specs()) <= set(batch._LOWERED)
+            # The seeded entries ARE the attached objects, not copies.
+            attached = shared.attach_tables(segment, seed_kernel_cache=False)
+            assert batch._LOWERED["moesi"] is attached["moesi"]
+        finally:
+            batch._LOWERED.clear()
+            batch._LOWERED.update(saved)
+
+    def test_attach_is_memoized_per_segment(self, segment):
+        first = shared.attach_tables(segment, seed_kernel_cache=False)
+        second = shared.attach_tables(segment, seed_kernel_cache=False)
+        assert first["moesi"] is second["moesi"]
+
+    def test_attach_missing_segment_raises(self):
+        with pytest.raises(Exception):
+            shared.attach_tables("psm_repro_no_such_segment")
+
+
+class TestPoolEpochRefresh:
+    def test_toggle_bumps_epoch_once_per_change(self):
+        before = tables_epoch()
+        previous = set_fast_tables(True)
+        try:
+            bumped = tables_epoch()
+            assert bumped == before + (0 if previous else 1)
+            set_fast_tables(True)  # no-op: same value
+            assert tables_epoch() == bumped
+        finally:
+            set_fast_tables(previous)
+
+    def test_warm_pool_restarts_after_toggle(self):
+        from repro.perf import engine
+
+        original = set_fast_tables(True)  # pin, so the flip below changes
+        try:
+            try:
+                executor = engine.get_executor(1)
+            except (OSError, ValueError):
+                pytest.skip("process pools unavailable in this sandbox")
+            assert engine.get_executor(1) is executor  # warm reuse
+            before = engine.pool_stats()["pool_refreshes"]
+            set_fast_tables(False)  # guaranteed effective change
+            refreshed = engine.get_executor(1)
+            assert refreshed is not executor
+            assert engine.pool_stats()["pool_refreshes"] == before + 1
+            # Same epoch again: the fresh pool is reusable.
+            assert engine.get_executor(1) is refreshed
+        finally:
+            set_fast_tables(original)
+            engine.shutdown_pool(wait=False)
