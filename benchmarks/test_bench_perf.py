@@ -17,6 +17,7 @@ from repro.perf.bench import (
     BATCH_MIN_EXPLORER_MULTIPLE,
     BENCH_FILENAME,
     MAX_TRACED_OVERHEAD_PCT,
+    MIN_SERVE_BATCH_SPEEDUP,
     load_baseline,
     run_bench_suite,
 )
@@ -45,6 +46,18 @@ def _assert_budgets(report: dict) -> None:
         "batch kernel diverged from the object engine"
     )
     assert report["batch"]["backends"], "no batch backend was timed"
+    # Continuous batching must reproduce one-at-a-time dispatch byte for
+    # byte; the speedup floor is numpy-only (coalescing buys the scalar
+    # interpreter nothing but amortized fixed costs).
+    serve_batch = report["serve_batch"]
+    assert serve_batch["identical"], (
+        "coalesced serve payloads diverged from one-at-a-time execution"
+    )
+    if serve_batch["backend"] == "numpy":
+        assert serve_batch["speedup"] >= MIN_SERVE_BATCH_SPEEDUP, (
+            f"coalesced burst only {serve_batch['speedup']}x one-at-a-time "
+            f"dispatch, below the {MIN_SERVE_BATCH_SPEEDUP}x floor"
+        )
     regression = report.get("regression")
     if regression is not None:
         assert regression["ok"], "; ".join(regression["failures"])

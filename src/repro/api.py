@@ -71,6 +71,7 @@ __all__ = [
     "FuzzResult",
     "plan",
     "execute",
+    "execute_many",
     "run_experiment",
     "explore",
     "fuzz_campaign",
@@ -902,6 +903,49 @@ def execute(
         timing=timing,
         **kwargs,
     )
+
+
+def execute_many(
+    specs,
+    *,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> list:
+    """Execute several specs, coalescing compatible batch sweeps.
+
+    The local (in-process) face of the serve tier's continuous
+    batching: specs whose :meth:`~repro.specs._SpecBase.batch_key` is
+    non-``None`` merge into shared SoA kernel populations via
+    :func:`repro.perf.batch.run_batch_specs`; everything else runs
+    through :func:`execute` one at a time.  Results return in input
+    order.  Coalesced entries yield the sweep row-lists ``execute``
+    would for the same :class:`~repro.specs.BatchSpec`, minus the
+    wall-clock ``transitions_per_sec`` column (a merged run has no
+    per-spec wall time)."""
+    specs = [_coerce_spec(spec) for spec in specs]
+    results: list = [None] * len(specs)
+    coalesced = [
+        index
+        for index, spec in enumerate(specs)
+        if spec.batch_key() is not None
+    ]
+    if len(coalesced) >= 2:
+        from repro.perf.batch import run_batch_specs
+
+        rows = run_batch_specs(
+            [specs[index] for index in coalesced], backend=backend
+        )
+        for index, spec_rows in zip(coalesced, rows):
+            results[index] = spec_rows
+    else:
+        coalesced = []
+    merged = set(coalesced)
+    for index, spec in enumerate(specs):
+        if index not in merged:
+            results[index] = execute(
+                spec, workers=workers, backend=backend
+            )
+    return results
 
 
 def warm_pool(workers: Optional[int] = None) -> int:

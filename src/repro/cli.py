@@ -295,6 +295,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 0 if ok else 1
 
+    if getattr(args, "serve_batch", False):
+        # Continuous-batching section only: coalesced population vs
+        # one-at-a-time dispatch on a compatible burst.  Like --batch,
+        # this never writes the JSON artifact (baseline hygiene: quick
+        # numbers must not overwrite the committed full-suite report).
+        from repro.perf.bench import _bench_serve_batch
+
+        section = _bench_serve_batch(args.quick)
+        ok = section["identical"]
+        if args.json:
+            return _emit(
+                args, "bench", ok, {"serve_batch": section},
+                {"bench.serve_batch_backend": section["backend"]},
+            )
+        print(
+            f"serve batch ({section['requests']} compatible requests, "
+            f"{section['backend']} backend): one-at-a-time "
+            f"{section['scalar_s']:.4f}s ({section['scalar_rps']}/s), "
+            f"coalesced {section['batched_s']:.4f}s "
+            f"({section['batched_rps']}/s), speedup "
+            f"{section['speedup']}x, payloads "
+            f"{'identical' if ok else 'MISMATCH'}"
+        )
+        return 0 if ok else 1
+
     report = run_bench_suite(workers=args.workers, quick=args.quick)
     ok = (report["matrix"]["rows_identical"]
           and report["des"]["rows_identical"])
@@ -350,6 +375,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{serve['miss_s']:.4f}s, hit {serve['hit_s']:.6f}s "
               f"({serve['hit_speedup']}x); cache hits {cache['hits']}, "
               f"misses {cache['misses']}")
+    serve_batch = report.get("serve_batch")
+    if serve_batch is not None:
+        print(f"serve batch ({serve_batch['requests']} compatible "
+              f"requests, {serve_batch['backend']} backend): "
+              f"{serve_batch['scalar_rps']}/s one-at-a-time -> "
+              f"{serve_batch['batched_rps']}/s coalesced "
+              f"({serve_batch['speedup']}x, payloads "
+              f"{'identical' if serve_batch['identical'] else 'MISMATCH'})")
     regression = report.get("regression")
     if regression is not None:
         if regression["explorer"]:
@@ -613,6 +646,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         workers=args.workers,
         retry_after_s=args.retry_after,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
     )
 
     def ready(endpoints: dict) -> None:
@@ -646,6 +681,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         envelope = client.status()
     elif args.shutdown:
         envelope = client.shutdown()
+    elif args.many:
+        # A burst of specs over concurrent connections -- the client
+        # shape that actually feeds the daemon's admission window.
+        if not args.spec_json:
+            print("submit: --many needs --spec-json (a JSON array, "
+                  "'-' reads stdin)", file=sys.stderr)
+            return 2
+        text = (sys.stdin.read() if args.spec_json == "-"
+                else args.spec_json)
+        specs = json.loads(text)
+        if not isinstance(specs, list):
+            print("submit: --many expects a JSON array of specs",
+                  file=sys.stderr)
+            return 2
+        results = client.execute_many(
+            specs, deadline=args.deadline, stream=args.stream
+        )
+        envelope = {
+            "command": "execute-many",
+            "ok": all(r.get("ok") for r in results),
+            "data": {"count": len(results), "results": results},
+            "metrics": None,
+        }
     else:
         if args.spec_json:
             text = (sys.stdin.read() if args.spec_json == "-"
@@ -775,6 +833,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", action="store_true",
                    help="run only the struct-of-arrays batch-kernel "
                         "section (skips matrix/DES/obs; writes no file)")
+    p.add_argument("--serve-batch", action="store_true",
+                   help="run only the continuous-batching section "
+                        "(coalesced vs one-at-a-time serve dispatch; "
+                        "writes no file)")
     p.add_argument("--out", default="BENCH_perf.json",
                    help="where to write the machine-readable report")
     _add_json_arg(p)
@@ -829,6 +891,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="warm-pool worker processes per job")
     p.add_argument("--retry-after", type=float, default=0.5,
                    help="seconds suggested in busy rejections")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   help="continuous-batching admission window (seconds): "
+                        "compatible batch specs arriving within it "
+                        "coalesce into one SoA population; 0 = degenerate "
+                        "populations of one, negative disables batching")
+    p.add_argument("--batch-max", type=int, default=64,
+                   help="population cap: a forming batch seals early "
+                        "once this many requests have joined")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -843,6 +913,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spec-json", metavar="JSON",
                    help="spec as a kind-tagged JSON object "
                         "('-' reads stdin); overrides --kind and its args")
+    p.add_argument("--many", action="store_true",
+                   help="treat --spec-json as a JSON array and submit "
+                        "every spec concurrently (feeds the daemon's "
+                        "batching admission window)")
     p.add_argument("--kind", default="experiment",
                    choices=["experiment", "verify", "shootout", "fuzz",
                             "batch"],

@@ -73,6 +73,7 @@ __all__ = [
     "lower_units",
     "make_synthetic_population",
     "run_population",
+    "run_batch_specs",
     "replay_row",
     "verify_rows",
 ]
@@ -172,6 +173,11 @@ class BatchResult:
     scalar_events: int = 0
     #: Events the numpy backend committed column-wise.
     vector_events: int = 0
+    #: Per-row accounting (events attempted / successful table consults
+    #: for each row) -- what lets a coalesced population de-multiplex
+    #: into per-spec reports without re-running anything.
+    row_events: tuple = ()
+    row_transitions: tuple = ()
 
     @property
     def scalar_residual(self) -> float:
@@ -329,6 +335,7 @@ class _Kernel:
             self.vctr = z(self.R)
             self.serial = z(self.R)
             self.bus_txns = z(self.R)
+            self.tr = z(self.R)
             max_events = max((len(e) for e in pop.events), default=0)
             self.tokens_buf = z((self.R, max(max_events, 1)))
             self.tok_n = z(self.R)
@@ -342,10 +349,12 @@ class _Kernel:
             self.vctr = array("q", [0]) * self.R
             self.serial = array("q", [0]) * self.R
             self.bus_txns = array("q", [0]) * self.R
+            self.tr = array("q", [0]) * self.R
             self.tokens = [[] for _ in range(self.R)]
         #: Per-row, per-unit pending snoop slot: ``(serial, idx, record)``.
         self.pend = [[None] * self.U for _ in range(self.R)]
         self.crash = [None] * self.R
+        #: Aggregate of the per-row ``tr`` counters, folded after run().
         self.transitions = 0
         self.events_attempted = 0
         self.scalar_events = 0
@@ -398,7 +407,7 @@ class _Kernel:
         rec = self.tables[u].snoop[self.st[i] * 6 + ev_code]
         if rec is None:
             raise _RowCrash("ProtocolGapError")
-        self.transitions += 1
+        self.tr[r] += 1
         self.pend[r][u] = (txn_serial, i, rec)
         return rec[2], rec[3], rec[4], rec[5]
 
@@ -549,7 +558,7 @@ class _Kernel:
         wrec = self.tables[u].local[landed * 4 + 1]
         if wrec is None:
             raise _Illegal()  # propagates: the read's effects persist
-        self.transitions += 1
+        self.tr[r] += 1
         if wrec[5] == 3:
             raise _RowCrash("AssertionError")  # Read>Write may not chain
         return self._run_local_action(r, u, la, 1, wrec, new_value)
@@ -582,7 +591,7 @@ class _Kernel:
         rec = self.tables[u].local[self.st[idx] * 4 + 3]  # FLUSH
         if rec is None:
             raise _Illegal()  # propagates out of the whole event
-        self.transitions += 1
+        self.tr[r] += 1
         self._run_local_action(r, u, victim_la, 3, rec, None)
 
     # -- processor port -------------------------------------------------
@@ -593,7 +602,7 @@ class _Kernel:
             rec = self.tables[u].local[self.st[i] * 4]
             if rec is None:
                 raise _Illegal()
-            self.transitions += 1
+            self.tr[r] += 1
             if rec[5] != 0 or rec[2] or rec[3]:  # hit must be silent
                 raise _RowCrash("AssertionError")
             self.st[i] = rec[1]
@@ -602,7 +611,7 @@ class _Kernel:
         rec = self.tables[u].local[_INVALID * 4]
         if rec is None:
             raise _Illegal()
-        self.transitions += 1
+        self.tr[r] += 1
         return self._run_local_action(r, u, la, 0, rec, None)
 
     def _proc_write(self, r, u, la, token):
@@ -612,7 +621,7 @@ class _Kernel:
             rec = self.tables[u].local[self.st[i] * 4 + 1]
             if rec is None:
                 raise _Illegal()
-            self.transitions += 1
+            self.tr[r] += 1
             self._run_local_action(r, u, la, 1, rec, token)
             # The object engine touches the lookup-time coordinates even
             # if the action moved the line; replicated as-is.
@@ -621,14 +630,14 @@ class _Kernel:
         rec = self.tables[u].local[_INVALID * 4 + 1]
         if rec is None:
             raise _Illegal()
-        self.transitions += 1
+        self.tr[r] += 1
         self._run_local_action(r, u, la, 1, rec, token)
 
     def _nc_read(self, r, u, la):
         rec = self.tables[u].local[_INVALID * 4]
         if rec is None:
             raise _Illegal()
-        self.transitions += 1
+        self.tr[r] += 1
         # A non-caching master always issues a bus READ with the cell's
         # signals, whatever the cell's op says.
         value, _ = self._execute(r, u, la, rec[2], rec[3], rec[4], 1, None)
@@ -640,7 +649,7 @@ class _Kernel:
         rec = self.tables[u].local[_INVALID * 4 + 1]
         if rec is None:
             raise _Illegal()
-        self.transitions += 1
+        self.tr[r] += 1
         self._execute(r, u, la, rec[2], rec[3], rec[4], 2, token)
 
     def _flush_line(self, r, u, la):
@@ -656,7 +665,7 @@ class _Kernel:
         rec = self.tables[u].local[self.st[found[2]] * 4 + 2]  # PASS
         if rec is None:
             return  # clean states have no PASS entry: caught internally
-        self.transitions += 1
+        self.tr[r] += 1
         self._run_local_action(r, u, la, 2, rec, None)
 
     # -- one scheduled event --------------------------------------------
@@ -691,8 +700,20 @@ class _Kernel:
     def run(self) -> None:
         if self.backend == "numpy":
             self._run_numpy()
+            self.transitions = int(self.tr.sum())
         else:
             self._run_python()
+            self.transitions = sum(self.tr)
+
+    def row_events(self) -> tuple:
+        """Scheduled events each row attempted (crashed rows stop at the
+        crash step; partial steps are impossible)."""
+        return tuple(
+            self.crash[r][0] + 1
+            if self.crash[r] is not None
+            else len(self.pop.events[r])
+            for r in range(self.R)
+        )
 
     def _run_python(self) -> None:
         for r in range(self.R):
@@ -916,7 +937,7 @@ class _Kernel:
                 fla = la[fsel]
             if n_fast:
                 ns = l_ns_nch[fi3]
-                self.transitions += n_fast
+                self.tr[fr] += 1  # one silent consult per row this step
                 st[fidx] = ns
                 ranks = rk_mat[fsrow]
                 old = rk[fidx]
@@ -964,7 +985,7 @@ class _Kernel:
             # -- silent flush/pass hits (state move only, no touch) -----
             csel = np.nonzero(flushm)[0]
             if csel.size:
-                self.transitions += csel.size
+                self.tr[rows[csel]] += 1
                 st[hidx[csel]] = l_ns_nch[idx3[csel]]
 
             # -- bus transactions: plan, then commit or divert ----------
@@ -1082,7 +1103,10 @@ class _Kernel:
                 ok = ~bdiv
                 oksel = np.nonzero(ok)[0]
                 if oksel.size:
-                    new_tr = oksel.size + int(s_hits[oksel].sum())
+                    # One local consult plus one snoop consult per hit,
+                    # credited to each transaction's own row (rows are
+                    # unique within a step, so the fancy += is exact).
+                    self.tr[brows[oksel]] += 1 + s_hits[oksel]
                     okr = brows[oksel]
                     self.serial[okr] += 1
                     self.bus_txns[okr] += 1
@@ -1111,10 +1135,11 @@ class _Kernel:
                     # Eviction transaction (the victim write-back).
                     if esel is not None:
                         eok = ok[esel]
-                        new_tr += int(eok.sum())  # the FLUSH consults
+                        if eok.any():
+                            self.tr[brows[esel][eok]] += 1  # FLUSH consults
                         b2 = eok & e_bus
                         if b2.any():
-                            new_tr += int(hits2[b2].sum())
+                            self.tr[brows[esel][b2]] += hits2[b2]
                             r2 = brows[esel[b2]]
                             self.serial[r2] += 1
                             self.bus_txns[r2] += 1
@@ -1138,7 +1163,6 @@ class _Kernel:
                                     st[sidx_v[sel]] = np.where(
                                         agg2[sel], nsc_v[sel], nsn_v[sel]
                                     )
-                    self.transitions += new_tr
                     # Master finalize: hits move in place...
                     stay = resolved < _INVALID
                     sel = np.nonzero(ok & bhit & stay)[0]
@@ -1264,6 +1288,8 @@ def run_population(
         snapshots=[kernel.snapshot_row(r) for r in range(pop.rows)],
         scalar_events=kernel.scalar_events,
         vector_events=kernel.vector_events,
+        row_events=kernel.row_events(),
+        row_transitions=tuple(int(x) for x in kernel.tr),
     )
 
 
@@ -1416,3 +1442,77 @@ def make_synthetic_population(
         row_ids=tuple(range(rows)),
         geometries=per_row,
     )
+
+
+# ---------------------------------------------------------------------------
+# Continuous batching: many BatchSpecs -> few merged kernel invocations.
+# ---------------------------------------------------------------------------
+def run_batch_specs(
+    specs: Sequence, backend: Optional[str] = None
+) -> list[list[dict]]:
+    """Coalesce several :class:`repro.specs.BatchSpec` sweeps into merged
+    kernel invocations and de-multiplex per-spec reports.
+
+    Every (spec, protocol) pair contributes the *same* synthetic
+    sub-population it would get standalone (schedules are pure functions
+    of ``(seed, row)`` and of the spec's own geometry); sub-populations
+    sharing a board mix are concatenated into one padded
+    heterogeneous-geometry population and run in a single kernel call.
+    Rows are independent, so the per-row snapshots -- and the per-row
+    ``row_events``/``row_transitions`` counters -- are identical to the
+    standalone runs, and each spec's report slices straight out.
+
+    Returns one row-list per spec, ordered like ``spec.protocols`` --
+    field-for-field equal to
+    :func:`repro.perf.sweeps.batch_protocol_sweep` minus the wall-clock
+    ``transitions_per_sec`` (a merged run has no per-spec wall time).
+    """
+    chosen = backend or default_backend()
+    out: list[list] = [[None] * len(spec.protocols) for spec in specs]
+    groups: dict[tuple, list] = {}
+    for si, spec in enumerate(specs):
+        geometry = BatchGeometry(*spec.geometry)
+        for pi, proto in enumerate(spec.protocols):
+            pop = make_synthetic_population(
+                rows=spec.rows,
+                units=(proto,) * spec.n_units,
+                geometry=geometry,
+                events_per_row=spec.events_per_row,
+                seed=spec.seed,
+            )
+            groups.setdefault(pop.units, []).append((si, pi, pop))
+    for units, members in groups.items():
+        events: list = []
+        geoms: list = []
+        slices = []
+        for si, pi, pop in members:
+            start = len(events)
+            events.extend(pop.events)
+            geoms.extend([pop.geometry] * pop.rows)
+            slices.append((si, pi, start, len(events)))
+        envelope = envelope_geometry(geoms)
+        hetero = any(g != envelope for g in geoms)
+        merged = BatchPopulation(
+            units=units,
+            geometry=envelope,
+            events=events,
+            row_ids=tuple(range(len(events))),
+            geometries=tuple(geoms) if hetero else None,
+        )
+        result = run_population(merged, backend=chosen)
+        for si, pi, start, stop in slices:
+            out[si][pi] = {
+                "protocol": specs[si].protocols[pi],
+                "backend": result.backend,
+                "rows": stop - start,
+                "events": int(sum(result.row_events[start:stop])),
+                "transitions": int(
+                    sum(result.row_transitions[start:stop])
+                ),
+                "crashes": sum(
+                    1
+                    for snapshot in result.snapshots[start:stop]
+                    if snapshot["crash"] is not None
+                ),
+            }
+    return out

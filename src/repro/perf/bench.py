@@ -20,7 +20,16 @@ The suite is fixed so successive PRs can track the trajectory:
   (cache miss, full job body) then answered warm (cache hit), with the
   cache hit/miss counters and the warm-pool dispatch stats recorded.
   The memo-hit latency is gated against an absolute budget
-  (:data:`MAX_SERVE_HIT_S`); the miss side stays informational.
+  (:data:`MAX_SERVE_HIT_S`); the miss side stays informational;
+* **serve_batch** -- continuous batching: a burst of compatible batch
+  specs executed one at a time (the pre-batching serve path) and then
+  as one coalesced population
+  (:func:`repro.serve.jobs.execute_batch_payloads`), byte-compared,
+  with the sustained requests/sec of both legs recorded.  On the numpy
+  backend the speedup is gated at :data:`MIN_SERVE_BATCH_SPEEDUP`
+  (host-normalized like the throughput gates); the pure-Python backend
+  only saves the per-request fixed costs, so there the ratio stays
+  informational.
 
 Wall-clock speedups depend on the host (a single-core container cannot
 beat serial); the JSON records ``cpu_count`` next to every ratio so the
@@ -45,6 +54,7 @@ __all__ = [
     "MAX_TRACED_OVERHEAD_PCT",
     "BATCH_MIN_EXPLORER_MULTIPLE",
     "MAX_SERVE_HIT_S",
+    "MIN_SERVE_BATCH_SPEEDUP",
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
@@ -66,6 +76,13 @@ BATCH_MIN_EXPLORER_MULTIPLE = 10.0
 #: starts doing real work (hashing the payload, re-canonicalizing,
 #: touching the pool) rather than on a noisy run.
 MAX_SERVE_HIT_S = 500e-6
+
+#: Floor on the continuous-batching speedup: a coalesced compatible
+#: burst must sustain at least this many times the one-at-a-time
+#: requests/sec.  Gated only on the numpy backend -- that is where
+#: coalescing buys vectorization width on top of amortized fixed costs;
+#: the scalar interpreter does the same per-event work either way.
+MIN_SERVE_BATCH_SPEEDUP = 5.0
 
 #: Explorer mixes timed by the hot-path section: (label, specs, lines).
 EXPLORER_MIXES = (
@@ -367,6 +384,62 @@ def _bench_serve(quick: bool) -> dict:
     }
 
 
+def _bench_serve_batch(quick: bool) -> dict:
+    """Continuous-batching throughput: one compatible burst dispatched
+    one spec at a time (the scalar serve path) and then as a single
+    coalesced population, byte-compared payload by payload.
+
+    The burst is what the daemon's admission window sees from
+    ``ServeClient.execute_many``: N distinct-seed batch specs sharing a
+    ``batch_key()``.  Both legs run in-process (no daemon, no sockets)
+    so the ratio isolates the kernel-side win -- amortized population
+    synthesis, one shared-tables epoch, one SoA run instead of N."""
+    from repro.perf.batch import default_backend
+    from repro.serve.jobs import execute_batch_payloads, execute_payload
+    from repro.serve.protocol import payload_json
+    from repro.specs import BatchSpec
+
+    requests = 64 if quick else 256
+    specs = [
+        BatchSpec(
+            protocols=("moesi",), rows=4, events_per_row=60, seed=seed
+        )
+        for seed in range(requests)
+    ]
+    canonicals = [spec.canonical() for spec in specs]
+    assert len({spec.batch_key() for spec in specs}) == 1
+
+    scalar_payloads = None
+    scalar_s = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        scalar_payloads = [
+            execute_payload(canonical) for canonical in canonicals
+        ]
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+    batched_payloads = None
+    batched_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batched_payloads = execute_batch_payloads(tuple(canonicals))
+        batched_s = min(batched_s, time.perf_counter() - start)
+    identical = [payload_json(p) for p in scalar_payloads] == [
+        payload_json(p) for p in batched_payloads
+    ]
+    return {
+        "requests": requests,
+        "rows_per_request": 4,
+        "events_per_row": 60,
+        "backend": default_backend(),
+        "scalar_s": round(scalar_s, 4),
+        "batched_s": round(batched_s, 4),
+        "scalar_rps": round(requests / scalar_s, 1),
+        "batched_rps": round(requests / batched_s, 1),
+        "speedup": round(scalar_s / batched_s, 2) if batched_s else None,
+        "identical": identical,
+    }
+
+
 def load_baseline(path: str = BENCH_FILENAME) -> Optional[dict]:
     """The committed baseline report, or None when absent/unreadable."""
     try:
@@ -538,6 +611,50 @@ def regression_report(report: dict, baseline: dict) -> dict:
                 else None
             ),
         }
+    serve_batch = report.get("serve_batch")
+    serve_batch_section = None
+    if serve_batch is not None:
+        if not serve_batch.get("identical", True):
+            failures.append(
+                "serve_batch: coalesced payloads diverged from "
+                "one-at-a-time execution"
+            )
+        speedup = serve_batch.get("speedup")
+        normalized_speedup = (
+            speedup * host_factor
+            if speedup is not None and host_factor is not None
+            else None
+        )
+        # Same better-of-raw/normalized shape as the tps gates; only the
+        # numpy backend carries the vectorization-width claim the 5x
+        # floor encodes.
+        if normalized_speedup is not None:
+            gated_speedup = max(speedup, normalized_speedup)
+        else:
+            gated_speedup = speedup
+        if (
+            serve_batch.get("backend") == "numpy"
+            and gated_speedup is not None
+            and gated_speedup < MIN_SERVE_BATCH_SPEEDUP
+        ):
+            failures.append(
+                f"serve_batch: coalesced burst only {gated_speedup:.1f}x "
+                f"one-at-a-time dispatch, below the "
+                f"{MIN_SERVE_BATCH_SPEEDUP:.0f}x floor"
+            )
+        serve_batch_section = {
+            "backend": serve_batch.get("backend"),
+            "requests": serve_batch.get("requests"),
+            "baseline_speedup": baseline.get("serve_batch", {}).get(
+                "speedup"
+            ),
+            "current_speedup": speedup,
+            "current_speedup_normalized": (
+                round(normalized_speedup, 2)
+                if normalized_speedup is not None
+                else None
+            ),
+        }
     serve = report.get("serve")
     serve_section = None
     if serve is not None and serve.get("hit_s") is not None:
@@ -579,11 +696,13 @@ def regression_report(report: dict, baseline: dict) -> dict:
         },
         "batch": batch_section,
         "serve": serve_section,
+        "serve_batch": serve_batch_section,
         "budgets": {
             "min_tps_ratio": MIN_TPS_RATIO,
             "max_traced_overhead_pct": MAX_TRACED_OVERHEAD_PCT,
             "min_batch_explorer_multiple": BATCH_MIN_EXPLORER_MULTIPLE,
             "max_serve_hit_s": MAX_SERVE_HIT_S,
+            "min_serve_batch_speedup": MIN_SERVE_BATCH_SPEEDUP,
         },
         "failures": failures,
         "ok": not failures,
@@ -621,6 +740,7 @@ def run_bench_suite(
         "obs": _bench_obs(quick),
         "batch": _bench_batch(quick),
         "serve": _bench_serve(quick),
+        "serve_batch": _bench_serve_batch(quick),
     }
     if baseline is not None:
         report["regression"] = regression_report(report, baseline)

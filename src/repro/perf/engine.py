@@ -40,6 +40,7 @@ __all__ = [
     "default_chunk_size",
     "dispatch_one",
     "get_executor",
+    "note_batch_dispatch",
     "pool_stats",
     "resolve_workers",
     "run_chunked",
@@ -106,12 +107,21 @@ _stats = {
     "chunks": 0,
     "dispatches": 0,
     "dispatch_degraded": 0,
+    "batch_dispatches": 0,
+    "batch_dispatch_rows": 0,
 }
 
 
 def pool_stats() -> dict[str, int]:
     """Counters for tests and the bench report (copy; safe to mutate)."""
     return dict(_stats)
+
+
+def note_batch_dispatch(rows: int) -> None:
+    """Record one coalesced serve dispatch of ``rows`` admitted requests
+    (surfaced via :func:`pool_stats` and ``repro serve --status``)."""
+    _stats["batch_dispatches"] += 1
+    _stats["batch_dispatch_rows"] += rows
 
 
 def get_executor(workers: int) -> ProcessPoolExecutor:

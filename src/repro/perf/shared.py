@@ -65,6 +65,7 @@ __all__ = [
     "process_tables",
     "publish_tables",
     "shared_tables_requested",
+    "tables_for_epoch",
     "unlink_tables",
     "unpack_tables",
 ]
@@ -325,6 +326,36 @@ def process_tables() -> dict:
     finally:
         _BUILDING = False
     return _PROCESS_TABLES
+
+
+def tables_for_epoch() -> Optional[str]:
+    """The long-lived publish-once segment for serving tiers.
+
+    Unlike the per-sweep publish/unlink in
+    :func:`repro.perf.sweeps.batch_protocol_sweep`, a daemon coalescing
+    requests wants one segment for its whole life: published on first
+    use, reused for every population, and republished only when
+    ``set_fast_tables`` bumps the tables epoch (the same signal that
+    restarts the warm pool, so workers never attach stale tables).
+    Returns ``None`` where shared memory is unavailable -- workers then
+    lower directly, which is correct, just slower."""
+    global _EPOCH_SEGMENT
+    from repro.core.transitions import tables_epoch
+
+    epoch = tables_epoch()
+    if _EPOCH_SEGMENT is not None and _EPOCH_SEGMENT[0] == epoch:
+        return _EPOCH_SEGMENT[1]
+    if _EPOCH_SEGMENT is not None and _EPOCH_SEGMENT[1] is not None:
+        unlink_tables(_EPOCH_SEGMENT[1])
+    try:
+        name: Optional[str] = publish_tables()
+    except Exception:
+        name = None
+    _EPOCH_SEGMENT = (epoch, name)
+    return name
+
+
+_EPOCH_SEGMENT: Optional[tuple] = None
 
 
 def prime_fork_cache(specs: Optional[Sequence[str]] = None) -> int:

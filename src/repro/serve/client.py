@@ -8,13 +8,21 @@ same envelope shape whether the daemon streamed or not, with ``trace``
 and ``metrics`` reinstated from the frames
 (:func:`repro.obs.stream.reassemble_trace` checks for gaps and short
 deliveries).
+
+:meth:`ServeClient.execute_many` submits a burst over *concurrent*
+connections (a private asyncio loop; the blocking surface is
+unchanged).  Concurrency is what feeds the daemon's continuous-batching
+admission window: the server reads one request per connection at a
+time, so a sequential loop of :meth:`execute` calls can only ever form
+populations of one.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.obs.stream import reassemble_trace
 
@@ -97,6 +105,81 @@ class ServeClient:
         if stream:
             request["stream"] = True
         return self._roundtrip(request)
+
+    def execute_many(
+        self,
+        specs: Sequence,
+        deadline: Optional[float] = None,
+        stream: bool = False,
+        concurrency: int = 32,
+    ) -> list[dict]:
+        """Submit many specs at once over parallel connections.
+
+        Returns one envelope per spec, in input order.  Compatible
+        batch specs landing inside the daemon's admission window
+        coalesce into shared SoA populations (check ``batched`` /
+        ``population`` on the envelopes); everything else behaves as N
+        independent :meth:`execute` calls."""
+        payloads = [
+            spec.to_dict() if hasattr(spec, "to_dict") else spec
+            for spec in specs
+        ]
+
+        async def _one(sem: asyncio.Semaphore, payload) -> dict:
+            request: dict = {"command": "execute", "spec": payload}
+            if deadline is not None:
+                request["deadline"] = deadline
+            if stream:
+                request["stream"] = True
+            async with sem:
+                return await self._async_roundtrip(request)
+
+        async def _run() -> list[dict]:
+            sem = asyncio.Semaphore(max(1, concurrency))
+            return list(
+                await asyncio.gather(
+                    *(_one(sem, payload) for payload in payloads)
+                )
+            )
+
+        return asyncio.run(_run())
+
+    async def _async_roundtrip(self, request: dict) -> dict:
+        """One request over one fresh asyncio connection."""
+        if self.unix_socket is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                self.unix_socket
+            )
+        else:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        try:
+            writer.write(json.dumps(request).encode("ascii") + b"\n")
+            await writer.drain()
+            frames: list[dict] = []
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.timeout_s
+                )
+                if not line:
+                    raise ConnectionError(
+                        "server closed before a final response"
+                    )
+                line = line.strip()
+                if not line:
+                    continue
+                message = json.loads(line.decode("ascii"))
+                if message.get("frame"):
+                    frames.append(message)
+                    continue
+                return self._finalize(message, frames)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
 
     def status(self) -> dict:
         """The daemon's pool/cache/admission counters."""

@@ -25,6 +25,13 @@ Determinism rules:
 
 Responses reuse the CLI envelope ``{"command", "ok", "data", "metrics"}``
 plus serve-specific fields (``hash``, ``cached``, ``retry_after``, ...).
+A request served through the continuous-batching path additionally
+carries ``batched: true`` and ``population`` (the sealed population's
+row count) -- annotations only: ``data`` stays byte-identical to the
+one-at-a-time path, because both paths run the same kernel on the same
+per-spec schedules and serialize through :func:`payload_for`, whose
+wall-clock strip (:data:`_WALL_CLOCK_ROW_FIELDS`) removes the only
+field a merged run could not reproduce.
 """
 
 from __future__ import annotations

@@ -22,6 +22,23 @@ machinery (:func:`repro.perf.engine.dispatch_one`): an overrun job's
 workers are terminated, the daemon answers
 ``{"ok": false, "error": "deadline"}``, and the next job gets a fresh
 pool.
+
+Continuous batching
+-------------------
+Specs whose :meth:`~repro.specs.BatchSpec.batch_key` is non-``None``
+(batch-lowerable sweeps) take a third path after the cache and
+single-flight checks: instead of ``dispatch_one`` per request, they
+join a per-compatibility-key **admission queue**.  The first arrival
+opens an admission window (``batch_window_s``); whatever compatible
+requests land within it -- capped at ``batch_max`` -- seal into one
+padded heterogeneous-geometry SoA population, executed as a *single*
+pool job (:func:`repro.serve.jobs.dispatch_batch_job`, shared tables
+published once per epoch), and the per-row results de-multiplex back
+into the exact envelopes each request would have gotten alone.  Rows
+whose deadline expires while the window is open are dropped from the
+population individually -- their neighbours still execute.  A window
+of ``0`` degenerates to populations of one (no coalescing latency);
+a negative window disables the batch path entirely.
 """
 
 from __future__ import annotations
@@ -51,6 +68,14 @@ class ServeConfig:
     ``dispatcher`` injects the job runner -- ``(canonical, deadline_s)
     -> payload`` -- for tests and benches; the default is the warm-pool
     :func:`repro.serve.jobs.dispatch_job`.
+
+    ``batch_window_s``/``batch_max`` shape the continuous-batching
+    admission queue: batch-lowerable specs arriving within the window
+    (up to the cap) coalesce into one SoA population.  ``0`` seals each
+    population at one row (degenerate, no added latency); negative
+    disables the batch path.  ``batch_dispatcher`` injects the
+    coalesced runner -- ``(canonicals, deadline_s) -> [payload, ...]``
+    -- defaulting to :func:`repro.serve.jobs.dispatch_batch_job`.
     """
 
     host: str = "127.0.0.1"
@@ -63,6 +88,24 @@ class ServeConfig:
     retry_after_s: float = 0.5
     stream_chunk: int = DEFAULT_FRAME_EVENTS
     dispatcher: Optional[Callable[[str, Optional[float]], dict]] = None
+    batch_window_s: float = 0.005
+    batch_max: int = 64
+    batch_dispatcher: Optional[
+        Callable[[tuple, Optional[float]], list]
+    ] = None
+
+
+class _PendingBatch:
+    """One forming population: entries accumulate until the admission
+    window elapses or the population cap fills."""
+
+    __slots__ = ("entries", "full")
+
+    def __init__(self) -> None:
+        #: Each entry: {"key", "canonical", "deadline", "expires",
+        #: "future"} -- the future resolves to (outcome, extras).
+        self.entries: list[dict] = []
+        self.full = asyncio.Event()
 
 
 class ReproServer:
@@ -78,6 +121,16 @@ class ReproServer:
             "busy_rejections": 0,
             "deadline_failures": 0,
             "errors": 0,
+            # Continuous batching: requests admitted to the batch path,
+            # populations sealed, rows across them, the largest one,
+            # requests computed one-at-a-time, and rows whose deadline
+            # expired while their population was still forming.
+            "batched": 0,
+            "populations": 0,
+            "population_rows": 0,
+            "population_max": 0,
+            "scalar_path": 0,
+            "deadline_dropped": 0,
         }
         self.endpoints: dict = {}
         #: hash -> Future resolving to ("ok", payload) | ("error", kind,
@@ -87,17 +140,37 @@ class ReproServer:
         self._admitted = 0
         self._servers: list = []
         self._client_tasks: set = set()
+        #: batch_key -> the currently forming population, plus the
+        #: collector tasks draining sealed ones.
+        self._batches: dict[str, _PendingBatch] = {}
+        self._collectors: set = set()
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._stopping: Optional[asyncio.Event] = None
+        workers = self.config.workers
         if self.config.dispatcher is not None:
             self._dispatcher = self.config.dispatcher
         else:
-            workers = self.config.workers
 
             def _default_dispatcher(canonical, deadline_s):
                 return dispatch_job(canonical, deadline_s, workers=workers)
 
             self._dispatcher = _default_dispatcher
+        if self.config.batch_dispatcher is not None:
+            self._batch_dispatcher = self.config.batch_dispatcher
+        else:
+
+            def _default_batch_dispatcher(canonicals, deadline_s):
+                from repro.perf.shared import tables_for_epoch
+                from repro.serve.jobs import dispatch_batch_job
+
+                return dispatch_batch_job(
+                    canonicals,
+                    deadline_s,
+                    workers=workers,
+                    tables_shm=tables_for_epoch(),
+                )
+
+            self._batch_dispatcher = _default_batch_dispatcher
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -148,6 +221,12 @@ class ReproServer:
                 *self._client_tasks, return_exceptions=True
             )
         self._client_tasks.clear()
+        for task in list(self._collectors):
+            task.cancel()
+        if self._collectors:
+            await asyncio.gather(*self._collectors, return_exceptions=True)
+        self._collectors.clear()
+        self._batches.clear()
         path = self.endpoints.get("unix_socket")
         if path:
             try:
@@ -205,15 +284,35 @@ class ReproServer:
     def _status_data(self) -> dict:
         from repro.perf.engine import pool_stats
 
+        counters = dict(self.counters)
+        populations = counters["populations"]
         return {
             "endpoints": dict(self.endpoints),
             "pool": pool_stats(),
             "cache": self.cache.stats(),
-            "counters": dict(self.counters),
+            "counters": counters,
             "inflight": len(self._inflight),
             "admitted": self._admitted,
             "concurrency": self.config.concurrency,
             "max_pending": self.config.max_pending,
+            "batch": {
+                "window_s": self.config.batch_window_s,
+                "max": self.config.batch_max,
+                "populations": populations,
+                "rows": counters["population_rows"],
+                "mean_population": (
+                    round(counters["population_rows"] / populations, 2)
+                    if populations
+                    else None
+                ),
+                "max_population": counters["population_max"],
+                "scalar_path": counters["scalar_path"],
+                "deadline_dropped": counters["deadline_dropped"],
+                "forming": sum(
+                    len(batch.entries)
+                    for batch in self._batches.values()
+                ),
+            },
         }
 
     async def _handle(self, request: dict, writer) -> None:
@@ -302,18 +401,28 @@ class ReproServer:
             )
             return
 
+        route = (
+            spec.batch_key() if self.config.batch_window_s >= 0 else None
+        )
         self._admitted += 1
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
+        extras: dict = {}
         try:
-            outcome = await self._compute(canonical, deadline, key)
+            if route is None:
+                self.counters["scalar_path"] += 1
+                outcome = await self._compute(canonical, deadline, key)
+            else:
+                outcome, extras = await self._batch_compute(
+                    route, canonical, deadline, key
+                )
         finally:
             self._admitted -= 1
             self._inflight.pop(key, None)
         future.set_result(outcome)
         await self._respond_outcome(
             writer, key, outcome, cached=False, coalesced=False,
-            stream=stream,
+            stream=stream, extras=extras,
         )
 
     async def _compute(self, canonical: str, deadline, key: str) -> tuple:
@@ -340,14 +449,143 @@ class ReproServer:
         self.cache.put(key, payload)
         return ("ok", payload)
 
+    # ------------------------------------------------------------------
+    # Continuous batching: admission queue, collector, de-mux.
+    # ------------------------------------------------------------------
+    async def _batch_compute(
+        self, route: str, canonical: str, deadline, key: str
+    ) -> tuple:
+        """Admit one request to the forming population for its
+        compatibility key; returns ``(outcome, respond-extras)`` once
+        the population executed (or this row was dropped)."""
+        loop = asyncio.get_running_loop()
+        self.counters["batched"] += 1
+        entry = {
+            "key": key,
+            "canonical": canonical,
+            "deadline": deadline,
+            "expires": (
+                loop.time() + deadline if deadline is not None else None
+            ),
+            "future": loop.create_future(),
+        }
+        window = self.config.batch_window_s
+        batch = self._batches.get(route)
+        if batch is None:
+            batch = _PendingBatch()
+            batch.entries.append(entry)
+            if window > 0 and len(batch.entries) < self.config.batch_max:
+                # Open the admission window; the collector seals it.
+                self._batches[route] = batch
+                collector = loop.create_task(self._collect(route, batch))
+            else:
+                # window == 0 (or batch_max == 1): degenerate population
+                # of one, sealed immediately -- no coalescing latency.
+                collector = loop.create_task(self._execute_batch(batch))
+            self._collectors.add(collector)
+            collector.add_done_callback(self._collectors.discard)
+        else:
+            batch.entries.append(entry)
+            if len(batch.entries) >= self.config.batch_max:
+                # Population cap: seal now, don't wait out the window.
+                self._batches.pop(route, None)
+                batch.full.set()
+        return await entry["future"]
+
+    async def _collect(self, route: str, batch: _PendingBatch) -> None:
+        """Wait out the admission window (or the cap), then execute."""
+        try:
+            await asyncio.wait_for(
+                batch.full.wait(), timeout=self.config.batch_window_s
+            )
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            if self._batches.get(route) is batch:
+                self._batches.pop(route, None)
+        await self._execute_batch(batch)
+
+    async def _execute_batch(self, batch: _PendingBatch) -> None:
+        """Seal a population: drop expired rows, run the rest as one
+        coalesced pool job, de-multiplex per-row outcomes."""
+        from repro.perf.engine import ParallelTimeoutError
+
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live = []
+        for entry in batch.entries:
+            if entry["expires"] is not None and entry["expires"] <= now:
+                # The row is dropped from the batch, not the batch for
+                # the row: its neighbours still execute.
+                self.counters["deadline_dropped"] += 1
+                entry["future"].set_result((
+                    (
+                        "error", "deadline",
+                        f"deadline {entry['deadline']:g}s expired before "
+                        "the population sealed",
+                    ),
+                    {"batched": True},
+                ))
+                continue
+            live.append(entry)
+        if not live:
+            return
+        self.counters["populations"] += 1
+        self.counters["population_rows"] += len(live)
+        self.counters["population_max"] = max(
+            self.counters["population_max"], len(live)
+        )
+        remaining = [
+            entry["expires"] - now
+            for entry in live
+            if entry["expires"] is not None
+        ]
+        # The pool timeout may only fire once every surviving row is out
+        # of time; a deadline-free row keeps the job timeout-free.
+        timeout = (
+            max(remaining) if len(remaining) == len(live) else None
+        )
+        extras = {"batched": True, "population": len(live)}
+        canonicals = tuple(entry["canonical"] for entry in live)
+        try:
+            assert self._semaphore is not None, "start() first"
+            async with self._semaphore:
+                payloads = await loop.run_in_executor(
+                    None, self._batch_dispatcher, canonicals, timeout
+                )
+            if len(payloads) != len(live):
+                raise RuntimeError(
+                    f"batch dispatcher returned {len(payloads)} payloads"
+                    f" for {len(live)} rows"
+                )
+        except ParallelTimeoutError as error:
+            self.counters["deadline_failures"] += len(live)
+            outcome = ("error", "deadline", str(error))
+            for entry in live:
+                entry["future"].set_result((outcome, extras))
+            return
+        except Exception as error:
+            self.counters["errors"] += len(live)
+            outcome = (
+                "error", "execution", f"{type(error).__name__}: {error}"
+            )
+            for entry in live:
+                entry["future"].set_result((outcome, extras))
+            return
+        for entry, payload in zip(live, payloads):
+            self.counters["executed"] += 1
+            self.cache.put(entry["key"], payload)
+            entry["future"].set_result((("ok", payload), extras))
+
     async def _respond_outcome(
         self, writer, key: str, outcome: tuple, *, cached: bool,
-        coalesced: bool, stream: bool,
+        coalesced: bool, stream: bool, extras: Optional[dict] = None,
     ) -> None:
+        extras = extras or {}
         if outcome[0] == "ok":
             await self._respond(
                 writer, key, outcome[1], cached=cached,
-                coalesced=coalesced, stream=stream,
+                coalesced=coalesced, stream=stream, extras=extras,
             )
             return
         _, kind, detail = outcome
@@ -355,13 +593,15 @@ class ReproServer:
             writer,
             response_envelope(
                 "execute", False, error=kind, detail=detail, hash=key,
+                **extras,
             ),
         )
 
     async def _respond(
         self, writer, key: str, payload: dict, *, cached: bool,
-        coalesced: bool, stream: bool,
+        coalesced: bool, stream: bool, extras: Optional[dict] = None,
     ) -> None:
+        extras = extras or {}
         trace = payload.get("trace")
         metrics = payload.get("metrics")
         if stream and (trace is not None or metrics is not None):
@@ -378,7 +618,7 @@ class ReproServer:
                 response_envelope(
                     "execute", True, data=payload["data"], metrics=None,
                     hash=key, cached=cached, coalesced=coalesced,
-                    streamed=True, trace=None,
+                    streamed=True, trace=None, **extras,
                 ),
             )
             return
@@ -387,7 +627,7 @@ class ReproServer:
             response_envelope(
                 "execute", True, data=payload["data"], metrics=metrics,
                 hash=key, cached=cached, coalesced=coalesced,
-                streamed=False, trace=trace,
+                streamed=False, trace=trace, **extras,
             ),
         )
 

@@ -81,8 +81,31 @@ class _SpecBase:
         return canonical_json(self.to_dict())
 
     def content_hash(self) -> str:
-        """sha256 hex digest of :meth:`canonical` -- the memoization key."""
-        return hashlib.sha256(self.canonical().encode("ascii")).hexdigest()
+        """sha256 hex digest of :meth:`canonical` -- the memoization key.
+
+        Computed lazily once and cached on the (frozen) instance: the
+        serve tier hashes every request on its admission hot path, and
+        a spec's canonical string never changes after construction.
+        The cache rides in ``__dict__`` (specs are not slotted), so it
+        survives pickling harmlessly and never participates in
+        ``__eq__``/``to_dict``."""
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            cached = hashlib.sha256(
+                self.canonical().encode("ascii")
+            ).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
+
+    def batch_key(self) -> Optional[str]:
+        """The coalescing compatibility fingerprint, or ``None``.
+
+        Two specs with equal non-``None`` keys may be merged into one
+        SoA batch-kernel population and de-multiplexed row-by-row
+        (:func:`repro.perf.batch.run_batch_specs`).  The base spec is
+        never batch-lowerable; :class:`BatchSpec` overrides this with
+        the real lowering check."""
+        return None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -416,6 +439,28 @@ class BatchSpec(_SpecBase):
             object.__setattr__(self, "protocols", tuple(self.protocols))
         if not isinstance(self.geometry, tuple):
             object.__setattr__(self, "geometry", tuple(self.geometry))
+
+    def batch_key(self) -> Optional[str]:
+        """Compatibility fingerprint for continuous batching.
+
+        Non-``None`` iff every protocol batch-lowers (per
+        :func:`repro.perf.batch.lower_units` -- seeded-random /
+        round-robin selectors do not).  Geometry, rows, seeds, and
+        workloads deliberately stay *out* of the key: the kernel pads
+        heterogeneous geometries to a population envelope, so any mix of
+        lowerable sweeps with the same board size coalesces.  ``n_units``
+        stays in because it fixes the per-row board mix columns."""
+        if not self.protocols:
+            return None
+        try:
+            from repro.perf.batch import lower_units
+
+            lower_units((str(spec) for spec in self.protocols))
+        except Exception:
+            return None
+        return canonical_json(
+            {"kind": self.kind, "v": SPEC_VERSION, "n_units": self.n_units}
+        )
 
     def to_dict(self) -> dict:
         return {
